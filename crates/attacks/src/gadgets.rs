@@ -1,0 +1,101 @@
+//! Gadget discovery: the attacker's half of the evaluation.
+//!
+//! The threat model (§3.3) grants the adversary full knowledge of the
+//! binary and its libraries; this scanner finds the classic code-reuse
+//! material — `pop rN; ret` register loaders, `syscall; ret` kernel
+//! trampolines, and bare `ret` instructions usable as NOP-like chain links.
+
+use fg_isa::image::Image;
+use fg_isa::insn::{Insn, Reg, INSN_SIZE};
+use std::collections::BTreeMap;
+
+/// The gadget catalogue for one image.
+#[derive(Debug, Clone, Default)]
+pub struct GadgetMap {
+    /// `pop rN; ret` gadgets, keyed by register index.
+    pub pop: BTreeMap<usize, u64>,
+    /// `pop rA; pop rB; ret` gadgets, keyed by `(A, B)`.
+    pub pop2: BTreeMap<(usize, usize), u64>,
+    /// A `syscall; ret` trampoline.
+    pub syscall_ret: Option<u64>,
+    /// Addresses of bare `ret` instructions (NOP-like chain links).
+    pub rets: Vec<u64>,
+}
+
+impl GadgetMap {
+    /// The `pop rN; ret` gadget for a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image offers no such gadget — the attack cannot be
+    /// built, which is a test-setup error, not a runtime condition.
+    pub fn pop_reg(&self, r: Reg) -> u64 {
+        *self.pop.get(&r.index()).unwrap_or_else(|| panic!("no pop-{r} gadget in image"))
+    }
+
+    /// The syscall trampoline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image has none.
+    pub fn syscall(&self) -> u64 {
+        self.syscall_ret.expect("no syscall;ret gadget in image")
+    }
+}
+
+/// Scans every executable byte of the image for gadgets.
+pub fn find(image: &Image) -> GadgetMap {
+    let mut g = GadgetMap::default();
+    for m in image.modules() {
+        let mut va = m.base;
+        while va < m.exec_end {
+            if let Some(insn) = image.insn_at(va) {
+                let next = image.insn_at(va + INSN_SIZE);
+                let next2 = image.insn_at(va + 2 * INSN_SIZE);
+                match (insn, next) {
+                    (Insn::Pop { rd }, Some(Insn::Ret)) => {
+                        g.pop.entry(rd.index()).or_insert(va);
+                    }
+                    (Insn::Pop { rd: a }, Some(Insn::Pop { rd: b })) => {
+                        if let Some(Insn::Ret) = next2 {
+                            g.pop2.entry((a.index(), b.index())).or_insert(va);
+                        }
+                    }
+                    (Insn::Syscall, Some(Insn::Ret)) => {
+                        g.syscall_ret.get_or_insert(va);
+                    }
+                    (Insn::Ret, _) => g.rets.push(va),
+                    _ => {}
+                }
+            }
+            va += INSN_SIZE;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_isa::insn::regs::*;
+
+    #[test]
+    fn libc_provides_the_classic_gadgets() {
+        let w = fg_workloads::nginx();
+        let g = find(&w.image);
+        assert!(g.pop.contains_key(&R0.index()), "pop r0; ret (restore0)");
+        assert!(g.pop.contains_key(&R1.index()), "pop r1; ret (restore1)");
+        assert!(g.pop2.contains_key(&(R2.index(), R3.index())), "pop r2; pop r3; ret");
+        assert!(g.syscall_ret.is_some(), "syscall; ret (do_syscall)");
+        assert!(g.rets.len() > 10, "plenty of NOP-like ret links");
+    }
+
+    #[test]
+    fn gadgets_live_in_code() {
+        let w = fg_workloads::nginx();
+        let g = find(&w.image);
+        for &va in g.pop.values().chain(g.pop2.values()).chain(g.rets.iter()) {
+            assert!(w.image.is_code(va));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # fg-attacks — code-reuse attacks against the simulated workloads
+//!
+//! The adversary of §3.3: remote, input-only, fully aware of the binary,
+//! blocked from code injection by DEP. Attacks exploit the implanted
+//! stack-overflow in the nginx-alike's parser and hijack control flow *for
+//! real* inside the simulated machine:
+//!
+//! * [`gadgets`] — `pop/ret`, `syscall/ret`, and bare-`ret` discovery;
+//! * [`payloads`] — traditional ROP, SROP (forged signal frame),
+//!   return-to-lib, and history-flushing chains (§7.1.1–7.1.2);
+//! * [`runner`] — executes payloads unprotected (attack must succeed) and
+//!   under FlowGuard (attack must be killed at the endpoint).
+
+pub mod gadgets;
+pub mod payloads;
+pub mod runner;
+
+pub use fg_kernel::SIGFRAME_WORDS;
+pub use gadgets::{find as find_gadgets, GadgetMap};
+pub use payloads::{history_flush, kbouncer_evasion, ret_to_lib, rop_write, srop_execve};
+pub use runner::{run_cfimon, run_kbouncer, run_protected, run_unprotected, trained_vulnerable_nginx, AttackResult};

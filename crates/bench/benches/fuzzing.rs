@@ -1,0 +1,52 @@
+//! Criterion benches for the training pipeline: mutation throughput,
+//! emulated executions per second, and corpus replay (credit labeling).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mutations(c: &mut Criterion) {
+    let input = vec![0x41u8; 64];
+    let mut g = c.benchmark_group("mutation");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("havoc_64b", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| fg_fuzz::mutate::havoc(&mut rng, &input, 256))
+    });
+    g.bench_function("deterministic_16b", |b| {
+        b.iter(|| fg_fuzz::mutate::deterministic(&input[..16]))
+    });
+    g.finish();
+}
+
+fn bench_emulated_exec(c: &mut Criterion) {
+    let w = fg_workloads::nginx_patched();
+    let input = fg_workloads::request(1, b"benchmark-payload");
+    c.bench_function("emulated_exec_with_coverage", |b| {
+        b.iter(|| {
+            let mut m = fg_cpu::Machine::new(&w.image, 0xf000);
+            m.enable_coverage();
+            let mut k = fg_kernel::Kernel::with_input(&input);
+            m.run(&mut k, 2_000_000)
+        })
+    });
+}
+
+fn bench_training_replay(c: &mut Criterion) {
+    let w = fg_workloads::vsftpd();
+    let ocfg = fg_cfg::OCfg::build(&w.image);
+    let corpus: Vec<Vec<u8>> = (0..4u8).map(|i| fg_workloads::request(i, b"train")).collect();
+    c.bench_function("train_replay_4_inputs", |b| {
+        b.iter(|| {
+            let mut itc = fg_cfg::ItcCfg::build(&ocfg);
+            fg_fuzz::train(&mut itc, &w.image, &corpus, fg_fuzz::TrainConfig::default())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_mutations, bench_emulated_exec, bench_training_replay
+}
+criterion_main!(benches);

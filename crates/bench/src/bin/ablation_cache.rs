@@ -1,0 +1,4 @@
+//! Slow-path caching ablation. See `fg_bench::experiments::cache`.
+fn main() {
+    fg_bench::experiments::cache::print();
+}

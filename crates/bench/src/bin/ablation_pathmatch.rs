@@ -1,0 +1,4 @@
+//! Path-matching ablation. See `fg_bench::experiments::pathmatch`.
+fn main() {
+    fg_bench::experiments::pathmatch::print();
+}

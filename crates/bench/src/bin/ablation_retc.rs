@@ -1,0 +1,4 @@
+//! RET-compression ablation. See `fg_bench::experiments::retc`.
+fn main() {
+    fg_bench::experiments::retc::print();
+}

@@ -1,0 +1,4 @@
+//! §8.2 baseline comparison. See `fg_bench::experiments::baselines`.
+fn main() {
+    fg_bench::experiments::baselines::print();
+}

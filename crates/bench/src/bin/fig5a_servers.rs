@@ -1,0 +1,4 @@
+//! Figure 5a — server overhead breakdown.
+fn main() {
+    fg_bench::experiments::fig5::servers(fg_cpu::CostModel::calibrated());
+}

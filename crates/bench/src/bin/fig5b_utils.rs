@@ -1,0 +1,4 @@
+//! Figure 5b — Linux utility overhead breakdown.
+fn main() {
+    fg_bench::experiments::fig5::utilities(fg_cpu::CostModel::calibrated());
+}

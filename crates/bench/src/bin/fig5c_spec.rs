@@ -1,0 +1,4 @@
+//! Figure 5c — SPEC profile overhead.
+fn main() {
+    fg_bench::experiments::fig5::spec(fg_cpu::CostModel::calibrated());
+}

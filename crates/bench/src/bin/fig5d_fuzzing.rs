@@ -1,0 +1,4 @@
+//! Figure 5d — fuzzing-training benefit curve.
+fn main() {
+    fg_bench::experiments::fig5::print_training_curve();
+}

@@ -1,0 +1,4 @@
+//! §7.2.4 multi-process CR3-filter cost. See `fg_bench::experiments::multiproc`.
+fn main() {
+    fg_bench::experiments::multiproc::print();
+}

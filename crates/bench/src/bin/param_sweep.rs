@@ -1,0 +1,4 @@
+//! Regenerates the paper's corresponding table/figure. See `fg_bench::experiments::params`.
+fn main() {
+    fg_bench::experiments::params::print();
+}

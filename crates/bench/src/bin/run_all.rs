@@ -1,0 +1,25 @@
+//! Runs every experiment in sequence — the full reproduction of the paper's
+//! evaluation section. Output of this binary is recorded in EXPERIMENTS.md.
+fn main() {
+    use fg_bench::experiments as e;
+    println!("# FlowGuard (HPCA 2017) — full evaluation reproduction\n");
+    e::table2::print();
+    e::table1::print();
+    e::sec2::print();
+    e::table4::print();
+    e::table5::print();
+    e::attacks_eval::print();
+    e::params::print();
+    e::fig5::servers(fg_cpu::CostModel::calibrated());
+    e::fig5::utilities(fg_cpu::CostModel::calibrated());
+    e::fig5::spec(fg_cpu::CostModel::calibrated());
+    e::fig5::print_training_curve();
+    e::micro::print();
+    e::hw::print();
+    e::baselines::print();
+    e::retc::print();
+    e::pathmatch::print();
+    e::multiproc::print();
+    e::cache::print();
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's corresponding table/figure. See `fg_bench::experiments::table5`.
+fn main() {
+    fg_bench::experiments::table5::print();
+}

@@ -1,0 +1,18 @@
+//! Experiment implementations, one module per table/figure of the paper.
+
+pub mod attacks_eval;
+pub mod baselines;
+pub mod cache;
+pub mod fig5;
+pub mod hw;
+pub mod micro;
+pub mod multiproc;
+pub mod overhead;
+pub mod params;
+pub mod pathmatch;
+pub mod retc;
+pub mod sec2;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+pub mod table5;

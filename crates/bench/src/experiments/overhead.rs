@@ -1,0 +1,91 @@
+//! Shared logic for the Figure 5 overhead experiments: run each workload
+//! under full FlowGuard protection and break the slowdown into the paper's
+//! four phases (trace / decode / check / other).
+
+use crate::measure::{geomean_floored, run_protected, trained_deployment};
+use crate::table::{fmt, Table};
+use fg_cpu::CostModel;
+use fg_workloads::Workload;
+use flowguard::FlowGuardConfig;
+
+/// One workload's overhead breakdown (percent of baseline execution).
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Workload name.
+    pub name: String,
+    /// Tracing overhead %.
+    pub trace: f64,
+    /// Decoding overhead %.
+    pub decode: f64,
+    /// Checking overhead %.
+    pub check: f64,
+    /// Other (interception) overhead %.
+    pub other: f64,
+    /// Total overhead %.
+    pub total: f64,
+    /// Fraction of checks escalated to the slow path.
+    pub slow_fraction: f64,
+}
+
+/// Measures one workload.
+pub fn breakdown(w: &Workload, cfg: &FlowGuardConfig, cost: CostModel) -> BreakdownRow {
+    let d = trained_deployment(w);
+    let p = run_protected(w, &d, cfg.clone(), cost);
+    assert!(
+        !matches!(p.run.stop, fg_cpu::StopReason::Killed(_)),
+        "{}: benign run must not be killed (false positive!)",
+        w.name
+    );
+    let exec = p.run.account.exec;
+    BreakdownRow {
+        name: w.name.clone(),
+        trace: p.run.account.trace / exec * 100.0,
+        decode: p.run.account.decode / exec * 100.0,
+        check: p.run.account.check / exec * 100.0,
+        other: p.run.account.other / exec * 100.0,
+        total: p.run.account.overhead() * 100.0,
+        slow_fraction: p.slow_fraction,
+    }
+}
+
+/// Measures a population and prints the breakdown table.
+pub fn print_population(
+    title: &str,
+    ws: &[Workload],
+    cfg: &FlowGuardConfig,
+    cost: CostModel,
+) -> Vec<BreakdownRow> {
+    let rows: Vec<BreakdownRow> = ws.iter().map(|w| breakdown(w, cfg, cost)).collect();
+    let mut t = Table::new(&[
+        "application",
+        "trace %",
+        "decode %",
+        "check %",
+        "other %",
+        "total %",
+        "slow-path freq",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.clone(),
+            fmt(r.trace, 2),
+            fmt(r.decode, 2),
+            fmt(r.check, 2),
+            fmt(r.other, 2),
+            fmt(r.total, 2),
+            fmt(r.slow_fraction, 3),
+        ]);
+    }
+    let g = geomean_floored(&rows.iter().map(|r| r.total).collect::<Vec<_>>(), 0.01);
+    t.row(vec![
+        "geomean".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        fmt(g, 2),
+        String::new(),
+    ]);
+    t.print(title);
+    rows
+}

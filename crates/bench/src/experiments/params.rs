@@ -1,0 +1,104 @@
+//! **§7.1.1 parameter study** — how `cred_ratio` and `pkt_count` trade
+//! security for performance:
+//!
+//! * the AIA interpolation `AIA = r·AIA_fine + (1−r)·AIA_itc` crosses below
+//!   the O-CFG baseline around r ≈ 70% (the paper's observation);
+//! * the history-flushing attack evades short TIP windows and is caught by
+//!   the default `pkt_count = 30`.
+
+use crate::table::{fmt, Table};
+use fg_cfg::{aia_fine, aia_flowguard, aia_itc, aia_ocfg, ItcCfg, OCfg};
+use flowguard::FlowGuardConfig;
+
+/// AIA sweep row.
+#[derive(Debug, Clone)]
+pub struct AiaPoint {
+    /// The credit ratio.
+    pub ratio: f64,
+    /// Per-server FlowGuard AIA at this ratio.
+    pub aia: Vec<(String, f64)>,
+    /// Whether every server beats its O-CFG AIA at this ratio.
+    pub all_beat_ocfg: bool,
+}
+
+/// Sweeps the credit ratio.
+pub fn aia_sweep(ratios: &[f64]) -> Vec<AiaPoint> {
+    let servers: Vec<(String, f64, f64, f64)> = fg_workloads::servers()
+        .iter()
+        .map(|w| {
+            let ocfg = OCfg::build(&w.image);
+            let itc = ItcCfg::build(&ocfg);
+            (w.name.clone(), aia_ocfg(&ocfg), aia_itc(&itc), aia_fine(&ocfg))
+        })
+        .collect();
+    ratios
+        .iter()
+        .map(|&r| {
+            let aia: Vec<(String, f64)> = servers
+                .iter()
+                .map(|(n, _, itc, fine)| (n.clone(), aia_flowguard(r, *fine, *itc)))
+                .collect();
+            let all_beat = servers
+                .iter()
+                .zip(&aia)
+                .all(|((_, o, _, _), (_, a))| a < o);
+            AiaPoint { ratio: r, aia, all_beat_ocfg: all_beat }
+        })
+        .collect()
+}
+
+/// pkt_count sweep row.
+#[derive(Debug, Clone)]
+pub struct WindowPoint {
+    /// The configured pkt_count.
+    pub pkt_count: usize,
+    /// Whether the history-flushing attack was detected.
+    pub detected: bool,
+}
+
+/// Sweeps the checking-window size against the history-flushing attack.
+pub fn window_sweep(counts: &[usize]) -> Vec<WindowPoint> {
+    let (w, d) = fg_attacks::trained_vulnerable_nginx();
+    let g = fg_attacks::find_gadgets(&w.image);
+    let attack = fg_attacks::history_flush(&w.image, &g, 12);
+    counts
+        .iter()
+        .map(|&pkt_count| {
+            let cfg = FlowGuardConfig {
+                pkt_count,
+                require_module_stride: false,
+                ..Default::default()
+            };
+            let r = fg_attacks::run_protected(&d, &attack, cfg);
+            WindowPoint { pkt_count, detected: r.detected }
+        })
+        .collect()
+}
+
+/// Prints both sweeps.
+pub fn print() {
+    let ratios = [0.0, 0.3, 0.5, 0.7, 0.9, 1.0];
+    let points = aia_sweep(&ratios);
+    let names: Vec<String> = points[0].aia.iter().map(|(n, _)| n.clone()).collect();
+    let mut headers: Vec<&str> = vec!["cred_ratio"];
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    headers.extend(name_refs);
+    headers.push("beats O-CFG everywhere");
+    let mut t = Table::new(&headers);
+    for p in &points {
+        let mut row = vec![fmt(p.ratio, 1)];
+        row.extend(p.aia.iter().map(|(_, a)| fmt(*a, 2)));
+        row.push(if p.all_beat_ocfg { "yes" } else { "no" }.into());
+        t.row(row);
+    }
+    t.print("§7.1.1 — AIA vs cred_ratio (paper: all benchmarks beat O-CFG above ~70%)");
+
+    let sweep = window_sweep(&[2, 3, 5, 10, 20, 30]);
+    let mut t2 = Table::new(&["pkt_count", "history-flush detected"]);
+    for p in &sweep {
+        t2.row(vec![p.pkt_count.to_string(), if p.detected { "yes" } else { "NO (evaded)" }.into()]);
+    }
+    t2.print("§7.1.1 — checking-window size vs history flushing (default pkt_count = 30)");
+    assert!(sweep.last().expect("points").detected, "the default window must catch the attack");
+    assert!(!sweep.first().expect("points").detected, "a tiny window must be flushable");
+}

@@ -1,0 +1,97 @@
+//! **Ablation: RET compression (`DisRETC`)** — why FlowGuard's §5.1
+//! configuration disables it.
+//!
+//! With `DisRETC = 0` the hardware compresses a matching return to a single
+//! TNT bit. That shrinks the trace — but returns vanish from the TIP
+//! stream, so the fast path loses exactly the backward edges ROP abuses.
+//! FlowGuard therefore sets `DisRETC = 1` and pays the extra TIP bytes.
+
+use crate::table::{fmt, Table};
+use fg_cpu::{IptUnit, Machine, TraceUnit};
+use fg_ipt::msr::{IptMsrs, RtitCtl};
+use fg_ipt::topa::Topa;
+
+/// Result of tracing one workload both ways.
+#[derive(Debug, Clone)]
+pub struct RetcResult {
+    /// Workload name.
+    pub name: String,
+    /// Trace bytes with `DisRETC = 1` (FlowGuard's configuration).
+    pub bytes_no_compression: u64,
+    /// Trace bytes with `DisRETC = 0`.
+    pub bytes_compressed: u64,
+    /// TIPs visible to the fast path without compression.
+    pub tips_no_compression: usize,
+    /// TIPs visible with compression (returns hidden).
+    pub tips_compressed: usize,
+}
+
+fn trace(w: &fg_workloads::Workload, dis_retc: bool) -> (u64, usize) {
+    let cr3 = 0x4000;
+    let mut ctl = RtitCtl::flowguard_default();
+    ctl.set_dis_retc(dis_retc);
+    let msrs = IptMsrs { ctl, cr3_match: cr3, ..Default::default() };
+    let mut unit = IptUnit::with_msrs(msrs, Topa::two_regions(1 << 23).expect("topa"));
+    unit.start(w.image.entry(), cr3);
+    let mut m = Machine::new(&w.image, cr3);
+    m.trace = TraceUnit::Ipt(unit);
+    let mut k = fg_kernel::Kernel::with_input(&w.default_input);
+    m.run(&mut k, crate::measure::BUDGET);
+    m.trace.as_ipt_mut().expect("ipt").flush();
+    let bytes = m.trace.as_ipt().expect("ipt").trace_bytes();
+    let scan = fg_ipt::fast::scan(&bytes).expect("scan");
+    (bytes.len() as u64, scan.tip_count())
+}
+
+/// Runs the ablation over a few workloads.
+pub fn run() -> Vec<RetcResult> {
+    [fg_workloads::tar(), fg_workloads::scp(), fg_workloads::spec_by_name("gobmk").expect("gobmk")]
+        .iter()
+        .map(|w| {
+            let (b1, t1) = trace(w, true);
+            let (b0, t0) = trace(w, false);
+            RetcResult {
+                name: w.name.clone(),
+                bytes_no_compression: b1,
+                bytes_compressed: b0,
+                tips_no_compression: t1,
+                tips_compressed: t0,
+            }
+        })
+        .collect()
+}
+
+/// Prints the ablation.
+pub fn print() {
+    let rows = run();
+    let mut t = Table::new(&[
+        "workload",
+        "trace bytes (DisRETC=1)",
+        "trace bytes (RETC on)",
+        "saved",
+        "TIPs visible",
+        "TIPs w/ RETC",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.clone(),
+            r.bytes_no_compression.to_string(),
+            r.bytes_compressed.to_string(),
+            format!(
+                "{}%",
+                fmt((1.0 - r.bytes_compressed as f64 / r.bytes_no_compression as f64) * 100.0, 0)
+            ),
+            r.tips_no_compression.to_string(),
+            r.tips_compressed.to_string(),
+        ]);
+        assert!(r.bytes_compressed < r.bytes_no_compression, "{}: compression shrinks", r.name);
+        assert!(
+            (r.tips_compressed as f64) < r.tips_no_compression as f64 * 0.6,
+            "{}: compression hides the returns from the TIP stream ({} vs {})",
+            r.name,
+            r.tips_compressed,
+            r.tips_no_compression
+        );
+    }
+    t.print("ablation — RET compression: smaller traces, invisible returns (why DisRETC=1)");
+}

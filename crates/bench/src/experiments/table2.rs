@@ -1,0 +1,86 @@
+//! **Table 2 / Table 3** — how IPT traces execution: assemble a snippet
+//! mirroring the paper's example (conditional taken → TNT(1), indirect jump
+//! → TIP, direct call → nothing, conditional not-taken → TNT(0), return →
+//! TIP) and dump the packet stream next to the executed flow.
+
+use crate::table::Table;
+use fg_cpu::{IptUnit, Machine, NullKernel, TraceUnit};
+use fg_ipt::decode::PacketParser;
+use fg_ipt::topa::Topa;
+use fg_isa::asm::Asm;
+use fg_isa::image::{Image, Linker};
+use fg_isa::insn::regs::*;
+use fg_isa::insn::Cond;
+
+/// Builds the Table 2 example program.
+pub fn example_image() -> Image {
+    let mut a = Asm::new("example");
+    a.export("main");
+    a.label("main");
+    a.movi(R1, 1); //            mov
+    a.cmpi(R1, 0); //            cmp
+    a.jcc(Cond::Gt, "next"); //  jg   — taken        → TNT(1)
+    a.halt();
+    a.label("next");
+    a.lea(R0, "target"); //      mov rax, $target
+    a.jmpi(R0); //               jmpq *%rax          → TIP(target)
+    a.halt();
+    a.label("target");
+    a.call("fun1"); //           callq fun1          → (no output)
+    a.label("after_call");
+    a.halt(); //                 mov …
+    a.label("fun1");
+    a.cmp(R2, R2); //            cmp %rax, %rax
+    a.jcc(Cond::Ne, "never"); // je/jne — not taken  → TNT(0)
+    a.jmp("out"); //             jmpq (direct)       → (no output)
+    a.label("never");
+    a.nop();
+    a.label("out");
+    a.ret(); //                  retq                → TIP(after_call)
+    Linker::new(a.finish().expect("assembles")).link().expect("links")
+}
+
+/// Traces the example and returns `(executed branches, packet dump lines)`.
+pub fn run() -> (Vec<String>, Vec<String>) {
+    let img = example_image();
+    let mut m = Machine::new(&img, 0x1000);
+    m.enable_branch_log();
+    let mut unit = IptUnit::flowguard(0x1000, Topa::two_regions(4096).expect("topa"));
+    unit.start(img.entry(), 0x1000);
+    m.trace = TraceUnit::Ipt(unit);
+    let stop = m.run(&mut NullKernel, 1000);
+    assert_eq!(stop, fg_cpu::StopReason::Halted);
+    m.trace.as_ipt_mut().expect("ipt").flush();
+    let bytes = m.trace.as_ipt().expect("ipt").trace_bytes();
+
+    let flow: Vec<String> = m
+        .branch_log
+        .as_ref()
+        .expect("log")
+        .iter()
+        .map(|b| format!("{:#x} {:?} -> {:#x} (taken={:?})", b.from, b.kind, b.to, b.taken))
+        .collect();
+    let packets: Vec<String> = PacketParser::new(&bytes)
+        .map(|p| {
+            let p = p.expect("valid packet");
+            format!("{:5} {}", p.offset, p.packet)
+        })
+        .collect();
+    (flow, packets)
+}
+
+/// Prints the example side by side.
+pub fn print() {
+    let (flow, packets) = run();
+    let mut t = Table::new(&["executed control flow", "traced packets"]);
+    let n = flow.len().max(packets.len());
+    for i in 0..n {
+        t.row(vec![
+            flow.get(i).cloned().unwrap_or_default(),
+            packets.get(i).cloned().unwrap_or_default(),
+        ]);
+    }
+    t.print("Table 2 — an example of how IPT traces execution");
+    println!("\nTable 3 taxonomy: direct jmp/call → no output; Jcc → TNT; indirect/ret → TIP;");
+    println!("far transfers → FUP | TIP (see the PSB+ header and the flow above).");
+}

@@ -1,0 +1,149 @@
+//! **Table 4** — CFG statistics (basic blocks, edges) and the AIA metric
+//! across its evolution: O-CFG → ITC-CFG → ITC-CFG with TNT → FlowGuard.
+
+use crate::measure::trained_deployment;
+use crate::table::{fmt, Table};
+use fg_cfg::{aia_fine, aia_flowguard, aia_itc, aia_itc_with_tnt, aia_ocfg, ItcCfg, OCfg};
+use flowguard::FlowGuardConfig;
+
+/// One application's row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application name.
+    pub name: String,
+    /// Number of dependent libraries (VDSO included).
+    pub libs: usize,
+    /// Basic blocks in the executable / in libraries.
+    pub bb: (usize, usize),
+    /// Edges in the executable / in libraries.
+    pub edges: (usize, usize),
+    /// O-CFG AIA.
+    pub aia_o: f64,
+    /// O-CFG AIA over indirect call sites only (the TypeArmor-restricted
+    /// forward-edge view).
+    pub aia_icall: f64,
+    /// ITC-CFG node count |V|.
+    pub itc_v: usize,
+    /// ITC-CFG edge count |E|.
+    pub itc_e: usize,
+    /// ITC-CFG AIA (without TNT).
+    pub aia_itc: f64,
+    /// ITC-CFG AIA with TNT labels (recovers the O-CFG value).
+    pub aia_tnt: f64,
+    /// FlowGuard AIA (the §7.1.1 interpolation at the observed cred ratio).
+    pub aia_fg: f64,
+    /// The observed runtime credit ratio used for the interpolation.
+    pub cred_ratio: f64,
+}
+
+/// Runs the experiment over the four servers.
+pub fn run() -> Vec<Row> {
+    fg_workloads::servers()
+        .iter()
+        .map(|w| {
+            let ocfg = OCfg::build(&w.image);
+            let itc = ItcCfg::build(&ocfg);
+            let per = ocfg.per_module_counts();
+            let (mut bb_e, mut bb_l, mut ed_e, mut ed_l) = (0, 0, 0, 0);
+            for (&mi, &(b, e)) in &per {
+                if w.image.modules()[mi].kind == fg_isa::image::ModuleKind::Executable {
+                    bb_e += b;
+                    ed_e += e;
+                } else {
+                    bb_l += b;
+                    ed_l += e;
+                }
+            }
+            // Observed runtime credit ratio from a trained, protected run.
+            let d = trained_deployment(w);
+            let input = if w.name == "nginx" {
+                // use the patched twin for the benign run of the vulnerable target
+                fg_workloads::benign_input(24)
+            } else {
+                w.default_input.clone()
+            };
+            let mut p = d.launch(&input, FlowGuardConfig::default());
+            p.run(crate::measure::BUDGET);
+            let cred_ratio = p.stats.lock().credited_fraction();
+
+            let icall_sets: Vec<usize> = ocfg
+                .succs
+                .iter()
+                .filter_map(|s| match s {
+                    fg_cfg::SuccSet::IndCall(v) => Some(v.len()),
+                    _ => None,
+                })
+                .collect();
+            let aia_icall = if icall_sets.is_empty() {
+                0.0
+            } else {
+                icall_sets.iter().sum::<usize>() as f64 / icall_sets.len() as f64
+            };
+            let (o, i_, f) = (aia_ocfg(&ocfg), aia_itc(&itc), aia_fine(&ocfg));
+            Row {
+                name: w.name.clone(),
+                libs: w.image.modules().len() - 1,
+                bb: (bb_e, bb_l),
+                edges: (ed_e, ed_l),
+                aia_o: o,
+                aia_icall,
+                itc_v: itc.node_count(),
+                itc_e: itc.edge_count(),
+                aia_itc: i_,
+                aia_tnt: aia_itc_with_tnt(&ocfg),
+                aia_fg: aia_flowguard(cred_ratio, f, i_),
+                cred_ratio,
+            }
+        })
+        .collect()
+}
+
+/// Prints the table.
+pub fn print() {
+    let rows = run();
+    let mut t = Table::new(&[
+        "application",
+        "lib#",
+        "BB# exec",
+        "BB# lib",
+        "edge# exec",
+        "edge# lib",
+        "O-CFG AIA",
+        "icall AIA",
+        "ITC |V|",
+        "ITC |E|",
+        "ITC AIA (w/ tnt)",
+        "FlowGuard AIA",
+    ]);
+    let mut o_sum = 0.0;
+    let mut fg_sum = 0.0;
+    for r in &rows {
+        o_sum += r.aia_o;
+        fg_sum += r.aia_fg;
+        t.row(vec![
+            r.name.clone(),
+            r.libs.to_string(),
+            r.bb.0.to_string(),
+            r.bb.1.to_string(),
+            r.edges.0.to_string(),
+            r.edges.1.to_string(),
+            fmt(r.aia_o, 2),
+            fmt(r.aia_icall, 1),
+            r.itc_v.to_string(),
+            r.itc_e.to_string(),
+            format!("{} ({})", fmt(r.aia_itc, 2), fmt(r.aia_tnt, 2)),
+            fmt(r.aia_fg, 2),
+        ]);
+    }
+    t.print("Table 4 — CFG statistics and AIA (paper: average AIA reduced 72 → 20)");
+    println!(
+        "\naverage AIA: O-CFG {:.1} → FlowGuard {:.1} (observed cred ratios {:?})",
+        o_sum / rows.len() as f64,
+        fg_sum / rows.len() as f64,
+        rows.iter().map(|r| (r.cred_ratio * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+    for r in &rows {
+        assert!(r.aia_itc >= r.aia_o, "{}: ITC collapse must not gain precision", r.name);
+        assert!(r.aia_fg < r.aia_o, "{}: FlowGuard must beat the O-CFG", r.name);
+    }
+}

@@ -1,0 +1,94 @@
+//! Minimal aligned-column table printer for harness output.
+
+use std::fmt::Write as _;
+
+/// A printable table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:w$} ", c, w = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.headers);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{:-<w$}", "", w = w + 2);
+            if i == widths.len() - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+
+    /// Prints the table under a title.
+    pub fn print(&self, title: &str) {
+        println!("\n## {title}\n");
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with the given decimals.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["nginx".into(), "4.37".into()]);
+        t.row(vec!["x".into(), "100".into()]);
+        let s = t.render();
+        assert!(s.contains("| nginx | 4.37  |"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_decimals() {
+        assert_eq!(fmt(3.14159, 2), "3.14");
+    }
+}

@@ -1,0 +1,120 @@
+//! The Average Indirect targets Allowed (AIA) metric of §4.3.
+//!
+//! ```text
+//! AIA = (1/n) Σᵢ |Tᵢ|
+//! ```
+//!
+//! where `n` is the number of indirect branch instructions and `Tᵢ` the
+//! allowed target set of the `i`-th one. Smaller is more precise. The paper
+//! uses four variants (Table 4):
+//!
+//! * **O-CFG AIA** — the conservative static CFG;
+//! * **ITC-CFG AIA** — after the collapse, out-degree of IT-BB nodes (larger:
+//!   the Figure 4 precision derogation);
+//! * **AIA w/ TNT** — ITC edges plus TNT labels restore the direct-fork
+//!   information, recovering the O-CFG value;
+//! * **FlowGuard AIA** — the §7.1.1 interpolation
+//!   `ratio·AIA_fine + (1−ratio)·AIA_itc` with the slow path's fine-grained
+//!   policy (TypeArmor forward edges + single-target shadow-stack returns).
+
+use crate::itc::ItcCfg;
+use crate::ocfg::{OCfg, SuccSet};
+
+/// AIA of the conservative O-CFG: mean allowed-target count over indirect
+/// branch instructions.
+pub fn aia_ocfg(ocfg: &OCfg) -> f64 {
+    let sets: Vec<usize> =
+        ocfg.succs.iter().filter(|s| s.is_indirect()).map(|s| s.targets().len()).collect();
+    mean(&sets)
+}
+
+/// AIA of the ITC-CFG: mean out-degree over IT-BB nodes with outgoing edges.
+pub fn aia_itc(itc: &ItcCfg) -> f64 {
+    let mut sets = Vec::with_capacity(itc.node_count());
+    let mut cur: Option<(u64, usize)> = None;
+    for (from, _, _) in itc.iter_edges() {
+        match &mut cur {
+            Some((f, n)) if *f == from => *n += 1,
+            _ => {
+                if let Some((_, n)) = cur.take() {
+                    sets.push(n);
+                }
+                cur = Some((from, 1));
+            }
+        }
+    }
+    if let Some((_, n)) = cur {
+        sets.push(n);
+    }
+    mean(&sets)
+}
+
+/// AIA of the ITC-CFG once TNT information is attached: the direct forks
+/// removed by the collapse are recovered, so precision returns to the O-CFG
+/// level (§4.3, Table 4's parenthesised column).
+pub fn aia_itc_with_tnt(ocfg: &OCfg) -> f64 {
+    aia_ocfg(ocfg)
+}
+
+/// AIA of the slow path's fine-grained policy: TypeArmor-restricted forward
+/// edges plus a shadow stack that pins every return to a single target.
+pub fn aia_fine(ocfg: &OCfg) -> f64 {
+    let sets: Vec<usize> = ocfg
+        .succs
+        .iter()
+        .filter_map(|s| match s {
+            // Shadow stack: at most a single target (an unreachable ret
+            // keeps its empty set).
+            SuccSet::Ret(v) => Some(v.len().min(1)),
+            SuccSet::IndJmp(v) | SuccSet::IndCall(v) => Some(v.len()),
+            _ => None,
+        })
+        .collect();
+    mean(&sets)
+}
+
+/// The §7.1.1 interpolation: the effective AIA seen by an attacker when a
+/// fraction `cred_ratio` of checked edges is high-credit (and therefore
+/// subject to the fine-grained slow-path policy on violation).
+///
+/// # Panics
+///
+/// Panics if `cred_ratio` is outside `[0, 1]`.
+pub fn aia_flowguard(cred_ratio: f64, fine: f64, itc: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&cred_ratio), "cred_ratio must be within [0,1]");
+    cred_ratio * fine + (1.0 - cred_ratio) * itc
+}
+
+fn mean(sets: &[usize]) -> f64 {
+    if sets.is_empty() {
+        return 0.0;
+    }
+    sets.iter().sum::<usize>() as f64 / sets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_interpolates() {
+        let fine = 2.0;
+        let itc = 100.0;
+        assert_eq!(aia_flowguard(1.0, fine, itc), 2.0);
+        assert_eq!(aia_flowguard(0.0, fine, itc), 100.0);
+        let mid = aia_flowguard(0.7, fine, itc);
+        assert!((mid - (0.7 * 2.0 + 0.3 * 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0,1]")]
+    fn formula_validates_ratio() {
+        let _ = aia_flowguard(1.5, 1.0, 2.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[3, 5]), 4.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Basic-block discovery over linked images.
+//!
+//! The analyser "disassembles and analyzes a binary executable and its
+//! dependent shared libraries" (§4.1) — here a precise linear sweep (the ISA
+//! is fixed-width) followed by leader-based block splitting. Leaders are
+//! module entries, exported symbols, PLT stubs, direct-branch targets,
+//! post-terminator addresses, and *address-taken* code addresses discovered
+//! in data sections, GOTs, and immediate operands (the conservative indirect
+//! target universe).
+
+use fg_isa::image::{Image, LoadedModule};
+use fg_isa::insn::{Insn, INSN_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockEnd {
+    /// Ends at a change-of-flow (or `halt`) instruction.
+    Terminator(Insn),
+    /// Split by a leader: control falls into the next block.
+    FallIntoNext,
+}
+
+/// A basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Entry address.
+    pub start: u64,
+    /// Exclusive end address.
+    pub end: u64,
+    /// Index of the containing module in the image.
+    pub module: usize,
+    /// How the block ends.
+    pub term: BlockEnd,
+}
+
+impl BasicBlock {
+    /// Address of the last instruction (the terminator, when present).
+    pub fn last_insn(&self) -> u64 {
+        self.end - INSN_SIZE
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> u64 {
+        (self.end - self.start) / INSN_SIZE
+    }
+
+    /// Whether the block is empty (never true for constructed blocks).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// The output of disassembly: blocks plus the address-taken set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Disassembly {
+    /// All basic blocks, sorted by start address.
+    pub blocks: Vec<BasicBlock>,
+    /// Code addresses whose value appears in data/GOT/immediates — the
+    /// conservative universe of indirect branch targets.
+    pub address_taken: BTreeSet<u64>,
+    /// Per-module resolved PLT stub → final target (read from the GOT).
+    pub plt_targets: BTreeMap<u64, u64>,
+}
+
+impl Disassembly {
+    /// Index of the block starting at `va`.
+    pub fn block_at(&self, va: u64) -> Option<usize> {
+        self.blocks.binary_search_by_key(&va, |b| b.start).ok()
+    }
+
+    /// Index of the block *containing* `va`.
+    pub fn block_containing(&self, va: u64) -> Option<usize> {
+        match self.blocks.binary_search_by_key(&va, |b| b.start) {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => (va < self.blocks[i - 1].end).then_some(i - 1),
+        }
+    }
+}
+
+fn module_insns(image: &Image, m: &LoadedModule) -> Vec<(u64, Insn)> {
+    let mut out = Vec::new();
+    let mut va = m.base;
+    while va < m.exec_end {
+        if let Some(insn) = image.insn_at(va) {
+            out.push((va, insn));
+        }
+        va += INSN_SIZE;
+    }
+    out
+}
+
+/// Scans a module's writable portion (GOT + data) for plausible code
+/// pointers.
+fn scan_data_pointers(image: &Image, m: &LoadedModule, taken: &mut BTreeSet<u64>) {
+    let data_off = (m.got_start - m.base) as usize;
+    let bytes = &m.bytes[data_off..];
+    for chunk in bytes.chunks_exact(8) {
+        let v = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        if v % INSN_SIZE == 0 && image.is_code(v) {
+            taken.insert(v);
+        }
+    }
+}
+
+/// Resolves PLT stubs by reading their GOT slot from the initialised image
+/// (the `movi fp, &got; ld fp,[fp]; jmp *fp` pattern).
+fn resolve_plt(image: &Image, m: &LoadedModule, insns: &[(u64, Insn)], out: &mut BTreeMap<u64, u64>) {
+    for w in insns.windows(3) {
+        let (va0, i0) = w[0];
+        if va0 < m.plt_start {
+            continue;
+        }
+        if let (Insn::MovImm { imm, .. }, Insn::Load { .. }, Insn::JmpInd { .. }) =
+            (i0, w[1].1, w[2].1)
+        {
+            let got_slot = imm as u64;
+            if let Some(bytes) = image.read_bytes(got_slot, 8) {
+                let target = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+                if image.is_code(target) {
+                    // The TIP the stub produces comes from its indirect jump.
+                    out.insert(w[2].0, target);
+                }
+            }
+        }
+    }
+}
+
+/// Disassembles a linked image into basic blocks.
+pub fn disassemble(image: &Image) -> Disassembly {
+    let mut address_taken = BTreeSet::new();
+    let mut plt_targets = BTreeMap::new();
+    let mut leaders: BTreeSet<u64> = BTreeSet::new();
+    let mut per_module: Vec<Vec<(u64, Insn)>> = Vec::new();
+
+    for m in image.modules() {
+        let insns = module_insns(image, m);
+        leaders.insert(m.base);
+        for (name, va) in &m.exports {
+            let _ = name;
+            if m.contains_code(*va) {
+                leaders.insert(*va);
+            }
+        }
+        // PLT stub starts.
+        let mut va = m.plt_start;
+        while va < m.exec_end {
+            leaders.insert(va);
+            va += 3 * INSN_SIZE;
+        }
+        for &(va, insn) in &insns {
+            if let Some(t) = insn.direct_target() {
+                if image.is_code(t) {
+                    leaders.insert(t);
+                }
+            }
+            if insn.is_terminator() && va + INSN_SIZE < m.exec_end {
+                leaders.insert(va + INSN_SIZE);
+            }
+            // Address-taken via immediates (lea-materialised code pointers).
+            if let Insn::MovImm { imm, .. } = insn {
+                let v = imm as u64;
+                if v % INSN_SIZE == 0 && image.is_code(v) {
+                    address_taken.insert(v);
+                }
+            }
+        }
+        scan_data_pointers(image, m, &mut address_taken);
+        resolve_plt(image, m, &insns, &mut plt_targets);
+        per_module.push(insns);
+    }
+    leaders.extend(address_taken.iter().copied());
+
+    // Build blocks from leaders + terminators.
+    let mut blocks = Vec::new();
+    for (mi, m) in image.modules().iter().enumerate() {
+        let insns = &per_module[mi];
+        let mut cur_start: Option<u64> = None;
+        for &(va, insn) in insns {
+            if cur_start.is_none() {
+                cur_start = Some(va);
+            } else if leaders.contains(&va) {
+                // Split: previous block falls into this one.
+                blocks.push(BasicBlock {
+                    start: cur_start.take().expect("open block"),
+                    end: va,
+                    module: mi,
+                    term: BlockEnd::FallIntoNext,
+                });
+                cur_start = Some(va);
+            }
+            if insn.is_terminator() {
+                blocks.push(BasicBlock {
+                    start: cur_start.take().expect("open block"),
+                    end: va + INSN_SIZE,
+                    module: mi,
+                    term: BlockEnd::Terminator(insn),
+                });
+            }
+        }
+        if let Some(start) = cur_start {
+            // Trailing straight-line code (e.g. data follows); treat as
+            // falling off the module = terminated.
+            blocks.push(BasicBlock {
+                start,
+                end: m.exec_end,
+                module: mi,
+                term: BlockEnd::FallIntoNext,
+            });
+        }
+    }
+    blocks.sort_by_key(|b| b.start);
+    Disassembly { blocks, address_taken, plt_targets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_isa::asm::Asm;
+    use fg_isa::image::Linker;
+    use fg_isa::insn::regs::*;
+    use fg_isa::insn::Cond;
+
+    fn two_module_image() -> Image {
+        let mut lib = Asm::new("libc");
+        lib.export("util");
+        lib.label("util");
+        lib.movi(R0, 1);
+        lib.ret();
+
+        let mut a = Asm::new("app");
+        a.import("util").needs("libc");
+        a.export("main");
+        a.label("main");
+        a.movi(R0, 2); // block 1
+        a.cmpi(R0, 0);
+        a.jcc(Cond::Gt, "big"); // terminator
+        a.halt(); // block 2
+        a.label("big");
+        a.lea(R1, "table"); // block 3: address-taken via data
+        a.ld(R2, R1, 0);
+        a.calli(R2); // terminator
+        a.call("util"); // block 4 (PLT call)
+        a.halt();
+        a.label("handler");
+        a.movi(R3, 9);
+        a.ret();
+        a.data_ptrs("table", &["handler"]);
+        Linker::new(a.finish().unwrap()).library(lib.finish().unwrap()).link().unwrap()
+    }
+
+    #[test]
+    fn blocks_are_sorted_and_nonoverlapping() {
+        let img = two_module_image();
+        let d = disassemble(&img);
+        assert!(d.blocks.len() >= 6);
+        for w in d.blocks.windows(2) {
+            assert!(w[0].start < w[1].start);
+            if w[0].module == w[1].module {
+                assert!(w[0].end <= w[1].start, "overlap between {w:?}");
+            }
+        }
+        for b in &d.blocks {
+            assert!(!b.is_empty());
+            assert!(b.len() >= 1);
+        }
+    }
+
+    #[test]
+    fn handler_is_address_taken() {
+        let img = two_module_image();
+        let d = disassemble(&img);
+        let handler = img.symbol("main").unwrap() + 9 * INSN_SIZE; // label("handler")
+        assert!(
+            d.address_taken.contains(&handler),
+            "data_ptrs pointer should be discovered, taken = {:x?}",
+            d.address_taken
+        );
+        // And the handler starts a block.
+        assert!(d.block_at(handler).is_some());
+    }
+
+    #[test]
+    fn plt_stub_resolved_through_got() {
+        let img = two_module_image();
+        let d = disassemble(&img);
+        let util = img.symbol("util").unwrap();
+        assert!(
+            d.plt_targets.values().any(|&t| t == util),
+            "PLT jump should resolve to util, got {:x?}",
+            d.plt_targets
+        );
+    }
+
+    #[test]
+    fn jcc_target_starts_block() {
+        let img = two_module_image();
+        let d = disassemble(&img);
+        let big = img.symbol("main").unwrap() + 4 * INSN_SIZE;
+        assert!(d.block_at(big).is_some());
+    }
+
+    #[test]
+    fn block_lookup_by_containing_address() {
+        let img = two_module_image();
+        let d = disassemble(&img);
+        let main = img.symbol("main").unwrap();
+        let bi = d.block_containing(main + INSN_SIZE).unwrap();
+        assert_eq!(d.blocks[bi].start, main);
+        assert!(d.block_containing(0x10).is_none());
+    }
+
+    #[test]
+    fn terminators_recorded() {
+        let img = two_module_image();
+        let d = disassemble(&img);
+        let has_ret = d
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, BlockEnd::Terminator(Insn::Ret)));
+        let has_calli = d
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, BlockEnd::Terminator(Insn::CallInd { .. })));
+        assert!(has_ret && has_calli);
+    }
+
+    #[test]
+    fn modules_assigned_correctly() {
+        let img = two_module_image();
+        let d = disassemble(&img);
+        let util = img.symbol("util").unwrap();
+        let bi = d.block_at(util).unwrap();
+        let m = d.blocks[bi].module;
+        assert_eq!(img.modules()[m].name, "libc");
+    }
+}

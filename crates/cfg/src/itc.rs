@@ -1,0 +1,497 @@
+//! The Indirect-Targets-Connected CFG (ITC-CFG) of §4.2, with the credit
+//! and TNT labels of §4.3.
+//!
+//! Construction collapses all direct edges: the nodes are the *indirect
+//! target basic blocks* (IT-BBs — blocks targeted by at least one indirect
+//! edge), and there is an edge `X → Y` iff execution can flow from `X`'s
+//! entry along **direct edges only** until an indirect branch whose target
+//! set contains `Y`. Consequently, for any two consecutive TIP packets the
+//! pair of target addresses must be an ITC-CFG edge — the soundness theorem
+//! the paper proves by reduction at the end of §4.2.
+//!
+//! The runtime representation mirrors §5.3: a sorted array of source nodes,
+//! each holding a count and a pointer into a sorted target array, searched
+//! by binary search.
+
+use crate::ocfg::OCfg;
+use fg_ipt::packet::TntSeq;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Credit level of an edge (binary labeling, §4.3: "each edge is either
+/// with a high credit or a low one").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Credit {
+    /// Never observed during training.
+    #[default]
+    Low,
+    /// Observed during fuzzing training (or cached from a negative slow-path
+    /// result).
+    High,
+}
+
+/// A compact TNT signature: the conditional-branch outcomes observed along
+/// one direct path realising an ITC edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TntSig {
+    bits: u64,
+    len: u8,
+}
+
+impl TntSig {
+    /// Maximum representable signature length.
+    pub const MAX_LEN: usize = 64;
+
+    /// Builds a signature from outcomes (oldest first). Returns `None` when
+    /// the run is too long to represent (the edge is then marked
+    /// wildcard).
+    pub fn from_bools(outcomes: &[bool]) -> Option<TntSig> {
+        if outcomes.len() > TntSig::MAX_LEN {
+            return None;
+        }
+        let mut bits = 0u64;
+        for &b in outcomes {
+            bits = (bits << 1) | b as u64;
+        }
+        Some(TntSig { bits, len: outcomes.len() as u8 })
+    }
+
+    /// Builds a signature from a decoded TNT sequence.
+    pub fn from_seq(seq: &TntSeq) -> TntSig {
+        TntSig { bits: seq.raw_bits(), len: seq.len() }
+    }
+
+    /// Signature length in bits.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the signature is empty (no conditional branches on the path).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The TNT information attached to one edge.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TntInfo {
+    /// Accept any TNT run (signature set overflowed or run unrepresentable).
+    pub any: bool,
+    /// Accepted signatures.
+    pub sigs: Vec<TntSig>,
+}
+
+impl TntInfo {
+    /// Cap on stored signatures before degrading to wildcard.
+    pub const MAX_SIGS: usize = 32;
+
+    /// Whether any TNT information was recorded.
+    pub fn is_trained(&self) -> bool {
+        self.any || !self.sigs.is_empty()
+    }
+
+    /// Whether an observed TNT run is admitted.
+    ///
+    /// Untrained info admits everything (the TNT check only *adds*
+    /// precision, §4.3); trained info requires a signature match.
+    pub fn admits(&self, observed: &[bool]) -> bool {
+        if !self.is_trained() || self.any {
+            return true;
+        }
+        match TntSig::from_bools(observed) {
+            Some(sig) => self.sigs.contains(&sig),
+            None => false,
+        }
+    }
+
+    fn add(&mut self, outcomes: &[bool]) {
+        if self.any {
+            return;
+        }
+        match TntSig::from_bools(outcomes) {
+            Some(sig) => {
+                if !self.sigs.contains(&sig) {
+                    if self.sigs.len() >= TntInfo::MAX_SIGS {
+                        self.any = true;
+                        self.sigs.clear();
+                    } else {
+                        self.sigs.push(sig);
+                    }
+                }
+            }
+            None => {
+                self.any = true;
+                self.sigs.clear();
+            }
+        }
+    }
+}
+
+/// Index of an edge inside the flattened target array.
+pub type EdgeIdx = usize;
+
+/// The indirect-targets-connected CFG with per-edge credits and TNT labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ItcCfg {
+    /// Sorted IT-BB entry addresses (source nodes).
+    node_addrs: Vec<u64>,
+    /// Per node: `(start, len)` into `targets`.
+    ranges: Vec<(u32, u32)>,
+    /// Flattened, per-node-sorted target addresses.
+    targets: Vec<u64>,
+    /// Per-edge credit labels.
+    credits: Vec<Credit>,
+    /// Per-edge TNT information.
+    tnt: Vec<TntInfo>,
+    /// Trained 2-grams of consecutive high-credit edges — the paper's
+    /// future-work "matching the high-credit paths" (§7.1.2). Empty unless
+    /// path training ran.
+    #[serde(default)]
+    path_grams: std::collections::BTreeSet<(u64, u64)>,
+}
+
+impl ItcCfg {
+    /// Builds the ITC-CFG from a conservative O-CFG.
+    pub fn build(ocfg: &OCfg) -> ItcCfg {
+        // 1. IT-BBs: every target of an indirect successor set.
+        let mut it_bbs: BTreeSet<u64> = BTreeSet::new();
+        for s in &ocfg.succs {
+            if s.is_indirect() {
+                it_bbs.extend(s.targets().iter().copied());
+            }
+        }
+
+        // 2. For each IT-BB, follow direct edges to the nearest indirect
+        //    branches and connect to their targets.
+        let mut adj: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        for &src in &it_bbs {
+            let out = adj.entry(src).or_default();
+            let Some(start_block) = ocfg.disasm.block_at(src) else { continue };
+            let mut seen = vec![false; ocfg.disasm.blocks.len()];
+            let mut queue = VecDeque::new();
+            seen[start_block] = true;
+            queue.push_back(start_block);
+            while let Some(bi) = queue.pop_front() {
+                let succ = &ocfg.succs[bi];
+                if succ.is_indirect() {
+                    out.extend(succ.targets().iter().copied());
+                    continue; // never traverse *through* an indirect edge
+                }
+                for &t in succ.targets() {
+                    if let Some(ti) = ocfg.disasm.block_at(t) {
+                        if !seen[ti] {
+                            seen[ti] = true;
+                            queue.push_back(ti);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Flatten into the sorted-arrays runtime representation.
+        let mut node_addrs = Vec::with_capacity(it_bbs.len());
+        let mut ranges = Vec::with_capacity(it_bbs.len());
+        let mut targets = Vec::new();
+        for &src in &it_bbs {
+            let ts = adj.get(&src);
+            let start = targets.len() as u32;
+            if let Some(ts) = ts {
+                targets.extend(ts.iter().copied()); // BTreeSet → sorted
+            }
+            node_addrs.push(src);
+            ranges.push((start, targets.len() as u32 - start));
+        }
+        let n_edges = targets.len();
+        ItcCfg {
+            node_addrs,
+            ranges,
+            targets,
+            credits: vec![Credit::Low; n_edges],
+            tnt: vec![TntInfo::default(); n_edges],
+            path_grams: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Number of IT-BB nodes (`|V|` of Table 4).
+    pub fn node_count(&self) -> usize {
+        self.node_addrs.len()
+    }
+
+    /// Number of edges (`|E|` of Table 4).
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether `va` is an IT-BB entry (binary search on the node array —
+    /// the first of the two fast-path checks of §5.3).
+    pub fn is_node(&self, va: u64) -> bool {
+        self.node_addrs.binary_search(&va).is_ok()
+    }
+
+    /// Looks up the edge `from → to` (the second fast-path check): binary
+    /// search on sources, then binary search within the target range.
+    pub fn edge(&self, from: u64, to: u64) -> Option<EdgeIdx> {
+        let ni = self.node_addrs.binary_search(&from).ok()?;
+        let (start, len) = self.ranges[ni];
+        let range = &self.targets[start as usize..(start + len) as usize];
+        let off = range.binary_search(&to).ok()?;
+        Some(start as usize + off)
+    }
+
+    /// All outgoing targets of a node.
+    pub fn targets_of(&self, from: u64) -> &[u64] {
+        match self.node_addrs.binary_search(&from) {
+            Ok(ni) => {
+                let (start, len) = self.ranges[ni];
+                &self.targets[start as usize..(start + len) as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterates `(from, to, edge_idx)` over all edges.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u64, u64, EdgeIdx)> + '_ {
+        self.node_addrs.iter().zip(&self.ranges).flat_map(move |(&from, &(start, len))| {
+            (start..start + len).map(move |i| (from, self.targets[i as usize], i as usize))
+        })
+    }
+
+    /// The credit of an edge.
+    pub fn credit(&self, e: EdgeIdx) -> Credit {
+        self.credits[e]
+    }
+
+    /// Labels an edge high-credit (training, or slow-path result caching).
+    pub fn set_high(&mut self, e: EdgeIdx) {
+        self.credits[e] = Credit::High;
+    }
+
+    /// The TNT info of an edge.
+    pub fn tnt(&self, e: EdgeIdx) -> &TntInfo {
+        &self.tnt[e]
+    }
+
+    /// Records an observed TNT run for an edge (training).
+    pub fn add_tnt(&mut self, e: EdgeIdx, outcomes: &[bool]) {
+        self.tnt[e].add(outcomes);
+    }
+
+    /// Records that edge `e2` was observed immediately after edge `e1`
+    /// during training (path-gram learning).
+    pub fn add_path_gram(&mut self, e1: EdgeIdx, e2: EdgeIdx) {
+        self.path_grams.insert((e1 as u64, e2 as u64));
+    }
+
+    /// Whether the consecutive edge pair was seen in training.
+    pub fn has_path_gram(&self, e1: EdgeIdx, e2: EdgeIdx) -> bool {
+        self.path_grams.contains(&(e1 as u64, e2 as u64))
+    }
+
+    /// Number of trained path grams.
+    pub fn path_gram_count(&self) -> usize {
+        self.path_grams.len()
+    }
+
+    /// Fraction of edges labeled high-credit.
+    pub fn high_credit_fraction(&self) -> f64 {
+        if self.credits.is_empty() {
+            return 0.0;
+        }
+        self.credits.iter().filter(|&&c| c == Credit::High).count() as f64
+            / self.credits.len() as f64
+    }
+
+    /// Approximate resident size of the runtime structure, for Table 5.
+    pub fn memory_bytes(&self) -> usize {
+        self.node_addrs.len() * 8
+            + self.ranges.len() * 8
+            + self.targets.len() * 8
+            + self.credits.len()
+            + self
+                .tnt
+                .iter()
+                .map(|t| std::mem::size_of::<TntInfo>() + t.sigs.len() * std::mem::size_of::<TntSig>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_isa::asm::Asm;
+    use fg_isa::image::{Image, Linker};
+    use fg_isa::insn::regs::*;
+    use fg_isa::insn::{Cond, INSN_SIZE};
+
+    /// main calls h1 indirectly; h1 returns; main calls h2 indirectly; h2
+    /// returns; halt. Plus a direct-only diamond between the calls.
+    fn image() -> Image {
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.lea(R6, "table"); // 0
+        a.ld(R7, R6, 0); // 1
+        a.calli(R7); // 2  TIP → h1
+        a.label("mid"); // 3  (ret target of h1 — IT-BB)
+        a.cmpi(R1, 0); // 3
+        a.jcc(Cond::Gt, "left"); // 4
+        a.nop(); // 5
+        a.jmp("join"); // 6
+        a.label("left"); // 7
+        a.nop(); // 7
+        a.label("join"); // 8
+        a.ld(R7, R6, 8); // 8
+        a.calli(R7); // 9  TIP → h2
+        a.halt(); // 10 (ret target of h2 — IT-BB)
+        a.label("h1"); // 11
+        a.movi(R1, 1); // 11
+        a.ret(); // 12 TIP → mid
+        a.label("h2"); // 13
+        a.movi(R2, 2); // 13
+        a.ret(); // 14 TIP → halt block
+        a.data_ptrs("table", &["h1", "h2"]);
+        Linker::new(a.finish().unwrap()).link().unwrap()
+    }
+
+    fn itc() -> (Image, OCfg, ItcCfg) {
+        let img = image();
+        let ocfg = OCfg::build(&img);
+        let itc = ItcCfg::build(&ocfg);
+        (img, ocfg, itc)
+    }
+
+    #[test]
+    fn it_bbs_are_indirect_targets_only() {
+        let (img, _, itc) = itc();
+        let main = img.symbol("main").unwrap();
+        // IT-BBs: h1, h2 (call targets), mid, halt-block (ret targets).
+        assert!(itc.is_node(main + 11 * INSN_SIZE), "h1");
+        assert!(itc.is_node(main + 13 * INSN_SIZE), "h2");
+        assert!(itc.is_node(main + 3 * INSN_SIZE), "mid (return target)");
+        assert!(itc.is_node(main + 10 * INSN_SIZE), "halt block (return target)");
+        // Direct-only blocks are not nodes.
+        assert!(!itc.is_node(main), "entry is not an indirect target");
+        assert!(!itc.is_node(main + 7 * INSN_SIZE), "left is direct-only");
+    }
+
+    #[test]
+    fn edges_follow_nearest_indirect_rule() {
+        let (img, _, itc) = itc();
+        let main = img.symbol("main").unwrap();
+        let (mid, h1, h2) = (main + 3 * INSN_SIZE, main + 11 * INSN_SIZE, main + 13 * INSN_SIZE);
+        // From mid, through the diamond (direct only), to the second calli →
+        // h1 and h2 (the conservative target set includes both).
+        assert!(itc.edge(mid, h2).is_some(), "mid → h2");
+        assert!(itc.edge(mid, h1).is_some(), "conservative set includes h1");
+        // From h1: its ret targets mid and the halt block (conservative
+        // call/ret matching: both call sites call either handler).
+        assert!(itc.edge(h1, mid).is_some(), "h1 ret → mid");
+        // No edge from mid to itself (no indirect path back).
+        assert!(itc.edge(mid, mid).is_none());
+    }
+
+    #[test]
+    fn no_edge_without_intervening_indirect_branch() {
+        let (img, _, itc) = itc();
+        let main = img.symbol("main").unwrap();
+        // halt block is an IT-BB but has no outgoing edges (halt terminates).
+        let halt_bb = main + 10 * INSN_SIZE;
+        assert!(itc.is_node(halt_bb));
+        assert!(itc.targets_of(halt_bb).is_empty());
+    }
+
+    #[test]
+    fn runtime_trace_is_walk_on_itc() {
+        // Soundness: execute the program with IPT, and check every
+        // consecutive TIP pair is an ITC edge (the §4.2 theorem).
+        let (img, _, itc) = itc();
+        let mut m = fg_cpu::Machine::new(&img, 0x3000);
+        let mut unit =
+            fg_cpu::IptUnit::flowguard(0x3000, fg_ipt::Topa::two_regions(65536).unwrap());
+        unit.start(img.entry(), 0x3000);
+        m.trace = fg_cpu::TraceUnit::Ipt(unit);
+        assert_eq!(m.run(&mut fg_cpu::NullKernel, 10_000), fg_cpu::StopReason::Halted);
+        m.trace.as_ipt_mut().unwrap().flush();
+        let bytes = m.trace.as_ipt().unwrap().trace_bytes();
+        let scan = fg_ipt::fast::scan(&bytes).unwrap();
+        assert!(scan.tip_count() >= 4);
+        for w in scan.tips.windows(2) {
+            assert!(itc.is_node(w[0].ip), "TIP target {:#x} is an IT-BB", w[0].ip);
+            assert!(
+                itc.edge(w[0].ip, w[1].ip).is_some(),
+                "consecutive TIPs {:#x} → {:#x} must be an ITC edge",
+                w[0].ip,
+                w[1].ip
+            );
+        }
+    }
+
+    #[test]
+    fn credits_default_low_and_can_be_raised() {
+        let (_, _, mut itc) = itc();
+        assert_eq!(itc.high_credit_fraction(), 0.0);
+        let (_, _, e) = itc.iter_edges().next().unwrap();
+        itc.set_high(e);
+        assert_eq!(itc.credit(e), Credit::High);
+        assert!(itc.high_credit_fraction() > 0.0);
+    }
+
+    #[test]
+    fn tnt_info_training_and_admission() {
+        let (_, _, mut itc) = itc();
+        let (_, _, e) = itc.iter_edges().next().unwrap();
+        assert!(itc.tnt(e).admits(&[true, false]), "untrained admits anything");
+        itc.add_tnt(e, &[true, false]);
+        assert!(itc.tnt(e).is_trained());
+        assert!(itc.tnt(e).admits(&[true, false]));
+        assert!(!itc.tnt(e).admits(&[false, true]), "trained rejects unseen runs");
+        assert!(!itc.tnt(e).admits(&[]), "empty run differs from TN");
+    }
+
+    #[test]
+    fn tnt_overflow_degrades_to_wildcard() {
+        let mut info = TntInfo::default();
+        let long = vec![true; TntSig::MAX_LEN + 1];
+        info.add(&long);
+        assert!(info.any);
+        assert!(info.admits(&[false]));
+        // Sig-count overflow path.
+        let mut info2 = TntInfo::default();
+        for i in 0..(TntInfo::MAX_SIGS + 1) {
+            let mut run = vec![false; 10];
+            run[i % 10] = i % 2 == 0;
+            run.push(i % 3 == 0);
+            // unique-ish runs
+            let bits: Vec<bool> = run.iter().copied().chain([i % 2 == 1]).collect();
+            info2.add(&bits[..((i % 10) + 2)]);
+        }
+        // Either many sigs stored or degraded; both admit a trained run.
+        assert!(info2.is_trained());
+    }
+
+    #[test]
+    fn sig_roundtrip_and_bounds() {
+        let sig = TntSig::from_bools(&[true, false, true]).unwrap();
+        assert_eq!(sig.len(), 3);
+        assert!(!sig.is_empty());
+        assert!(TntSig::from_bools(&vec![true; 65]).is_none());
+        let seq = TntSeq::from_slice(&[true, false, true]);
+        assert_eq!(TntSig::from_seq(&seq), sig);
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        let (_, _, itc) = itc();
+        assert!(itc.memory_bytes() > itc.edge_count() * 8);
+    }
+
+    #[test]
+    fn aia_derogation_from_collapse() {
+        // Figure 4: the ITC-CFG's mean out-degree is at least the O-CFG's
+        // indirect-branch AIA (direct forks merge target sets).
+        let (_, ocfg, itc) = itc();
+        let o = crate::aia::aia_ocfg(&ocfg);
+        let i = crate::aia::aia_itc(&itc);
+        assert!(i >= o, "ITC AIA {i} should be ≥ O-CFG AIA {o}");
+    }
+}

@@ -1,0 +1,59 @@
+//! # fg-cfg — static binary analysis and CFG reconstruction
+//!
+//! The offline half of FlowGuard (§4): from a linked binary image to the
+//! credit-labeled, IPT-compatible control-flow graph.
+//!
+//! Pipeline:
+//!
+//! 1. [`bb`] — linear-sweep disassembly, basic blocks, address-taken
+//!    discovery, PLT/GOT resolution;
+//! 2. [`typearmor`] — use-def/arity restriction of indirect call targets
+//!    (the TypeArmor policy the paper adopts);
+//! 3. [`ocfg`] — the conservative O-CFG with call/return matching and
+//!    tail-call emulation;
+//! 4. [`itc`] — the indirect-targets-connected CFG (ITC-CFG) searched by the
+//!    runtime fast path, plus per-edge [`itc::Credit`] and TNT labels;
+//! 5. [`aia`] — the Average-Indirect-targets-Allowed precision metric.
+//!
+//! The crate-level guarantee mirrors the paper's: the O-CFG (and hence the
+//! ITC-CFG) is *conservative* — any flow the program can actually execute is
+//! admitted, so FlowGuard raises no false positives (§7.1.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use fg_isa::asm::Asm;
+//! use fg_isa::image::Linker;
+//! use fg_cfg::{ItcCfg, OCfg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new("app");
+//! a.export("main");
+//! a.label("main");
+//! a.lea(fg_isa::insn::regs::R1, "table");
+//! a.ld(fg_isa::insn::regs::R2, fg_isa::insn::regs::R1, 0);
+//! a.calli(fg_isa::insn::regs::R2);
+//! a.halt();
+//! a.label("handler");
+//! a.ret();
+//! a.data_ptrs("table", &["handler"]);
+//!
+//! let image = Linker::new(a.finish()?).link()?;
+//! let ocfg = OCfg::build(&image);
+//! let itc = ItcCfg::build(&ocfg);
+//! assert!(itc.node_count() >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aia;
+pub mod bb;
+pub mod itc;
+pub mod ocfg;
+pub mod typearmor;
+
+pub use aia::{aia_fine, aia_flowguard, aia_itc, aia_itc_with_tnt, aia_ocfg};
+pub use bb::{BasicBlock, BlockEnd, Disassembly};
+pub use itc::{Credit, EdgeIdx, ItcCfg, TntInfo, TntSig};
+pub use ocfg::{OCfg, SuccSet};
+pub use typearmor::{Function, TypeArmor};

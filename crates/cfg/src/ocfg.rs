@@ -1,0 +1,414 @@
+//! The conservative original CFG (O-CFG) of §4.1.
+//!
+//! Builds, per basic block, the full successor set:
+//!
+//! * direct edges (jumps, calls, conditional taken/fall-through, the
+//!   fall-through of syscalls and block splits);
+//! * indirect jump targets — PLT stubs resolve through the GOT (the
+//!   inter-module mechanism of §4.1), other indirect jumps conservatively
+//!   target the address-taken set;
+//! * indirect call targets — the address-taken function entries admitted by
+//!   the TypeArmor arity policy;
+//! * return targets — call/return matching, including the paper's tail-call
+//!   emulation: if `fun_b` tail-jumps to `fun_c`, `fun_c`'s returns inherit
+//!   `fun_b`'s return sites.
+
+use crate::bb::{BlockEnd, Disassembly};
+use crate::typearmor::TypeArmor;
+use fg_isa::image::Image;
+use fg_isa::insn::{Insn, INSN_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Successor set of a basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SuccSet {
+    /// No successors (`halt`).
+    None,
+    /// Statically known direct successors.
+    Direct(Vec<u64>),
+    /// Indirect jump target set.
+    IndJmp(Vec<u64>),
+    /// Indirect call target set.
+    IndCall(Vec<u64>),
+    /// Return target set (valid return addresses).
+    Ret(Vec<u64>),
+}
+
+impl SuccSet {
+    /// The targets regardless of kind.
+    pub fn targets(&self) -> &[u64] {
+        match self {
+            SuccSet::None => &[],
+            SuccSet::Direct(v) | SuccSet::IndJmp(v) | SuccSet::IndCall(v) | SuccSet::Ret(v) => v,
+        }
+    }
+
+    /// Whether this is an indirect (TIP-producing) successor set.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, SuccSet::IndJmp(_) | SuccSet::IndCall(_) | SuccSet::Ret(_))
+    }
+}
+
+/// The conservative whole-image CFG.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OCfg {
+    /// Disassembly (blocks, address-taken set, PLT resolution).
+    pub disasm: Disassembly,
+    /// TypeArmor analysis (functions, arity policy).
+    pub typearmor: TypeArmor,
+    /// Successor sets, parallel to `disasm.blocks`.
+    pub succs: Vec<SuccSet>,
+}
+
+impl OCfg {
+    /// Builds the O-CFG for a linked image.
+    pub fn build(image: &Image) -> OCfg {
+        let disasm = crate::bb::disassemble(image);
+        let typearmor = crate::typearmor::analyze(image, &disasm);
+
+        // Universe of indirectly callable function entries.
+        let callable: Vec<u64> = disasm
+            .address_taken
+            .iter()
+            .copied()
+            .filter(|&va| typearmor.entry_at(va).is_some())
+            .collect();
+
+        // --- call/return matching with tail-call emulation -------------
+        // return_sites[function index] = valid return addresses.
+        let mut ret_sites: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); typearmor.functions.len()];
+        // tail edges f → g (g inherits f's return sites).
+        let mut tail_edges: Vec<(usize, usize)> = Vec::new();
+
+        for b in &disasm.blocks {
+            let BlockEnd::Terminator(term) = b.term else { continue };
+            let site = b.last_insn();
+            match term {
+                Insn::Call { target } => {
+                    let ret_addr = site + INSN_SIZE;
+                    // Follow the target through PLT stubs to real functions.
+                    for f in resolve_call_targets(&disasm, &typearmor, target) {
+                        ret_sites[f].insert(ret_addr);
+                    }
+                }
+                Insn::CallInd { .. } => {
+                    let ret_addr = site + INSN_SIZE;
+                    for &t in &callable {
+                        if typearmor.admits(site, t) {
+                            if let Some(fi) = typearmor
+                                .functions
+                                .binary_search_by_key(&t, |f| f.entry)
+                                .ok()
+                            {
+                                ret_sites[fi].insert(ret_addr);
+                            }
+                        }
+                    }
+                }
+                Insn::Jmp { target } => {
+                    // Possible tail call: direct jump to another function's
+                    // entry.
+                    if let (Some(from), Ok(to)) = (
+                        typearmor.function_of(site),
+                        typearmor.functions.binary_search_by_key(&target, |f| f.entry),
+                    ) {
+                        if from != to {
+                            tail_edges.push((from, to));
+                        }
+                    }
+                }
+                Insn::JmpInd { .. } => {
+                    // PLT stubs and indirect tail jumps.
+                    let from = typearmor.function_of(site);
+                    let targets: Vec<u64> = match disasm.plt_targets.get(&site) {
+                        Some(&t) => vec![t],
+                        None => callable.clone(),
+                    };
+                    if let Some(from) = from {
+                        for t in targets {
+                            if let Ok(to) =
+                                typearmor.functions.binary_search_by_key(&t, |f| f.entry)
+                            {
+                                if from != to {
+                                    tail_edges.push((from, to));
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Fixpoint propagation of return sites along tail edges.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(from, to) in &tail_edges {
+                let add: Vec<u64> =
+                    ret_sites[from].difference(&ret_sites[to]).copied().collect();
+                if !add.is_empty() {
+                    ret_sites[to].extend(add);
+                    changed = true;
+                }
+            }
+        }
+
+        // --- successor sets ---------------------------------------------
+        let mut succs = Vec::with_capacity(disasm.blocks.len());
+        for b in &disasm.blocks {
+            let s = match b.term {
+                BlockEnd::FallIntoNext => SuccSet::Direct(vec![b.end]),
+                BlockEnd::Terminator(term) => {
+                    let site = b.last_insn();
+                    match term {
+                        Insn::Halt => SuccSet::None,
+                        Insn::Jmp { target } | Insn::Call { target } => {
+                            SuccSet::Direct(vec![target])
+                        }
+                        Insn::Jcc { target, .. } => SuccSet::Direct(vec![target, b.end]),
+                        Insn::Syscall => SuccSet::Direct(vec![b.end]),
+                        Insn::JmpInd { .. } => match disasm.plt_targets.get(&site) {
+                            Some(&t) => SuccSet::IndJmp(vec![t]),
+                            None => SuccSet::IndJmp(callable.clone()),
+                        },
+                        Insn::CallInd { .. } => SuccSet::IndCall(
+                            callable.iter().copied().filter(|&t| typearmor.admits(site, t)).collect(),
+                        ),
+                        Insn::Ret => {
+                            let sites = typearmor
+                                .function_of(site)
+                                .map(|fi| ret_sites[fi].iter().copied().collect())
+                                .unwrap_or_default();
+                            SuccSet::Ret(sites)
+                        }
+                        _ => unreachable!("non-terminator as block end"),
+                    }
+                }
+            };
+            succs.push(s);
+        }
+
+        OCfg { disasm, typearmor, succs }
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(|s| s.targets().len()).sum()
+    }
+
+    /// Basic-block count.
+    pub fn block_count(&self) -> usize {
+        self.disasm.blocks.len()
+    }
+
+    /// Per-module `(block count, edge count)` keyed by module index.
+    pub fn per_module_counts(&self) -> BTreeMap<usize, (usize, usize)> {
+        let mut out: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+        for (b, s) in self.disasm.blocks.iter().zip(&self.succs) {
+            let e = out.entry(b.module).or_default();
+            e.0 += 1;
+            e.1 += s.targets().len();
+        }
+        out
+    }
+
+    /// Whether the O-CFG admits the transfer `from_block_term → to`.
+    pub fn admits(&self, from_block: usize, to: u64) -> bool {
+        self.succs[from_block].targets().contains(&to)
+    }
+}
+
+/// Resolves a direct call target through PLT stubs to function indices.
+fn resolve_call_targets(
+    disasm: &Disassembly,
+    ta: &TypeArmor,
+    target: u64,
+) -> Vec<usize> {
+    // Direct call straight at a function entry.
+    if let Ok(fi) = ta.functions.binary_search_by_key(&target, |f| f.entry) {
+        return vec![fi];
+    }
+    // Call into a PLT stub: find the stub's indirect jump, read its resolved
+    // target.
+    if let Some(bi) = disasm.block_containing(target) {
+        let b = &disasm.blocks[bi];
+        if let BlockEnd::Terminator(Insn::JmpInd { .. }) = b.term {
+            if let Some(&t) = disasm.plt_targets.get(&b.last_insn()) {
+                if let Ok(fi) = ta.functions.binary_search_by_key(&t, |f| f.entry) {
+                    return vec![fi];
+                }
+            }
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_isa::asm::Asm;
+    use fg_isa::image::Linker;
+    use fg_isa::insn::regs::*;
+    use fg_isa::insn::Cond;
+
+    fn image() -> Image {
+        let mut lib = Asm::new("libc");
+        lib.export("util");
+        lib.label("util");
+        lib.movi(R0, 1);
+        lib.ret();
+
+        let mut a = Asm::new("app");
+        a.import("util").needs("libc");
+        a.export("main");
+        a.label("main");
+        a.movi(R1, 1); // 0
+        a.cmpi(R1, 0); // 1
+        a.jcc(Cond::Gt, "big"); // 2
+        a.halt(); // 3
+        a.label("big"); // 4
+        a.lea(R6, "table"); // 4
+        a.ld(R7, R6, 0); // 5
+        a.calli(R7); // 6
+        a.call("util"); // 7 — through the PLT
+        a.call("tailer"); // 8
+        a.call("tailee"); // 9 — makes tailee a discovered function
+        a.halt(); // 10
+        a.label("handler"); // 11
+        a.mov(R8, R1); // 11
+        a.ret(); // 12
+        a.label("tailer"); // 13
+        a.jmp("tailee"); // 13 — tail call
+        a.label("tailee"); // 14
+        a.movi(R9, 5); // 14
+        a.ret(); // 15
+        a.data_ptrs("table", &["handler"]);
+        Linker::new(a.finish().unwrap()).library(lib.finish().unwrap()).link().unwrap()
+    }
+
+    fn built() -> (Image, OCfg) {
+        let img = image();
+        let cfg = OCfg::build(&img);
+        (img, cfg)
+    }
+
+    fn succ_of(cfg: &OCfg, site: u64) -> &SuccSet {
+        let bi = cfg
+            .disasm
+            .blocks
+            .iter()
+            .position(|b| matches!(b.term, BlockEnd::Terminator(_)) && b.last_insn() == site)
+            .unwrap_or_else(|| panic!("no terminator at {site:#x}"));
+        &cfg.succs[bi]
+    }
+
+    #[test]
+    fn jcc_has_two_direct_successors() {
+        let (img, cfg) = built();
+        let main = img.symbol("main").unwrap();
+        let s = succ_of(&cfg, main + 2 * INSN_SIZE);
+        assert_eq!(s, &SuccSet::Direct(vec![main + 4 * INSN_SIZE, main + 3 * INSN_SIZE]));
+    }
+
+    #[test]
+    fn indirect_call_targets_are_address_taken_set() {
+        let (img, cfg) = built();
+        let main = img.symbol("main").unwrap();
+        let handler = main + 11 * INSN_SIZE;
+        let s = succ_of(&cfg, main + 6 * INSN_SIZE);
+        assert!(matches!(s, SuccSet::IndCall(_)));
+        assert!(s.targets().contains(&handler));
+    }
+
+    #[test]
+    fn plt_jump_has_single_resolved_target() {
+        let (img, cfg) = built();
+        let util = img.symbol("util").unwrap();
+        let plt = img.executable().plt_start;
+        // Stub's jmp is the third instruction.
+        let s = succ_of(&cfg, plt + 2 * INSN_SIZE);
+        assert_eq!(s, &SuccSet::IndJmp(vec![util]));
+    }
+
+    #[test]
+    fn return_sites_match_call_sites() {
+        let (img, cfg) = built();
+        let main = img.symbol("main").unwrap();
+        let util = img.symbol("util").unwrap();
+        // util's ret should target main+8*8 (after the `call util`).
+        let s = succ_of(&cfg, util + INSN_SIZE);
+        assert!(matches!(s, SuccSet::Ret(_)));
+        assert!(
+            s.targets().contains(&(main + 8 * INSN_SIZE)),
+            "call/return matching through the PLT, got {:x?}",
+            s.targets()
+        );
+    }
+
+    #[test]
+    fn tail_call_inherits_return_sites() {
+        let (img, cfg) = built();
+        let main = img.symbol("main").unwrap();
+        // tailee's ret must return both to its own caller (main+10*8) and,
+        // through the tail-call fixpoint, to tailer's caller (main+9*8).
+        let tailee_ret = main + 15 * INSN_SIZE;
+        let s = succ_of(&cfg, tailee_ret);
+        assert!(
+            s.targets().contains(&(main + 9 * INSN_SIZE)),
+            "tail-call emulation, got {:x?}",
+            s.targets()
+        );
+        assert!(s.targets().contains(&(main + 10 * INSN_SIZE)));
+    }
+
+    #[test]
+    fn handler_returns_to_indirect_call_site() {
+        let (img, cfg) = built();
+        let main = img.symbol("main").unwrap();
+        let handler_ret = main + 12 * INSN_SIZE;
+        let s = succ_of(&cfg, handler_ret);
+        assert!(s.targets().contains(&(main + 7 * INSN_SIZE)));
+    }
+
+    #[test]
+    fn halt_has_no_successors() {
+        let (img, cfg) = built();
+        let main = img.symbol("main").unwrap();
+        assert_eq!(succ_of(&cfg, main + 3 * INSN_SIZE), &SuccSet::None);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let (_, cfg) = built();
+        assert!(cfg.block_count() > 8);
+        assert!(cfg.edge_count() > cfg.block_count() / 2);
+        let per: usize = cfg.per_module_counts().values().map(|&(b, _)| b).sum();
+        assert_eq!(per, cfg.block_count());
+    }
+
+    #[test]
+    fn no_false_positives_against_execution() {
+        // Run the program; every executed transfer must be admitted.
+        let (img, cfg) = built();
+        let mut m = fg_cpu_machine(&img);
+        m.enable_branch_log();
+        let stop = m.run(&mut fg_cpu::NullKernel, 10_000);
+        assert_eq!(stop, fg_cpu::StopReason::Halted);
+        for b in m.branch_log.as_ref().unwrap() {
+            let bi = cfg.disasm.block_containing(b.from).expect("branch from known block");
+            assert!(
+                cfg.admits(bi, b.to) || b.kind == fg_isa::insn::CofiKind::FarTransfer,
+                "O-CFG must admit {:#x} → {:#x} ({:?})",
+                b.from,
+                b.to,
+                b.kind
+            );
+        }
+    }
+
+    fn fg_cpu_machine(img: &Image) -> fg_cpu::Machine {
+        fg_cpu::Machine::new(img, 0x1000)
+    }
+}

@@ -1,0 +1,321 @@
+//! TypeArmor-style use-def / liveness restriction of indirect call targets.
+//!
+//! FlowGuard "restricts the targets using the TypeArmor's use-def and
+//! liveness analysis" (§4.1). The reproduction implements the same idea over
+//! the synthetic ABI (arguments in `r1`–`r5`):
+//!
+//! * **consumed(f)** — an *under*-estimate of the arguments function `f`
+//!   reads: argument registers read before being written along the
+//!   straight-line prefix of `f` (instructions guaranteed to execute);
+//! * **prepared(c)** — an *over*-estimate of the arguments call site `c`
+//!   sets up: argument registers written anywhere in the function before
+//!   the call.
+//!
+//! An indirect call edge `c → f` is admitted iff `prepared(c) ≥ consumed(f)`.
+//! The under/over directions guarantee the restriction never introduces
+//! false positives, exactly the conservatism the paper requires.
+
+use crate::bb::Disassembly;
+use fg_isa::image::Image;
+use fg_isa::insn::{Insn, Reg, INSN_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of argument registers in the ABI (`r1`–`r5`).
+pub const ARG_REGS: u8 = 5;
+
+/// A discovered function: an entry plus its linear extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Entry address.
+    pub entry: u64,
+    /// Exclusive end (next function entry or module code end).
+    pub end: u64,
+    /// Containing module index.
+    pub module: usize,
+    /// Under-estimate of arguments consumed.
+    pub consumed_args: u8,
+}
+
+impl Function {
+    /// Whether `va` lies inside this function's extent.
+    pub fn contains(&self, va: u64) -> bool {
+        va >= self.entry && va < self.end
+    }
+}
+
+/// The analysis result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TypeArmor {
+    /// Functions sorted by entry address.
+    pub functions: Vec<Function>,
+    /// Over-estimated argument counts per indirect call site.
+    pub prepared: BTreeMap<u64, u8>,
+}
+
+impl TypeArmor {
+    /// Index of the function containing `va`.
+    pub fn function_of(&self, va: u64) -> Option<usize> {
+        match self.functions.binary_search_by_key(&va, |f| f.entry) {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => self.functions[i - 1].contains(va).then_some(i - 1),
+        }
+    }
+
+    /// The function entry exactly at `va`, if any.
+    pub fn entry_at(&self, va: u64) -> Option<&Function> {
+        self.functions.binary_search_by_key(&va, |f| f.entry).ok().map(|i| &self.functions[i])
+    }
+
+    /// Whether the TypeArmor policy admits the indirect call edge
+    /// `callsite → entry`.
+    ///
+    /// Unknown call sites or targets are admitted (conservative).
+    pub fn admits(&self, callsite: u64, entry: u64) -> bool {
+        let Some(&prepared) = self.prepared.get(&callsite) else { return true };
+        let Some(f) = self.entry_at(entry) else { return true };
+        prepared >= f.consumed_args
+    }
+}
+
+/// Which argument registers an instruction reads / writes.
+fn arg_reads_writes(insn: &Insn) -> (Vec<Reg>, Option<Reg>) {
+    let mut reads = Vec::new();
+    let mut write = None;
+    match *insn {
+        Insn::Mov { rd, rs } => {
+            reads.push(rs);
+            write = Some(rd);
+        }
+        Insn::MovImm { rd, .. } => write = Some(rd),
+        Insn::Alu { rd, rs, .. } => {
+            reads.push(rd);
+            reads.push(rs);
+            write = Some(rd);
+        }
+        Insn::AluImm { rd, .. } => {
+            reads.push(rd);
+            write = Some(rd);
+        }
+        Insn::Cmp { rs1, rs2 } => {
+            reads.push(rs1);
+            reads.push(rs2);
+        }
+        Insn::CmpImm { rs, .. } => reads.push(rs),
+        Insn::Load { rd, base, .. } => {
+            reads.push(base);
+            write = Some(rd);
+        }
+        Insn::Store { rs, base, .. } => {
+            reads.push(rs);
+            reads.push(base);
+        }
+        Insn::Push { rs } => reads.push(rs),
+        Insn::Pop { rd } => write = Some(rd),
+        Insn::JmpInd { rs } | Insn::CallInd { rs } => reads.push(rs),
+        _ => {}
+    }
+    (reads, write)
+}
+
+fn arg_index(r: Reg) -> Option<u8> {
+    let i = r.index() as u8;
+    (1..=ARG_REGS).contains(&i).then(|| i - 1)
+}
+
+/// Runs the analysis over a disassembled image.
+pub fn analyze(image: &Image, disasm: &Disassembly) -> TypeArmor {
+    // Function entries: exports, direct call targets, address-taken code.
+    let mut entries: Vec<(u64, usize)> = Vec::new();
+    for (mi, m) in image.modules().iter().enumerate() {
+        for (_, va) in &m.exports {
+            if m.contains_code(*va) {
+                entries.push((*va, mi));
+            }
+        }
+    }
+    for b in &disasm.blocks {
+        if let crate::bb::BlockEnd::Terminator(Insn::Call { target }) = b.term {
+            if let Some(m) = image.modules().iter().position(|m| m.contains_code(target)) {
+                entries.push((target, m));
+            }
+        }
+    }
+    for &va in &disasm.address_taken {
+        if let Some(m) = image.modules().iter().position(|m| m.contains_code(va)) {
+            entries.push((va, m));
+        }
+    }
+    entries.sort_unstable();
+    entries.dedup();
+
+    // Extents: up to the next entry in the same module, else module end.
+    let mut functions = Vec::with_capacity(entries.len());
+    for (i, &(entry, mi)) in entries.iter().enumerate() {
+        let module_end = image.modules()[mi].exec_end;
+        let end = entries
+            .get(i + 1)
+            .filter(|&&(_, nmi)| nmi == mi)
+            .map(|&(e, _)| e)
+            .unwrap_or(module_end);
+        functions.push(Function { entry, end, module: mi, consumed_args: 0 });
+    }
+
+    // consumed(f): reads-before-writes on the straight-line prefix.
+    for f in &mut functions {
+        let mut written = [false; ARG_REGS as usize];
+        let mut consumed = [false; ARG_REGS as usize];
+        let mut va = f.entry;
+        while va < f.end {
+            let Some(insn) = image.insn_at(va) else { break };
+            let (reads, write) = arg_reads_writes(&insn);
+            for r in reads {
+                if let Some(i) = arg_index(r) {
+                    if !written[i as usize] {
+                        consumed[i as usize] = true;
+                    }
+                }
+            }
+            if let Some(w) = write {
+                if let Some(i) = arg_index(w) {
+                    written[i as usize] = true;
+                }
+            }
+            if insn.is_terminator() {
+                break; // only guaranteed-to-execute instructions
+            }
+            va += INSN_SIZE;
+        }
+        f.consumed_args = consumed.iter().filter(|&&c| c).count() as u8;
+    }
+
+    // prepared(c): writes anywhere in the function before the call site.
+    let functions_ro = functions.clone();
+    let ta_probe = TypeArmor { functions: functions_ro, prepared: BTreeMap::new() };
+    let mut prepared = BTreeMap::new();
+    for b in &disasm.blocks {
+        let crate::bb::BlockEnd::Terminator(Insn::CallInd { .. }) = b.term else { continue };
+        let callsite = b.last_insn();
+        let scan_start = ta_probe
+            .function_of(callsite)
+            .map(|i| ta_probe.functions[i].entry)
+            .unwrap_or(b.start);
+        let mut written = [false; ARG_REGS as usize];
+        let mut va = scan_start;
+        while va < callsite {
+            if let Some(insn) = image.insn_at(va) {
+                let (_, write) = arg_reads_writes(&insn);
+                if let Some(w) = write {
+                    if let Some(i) = arg_index(w) {
+                        written[i as usize] = true;
+                    }
+                }
+            }
+            va += INSN_SIZE;
+        }
+        prepared.insert(callsite, written.iter().filter(|&&w| w).count() as u8);
+    }
+
+    TypeArmor { functions, prepared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bb::disassemble;
+    use fg_isa::asm::Asm;
+    use fg_isa::image::Linker;
+    use fg_isa::insn::regs::*;
+
+    /// Two address-taken functions with different arities and one indirect
+    /// call site that prepares a single argument.
+    fn image() -> Image {
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.movi(R1, 7); // prepare one argument
+        a.lea(R6, "table");
+        a.ld(R7, R6, 0);
+        a.calli(R7);
+        a.halt();
+        // one-arg function: reads r1 before writing it.
+        a.label("one_arg");
+        a.mov(R8, R1);
+        a.ret();
+        // three-arg function: reads r1, r2, r3.
+        a.label("three_args");
+        a.mov(R8, R1);
+        a.add(R8, R2);
+        a.add(R8, R3);
+        a.ret();
+        // zero-arg function.
+        a.label("zero_args");
+        a.movi(R8, 1);
+        a.ret();
+        a.data_ptrs("table", &["one_arg", "three_args", "zero_args"]);
+        Linker::new(a.finish().unwrap()).link().unwrap()
+    }
+
+    fn analyzed() -> (Image, TypeArmor) {
+        let img = image();
+        let d = disassemble(&img);
+        let ta = analyze(&img, &d);
+        (img, ta)
+    }
+
+    #[test]
+    fn consumed_args_computed() {
+        let (img, ta) = analyzed();
+        let main = img.symbol("main").unwrap();
+        let one = ta.entry_at(main + 5 * INSN_SIZE).expect("one_arg is a function");
+        assert_eq!(one.consumed_args, 1);
+        let three = ta.entry_at(main + 7 * INSN_SIZE).expect("three_args");
+        assert_eq!(three.consumed_args, 3);
+        let zero = ta.entry_at(main + 11 * INSN_SIZE).expect("zero_args");
+        assert_eq!(zero.consumed_args, 0);
+    }
+
+    #[test]
+    fn prepared_args_computed() {
+        let (img, ta) = analyzed();
+        let callsite = img.symbol("main").unwrap() + 3 * INSN_SIZE;
+        assert_eq!(ta.prepared.get(&callsite), Some(&1));
+    }
+
+    #[test]
+    fn policy_admits_by_arity() {
+        let (img, ta) = analyzed();
+        let main = img.symbol("main").unwrap();
+        let callsite = main + 3 * INSN_SIZE;
+        assert!(ta.admits(callsite, main + 5 * INSN_SIZE), "1 prepared ≥ 1 consumed");
+        assert!(ta.admits(callsite, main + 11 * INSN_SIZE), "1 prepared ≥ 0 consumed");
+        assert!(!ta.admits(callsite, main + 7 * INSN_SIZE), "1 prepared < 3 consumed");
+    }
+
+    #[test]
+    fn unknown_sites_admitted_conservatively() {
+        let (_, ta) = analyzed();
+        assert!(ta.admits(0xdead_0000, 0xbeef_0000));
+    }
+
+    #[test]
+    fn function_of_maps_interior_addresses() {
+        let (img, ta) = analyzed();
+        let main = img.symbol("main").unwrap();
+        let fi = ta.function_of(main + INSN_SIZE).unwrap();
+        assert_eq!(ta.functions[fi].entry, main);
+        assert!(ta.function_of(0x10).is_none());
+    }
+
+    #[test]
+    fn functions_sorted_disjoint() {
+        let (_, ta) = analyzed();
+        for w in ta.functions.windows(2) {
+            assert!(w[0].entry < w[1].entry);
+            if w[0].module == w[1].module {
+                assert!(w[0].end <= w[1].entry);
+            }
+        }
+    }
+}

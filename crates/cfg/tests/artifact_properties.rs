@@ -1,0 +1,70 @@
+//! ITC-CFG artifact properties: serialisation, label persistence, and the
+//! relationship between the AIA variants on every bundled server.
+
+use fg_cfg::{aia_fine, aia_itc, aia_ocfg, Credit, ItcCfg, OCfg};
+
+#[test]
+fn itc_json_roundtrip_preserves_labels() {
+    let w = fg_workloads::vsftpd();
+    let ocfg = OCfg::build(&w.image);
+    let mut itc = ItcCfg::build(&ocfg);
+    // Label a few edges and attach TNT + grams.
+    let edges: Vec<_> = itc.iter_edges().take(5).map(|(_, _, e)| e).collect();
+    for (i, &e) in edges.iter().enumerate() {
+        itc.set_high(e);
+        itc.add_tnt(e, &[i % 2 == 0, true]);
+    }
+    itc.add_path_gram(edges[0], edges[1]);
+
+    let json = serde_json::to_string(&itc).expect("serialise");
+    let back: ItcCfg = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(back.node_count(), itc.node_count());
+    assert_eq!(back.edge_count(), itc.edge_count());
+    assert_eq!(back.high_credit_fraction(), itc.high_credit_fraction());
+    for &e in &edges {
+        assert_eq!(back.credit(e), Credit::High);
+        assert_eq!(back.tnt(e), itc.tnt(e));
+    }
+    assert!(back.has_path_gram(edges[0], edges[1]));
+    assert_eq!(back.path_gram_count(), 1);
+}
+
+#[test]
+fn aia_ordering_holds_for_every_server() {
+    for w in fg_workloads::servers() {
+        let ocfg = OCfg::build(&w.image);
+        let itc = ItcCfg::build(&ocfg);
+        let (o, i, f) = (aia_ocfg(&ocfg), aia_itc(&itc), aia_fine(&ocfg));
+        assert!(i >= o, "{}: ITC collapse derogates precision ({i} < {o})", w.name);
+        assert!(f <= o, "{}: the fine-grained policy is at least as precise", w.name);
+        assert!(o > 1.0, "{}: conservative sets are non-trivial", w.name);
+    }
+}
+
+#[test]
+fn every_ret_target_is_a_node() {
+    // Sanity for call/return matching: every conservative return target must
+    // be an IT-BB of the ITC-CFG (they are indirect-edge targets).
+    let w = fg_workloads::exim();
+    let ocfg = OCfg::build(&w.image);
+    let itc = ItcCfg::build(&ocfg);
+    for s in &ocfg.succs {
+        if let fg_cfg::SuccSet::Ret(ts) = s {
+            for &t in ts {
+                assert!(itc.is_node(t), "ret target {t:#x} missing from ITC nodes");
+            }
+        }
+    }
+}
+
+#[test]
+fn targets_of_matches_edge_lookup() {
+    let w = fg_workloads::tar();
+    let ocfg = OCfg::build(&w.image);
+    let itc = ItcCfg::build(&ocfg);
+    for (from, to, e) in itc.iter_edges() {
+        assert!(itc.targets_of(from).contains(&to));
+        assert_eq!(itc.edge(from, to), Some(e));
+    }
+    assert_eq!(itc.targets_of(0xdead_beef), &[] as &[u64]);
+}

@@ -1,0 +1,278 @@
+//! High-level deployment API: the full FlowGuard pipeline in three calls.
+//!
+//! ```text
+//! Deployment::analyze(&image)      // ① static analysis → O-CFG, ITC-CFG
+//!     .train(&corpus)              // ② fuzzing-derived credit labeling
+//!     .launch(&input)              // ③④⑤ traced, intercepted execution
+//! ```
+
+use crate::config::FlowGuardConfig;
+use crate::engine::{EngineStats, FlowGuardEngine};
+use fg_cfg::{ItcCfg, OCfg};
+use fg_cpu::machine::{Machine, StopReason};
+use fg_cpu::trace::{IptUnit, TraceUnit};
+use fg_fuzz::{train, FuzzConfig, Fuzzer, TrainConfig, TrainStats};
+use fg_ipt::topa::Topa;
+use fg_isa::image::Image;
+use fg_kernel::Kernel;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Default CR3 assigned to protected processes.
+pub const DEFAULT_CR3: u64 = 0x4000;
+
+/// Errors saving/loading deployment artifacts.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed artifact file.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::Format(e) => write!(f, "artifact format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            ArtifactError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> ArtifactError {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ArtifactError {
+    fn from(e: serde_json::Error) -> ArtifactError {
+        ArtifactError::Format(e)
+    }
+}
+
+/// The serialisable form of a deployment.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Artifact {
+    image: Image,
+    ocfg: OCfg,
+    itc: ItcCfg,
+    train_stats: Option<TrainStats>,
+}
+
+/// An analysed (and optionally trained) protection artifact for one binary.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The protected image.
+    pub image: Image,
+    /// The conservative O-CFG (slow-path policy).
+    pub ocfg: Arc<OCfg>,
+    /// The credit-labeled ITC-CFG (fast-path structure).
+    pub itc: ItcCfg,
+    /// Statistics of the last training run.
+    pub train_stats: Option<TrainStats>,
+}
+
+impl Deployment {
+    /// Step ① — static analysis: builds the O-CFG and reconstructs the
+    /// ITC-CFG.
+    pub fn analyze(image: &Image) -> Deployment {
+        let ocfg = OCfg::build(image);
+        let itc = ItcCfg::build(&ocfg);
+        Deployment { image: image.clone(), ocfg: Arc::new(ocfg), itc, train_stats: None }
+    }
+
+    /// Step ② — labels ITC edges from a replay corpus (see
+    /// [`Deployment::fuzz_train`] to generate one).
+    pub fn train(&mut self, corpus: &[Vec<u8>]) -> TrainStats {
+        let stats = train(&mut self.itc, &self.image, corpus, TrainConfig::default());
+        self.train_stats = Some(stats);
+        stats
+    }
+
+    /// Step ② with corpus discovery: runs a coverage-oriented fuzzing
+    /// campaign from `seeds` for `execs` target executions, then trains on
+    /// the discovered corpus. Returns the training stats and the fuzzer's
+    /// progress history (the Figure 5d curve).
+    pub fn fuzz_train(
+        &mut self,
+        seeds: Vec<Vec<u8>>,
+        execs: u64,
+        fuzz_cfg: FuzzConfig,
+    ) -> (TrainStats, Vec<fg_fuzz::Snapshot>) {
+        let (corpus, history) = {
+            let mut fuzzer = Fuzzer::new(&self.image, seeds, fuzz_cfg);
+            fuzzer.run(execs);
+            (fuzzer.corpus(), fuzzer.history.clone())
+        };
+        let stats = self.train(&corpus);
+        (stats, history)
+    }
+
+    /// Serialises the analysed-and-trained artifact to a file — "before the
+    /// distribution of the protected software, the static CFG generation and
+    /// dynamic training are securely conducted" (§3.3): this is the artifact
+    /// that ships alongside the binary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] on I/O or serialisation failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ArtifactError> {
+        let artifact = Artifact {
+            image: self.image.clone(),
+            ocfg: (*self.ocfg).clone(),
+            itc: self.itc.clone(),
+            train_stats: self.train_stats,
+        };
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), &artifact)?;
+        Ok(())
+    }
+
+    /// Loads a previously [`Deployment::save`]d artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] on I/O or deserialisation failure.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Deployment, ArtifactError> {
+        let file = std::fs::File::open(path)?;
+        let artifact: Artifact = serde_json::from_reader(std::io::BufReader::new(file))?;
+        Ok(Deployment {
+            image: artifact.image,
+            ocfg: Arc::new(artifact.ocfg),
+            itc: artifact.itc,
+            train_stats: artifact.train_stats,
+        })
+    }
+
+    /// Builds the runtime engine for a process with the given CR3.
+    pub fn engine(
+        &self,
+        cfg: FlowGuardConfig,
+        cr3: u64,
+    ) -> (FlowGuardEngine, Arc<Mutex<EngineStats>>) {
+        let engine =
+            FlowGuardEngine::new(self.image.clone(), Arc::clone(&self.ocfg), self.itc.clone(), cfg, cr3);
+        let stats = engine.stats_handle();
+        (engine, stats)
+    }
+
+    /// Steps ③–⑤ — launches a protected process: IPT configured and
+    /// CR3-filtered, the kernel module installed, input on fd 0.
+    pub fn launch(&self, input: &[u8], cfg: FlowGuardConfig) -> ProtectedProcess {
+        self.launch_with_cost(input, cfg, fg_cpu::CostModel::calibrated())
+    }
+
+    /// [`Deployment::launch`] with an explicit cost model (the §7.2.4
+    /// hardware-extension ablations zero individual cost terms).
+    pub fn launch_with_cost(
+        &self,
+        input: &[u8],
+        cfg: FlowGuardConfig,
+        cost: fg_cpu::CostModel,
+    ) -> ProtectedProcess {
+        let cr3 = DEFAULT_CR3;
+        let (mut engine, stats) = self.engine(cfg.clone(), cr3);
+        engine.set_cost_model(cost);
+        let mut machine = Machine::new(&self.image, cr3);
+        machine.cost = cost;
+        let mut unit = IptUnit::flowguard(
+            cr3,
+            Topa::two_regions(cfg.topa_region_bytes).expect("valid ToPA size"),
+        );
+        unit.start(self.image.entry(), cr3);
+        machine.trace = TraceUnit::Ipt(unit);
+        let mut kernel = Kernel::with_input(input);
+        kernel.install_interceptor(Box::new(engine));
+        ProtectedProcess { machine, kernel, stats }
+    }
+}
+
+/// A running protected process.
+#[derive(Debug)]
+pub struct ProtectedProcess {
+    /// The traced machine.
+    pub machine: Machine,
+    /// The kernel with the FlowGuard module installed.
+    pub kernel: Kernel,
+    /// Shared engine statistics.
+    pub stats: Arc<Mutex<EngineStats>>,
+}
+
+impl ProtectedProcess {
+    /// Runs to completion (or the instruction budget).
+    pub fn run(&mut self, max_insns: u64) -> StopReason {
+        self.machine.run(&mut self.kernel, max_insns)
+    }
+
+    /// Whether a CFI violation was detected.
+    pub fn violated(&self) -> bool {
+        self.kernel.violated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_protects_benign_run() {
+        let w = fg_workloads::nginx_patched();
+        let mut d = Deployment::analyze(&w.image);
+        let stats = d.train(&[w.default_input.clone()]);
+        assert!(stats.edges_labeled > 0);
+        let mut p = d.launch(&w.default_input, FlowGuardConfig::default());
+        assert_eq!(p.run(50_000_000), StopReason::Exited(0));
+        assert!(!p.violated());
+        assert!(p.stats.lock().checks > 0);
+    }
+
+    #[test]
+    fn artifact_roundtrip_preserves_protection() {
+        let w = fg_workloads::vsftpd();
+        let mut d = Deployment::analyze(&w.image);
+        d.train(&[w.default_input.clone()]);
+        let path = std::env::temp_dir().join("fg_artifact_test.json");
+        d.save(&path).expect("save");
+        let d2 = Deployment::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(d2.itc.node_count(), d.itc.node_count());
+        assert_eq!(d2.itc.edge_count(), d.itc.edge_count());
+        assert_eq!(d2.itc.high_credit_fraction(), d.itc.high_credit_fraction());
+        assert_eq!(d2.train_stats, d.train_stats);
+        // The reloaded artifact still protects.
+        let mut p = d2.launch(&w.default_input, FlowGuardConfig::default());
+        assert_eq!(p.run(500_000_000), StopReason::Exited(0));
+        assert!(!p.violated());
+    }
+
+    #[test]
+    fn artifact_load_rejects_garbage() {
+        let path = std::env::temp_dir().join("fg_artifact_garbage.json");
+        std::fs::write(&path, b"not an artifact").expect("write");
+        let err = Deployment::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, super::ArtifactError::Format(_)));
+        assert!(err.to_string().contains("format"));
+    }
+
+    #[test]
+    fn fuzz_train_produces_history() {
+        let w = fg_workloads::nginx_patched();
+        let mut d = Deployment::analyze(&w.image);
+        let seeds = vec![fg_workloads::request(0, b"seed")];
+        let (stats, history) = d.fuzz_train(seeds, 200, FuzzConfig::default());
+        assert!(stats.inputs >= 1);
+        assert!(!history.is_empty());
+        assert!(d.itc.high_credit_fraction() > 0.0);
+    }
+}

@@ -1,0 +1,409 @@
+//! The FlowGuard runtime engine: the "kernel module" of §5.
+//!
+//! Installed into the simulated kernel as a [`SyscallInterceptor`], the
+//! engine reads the protected process's ToPA buffer at each sensitive
+//! syscall, runs the fast path, escalates suspicious windows to the slow
+//! path (the "upcall to the waiting user-level process"), caches negative
+//! slow-path results, and kills the process on violation.
+
+use crate::config::FlowGuardConfig;
+use crate::fastpath::{self, FastVerdict};
+use crate::parallel::scan_parallel;
+use crate::slowpath::{self, SlowVerdict};
+use fg_cfg::{EdgeIdx, ItcCfg, OCfg};
+use fg_cpu::cost::CostModel;
+use fg_cpu::machine::SyscallCtx;
+use fg_ipt::fast;
+use fg_isa::image::Image;
+use fg_kernel::{InterceptVerdict, SyscallInterceptor, Sysno, SIGKILL};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A recorded violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViolationRecord {
+    /// The endpoint syscall at which the violation was caught.
+    pub endpoint: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+    /// Whether the fast path (true) or slow path (false) detected it.
+    pub fast_path: bool,
+}
+
+/// Aggregated engine statistics (shared handle survives the engine's move
+/// into the kernel).
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Endpoint checks performed.
+    pub checks: u64,
+    /// Fast-path clean outcomes.
+    pub fast_clean: u64,
+    /// Fast-path malicious detections.
+    pub fast_malicious: u64,
+    /// Windows escalated to the slow path.
+    pub slow_invocations: u64,
+    /// Slow-path attack detections.
+    pub slow_attacks: u64,
+    /// Checks skipped for lack of trace.
+    pub insufficient: u64,
+    /// TIP pairs checked in total.
+    pub pairs_checked: u64,
+    /// Checked pairs that were high-credit (directly or via the cache).
+    pub credited_pairs: u64,
+    /// Current slow-path result cache size.
+    pub cache_size: usize,
+    /// Cycles spent decoding (packet scans + instruction-flow decodes).
+    pub decode_cycles: f64,
+    /// Cycles spent matching against the ITC-CFG.
+    pub check_cycles: f64,
+    /// Interception overhead cycles.
+    pub other_cycles: f64,
+    /// Violations recorded.
+    pub violations: Vec<ViolationRecord>,
+}
+
+impl EngineStats {
+    /// Fraction of checked pairs that were credited — the runtime
+    /// `cred_ratio` of §7.1.1 / Figure 5d.
+    pub fn credited_fraction(&self) -> f64 {
+        if self.pairs_checked == 0 {
+            return 0.0;
+        }
+        self.credited_pairs as f64 / self.pairs_checked as f64
+    }
+
+    /// Fraction of checks that needed the slow path.
+    pub fn slow_fraction(&self) -> f64 {
+        if self.checks == 0 {
+            return 0.0;
+        }
+        self.slow_invocations as f64 / self.checks as f64
+    }
+}
+
+/// The runtime protection engine.
+pub struct FlowGuardEngine {
+    image: Image,
+    ocfg: Arc<OCfg>,
+    itc: ItcCfg,
+    cfg: FlowGuardConfig,
+    cost: CostModel,
+    cr3: u64,
+    cache: HashSet<EdgeIdx>,
+    stats: Arc<Mutex<EngineStats>>,
+}
+
+impl std::fmt::Debug for FlowGuardEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowGuardEngine")
+            .field("cr3", &self.cr3)
+            .field("itc_nodes", &self.itc.node_count())
+            .field("cache", &self.cache.len())
+            .finish()
+    }
+}
+
+impl FlowGuardEngine {
+    /// Creates an engine protecting the process with page table `cr3`.
+    pub fn new(
+        image: Image,
+        ocfg: Arc<OCfg>,
+        itc: ItcCfg,
+        cfg: FlowGuardConfig,
+        cr3: u64,
+    ) -> FlowGuardEngine {
+        cfg.validate();
+        FlowGuardEngine {
+            image,
+            ocfg,
+            itc,
+            cfg,
+            cost: CostModel::calibrated(),
+            cr3,
+            cache: HashSet::new(),
+            stats: Arc::new(Mutex::new(EngineStats::default())),
+        }
+    }
+
+    /// Overrides the cost model (hardware-extension ablations, §7.2.4).
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// A shared handle to the statistics, usable after the engine is moved
+    /// into the kernel.
+    pub fn stats_handle(&self) -> Arc<Mutex<EngineStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    fn record_violation(&self, endpoint: &'static str, detail: String, fast_path: bool) {
+        self.stats.lock().violations.push(ViolationRecord { endpoint, detail, fast_path });
+    }
+}
+
+impl SyscallInterceptor for FlowGuardEngine {
+    fn protects(&self, cr3: u64) -> bool {
+        cr3 == self.cr3
+    }
+
+    fn is_sensitive(&self, nr: Sysno) -> bool {
+        self.cfg.endpoints.contains(nr)
+    }
+
+    fn check(&mut self, nr: Sysno, ctx: &mut SyscallCtx<'_>) -> InterceptVerdict {
+        self.flow_check(nr.name(), ctx, false)
+    }
+
+    fn on_pmi(&mut self, ctx: &mut SyscallCtx<'_>) -> InterceptVerdict {
+        if !self.cfg.pmi_endpoints {
+            return InterceptVerdict::Allow;
+        }
+        // "Triggering upon PMI and checking all of the packets in the
+        // interrupted region … ensures all of the execution flow of the
+        // protected process being checked" (§5.2/§7.1.2) — the full-buffer
+        // variant of the flow check.
+        self.flow_check("pmi", ctx, true)
+    }
+}
+
+impl FlowGuardEngine {
+    fn flow_check(
+        &mut self,
+        endpoint: &'static str,
+        ctx: &mut SyscallCtx<'_>,
+        full_buffer: bool,
+    ) -> InterceptVerdict {
+        let mut stats = self.stats.lock();
+        stats.checks += 1;
+        stats.other_cycles += self.cost.intercept_cycles;
+        ctx.extra_cycles.other += self.cost.intercept_cycles;
+
+        let Some(ipt) = ctx.trace.as_ipt() else {
+            // Not traced (misconfiguration): nothing to check.
+            stats.insufficient += 1;
+            return InterceptVerdict::Allow;
+        };
+        let bytes = ipt.trace_bytes();
+
+        // --- fast path -----------------------------------------------------
+        // "It is not required to decode the whole ToPA buffer" (§5.3): scan
+        // only a tail window, PSB-synchronised, widening it if it holds too
+        // few TIPs for the configured pkt_count.
+        let mut budget =
+            if full_buffer { bytes.len().max(1) } else { (self.cfg.pkt_count * 24).max(512) };
+        let (scan, scanned_len) = loop {
+            let window = tail_window(&bytes, budget);
+            let scan = if self.cfg.parallel_decode {
+                scan_parallel(window)
+            } else {
+                fast::scan(window)
+            };
+            let scan = match scan {
+                Ok(s) => s,
+                Err(_) => {
+                    // Unparseable buffer: be conservative and escalate.
+                    stats.insufficient += 1;
+                    return InterceptVerdict::Allow;
+                }
+            };
+            if scan.tip_count() > self.cfg.pkt_count || window.len() == bytes.len() {
+                break (scan, window.len());
+            }
+            budget *= 2;
+        };
+        let scan_cycles = scanned_len as f64 * self.cost.packet_scan_byte_cycles;
+        stats.decode_cycles += scan_cycles;
+        ctx.extra_cycles.decode += scan_cycles;
+
+        // PMI mode checks every pair in the buffer; endpoint mode checks the
+        // configured window.
+        let fast = if full_buffer {
+            let all = FlowGuardConfig {
+                pkt_count: scan.tip_count().max(2),
+                require_module_stride: false,
+                ..self.cfg.clone()
+            };
+            fastpath::check(&self.itc, &self.cache, &self.image, &scan, &all, self.cost.edge_check_cycles)
+        } else {
+            fastpath::check(
+                &self.itc,
+                &self.cache,
+                &self.image,
+                &scan,
+                &self.cfg,
+                self.cost.edge_check_cycles,
+            )
+        };
+        stats.pairs_checked += fast.pairs_checked as u64;
+        stats.credited_pairs += fast.credited_pairs as u64;
+        stats.check_cycles += fast.check_cycles;
+        ctx.extra_cycles.check += fast.check_cycles;
+
+        let uncredited = match fast.verdict {
+            FastVerdict::Clean => {
+                stats.fast_clean += 1;
+                return InterceptVerdict::Allow;
+            }
+            FastVerdict::InsufficientTrace => {
+                stats.insufficient += 1;
+                return InterceptVerdict::Allow;
+            }
+            FastVerdict::Malicious(v) => {
+                stats.fast_malicious += 1;
+                drop(stats);
+                self.record_violation(endpoint, format!("{v:?}"), true);
+                return InterceptVerdict::Kill(SIGKILL);
+            }
+            FastVerdict::Suspicious { uncredited } => uncredited,
+        };
+
+        // --- slow path (the user-level decoder upcall) ----------------------
+        stats.slow_invocations += 1;
+        // The slow path analyses a bounded recent region (the paper's §7.2.2
+        // micro-benchmark measures it on "ranges of memory containing 100
+        // TIP packets"), not the whole buffer.
+        let slow_window = tail_window(&bytes, (self.cfg.pkt_count * 110).max(2048));
+        let slow = slowpath::check(&self.image, &self.ocfg, slow_window, &self.cost);
+        stats.decode_cycles += slow.decode_cycles;
+        ctx.extra_cycles.decode += slow.decode_cycles;
+
+        match slow.verdict {
+            SlowVerdict::Attack(v) => {
+                stats.slow_attacks += 1;
+                drop(stats);
+                self.record_violation(endpoint, format!("{v:?}"), false);
+                InterceptVerdict::Kill(SIGKILL)
+            }
+            SlowVerdict::Clean { validated_pairs } => {
+                if self.cfg.cache_slow_path_results {
+                    // Cache both the window's uncredited edges and every
+                    // validated pair (§7.1.1: negative results are cached).
+                    self.cache.extend(uncredited);
+                    for (a, b) in validated_pairs {
+                        if let Some(e) = self.itc.edge(a, b) {
+                            self.cache.insert(e);
+                        }
+                    }
+                    stats.cache_size = self.cache.len();
+                }
+                InterceptVerdict::Allow
+            }
+        }
+    }
+}
+
+/// Picks a PSB-synchronised tail window of roughly `budget` bytes.
+fn tail_window(bytes: &[u8], budget: usize) -> &[u8] {
+    if bytes.len() <= budget {
+        return bytes;
+    }
+    let mut p = fg_ipt::PacketParser::at(bytes, bytes.len() - budget);
+    match p.sync_forward() {
+        Some(off) => &bytes[off..],
+        None => bytes, // no sync point in the tail: fall back to everything
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_cpu::{IptUnit, Machine, StopReason, TraceUnit};
+    use fg_ipt::topa::Topa;
+
+    fn protected_run(
+        w: &fg_workloads::Workload,
+        itc: ItcCfg,
+        ocfg: Arc<OCfg>,
+        input: &[u8],
+        cfg: FlowGuardConfig,
+    ) -> (StopReason, Arc<Mutex<EngineStats>>, fg_kernel::Kernel) {
+        let cr3 = 0x4000;
+        let engine = FlowGuardEngine::new(w.image.clone(), ocfg, itc, cfg.clone(), cr3);
+        let stats = engine.stats_handle();
+        let mut m = Machine::new(&w.image, cr3);
+        let mut unit =
+            IptUnit::flowguard(cr3, Topa::two_regions(cfg.topa_region_bytes).unwrap());
+        unit.start(w.image.entry(), cr3);
+        m.trace = TraceUnit::Ipt(unit);
+        let mut k = fg_kernel::Kernel::with_input(input);
+        k.install_interceptor(Box::new(engine));
+        let stop = m.run(&mut k, 50_000_000);
+        (stop, stats, k)
+    }
+
+    fn trained_deployment(
+        w: &fg_workloads::Workload,
+    ) -> (ItcCfg, Arc<OCfg>) {
+        let ocfg = OCfg::build(&w.image);
+        let mut itc = ItcCfg::build(&ocfg);
+        fg_fuzz::train(
+            &mut itc,
+            &w.image,
+            &[w.default_input.clone()],
+            fg_fuzz::TrainConfig::default(),
+        );
+        (itc, Arc::new(ocfg))
+    }
+
+    #[test]
+    fn benign_trained_run_passes_mostly_fast() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let (stop, stats, k) =
+            protected_run(&w, itc, ocfg, &w.default_input, FlowGuardConfig::default());
+        assert_eq!(stop, StopReason::Exited(0), "no false positives");
+        assert!(!k.violated());
+        let s = stats.lock();
+        assert!(s.checks > 10, "every write is an endpoint");
+        assert_eq!(s.fast_malicious + s.slow_attacks, 0);
+        assert!(
+            s.slow_fraction() < 0.35,
+            "trained run should rarely hit the slow path ({}/{})",
+            s.slow_invocations,
+            s.checks
+        );
+    }
+
+    #[test]
+    fn untrained_run_uses_slow_path_and_cache_warms() {
+        let w = fg_workloads::nginx_patched();
+        let ocfg = Arc::new(OCfg::build(&w.image));
+        let itc = ItcCfg::build(&ocfg); // zero training
+        let (stop, stats, _) =
+            protected_run(&w, itc, ocfg, &w.default_input, FlowGuardConfig::default());
+        assert_eq!(stop, StopReason::Exited(0), "still no false positives");
+        let s = stats.lock();
+        assert!(s.slow_invocations > 0, "untrained edges escalate");
+        assert!(s.cache_size > 0, "negative results cached");
+        assert!(
+            s.fast_clean > 0,
+            "cache warms up and later checks pass fast ({} clean)",
+            s.fast_clean
+        );
+    }
+
+    #[test]
+    fn stats_account_cycles() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let (_, stats, _) =
+            protected_run(&w, itc, ocfg, &w.default_input, FlowGuardConfig::default());
+        let s = stats.lock();
+        assert!(s.decode_cycles > 0.0);
+        assert!(s.check_cycles > 0.0);
+        assert!(s.other_cycles > 0.0);
+    }
+
+    #[test]
+    fn engine_ignores_other_processes() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let engine =
+            FlowGuardEngine::new(w.image.clone(), ocfg, itc, FlowGuardConfig::default(), 0x9999);
+        assert!(engine.protects(0x9999));
+        assert!(!engine.protects(0x4000));
+        assert!(engine.is_sensitive(Sysno::Write));
+        assert!(!engine.is_sensitive(Sysno::Read));
+    }
+}

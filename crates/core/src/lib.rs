@@ -1,0 +1,60 @@
+//! # flowguard — transparent and efficient CFI enforcement with (simulated)
+//! Intel Processor Trace
+//!
+//! A reproduction of *FlowGuard* (Liu et al., HPCA 2017). FlowGuard enforces
+//! control-flow integrity on unmodified binaries by reusing Intel Processor
+//! Trace: the offline phase reconstructs a conservative CFG into the
+//! IPT-compatible **ITC-CFG** and labels its edges with credits via
+//! coverage-oriented fuzzing; the online phase intercepts security-sensitive
+//! syscalls and checks the trace buffer against the labeled graph — a
+//! **fast path** that never touches the binary, and a rare, precise **slow
+//! path** with full flow reconstruction, TypeArmor forward edges, and a
+//! shadow stack.
+//!
+//! Modules, following the paper's structure:
+//!
+//! * [`config`] — `pkt_count`, `cred_ratio`, endpoints (§5.2, §7.1.1);
+//! * [`fastpath`] — credit-labeled ITC-CFG matching (§5.3 "fast path");
+//! * [`slowpath`] — instruction-flow decoding + fine-grained policy (§5.3
+//!   "slow path");
+//! * [`shadow`] — the slow path's shadow stack;
+//! * [`parallel`] — PSB-parallel packet scanning (§5.3);
+//! * [`engine`] — the kernel-module interceptor with slow-path result
+//!   caching (§5.2, §7.1.1);
+//! * [`deploy`] — the end-to-end pipeline (Figure 1's steps ①–⑤);
+//! * [`baselines`] — kBouncer-style (LBR) and CFIMon-style (BTS) baseline
+//!   detectors from the related-work lineage (§8.2).
+//!
+//! # Examples
+//!
+//! Protect a workload end to end:
+//!
+//! ```
+//! use flowguard::{Deployment, FlowGuardConfig};
+//!
+//! let app = fg_workloads::nginx_patched();
+//! let mut deployment = Deployment::analyze(&app.image);
+//! deployment.train(&[app.default_input.clone()]);
+//! let mut process = deployment.launch(&app.default_input, FlowGuardConfig::default());
+//! let stop = process.run(50_000_000);
+//! assert!(!process.violated());
+//! # let _ = stop;
+//! ```
+
+pub mod baselines;
+pub mod config;
+pub mod deploy;
+pub mod engine;
+pub mod fastpath;
+pub mod parallel;
+pub mod shadow;
+pub mod slowpath;
+
+pub use baselines::{BaselineStats, CfimonLike, KBouncerLike};
+pub use config::FlowGuardConfig;
+pub use deploy::{ArtifactError, Deployment, ProtectedProcess, DEFAULT_CR3};
+pub use engine::{EngineStats, FlowGuardEngine, ViolationRecord};
+pub use fastpath::{FastPathResult, FastVerdict, Violation};
+pub use parallel::scan_parallel;
+pub use shadow::{ShadowOutcome, ShadowStack};
+pub use slowpath::{SlowPathResult, SlowVerdict, SlowViolation};

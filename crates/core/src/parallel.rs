@@ -1,0 +1,137 @@
+//! Parallel packet-level decoding across PSB-delimited segments.
+//!
+//! "With the help of packet stream boundary (PSB) packets, which are served
+//! as sync points for the decoder, this process can be done in parallel to
+//! further accelerate the decoding" (§5.3). Segments are scanned on worker
+//! threads and the per-segment results merged in stream order; a TNT run cut
+//! by a PSB boundary is stitched back together during the merge.
+
+use fg_ipt::decode::PacketError;
+use fg_ipt::fast::{self, FastScan};
+
+/// Maximum worker threads for segment scanning.
+const MAX_WORKERS: usize = 8;
+
+/// Scans a trace buffer, fanning segments out across threads when the
+/// buffer contains multiple PSB sync points.
+///
+/// Produces exactly the same [`FastScan`] as [`fast::scan`] on the whole
+/// buffer.
+///
+/// # Errors
+///
+/// Propagates the first segment's [`PacketError`], as serial scanning would.
+pub fn scan_parallel(buf: &[u8]) -> Result<FastScan, PacketError> {
+    let segs = fast::segments(buf);
+    if segs.len() <= 1 {
+        return fast::scan(buf);
+    }
+
+    let mut results: Vec<Option<Result<FastScan, PacketError>>> = vec![None; segs.len()];
+    let workers = segs.len().min(MAX_WORKERS);
+    crossbeam::thread::scope(|scope| {
+        let chunks: Vec<Vec<(usize, (usize, usize))>> = (0..workers)
+            .map(|w| segs.iter().copied().enumerate().skip(w).step_by(workers).collect())
+            .collect();
+        let mut handles = Vec::new();
+        for chunk in chunks {
+            handles.push(scope.spawn(move |_| {
+                chunk
+                    .into_iter()
+                    .map(|(i, (off, len))| (i, fast::scan(&buf[off..off + len])))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("scan worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    })
+    .expect("crossbeam scope");
+
+    // Merge in stream order.
+    let mut merged = FastScan::default();
+    let mut pending_tnt: Vec<bool> = Vec::new();
+    for r in results.into_iter().map(|r| r.expect("all segments scanned")) {
+        let mut scan = r?;
+        let base = merged.tips.len();
+        for (i, mut tip) in scan.tips.drain(..).enumerate() {
+            if i == 0 && !pending_tnt.is_empty() {
+                // Stitch a TNT run cut at the segment seam.
+                let mut joined = std::mem::take(&mut pending_tnt);
+                joined.extend(tip.tnt_before);
+                tip.tnt_before = joined;
+            }
+            merged.tips.push(tip);
+        }
+        merged
+            .boundaries
+            .extend(scan.boundaries.into_iter().map(|(i, b)| (i + base, b)));
+        pending_tnt.extend(scan.trailing_tnt);
+        merged.bytes_scanned += scan.bytes_scanned;
+        if merged.sync_offset.is_none() {
+            merged.sync_offset = scan.sync_offset;
+        }
+    }
+    merged.trailing_tnt = pending_tnt;
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_ipt::encode::PacketEncoder;
+
+    fn multi_segment_trace() -> Vec<u8> {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), Some(0x1000));
+        for i in 0..50u64 {
+            enc.tnt_bit(i % 3 == 0);
+            enc.tip(0x40_0000 + (i % 7) * 64);
+            if i % 10 == 9 {
+                enc.psb_plus(Some(0x40_0000), Some(0x1000));
+            }
+        }
+        enc.into_sink()
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let bytes = multi_segment_trace();
+        let serial = fast::scan(&bytes).unwrap();
+        let parallel = scan_parallel(&bytes).unwrap();
+        assert_eq!(parallel.tips, serial.tips);
+        assert_eq!(parallel.trailing_tnt, serial.trailing_tnt);
+        assert_eq!(parallel.boundaries, serial.boundaries);
+        assert_eq!(parallel.bytes_scanned, serial.bytes_scanned);
+    }
+
+    #[test]
+    fn single_segment_falls_back() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tip(0x40_0000);
+        let bytes = enc.into_sink();
+        let r = scan_parallel(&bytes).unwrap();
+        assert_eq!(r.tip_count(), 1);
+    }
+
+    #[test]
+    fn parallel_on_real_workload_trace() {
+        use fg_cpu::{IptUnit, Machine, TraceUnit};
+        let w = fg_workloads::nginx_patched();
+        let mut m = Machine::new(&w.image, 0x4000);
+        let mut unit = IptUnit::flowguard(0x4000, fg_ipt::Topa::two_regions(1 << 20).unwrap());
+        unit.set_psb_period(256); // force many segments
+        unit.start(w.image.entry(), 0x4000);
+        m.trace = TraceUnit::Ipt(unit);
+        let mut k = fg_kernel::Kernel::with_input(&w.default_input);
+        m.run(&mut k, 10_000_000);
+        m.trace.as_ipt_mut().unwrap().flush();
+        let bytes = m.trace.as_ipt().unwrap().trace_bytes();
+        let serial = fast::scan(&bytes).unwrap();
+        let parallel = scan_parallel(&bytes).unwrap();
+        assert!(serial.tip_count() > 20);
+        assert_eq!(parallel.tips, serial.tips);
+    }
+}

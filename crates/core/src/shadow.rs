@@ -1,0 +1,154 @@
+//! The slow-path shadow stack (§5.3): "for backward-edges, shadow stack is
+//! maintained using the instruction flow layer of abstraction, and compared
+//! with the traced packets to enforce single-target policy for the return
+//! branches."
+//!
+//! The stack is reconstructed from the decoded flow, so it starts empty at
+//! the trace window's sync point: returns that pop an empty stack have
+//! unknowable callers (they were pushed before the window) and are treated
+//! as unverifiable rather than violations — the windowed-context limitation
+//! every trace-based checker shares.
+
+use fg_ipt::flow::BranchEvent;
+use fg_isa::insn::{CofiKind, INSN_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of feeding one branch event to the shadow stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShadowOutcome {
+    /// Not a call/return — no stack effect.
+    Ignored,
+    /// Call pushed a frame.
+    Pushed,
+    /// Return matched the top frame.
+    Matched,
+    /// Return with an empty stack (caller outside the window).
+    Unverifiable,
+    /// Return target disagrees with the shadow stack.
+    Violation {
+        /// The return instruction's address.
+        from: u64,
+        /// Where it actually went.
+        went: u64,
+        /// Where the shadow stack says it must go.
+        expected: u64,
+    },
+}
+
+/// A reconstruction-time shadow stack.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowStack {
+    frames: Vec<u64>,
+    /// Count of matched returns.
+    pub matched: u64,
+    /// Count of unverifiable returns.
+    pub unverifiable: u64,
+}
+
+impl ShadowStack {
+    /// Creates an empty shadow stack.
+    pub fn new() -> ShadowStack {
+        ShadowStack::default()
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Feeds one reconstructed branch event.
+    pub fn feed(&mut self, ev: &BranchEvent) -> ShadowOutcome {
+        match ev.kind {
+            CofiKind::DirectCall | CofiKind::IndCall => {
+                self.frames.push(ev.from + INSN_SIZE);
+                ShadowOutcome::Pushed
+            }
+            CofiKind::Ret => match self.frames.pop() {
+                Some(expected) if expected == ev.to => {
+                    self.matched += 1;
+                    ShadowOutcome::Matched
+                }
+                Some(expected) => ShadowOutcome::Violation {
+                    from: ev.from,
+                    went: ev.to,
+                    expected,
+                },
+                None => {
+                    self.unverifiable += 1;
+                    ShadowOutcome::Unverifiable
+                }
+            },
+            _ => ShadowOutcome::Ignored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(from: u64) -> BranchEvent {
+        BranchEvent { from, to: 0x9000, kind: CofiKind::DirectCall, taken: None }
+    }
+
+    fn ret(from: u64, to: u64) -> BranchEvent {
+        BranchEvent { from, to, kind: CofiKind::Ret, taken: None }
+    }
+
+    #[test]
+    fn matched_call_ret() {
+        let mut s = ShadowStack::new();
+        assert_eq!(s.feed(&call(0x100)), ShadowOutcome::Pushed);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.feed(&ret(0x9010, 0x108)), ShadowOutcome::Matched);
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.matched, 1);
+    }
+
+    #[test]
+    fn hijacked_return_is_violation() {
+        let mut s = ShadowStack::new();
+        s.feed(&call(0x100));
+        let out = s.feed(&ret(0x9010, 0xdead));
+        assert_eq!(
+            out,
+            ShadowOutcome::Violation { from: 0x9010, went: 0xdead, expected: 0x108 }
+        );
+    }
+
+    #[test]
+    fn nested_calls_lifo() {
+        let mut s = ShadowStack::new();
+        s.feed(&call(0x100));
+        s.feed(&call(0x200));
+        assert_eq!(s.feed(&ret(0x9000, 0x208)), ShadowOutcome::Matched);
+        assert_eq!(s.feed(&ret(0x9000, 0x108)), ShadowOutcome::Matched);
+    }
+
+    #[test]
+    fn empty_pop_is_unverifiable_not_violation() {
+        let mut s = ShadowStack::new();
+        assert_eq!(s.feed(&ret(0x9000, 0x42)), ShadowOutcome::Unverifiable);
+        assert_eq!(s.unverifiable, 1);
+    }
+
+    #[test]
+    fn tail_call_returns_to_original_caller() {
+        // call f; f tail-jmps to g (no stack effect); g's ret matches the
+        // original call frame.
+        let mut s = ShadowStack::new();
+        s.feed(&call(0x100));
+        assert_eq!(
+            s.feed(&BranchEvent { from: 0x9000, to: 0xa000, kind: CofiKind::DirectJmp, taken: None }),
+            ShadowOutcome::Ignored
+        );
+        assert_eq!(s.feed(&ret(0xa010, 0x108)), ShadowOutcome::Matched);
+    }
+
+    #[test]
+    fn cond_branches_ignored() {
+        let mut s = ShadowStack::new();
+        let ev = BranchEvent { from: 1, to: 2, kind: CofiKind::CondBranch, taken: Some(true) };
+        assert_eq!(s.feed(&ev), ShadowOutcome::Ignored);
+    }
+}

@@ -1,0 +1,315 @@
+//! The slow path (§5.3): full instruction-flow decoding plus precise,
+//! context-sensitive policies.
+//!
+//! "FlowGuard is responsible for guaranteeing that the traced flow conforms
+//! to the O-CFG with the fine-grained forward-edge analysis. In addition,
+//! for backward-edges, shadow stack is maintained … to enforce
+//! single-target policy for the return branches."
+
+use crate::shadow::{ShadowOutcome, ShadowStack};
+use fg_cfg::ocfg::SuccSet;
+use fg_cfg::OCfg;
+use fg_cpu::cost::CostModel;
+use fg_ipt::flow::{FlowDecoder, FlowError};
+use fg_isa::image::Image;
+use fg_isa::insn::CofiKind;
+
+/// Why the slow path flagged the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowViolation {
+    /// An indirect call/jump targeted outside its fine-grained target set.
+    ForwardEdge { from: u64, to: u64 },
+    /// A return disagreed with the shadow stack.
+    ReturnEdge { from: u64, went: u64, expected: u64 },
+    /// A return left the conservative return-site set entirely.
+    ReturnOffCfg { from: u64, to: u64 },
+    /// The trace could not be reconstructed against the binary (diverted
+    /// into non-code, packet/binary disagreement).
+    Reconstruction,
+}
+
+/// Slow-path verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlowVerdict {
+    /// Violation found.
+    Attack(SlowViolation),
+    /// The full reconstruction conforms to the fine-grained policy. Carries
+    /// the indirect edges `(from_target, to_target)` in TIP terms that were
+    /// validated — the engine caches these for later fast-path checks.
+    Clean {
+        /// Validated consecutive-TIP pairs.
+        validated_pairs: Vec<(u64, u64)>,
+    },
+}
+
+/// Slow-path result with cost accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowPathResult {
+    /// The verdict.
+    pub verdict: SlowVerdict,
+    /// Instructions the decoder walked.
+    pub insns_walked: u64,
+    /// Decode cycles (`insns_walked × flow_decode_insn_cycles`).
+    pub decode_cycles: f64,
+    /// Shadow-stack matches observed.
+    pub rets_matched: u64,
+}
+
+/// Runs the slow path over raw trace bytes.
+///
+/// On reconstruction failure the verdict is an attack:
+/// a benign trace always reconstructs (the decoder and tracer share the
+/// binary), so divergence means the flow left legitimate code.
+pub fn check(image: &Image, ocfg: &OCfg, trace: &[u8], cost: &CostModel) -> SlowPathResult {
+    // Decode, re-synchronising past circular-buffer seams (a packet cut at
+    // the ToPA wrap boundary is damage, not an attack — real PT decoders
+    // skip to the next PSB). Flow-level divergence *is* an attack.
+    let decoder = FlowDecoder::new(image);
+    let mut offset = 0usize;
+    let flow = loop {
+        match decoder.decode(&trace[offset..]) {
+            Ok(f) => break f,
+            Err(FlowError::NoSync) => {
+                return SlowPathResult {
+                    verdict: SlowVerdict::Clean { validated_pairs: Vec::new() },
+                    insns_walked: 0,
+                    decode_cycles: 0.0,
+                    rets_matched: 0,
+                };
+            }
+            Err(FlowError::Packet(e)) if offset + e.offset + 1 < trace.len() => {
+                offset += e.offset + 1; // resync after the damaged byte
+            }
+            Err(_) => {
+                return SlowPathResult {
+                    verdict: SlowVerdict::Attack(SlowViolation::Reconstruction),
+                    insns_walked: 0,
+                    decode_cycles: 0.0,
+                    rets_matched: 0,
+                };
+            }
+        }
+    };
+
+    let mut shadow = ShadowStack::new();
+    let mut validated = Vec::new();
+    let mut last_tip_target: Option<u64> = None;
+    let tip_count = flow
+        .branches
+        .iter()
+        .filter(|b| matches!(b.kind, CofiKind::IndCall | CofiKind::IndJmp | CofiKind::Ret))
+        .count() as u64;
+    let decode_cycles =
+        flow.insns_walked as f64 * cost.flow_decode_insn_cycles + tip_count as f64 * cost.flow_decode_tip_cycles;
+
+    for ev in &flow.branches {
+        // Fine-grained forward edges + conservative return sets.
+        match ev.kind {
+            CofiKind::IndCall | CofiKind::IndJmp => {
+                let Some(bi) = ocfg.disasm.block_containing(ev.from) else {
+                    return attack(SlowViolation::ForwardEdge { from: ev.from, to: ev.to }, &flow, cost, &shadow);
+                };
+                match &ocfg.succs[bi] {
+                    SuccSet::IndCall(ts) | SuccSet::IndJmp(ts) => {
+                        if !ts.contains(&ev.to) {
+                            return attack(
+                                SlowViolation::ForwardEdge { from: ev.from, to: ev.to },
+                                &flow,
+                                cost,
+                                &shadow,
+                            );
+                        }
+                    }
+                    _ => {
+                        return attack(
+                            SlowViolation::ForwardEdge { from: ev.from, to: ev.to },
+                            &flow,
+                            cost,
+                            &shadow,
+                        )
+                    }
+                }
+            }
+            CofiKind::Ret => {
+                let Some(bi) = ocfg.disasm.block_containing(ev.from) else {
+                    return attack(SlowViolation::ReturnOffCfg { from: ev.from, to: ev.to }, &flow, cost, &shadow);
+                };
+                if let SuccSet::Ret(ts) = &ocfg.succs[bi] {
+                    if !ts.contains(&ev.to) {
+                        return attack(
+                            SlowViolation::ReturnOffCfg { from: ev.from, to: ev.to },
+                            &flow,
+                            cost,
+                            &shadow,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Shadow stack (single-target returns).
+        if let ShadowOutcome::Violation { from, went, expected } = shadow.feed(ev) {
+            return attack(SlowViolation::ReturnEdge { from, went, expected }, &flow, cost, &shadow);
+        }
+        // Track validated TIP pairs for the cache.
+        if matches!(ev.kind, CofiKind::IndCall | CofiKind::IndJmp | CofiKind::Ret) {
+            if let Some(prev) = last_tip_target {
+                validated.push((prev, ev.to));
+            }
+            last_tip_target = Some(ev.to);
+        }
+    }
+
+    SlowPathResult {
+        rets_matched: shadow.matched,
+        verdict: SlowVerdict::Clean { validated_pairs: validated },
+        insns_walked: flow.insns_walked,
+        decode_cycles,
+    }
+}
+
+fn attack(
+    v: SlowViolation,
+    flow: &fg_ipt::flow::FlowTrace,
+    cost: &CostModel,
+    shadow: &ShadowStack,
+) -> SlowPathResult {
+    SlowPathResult {
+        verdict: SlowVerdict::Attack(v),
+        insns_walked: flow.insns_walked,
+        decode_cycles: flow.insns_walked as f64 * cost.flow_decode_insn_cycles,
+        rets_matched: shadow.matched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_cpu::{IptUnit, Machine, StopReason, TraceUnit};
+    use fg_ipt::topa::Topa;
+
+    fn traced_run(w: &fg_workloads::Workload, input: &[u8]) -> (Vec<u8>, StopReason) {
+        let mut m = Machine::new(&w.image, 0x4000);
+        let mut unit = IptUnit::flowguard(0x4000, Topa::two_regions(1 << 20).unwrap());
+        unit.start(w.image.entry(), 0x4000);
+        m.trace = TraceUnit::Ipt(unit);
+        let mut k = fg_kernel::Kernel::with_input(input);
+        let stop = m.run(&mut k, 10_000_000);
+        m.trace.as_ipt_mut().unwrap().flush();
+        (m.trace.as_ipt().unwrap().trace_bytes(), stop)
+    }
+
+    #[test]
+    fn benign_trace_is_clean_with_validated_pairs() {
+        let w = fg_workloads::nginx_patched();
+        let ocfg = OCfg::build(&w.image);
+        let (trace, stop) = traced_run(&w, &w.default_input);
+        assert_eq!(stop, StopReason::Exited(0));
+        let r = check(&w.image, &ocfg, &trace, &CostModel::calibrated());
+        match &r.verdict {
+            SlowVerdict::Clean { validated_pairs } => {
+                assert!(!validated_pairs.is_empty());
+            }
+            other => panic!("benign flow must be clean, got {other:?}"),
+        }
+        assert!(r.insns_walked > 100);
+        assert!(r.decode_cycles > r.insns_walked as f64, "slow decode is expensive");
+        assert!(r.rets_matched > 0, "shadow stack exercised");
+    }
+
+    #[test]
+    fn hijacked_return_detected() {
+        // Craft a program whose function overwrites its own return address
+        // (the minimal hijack of the machine tests), then slow-path it.
+        use fg_isa::asm::Asm;
+        use fg_isa::image::Linker;
+        use fg_isa::insn::regs::*;
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.call("f");
+        a.halt();
+        a.label("f");
+        a.lea(R1, "gadget");
+        a.st(R1, SP, 0);
+        a.ret();
+        a.label("gadget");
+        a.movi(R5, 0x41);
+        a.halt();
+        let image = Linker::new(a.finish().unwrap()).link().unwrap();
+        let ocfg = OCfg::build(&image);
+        let w = fg_workloads::Workload {
+            name: "hijack".into(),
+            image,
+            default_input: vec![],
+            category: fg_workloads::Category::Utility,
+        };
+        let (trace, stop) = traced_run(&w, &[]);
+        assert_eq!(stop, StopReason::Halted); // the gadget halts
+        let r = check(&w.image, &ocfg, &trace, &CostModel::calibrated());
+        assert!(
+            matches!(r.verdict, SlowVerdict::Attack(_)),
+            "hijacked ret must be detected, got {:?}",
+            r.verdict
+        );
+    }
+
+    #[test]
+    fn forward_edge_violation_detected() {
+        // An indirect call whose TIP lands on an arity-incompatible function:
+        // TypeArmor excludes it from the call site's target set, so the slow
+        // path must flag the forward edge. The trace is hand-encoded — the
+        // equivalent of a function-pointer-overwrite (COOP-style) hijack.
+        use fg_isa::asm::Asm;
+        use fg_isa::image::Linker;
+        use fg_isa::insn::regs::*;
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.movi(R1, 7); // prepare one argument
+        a.lea(R6, "table"); // 1
+        a.ld(R7, R6, 0); // 2
+        a.calli(R7); // 3
+        a.halt(); // 4
+        a.label("one_arg"); // 5
+        a.mov(R8, R1);
+        a.ret();
+        a.label("three_args"); // 7
+        a.mov(R8, R1);
+        a.add(R8, R2);
+        a.add(R8, R3);
+        a.ret();
+        a.data_ptrs("table", &["one_arg", "three_args"]);
+        let image = Linker::new(a.finish().unwrap()).link().unwrap();
+        let ocfg = OCfg::build(&image);
+        let base = image.entry();
+
+        // Legit flow: calli → one_arg (admitted, 1 prepared ≥ 1 consumed).
+        let mut enc = fg_ipt::PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(base), None);
+        enc.tip(base + 5 * 8);
+        enc.tip(base + 4 * 8); // ret to halt
+        let ok = check(&image, &ocfg, &enc.into_sink(), &CostModel::calibrated());
+        assert!(matches!(ok.verdict, SlowVerdict::Clean { .. }), "{:?}", ok.verdict);
+
+        // Hijacked flow: calli → three_args (1 prepared < 3 consumed).
+        let mut enc = fg_ipt::PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(base), None);
+        enc.tip(base + 7 * 8);
+        let bad = check(&image, &ocfg, &enc.into_sink(), &CostModel::calibrated());
+        assert!(
+            matches!(bad.verdict, SlowVerdict::Attack(SlowViolation::ForwardEdge { .. })),
+            "TypeArmor must reject the arity-incompatible target: {:?}",
+            bad.verdict
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let w = fg_workloads::nginx_patched();
+        let ocfg = OCfg::build(&w.image);
+        let r = check(&w.image, &ocfg, &[], &CostModel::calibrated());
+        assert!(matches!(r.verdict, SlowVerdict::Clean { .. }));
+        assert_eq!(r.insns_walked, 0);
+    }
+}

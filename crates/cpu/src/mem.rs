@@ -1,0 +1,321 @@
+//! Process address spaces with segment permissions.
+//!
+//! The threat model (§3.3) assumes DEP/NX and read-only code pages are in
+//! force: code segments are non-writable, and only code segments are
+//! executable. Attacks in this reproduction therefore have to be *code
+//! reuse* attacks, exactly as in the paper.
+
+use fg_isa::image::Image;
+use std::fmt;
+
+/// Default stack top (grows downward).
+pub const STACK_TOP: u64 = 0x7e10_0000;
+/// Default stack size in bytes.
+pub const STACK_SIZE: u64 = 0x10_0000;
+/// Default heap base.
+pub const HEAP_BASE: u64 = 0x6000_0000;
+/// Default heap size in bytes.
+pub const HEAP_SIZE: u64 = 0x40_0000;
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// Address not mapped by any segment.
+    Unmapped { va: u64 },
+    /// Write to a read-only segment.
+    ReadOnly { va: u64 },
+    /// Instruction fetch from a non-executable segment (DEP/NX).
+    NotExecutable { va: u64 },
+}
+
+impl MemFault {
+    /// The faulting address.
+    pub fn va(&self) -> u64 {
+        match *self {
+            MemFault::Unmapped { va } | MemFault::ReadOnly { va } | MemFault::NotExecutable { va } => va,
+        }
+    }
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::Unmapped { va } => write!(f, "unmapped address {va:#x}"),
+            MemFault::ReadOnly { va } => write!(f, "write to read-only address {va:#x}"),
+            MemFault::NotExecutable { va } => write!(f, "execute from NX address {va:#x} (DEP)"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    va: u64,
+    bytes: Vec<u8>,
+    writable: bool,
+    executable: bool,
+}
+
+impl Segment {
+    fn end(&self) -> u64 {
+        self.va + self.bytes.len() as u64
+    }
+
+    fn contains(&self, va: u64) -> bool {
+        va >= self.va && va < self.end()
+    }
+}
+
+/// A process address space: image segments plus stack and heap.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    segs: Vec<Segment>,
+}
+
+impl AddressSpace {
+    /// Builds an address space from a linked image, adding a stack segment
+    /// at [`STACK_TOP`] and a heap at [`HEAP_BASE`].
+    pub fn from_image(image: &Image) -> AddressSpace {
+        let mut segs = Vec::new();
+        for s in image.segments() {
+            segs.push(Segment {
+                va: s.va,
+                bytes: s.bytes.to_vec(),
+                writable: s.writable,
+                executable: !s.writable,
+            });
+        }
+        segs.push(Segment {
+            va: STACK_TOP - STACK_SIZE,
+            bytes: vec![0; STACK_SIZE as usize],
+            writable: true,
+            executable: false,
+        });
+        segs.push(Segment {
+            va: HEAP_BASE,
+            bytes: vec![0; HEAP_SIZE as usize],
+            writable: true,
+            executable: false,
+        });
+        AddressSpace { segs }
+    }
+
+    /// Maps an additional writable, non-executable segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing segment.
+    pub fn map_anon(&mut self, va: u64, len: usize) {
+        assert!(
+            !self.segs.iter().any(|s| va < s.end() && va + len as u64 > s.va),
+            "anonymous mapping overlaps an existing segment"
+        );
+        self.segs.push(Segment { va, bytes: vec![0; len], writable: true, executable: false });
+    }
+
+    fn seg(&self, va: u64) -> Result<&Segment, MemFault> {
+        self.segs.iter().find(|s| s.contains(va)).ok_or(MemFault::Unmapped { va })
+    }
+
+    fn seg_mut(&mut self, va: u64) -> Result<&mut Segment, MemFault> {
+        self.segs.iter_mut().find(|s| s.contains(va)).ok_or(MemFault::Unmapped { va })
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unmapped`] for unmapped addresses.
+    pub fn read_u8(&self, va: u64) -> Result<u8, MemFault> {
+        let s = self.seg(va)?;
+        Ok(s.bytes[(va - s.va) as usize])
+    }
+
+    /// Reads a little-endian 64-bit word (may not straddle segments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unmapped`] if any byte is unmapped.
+    pub fn read_u64(&self, va: u64) -> Result<u64, MemFault> {
+        let s = self.seg(va)?;
+        let off = (va - s.va) as usize;
+        let slice = s.bytes.get(off..off + 8).ok_or(MemFault::Unmapped { va })?;
+        Ok(u64::from_le_bytes(slice.try_into().expect("8-byte slice")))
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::ReadOnly`] for code segments, [`MemFault::Unmapped`]
+    /// otherwise.
+    pub fn write_u8(&mut self, va: u64, v: u8) -> Result<(), MemFault> {
+        let s = self.seg_mut(va)?;
+        if !s.writable {
+            return Err(MemFault::ReadOnly { va });
+        }
+        let off = (va - s.va) as usize;
+        s.bytes[off] = v;
+        Ok(())
+    }
+
+    /// Writes a little-endian 64-bit word (may not straddle segments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::ReadOnly`] or [`MemFault::Unmapped`].
+    pub fn write_u64(&mut self, va: u64, v: u64) -> Result<(), MemFault> {
+        let s = self.seg_mut(va)?;
+        if !s.writable {
+            return Err(MemFault::ReadOnly { va });
+        }
+        let off = (va - s.va) as usize;
+        let slice = s.bytes.get_mut(off..off + 8).ok_or(MemFault::Unmapped { va })?;
+        slice.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies bytes out of memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unmapped`] if the range is not fully mapped in one
+    /// segment.
+    pub fn read_bytes(&self, va: u64, len: usize) -> Result<Vec<u8>, MemFault> {
+        let s = self.seg(va)?;
+        let off = (va - s.va) as usize;
+        s.bytes.get(off..off + len).map(<[u8]>::to_vec).ok_or(MemFault::Unmapped { va })
+    }
+
+    /// Copies bytes into memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::ReadOnly`] or [`MemFault::Unmapped`].
+    pub fn write_bytes(&mut self, va: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let s = self.seg_mut(va)?;
+        if !s.writable {
+            return Err(MemFault::ReadOnly { va });
+        }
+        let off = (va - s.va) as usize;
+        let slice = s.bytes.get_mut(off..off + bytes.len()).ok_or(MemFault::Unmapped { va })?;
+        slice.copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Fetches an 8-byte instruction word, enforcing NX.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::NotExecutable`] when fetching from a data/stack
+    /// segment (DEP), [`MemFault::Unmapped`] otherwise.
+    pub fn fetch(&self, pc: u64) -> Result<[u8; 8], MemFault> {
+        let s = self.seg(pc)?;
+        if !s.executable {
+            return Err(MemFault::NotExecutable { va: pc });
+        }
+        let off = (pc - s.va) as usize;
+        let slice = s.bytes.get(off..off + 8).ok_or(MemFault::Unmapped { va: pc })?;
+        Ok(slice.try_into().expect("8-byte slice"))
+    }
+
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> usize {
+        self.segs.iter().map(|s| s.bytes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_isa::asm::Asm;
+    use fg_isa::image::Linker;
+
+    fn space() -> AddressSpace {
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.halt();
+        a.data_bytes("buf", &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let img = Linker::new(a.finish().unwrap()).link().unwrap();
+        AddressSpace::from_image(&img)
+    }
+
+    #[test]
+    fn stack_and_heap_are_mapped_writable() {
+        let mut m = space();
+        m.write_u64(STACK_TOP - 8, 0xdead).unwrap();
+        assert_eq!(m.read_u64(STACK_TOP - 8).unwrap(), 0xdead);
+        m.write_u8(HEAP_BASE, 7).unwrap();
+        assert_eq!(m.read_u8(HEAP_BASE).unwrap(), 7);
+    }
+
+    #[test]
+    fn code_is_read_only_and_executable() {
+        let mut m = space();
+        let code = fg_isa::image::EXEC_BASE;
+        assert!(m.fetch(code).is_ok());
+        assert_eq!(m.write_u8(code, 0).unwrap_err(), MemFault::ReadOnly { va: code });
+    }
+
+    #[test]
+    fn nx_prevents_stack_execution() {
+        let m = space();
+        let sp = STACK_TOP - 64;
+        assert_eq!(m.fetch(sp).unwrap_err(), MemFault::NotExecutable { va: sp });
+    }
+
+    #[test]
+    fn data_section_is_writable_not_executable() {
+        let mut m = space();
+        // Data starts after code+GOT; locate via image bytes: buf holds 1..8.
+        let mut data_va = None;
+        for va in fg_isa::image::EXEC_BASE..fg_isa::image::EXEC_BASE + 0x100 {
+            if m.read_u8(va) == Ok(1) && m.read_u8(va + 1) == Ok(2) {
+                data_va = Some(va);
+                break;
+            }
+        }
+        let va = data_va.expect("data found");
+        m.write_u8(va, 9).unwrap();
+        assert_eq!(m.read_u8(va).unwrap(), 9);
+        assert!(matches!(m.fetch(va), Err(MemFault::NotExecutable { .. })));
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = space();
+        assert_eq!(m.read_u8(0x10).unwrap_err(), MemFault::Unmapped { va: 0x10 });
+        assert_eq!(m.read_u64(0x10).unwrap_err(), MemFault::Unmapped { va: 0x10 });
+    }
+
+    #[test]
+    fn bulk_read_write_roundtrip() {
+        let mut m = space();
+        m.write_bytes(HEAP_BASE + 16, b"hello").unwrap();
+        assert_eq!(m.read_bytes(HEAP_BASE + 16, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn map_anon_extends_space() {
+        let mut m = space();
+        m.map_anon(0x5000_0000, 4096);
+        m.write_u64(0x5000_0000, 1).unwrap();
+        assert_eq!(m.read_u64(0x5000_0000).unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn map_anon_overlap_panics() {
+        let mut m = space();
+        m.map_anon(HEAP_BASE, 16);
+    }
+
+    #[test]
+    fn fault_display_and_va() {
+        let f = MemFault::NotExecutable { va: 0x123 };
+        assert!(f.to_string().contains("DEP"));
+        assert_eq!(f.va(), 0x123);
+    }
+}

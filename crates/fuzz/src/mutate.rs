@@ -1,0 +1,179 @@
+//! AFL-style input mutation strategies.
+//!
+//! The training phase mutates queue entries "using a balanced and
+//! well-researched variety of traditional fuzzing strategies" (§4.3). This
+//! module reproduces AFL's staples: deterministic bit/byte flips and
+//! arithmetic/interesting-value substitutions, then stacked random *havoc*
+//! mutations and corpus splicing.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// AFL's "interesting" 8-bit values.
+pub const INTERESTING_8: [u8; 9] = [0x80, 0xff, 0, 1, 16, 32, 64, 100, 127];
+
+/// Deterministic mutations of one input, in AFL stage order.
+///
+/// Yields walking bit flips, byte flips, byte arithmetic (±1..35 in steps)
+/// and interesting-value substitutions. The count is linear in the input
+/// length, like AFL's deterministic stage.
+pub fn deterministic(input: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    // Walking single-bit flips.
+    for i in 0..input.len() * 8 {
+        let mut m = input.to_vec();
+        m[i / 8] ^= 1 << (i % 8);
+        out.push(m);
+    }
+    // Walking byte flips.
+    for i in 0..input.len() {
+        let mut m = input.to_vec();
+        m[i] ^= 0xff;
+        out.push(m);
+    }
+    // Arithmetic.
+    for i in 0..input.len() {
+        for d in [1i16, 7, 35, -1, -7, -35] {
+            let mut m = input.to_vec();
+            m[i] = (m[i] as i16).wrapping_add(d) as u8;
+            out.push(m);
+        }
+    }
+    // Interesting values.
+    for i in 0..input.len() {
+        for v in INTERESTING_8 {
+            let mut m = input.to_vec();
+            m[i] = v;
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// One stacked-havoc mutation (2–64 random edits).
+pub fn havoc(rng: &mut StdRng, input: &[u8], max_len: usize) -> Vec<u8> {
+    let mut m = input.to_vec();
+    let stack = 1 << rng.gen_range(1..=6);
+    for _ in 0..stack {
+        if m.is_empty() {
+            m.push(rng.gen());
+            continue;
+        }
+        match rng.gen_range(0..7u8) {
+            0 => {
+                // bit flip
+                let i = rng.gen_range(0..m.len() * 8);
+                m[i / 8] ^= 1 << (i % 8);
+            }
+            1 => {
+                // random byte
+                let i = rng.gen_range(0..m.len());
+                m[i] = rng.gen();
+            }
+            2 => {
+                // interesting byte
+                let i = rng.gen_range(0..m.len());
+                m[i] = INTERESTING_8[rng.gen_range(0..INTERESTING_8.len())];
+            }
+            3 => {
+                // arithmetic
+                let i = rng.gen_range(0..m.len());
+                let d: i16 = rng.gen_range(-35..=35);
+                m[i] = (m[i] as i16).wrapping_add(d) as u8;
+            }
+            4 => {
+                // delete a span
+                let i = rng.gen_range(0..m.len());
+                let n = rng.gen_range(1..=(m.len() - i).min(8));
+                m.drain(i..i + n);
+            }
+            5 if m.len() < max_len => {
+                // insert random bytes
+                let i = rng.gen_range(0..=m.len());
+                let n = rng.gen_range(1..=8usize).min(max_len - m.len());
+                for k in 0..n {
+                    m.insert(i + k, rng.gen());
+                }
+            }
+            _ if m.len() < max_len => {
+                // duplicate a span
+                let i = rng.gen_range(0..m.len());
+                let n = rng.gen_range(1..=(m.len() - i).min(8)).min(max_len - m.len());
+                let span: Vec<u8> = m[i..i + n].to_vec();
+                let at = rng.gen_range(0..=m.len());
+                for (k, b) in span.into_iter().enumerate() {
+                    m.insert(at + k, b);
+                }
+            }
+            _ => {}
+        }
+    }
+    m.truncate(max_len);
+    m
+}
+
+/// AFL's splice stage: crosses two corpus entries at random split points,
+/// then havocs the result.
+pub fn splice(rng: &mut StdRng, a: &[u8], b: &[u8], max_len: usize) -> Vec<u8> {
+    if a.is_empty() || b.is_empty() {
+        return havoc(rng, if a.is_empty() { b } else { a }, max_len);
+    }
+    let cut_a = rng.gen_range(0..a.len());
+    let cut_b = rng.gen_range(0..b.len());
+    let mut m = Vec::with_capacity(cut_a + (b.len() - cut_b));
+    m.extend_from_slice(&a[..cut_a]);
+    m.extend_from_slice(&b[cut_b..]);
+    havoc(rng, &m, max_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_counts_scale_with_length() {
+        let d = deterministic(&[0u8; 4]);
+        // 32 bit flips + 4 byte flips + 24 arith + 36 interesting.
+        assert_eq!(d.len(), 32 + 4 + 24 + 36);
+        for m in &d {
+            assert_eq!(m.len(), 4, "deterministic stage preserves length");
+        }
+    }
+
+    #[test]
+    fn deterministic_first_flip_is_lsb() {
+        let d = deterministic(&[0u8]);
+        assert_eq!(d[0], vec![1u8]);
+    }
+
+    #[test]
+    fn havoc_is_deterministic_for_seed() {
+        let a = havoc(&mut StdRng::seed_from_u64(7), b"hello world", 64);
+        let b = havoc(&mut StdRng::seed_from_u64(7), b"hello world", 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn havoc_respects_max_len() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let m = havoc(&mut rng, &[5; 16], 24);
+            assert!(m.len() <= 24);
+        }
+    }
+
+    #[test]
+    fn havoc_handles_empty_input() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = havoc(&mut rng, &[], 8);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn splice_mixes_both_parents() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = splice(&mut rng, &[1; 20], &[2; 20], 64);
+        assert!(!m.is_empty());
+    }
+}

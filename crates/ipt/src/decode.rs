@@ -1,0 +1,530 @@
+//! Packet-level decoding: the cheap, binary-free first stage.
+//!
+//! [`PacketParser`] walks raw trace bytes and yields [`Packet`]s without ever
+//! consulting the program binary — this is exactly the capability FlowGuard's
+//! fast path relies on (§5.3: "it only parses the packets based on the IPT
+//! formats and extracts out the TIP and TNT packets, without referring to the
+//! binaries"). Reconstructing the *complete* flow additionally needs the
+//! instruction-flow layer in [`crate::flow`].
+//!
+//! The parser can also synchronise from an arbitrary byte offset by scanning
+//! for the 16-byte PSB pattern ([`PacketParser::sync_forward`]), which is what
+//! makes parallel decoding of ToPA regions possible.
+
+use crate::encode::sext48;
+use crate::packet::{wire, IpCompression, Packet, TntSeq, LONG_TNT_MAX};
+use std::fmt;
+
+/// Reason a packet failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketErrorKind {
+    /// The buffer ended mid-packet.
+    Truncated,
+    /// Unknown first opcode byte.
+    UnknownOpcode(u8),
+    /// Unknown extended (`0x02`-prefixed) opcode byte.
+    UnknownExtOpcode(u8),
+    /// Reserved/invalid `IPBytes` compression field.
+    BadIpBytes(u8),
+    /// An IP packet that must carry an IP arrived suppressed.
+    SuppressedIp,
+    /// A TNT packet carried no payload bits.
+    EmptyTnt,
+}
+
+/// A packet-level decode error, with the offset it occurred at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketError {
+    /// Byte offset in the trace buffer.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: PacketErrorKind,
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            PacketErrorKind::Truncated => write!(f, "truncated packet at offset {}", self.offset),
+            PacketErrorKind::UnknownOpcode(b) => {
+                write!(f, "unknown opcode {b:#04x} at offset {}", self.offset)
+            }
+            PacketErrorKind::UnknownExtOpcode(b) => {
+                write!(f, "unknown extended opcode {b:#04x} at offset {}", self.offset)
+            }
+            PacketErrorKind::BadIpBytes(v) => {
+                write!(f, "reserved IPBytes value {v:#05b} at offset {}", self.offset)
+            }
+            PacketErrorKind::SuppressedIp => {
+                write!(f, "unexpected suppressed IP at offset {}", self.offset)
+            }
+            PacketErrorKind::EmptyTnt => write!(f, "empty TNT packet at offset {}", self.offset),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// A decoded packet together with its position and size in the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketAt {
+    /// Byte offset of the packet's first byte.
+    pub offset: usize,
+    /// Encoded length in bytes.
+    pub len: usize,
+    /// The decoded packet.
+    pub packet: Packet,
+}
+
+/// Iterating parser over a trace byte buffer.
+///
+/// Maintains the last-IP decompression register; [`Packet::Psb`] resets it,
+/// so parsing may start at any PSB.
+#[derive(Debug, Clone)]
+pub struct PacketParser<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    last_ip: u64,
+}
+
+impl<'a> PacketParser<'a> {
+    /// Creates a parser at offset 0.
+    pub fn new(buf: &'a [u8]) -> PacketParser<'a> {
+        PacketParser { buf, pos: 0, last_ip: 0 }
+    }
+
+    /// Creates a parser starting at `offset`.
+    pub fn at(buf: &'a [u8], offset: usize) -> PacketParser<'a> {
+        PacketParser { buf, pos: offset, last_ip: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining unparsed bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Scans forward for the next PSB pattern, positioning the parser on it.
+    ///
+    /// Returns the PSB offset, or `None` if no PSB remains. This is the
+    /// decoder-sync operation enabling mid-buffer and parallel decoding.
+    pub fn sync_forward(&mut self) -> Option<usize> {
+        let pat = [wire::EXT, wire::EXT_PSB];
+        let mut i = self.pos;
+        while i + wire::PSB_LEN <= self.buf.len() {
+            if self.buf[i..i + wire::PSB_LEN].chunks(2).all(|c| c == pat) {
+                self.pos = i;
+                self.last_ip = 0;
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Offsets of every PSB packet in `buf` (for fan-out across workers).
+    pub fn psb_offsets(buf: &[u8]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut p = PacketParser::new(buf);
+        while let Some(off) = p.sync_forward() {
+            out.push(off);
+            p.pos = off + wire::PSB_LEN;
+        }
+        out
+    }
+
+    fn err(&self, offset: usize, kind: PacketErrorKind) -> PacketError {
+        PacketError { offset, kind }
+    }
+
+    fn take_bytes(&self, off: usize, n: usize) -> Result<&'a [u8], PacketError> {
+        self.buf.get(off..off + n).ok_or(self.err(off, PacketErrorKind::Truncated))
+    }
+
+    /// Decodes the packet at the current position, advancing past it.
+    ///
+    /// Returns `None` at end of buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] on malformed bytes; the parser does not
+    /// advance, so callers typically [`PacketParser::sync_forward`] to
+    /// recover.
+    pub fn next_packet(&mut self) -> Option<Result<PacketAt, PacketError>> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        Some(self.decode_at(self.pos).map(|(packet, len)| {
+            let offset = self.pos;
+            self.pos += len;
+            PacketAt { offset, len, packet }
+        }))
+    }
+
+    fn decode_at(&mut self, off: usize) -> Result<(Packet, usize), PacketError> {
+        let b0 = self.buf[off];
+        // PAD.
+        if b0 == wire::PAD {
+            return Ok((Packet::Pad, 1));
+        }
+        // Short TNT: even header bit, not PAD, not EXT prefix.
+        if b0 & 1 == 0 && b0 != wire::EXT {
+            return self.decode_short_tnt(off, b0);
+        }
+        if b0 == wire::EXT {
+            return self.decode_ext(off);
+        }
+        if b0 == wire::MODE {
+            let p = self.take_bytes(off, 2)?;
+            let _payload = p[1];
+            return Ok((Packet::ModeExec, 2));
+        }
+        // IP packet family.
+        let op5 = b0 & 0x1f;
+        let ipbytes = b0 >> 5;
+        match op5 {
+            wire::TIP_OP | wire::TIP_PGE_OP | wire::TIP_PGD_OP | wire::FUP_OP => {
+                self.decode_ip(off, op5, ipbytes)
+            }
+            _ => Err(self.err(off, PacketErrorKind::UnknownOpcode(b0))),
+        }
+    }
+
+    fn decode_short_tnt(&self, off: usize, b0: u8) -> Result<(Packet, usize), PacketError> {
+        let value = b0 >> 1; // strip header bit
+        if value == 0 {
+            return Err(self.err(off, PacketErrorKind::EmptyTnt));
+        }
+        let stop = 7 - value.leading_zeros() as u8; // position of stop bit
+        if stop == 0 {
+            return Err(self.err(off, PacketErrorKind::EmptyTnt));
+        }
+        let n = stop;
+        let payload = value & !(1 << stop);
+        let seq = tnt_from_raw(payload as u64, n);
+        Ok((Packet::Tnt(seq), 1))
+    }
+
+    fn decode_ext(&mut self, off: usize) -> Result<(Packet, usize), PacketError> {
+        let b1 = self.take_bytes(off, 2)?[1];
+        match b1 {
+            wire::EXT_PSB => {
+                let body = self.take_bytes(off, wire::PSB_LEN)?;
+                if body.chunks(2).all(|c| c == [wire::EXT, wire::EXT_PSB]) {
+                    self.last_ip = 0;
+                    Ok((Packet::Psb, wire::PSB_LEN))
+                } else {
+                    Err(self.err(off, PacketErrorKind::Truncated))
+                }
+            }
+            wire::EXT_PSBEND => Ok((Packet::Psbend, 2)),
+            wire::EXT_OVF => Ok((Packet::Ovf, 2)),
+            wire::EXT_CBR => {
+                let p = self.take_bytes(off, 4)?;
+                Ok((Packet::Cbr { ratio: p[2] }, 4))
+            }
+            wire::EXT_PIP => {
+                let p = self.take_bytes(off, 8)?;
+                let mut payload = [0u8; 8];
+                payload[..6].copy_from_slice(&p[2..8]);
+                Ok((Packet::Pip { cr3: u64::from_le_bytes(payload) << 5 }, 8))
+            }
+            wire::EXT_LONG_TNT => {
+                let p = self.take_bytes(off, 8)?;
+                let mut payload = [0u8; 8];
+                payload[..6].copy_from_slice(&p[2..8]);
+                let value = u64::from_le_bytes(payload);
+                if value == 0 {
+                    return Err(self.err(off, PacketErrorKind::EmptyTnt));
+                }
+                let stop = 63 - value.leading_zeros() as u8;
+                if stop == 0 || stop > LONG_TNT_MAX {
+                    return Err(self.err(off, PacketErrorKind::EmptyTnt));
+                }
+                let seq = tnt_from_raw(value & !(1u64 << stop), stop);
+                Ok((Packet::Tnt(seq), 8))
+            }
+            other => Err(self.err(off, PacketErrorKind::UnknownExtOpcode(other))),
+        }
+    }
+
+    fn decode_ip(
+        &mut self,
+        off: usize,
+        op5: u8,
+        ipbytes: u8,
+    ) -> Result<(Packet, usize), PacketError> {
+        let comp = IpCompression::from_field(ipbytes)
+            .ok_or(self.err(off, PacketErrorKind::BadIpBytes(ipbytes)))?;
+        let n = comp.payload_len();
+        let payload = self.take_bytes(off + 1, n)?;
+        let ip = match comp {
+            IpCompression::Suppressed => None,
+            _ => {
+                let mut bytes = [0u8; 8];
+                bytes[..n].copy_from_slice(payload);
+                let raw = u64::from_le_bytes(bytes);
+                let ip = match comp {
+                    IpCompression::Update16 => (self.last_ip & !0xffff) | raw,
+                    IpCompression::Update32 => (self.last_ip & !0xffff_ffff) | raw,
+                    IpCompression::Sext48 => sext48(raw),
+                    IpCompression::Update48 => (self.last_ip & !0xffff_ffff_ffff) | raw,
+                    IpCompression::Full => raw,
+                    IpCompression::Suppressed => unreachable!(),
+                };
+                self.last_ip = ip;
+                Some(ip)
+            }
+        };
+        let len = 1 + n;
+        let packet = match op5 {
+            wire::TIP_OP => {
+                Packet::Tip { ip: ip.ok_or(self.err(off, PacketErrorKind::SuppressedIp))? }
+            }
+            wire::TIP_PGE_OP => {
+                Packet::TipPge { ip: ip.ok_or(self.err(off, PacketErrorKind::SuppressedIp))? }
+            }
+            wire::TIP_PGD_OP => Packet::TipPgd { ip },
+            wire::FUP_OP => {
+                Packet::Fup { ip: ip.ok_or(self.err(off, PacketErrorKind::SuppressedIp))? }
+            }
+            _ => unreachable!("caller checked op5"),
+        };
+        Ok((packet, len))
+    }
+}
+
+/// Rebuilds a [`TntSeq`] from a shift-register payload of `n` bits.
+fn tnt_from_raw(payload: u64, n: u8) -> TntSeq {
+    let mut seq = TntSeq::new();
+    for i in (0..n).rev() {
+        seq.push((payload >> i) & 1 == 1);
+    }
+    seq
+}
+
+impl<'a> Iterator for PacketParser<'a> {
+    type Item = Result<PacketAt, PacketError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_packet()
+    }
+}
+
+/// Decodes an entire buffer, stopping at the first error.
+///
+/// # Errors
+///
+/// Propagates the first [`PacketError`] encountered.
+pub fn decode_all(buf: &[u8]) -> Result<Vec<PacketAt>, PacketError> {
+    PacketParser::new(buf).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::PacketEncoder;
+
+    fn roundtrip(build: impl FnOnce(&mut PacketEncoder<Vec<u8>>)) -> Vec<Packet> {
+        let mut enc = PacketEncoder::new(Vec::new());
+        build(&mut enc);
+        let bytes = enc.into_sink();
+        decode_all(&bytes).unwrap().into_iter().map(|p| p.packet).collect()
+    }
+
+    #[test]
+    fn roundtrip_paper_table2_sequence() {
+        // Table 2: TNT(1), TIP(0x905), TNT(0), TIP(0x90a).
+        let pkts = roundtrip(|e| {
+            e.tnt_bit(true);
+            e.tip(0x905);
+            e.tnt_bit(false);
+            e.tip(0x90a);
+        });
+        assert_eq!(
+            pkts,
+            vec![
+                Packet::Tnt(TntSeq::from_slice(&[true])),
+                Packet::Tip { ip: 0x905 },
+                Packet::Tnt(TntSeq::from_slice(&[false])),
+                Packet::Tip { ip: 0x90a },
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrip_full_tnt_byte() {
+        let seq = [true, false, true, true, false, false];
+        let pkts = roundtrip(|e| {
+            for b in seq {
+                e.tnt_bit(b);
+            }
+        });
+        assert_eq!(pkts, vec![Packet::Tnt(TntSeq::from_slice(&seq))]);
+    }
+
+    #[test]
+    fn roundtrip_ip_compression_chain() {
+        let ips = [0x40_0000u64, 0x40_0008, 0x1000_0010, 0x1000_ffff, 0x40_0000];
+        let pkts = roundtrip(|e| {
+            for ip in ips {
+                e.tip(ip);
+            }
+        });
+        let got: Vec<u64> = pkts
+            .iter()
+            .map(|p| match p {
+                Packet::Tip { ip } => *ip,
+                other => panic!("unexpected {other}"),
+            })
+            .collect();
+        assert_eq!(got, ips);
+    }
+
+    #[test]
+    fn roundtrip_psb_plus() {
+        let pkts = roundtrip(|e| {
+            e.tip(0x500_0000);
+            e.psb_plus(Some(0x40_0010), Some(0x2000));
+            e.tip(0x500_0000);
+        });
+        assert_eq!(
+            pkts,
+            vec![
+                Packet::Tip { ip: 0x500_0000 },
+                Packet::Psb,
+                Packet::Pip { cr3: 0x2000 },
+                Packet::ModeExec,
+                Packet::Cbr { ratio: 40 },
+                Packet::Fup { ip: 0x40_0010 },
+                Packet::Psbend,
+                Packet::Tip { ip: 0x500_0000 },
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrip_pge_pgd_ovf_pad() {
+        let pkts = roundtrip(|e| {
+            e.tip_pge(0x40_0000);
+            e.tip_pgd(None);
+            e.ovf();
+            e.pad();
+            e.tip_pgd(Some(0x40_0020));
+        });
+        assert_eq!(
+            pkts,
+            vec![
+                Packet::TipPge { ip: 0x40_0000 },
+                Packet::TipPgd { ip: None },
+                Packet::Ovf,
+                Packet::Pad,
+                Packet::TipPgd { ip: Some(0x40_0020) },
+            ]
+        );
+    }
+
+    #[test]
+    fn sync_forward_finds_psb_mid_buffer() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tip(0x1234_5678);
+        enc.tnt_bit(true);
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x40_0008);
+        let bytes = enc.into_sink();
+
+        // Start cold at offset 3 (mid-TIP garbage from the parser's view).
+        let mut p = PacketParser::at(&bytes, 3);
+        let psb_off = p.sync_forward().expect("PSB present");
+        assert!(psb_off > 0);
+        let first = p.next_packet().unwrap().unwrap();
+        assert_eq!(first.packet, Packet::Psb);
+    }
+
+    #[test]
+    fn psb_offsets_enumerates_all() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        for i in 0..4 {
+            enc.psb_plus(Some(0x40_0000 + i * 8), None);
+            enc.tip(0x50_0000 + i * 8);
+        }
+        let bytes = enc.into_sink();
+        assert_eq!(PacketParser::psb_offsets(&bytes).len(), 4);
+    }
+
+    #[test]
+    fn decode_resets_last_ip_at_psb() {
+        // TIP(full A), PSB+, TIP compressed against 0 — if the decoder failed
+        // to reset, the second IP would be wrong.
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tip(0x7000_1234);
+        enc.psb_plus(None, None);
+        enc.tip(0x7000_1234);
+        let bytes = enc.into_sink();
+        let pkts: Vec<Packet> = decode_all(&bytes).unwrap().into_iter().map(|p| p.packet).collect();
+        let tips: Vec<u64> = pkts
+            .iter()
+            .filter_map(|p| match p {
+                Packet::Tip { ip } => Some(*ip),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tips, vec![0x7000_1234, 0x7000_1234]);
+    }
+
+    #[test]
+    fn truncated_tip_reports_error() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tip(0x40_0000);
+        let mut bytes = enc.into_sink();
+        bytes.truncate(3);
+        let err = decode_all(&bytes).unwrap_err();
+        assert_eq!(err.kind, PacketErrorKind::Truncated);
+    }
+
+    #[test]
+    fn unknown_opcode_reports_error() {
+        let err = decode_all(&[0x0f]).unwrap_err();
+        assert!(matches!(err.kind, PacketErrorKind::UnknownOpcode(0x0f)));
+        let err = decode_all(&[wire::EXT, 0x55]).unwrap_err();
+        assert!(matches!(err.kind, PacketErrorKind::UnknownExtOpcode(0x55)));
+    }
+
+    #[test]
+    fn long_tnt_decodes() {
+        // Hand-build a long TNT with 10 bits: T N T N T N T N T N.
+        let mut seq = TntSeq::new();
+        for i in 0..10 {
+            seq.push(i % 2 == 0);
+        }
+        let value = (1u64 << 10) | seq.raw_bits();
+        let mut bytes = vec![wire::EXT, wire::EXT_LONG_TNT];
+        bytes.extend_from_slice(&value.to_le_bytes()[..6]);
+        let pkts = decode_all(&bytes).unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].packet, Packet::Tnt(seq));
+        assert_eq!(pkts[0].len, 8);
+    }
+
+    #[test]
+    fn packet_at_offsets_and_lengths() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tnt_bit(true); // forces flush before TIP
+        enc.tip(0x40_0000);
+        let bytes = enc.into_sink();
+        let pkts = decode_all(&bytes).unwrap();
+        assert_eq!(pkts[0].offset, 0);
+        assert_eq!(pkts[0].len, 1);
+        assert_eq!(pkts[1].offset, 1);
+        assert_eq!(pkts[1].len, 5);
+    }
+
+    #[test]
+    fn error_display_mentions_offset() {
+        let e = PacketError { offset: 42, kind: PacketErrorKind::Truncated };
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Fast packet-level extraction of TIP/TNT flow — the fast-path primitive.
+//!
+//! "It only parses the packets based on the IPT formats and extracts out the
+//! TIP and TNT packets, without referring to the binaries with the
+//! instruction flow layer of abstraction" (§5.3). The output is the sequence
+//! of indirect-branch targets, each annotated with the conditional-branch
+//! outcomes (TNT bits) observed since the previous target — exactly the
+//! information FlowGuard matches against the credit-labeled ITC-CFG.
+
+use crate::decode::{PacketError, PacketParser};
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+
+/// One indirect-branch target extracted from the trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TipEvent {
+    /// The target address from the TIP packet.
+    pub ip: u64,
+    /// Conditional-branch outcomes since the previous TIP (oldest first).
+    pub tnt_before: Vec<bool>,
+}
+
+/// A tracing-pause boundary (syscall entry/exit), needed to know which
+/// module/flow segment a TIP window spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Boundary {
+    /// `FUP` — source of an asynchronous event (syscall, halt).
+    Fup { ip: u64 },
+    /// `TIP.PGD` — tracing disabled.
+    PauseBegin { ip: Option<u64> },
+    /// `TIP.PGE` — tracing re-enabled.
+    PauseEnd { ip: u64 },
+    /// Packet loss; everything before it is unreliable.
+    Overflow,
+    /// The scanner re-synchronised over damaged bytes (a circular-buffer
+    /// seam): the TIPs on either side are **not** consecutive.
+    Resync,
+}
+
+/// Result of a packet-level scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FastScan {
+    /// Extracted indirect-branch targets in execution order.
+    pub tips: Vec<TipEvent>,
+    /// Trace boundaries, each tagged with the index into `tips` at which it
+    /// occurred.
+    pub boundaries: Vec<(usize, Boundary)>,
+    /// TNT bits trailing after the last TIP.
+    pub trailing_tnt: Vec<bool>,
+    /// Number of bytes scanned (the fast-decode cost driver).
+    pub bytes_scanned: u64,
+    /// Offset of the PSB the scan synchronised on, if resync was needed.
+    pub sync_offset: Option<usize>,
+}
+
+impl FastScan {
+    /// The last `n` TIP events (or all of them if fewer).
+    pub fn last_tips(&self, n: usize) -> &[TipEvent] {
+        let start = self.tips.len().saturating_sub(n);
+        &self.tips[start..]
+    }
+
+    /// Total TIP count.
+    pub fn tip_count(&self) -> usize {
+        self.tips.len()
+    }
+}
+
+/// Scans a trace buffer from its start.
+///
+/// If the buffer does not begin at a packet boundary (a wrapped ToPA), the
+/// scan synchronises forward to the first PSB.
+///
+/// # Errors
+///
+/// Returns a [`PacketError`] only if the buffer is malformed *after*
+/// synchronisation.
+pub fn scan(buf: &[u8]) -> Result<FastScan, PacketError> {
+    let mut parser = PacketParser::new(buf);
+    let mut out = FastScan::default();
+
+    // Probe: if the head doesn't parse (mid-packet seam after a wrap),
+    // re-sync on the first PSB.
+    if parser.clone().next_packet().is_some_and(|r| r.is_err()) {
+        let mut p = PacketParser::new(buf);
+        match p.sync_forward() {
+            Some(off) => {
+                out.sync_offset = Some(off);
+                parser = p;
+            }
+            None => {
+                // No sync point: nothing reliable to extract.
+                out.bytes_scanned = buf.len() as u64;
+                return Ok(out);
+            }
+        }
+    }
+
+    let mut pending_tnt: Vec<bool> = Vec::new();
+    let mut in_psb_plus = false;
+
+    while let Some(item) = parser.next_packet() {
+        let item = match item {
+            Ok(p) => p,
+            Err(_) if !in_psb_plus => {
+                // Seam damage mid-buffer: re-sync on the next PSB, dropping
+                // the damaged span, exactly like a real PT decoder. TIPs on
+                // either side of the seam are not consecutive.
+                match parser.sync_forward() {
+                    Some(off) => {
+                        out.sync_offset.get_or_insert(off);
+                        out.boundaries.push((out.tips.len(), Boundary::Resync));
+                        pending_tnt.clear();
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            Err(e) => return Err(e),
+        };
+        match item.packet {
+            Packet::Tnt(seq) => pending_tnt.extend(seq.iter()),
+            Packet::Tip { ip } => {
+                out.tips.push(TipEvent { ip, tnt_before: std::mem::take(&mut pending_tnt) });
+            }
+            Packet::Fup { ip } => {
+                if !in_psb_plus {
+                    out.boundaries.push((out.tips.len(), Boundary::Fup { ip }));
+                }
+            }
+            Packet::TipPgd { ip } => {
+                out.boundaries.push((out.tips.len(), Boundary::PauseBegin { ip }));
+            }
+            Packet::TipPge { ip } => {
+                out.boundaries.push((out.tips.len(), Boundary::PauseEnd { ip }));
+            }
+            Packet::Ovf => {
+                // Everything before an overflow is untrustworthy for
+                // history-based checking.
+                out.boundaries.push((out.tips.len(), Boundary::Overflow));
+                pending_tnt.clear();
+            }
+            Packet::Psb => in_psb_plus = true,
+            Packet::Psbend => in_psb_plus = false,
+            Packet::Pad | Packet::Cbr { .. } | Packet::ModeExec | Packet::Pip { .. } => {}
+        }
+    }
+    out.trailing_tnt = pending_tnt;
+    out.bytes_scanned = buf.len() as u64;
+    Ok(out)
+}
+
+/// Splits a buffer into PSB-delimited segments for parallel scanning
+/// ("with the help of packet stream boundary (PSB) packets … this process can
+/// be done in parallel", §5.3). Returns `(offset, len)` pairs; the first
+/// segment starts at 0 if the head is parseable.
+pub fn segments(buf: &[u8]) -> Vec<(usize, usize)> {
+    let mut cuts = PacketParser::psb_offsets(buf);
+    if cuts.first() != Some(&0) {
+        cuts.insert(0, 0);
+    }
+    cuts.iter()
+        .enumerate()
+        .map(|(i, &start)| {
+            let end = cuts.get(i + 1).copied().unwrap_or(buf.len());
+            (start, end - start)
+        })
+        .filter(|&(_, len)| len > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::PacketEncoder;
+
+    #[test]
+    fn extracts_tips_with_interleaved_tnt() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tnt_bit(true);
+        enc.tnt_bit(false);
+        enc.tip(0x50_0000);
+        enc.tnt_bit(true);
+        enc.tip(0x50_0100);
+        enc.tnt_bit(false);
+        let bytes = enc.into_sink();
+        let scan = scan(&bytes).unwrap();
+        assert_eq!(scan.tip_count(), 2);
+        assert_eq!(scan.tips[0], TipEvent { ip: 0x50_0000, tnt_before: vec![true, false] });
+        assert_eq!(scan.tips[1], TipEvent { ip: 0x50_0100, tnt_before: vec![true] });
+        assert_eq!(scan.trailing_tnt, vec![false]);
+        assert_eq!(scan.bytes_scanned, bytes.len() as u64);
+    }
+
+    #[test]
+    fn psb_plus_fup_not_treated_as_event() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), Some(0x1000));
+        enc.tip(0x50_0000);
+        let bytes = enc.into_sink();
+        let scan = scan(&bytes).unwrap();
+        assert!(scan.boundaries.is_empty(), "PSB+ FUP is sync info, not a flow event");
+    }
+
+    #[test]
+    fn syscall_boundaries_recorded() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tip(0x50_0000);
+        enc.fup(0x40_0010);
+        enc.tip_pgd(None);
+        enc.tip_pge(0x40_0018);
+        enc.tip(0x50_0100);
+        let bytes = enc.into_sink();
+        let scan = scan(&bytes).unwrap();
+        assert_eq!(
+            scan.boundaries,
+            vec![
+                (1, Boundary::Fup { ip: 0x40_0010 }),
+                (1, Boundary::PauseBegin { ip: None }),
+                (1, Boundary::PauseEnd { ip: 0x40_0018 }),
+            ]
+        );
+        assert_eq!(scan.tip_count(), 2);
+    }
+
+    #[test]
+    fn last_tips_window() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        for i in 0..10u64 {
+            enc.tip(0x50_0000 + i * 8);
+        }
+        let bytes = enc.into_sink();
+        let scan = scan(&bytes).unwrap();
+        let last3 = scan.last_tips(3);
+        assert_eq!(last3.len(), 3);
+        assert_eq!(last3[0].ip, 0x50_0038);
+        assert_eq!(scan.last_tips(99).len(), 10);
+    }
+
+    #[test]
+    fn resync_after_wrap_seam() {
+        // Simulate a wrapped buffer: garbage head, then PSB+, then flow.
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x50_0000);
+        let clean = enc.into_sink();
+        let mut dirty = vec![0x47, 0x13, 0x99]; // 0x99 = MODE header → truncation noise
+        dirty.extend_from_slice(&clean);
+        let scan = scan(&dirty).unwrap();
+        assert!(scan.sync_offset.is_some());
+        assert_eq!(scan.tip_count(), 1);
+    }
+
+    #[test]
+    fn no_sync_point_yields_empty_scan() {
+        let scan = scan(&[0x47, 0x13]).unwrap();
+        assert_eq!(scan.tip_count(), 0);
+        assert!(scan.sync_offset.is_none());
+    }
+
+    #[test]
+    fn overflow_marks_boundary_and_clears_tnt() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tnt_bit(true);
+        enc.ovf();
+        enc.tip(0x50_0000);
+        let bytes = enc.into_sink();
+        let scan = scan(&bytes).unwrap();
+        assert_eq!(scan.boundaries, vec![(0, Boundary::Overflow)]);
+        assert!(scan.tips[0].tnt_before.is_empty(), "pre-OVF TNT dropped");
+    }
+
+    #[test]
+    fn segments_cover_buffer() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tip(0x40_0000);
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x40_0008);
+        enc.psb_plus(Some(0x40_0010), None);
+        enc.tip(0x40_0010);
+        let bytes = enc.into_sink();
+        let segs = segments(&bytes);
+        assert_eq!(segs.len(), 3);
+        let total: usize = segs.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, bytes.len());
+        assert_eq!(segs[0].0, 0);
+        // Scanning segments individually finds the same number of TIPs.
+        let n: usize =
+            segs.iter().map(|&(o, l)| scan(&bytes[o..o + l]).unwrap().tip_count()).sum();
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,534 @@
+//! The instruction-flow layer of abstraction — the full (slow) decoder.
+//!
+//! "The decoder must associate the traced packets with the binaries, to
+//! precisely reconstruct the program flow … parses the program binary
+//! instruction by instruction, and combines the traced packets for the
+//! entire decoding" (§2). This is the reproduction of Intel's reference
+//! decoder library usage in FlowGuard's slow path, and the source of the
+//! paper's 230× decode-overhead measurement: the cost is dominated by
+//! [`FlowTrace::insns_walked`], the number of instructions the decoder had
+//! to step through.
+
+use crate::decode::{PacketError, PacketParser};
+use crate::packet::Packet;
+use fg_isa::image::Image;
+use fg_isa::insn::{CofiKind, Insn, INSN_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A reconstructed control-flow transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchEvent {
+    /// Address of the branch instruction.
+    pub from: u64,
+    /// Address control transferred to.
+    pub to: u64,
+    /// CoFI class of the branch.
+    pub kind: CofiKind,
+    /// For conditional branches: whether it was taken.
+    pub taken: Option<bool>,
+}
+
+/// The fully reconstructed execution flow.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowTrace {
+    /// Every control transfer, in execution order (direct branches included —
+    /// this is precisely the information the compressed trace omits and the
+    /// decoder recovers from the binary).
+    pub branches: Vec<BranchEvent>,
+    /// Instructions stepped through during reconstruction (the decode-cost
+    /// driver).
+    pub insns_walked: u64,
+    /// IP the reconstruction started from (PSB+ sync).
+    pub start_ip: u64,
+    /// IP the reconstruction ended at.
+    pub end_ip: u64,
+}
+
+/// Errors during flow reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// Underlying packet-level error.
+    Packet(PacketError),
+    /// No PSB+/FUP sync point found in the buffer.
+    NoSync,
+    /// The walk reached an address that is not decodable code.
+    BadIp { ip: u64 },
+    /// The packet stream disagrees with the binary walk (e.g. a TIP arrived
+    /// where the binary requires a TNT bit).
+    TraceMismatch { ip: u64, detail: &'static str },
+    /// The hardware dropped packets; the reconstruction cannot continue.
+    Overflow,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Packet(e) => write!(f, "packet error: {e}"),
+            FlowError::NoSync => write!(f, "no PSB sync point in trace"),
+            FlowError::BadIp { ip } => write!(f, "flow reached non-code address {ip:#x}"),
+            FlowError::TraceMismatch { ip, detail } => {
+                write!(f, "trace/binary mismatch at {ip:#x}: {detail}")
+            }
+            FlowError::Overflow => write!(f, "packet overflow in trace"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Packet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PacketError> for FlowError {
+    fn from(e: PacketError) -> FlowError {
+        FlowError::Packet(e)
+    }
+}
+
+/// What the walker needs next from the packet stream.
+enum Need {
+    Tnt,
+    Tip,
+    /// A return target: with RET compression enabled this may be either a
+    /// taken-TNT bit (compressed, target from the decoder's call stack) or a
+    /// TIP.
+    RetTarget,
+    /// Syscall group: FUP, TIP.PGD, then TIP.PGE with the resume IP.
+    Resume,
+}
+
+/// Instruction-flow decoder over an [`Image`].
+#[derive(Debug)]
+pub struct FlowDecoder<'a> {
+    image: &'a Image,
+    ret_compression: bool,
+}
+
+impl<'a> FlowDecoder<'a> {
+    /// Creates a decoder for a linked image (RET compression off, matching
+    /// FlowGuard's `DisRETC = 1` configuration).
+    pub fn new(image: &'a Image) -> FlowDecoder<'a> {
+        FlowDecoder { image, ret_compression: false }
+    }
+
+    /// Creates a decoder for traces produced with RET compression enabled
+    /// (`DisRETC = 0`): the decoder mirrors the hardware's 64-deep call
+    /// stack to resolve compressed returns.
+    pub fn with_ret_compression(image: &'a Image) -> FlowDecoder<'a> {
+        FlowDecoder { image, ret_compression: true }
+    }
+
+    /// Reconstructs execution flow from raw trace bytes.
+    ///
+    /// Synchronises on the first PSB+ whose FUP provides the start IP, then
+    /// walks the binary, consuming TNT bits and TIP targets as conditional
+    /// and indirect branches are encountered. Reconstruction ends gracefully
+    /// when the packet stream is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn decode(&self, buf: &[u8]) -> Result<FlowTrace, FlowError> {
+        let mut packets = PacketCursor::new(buf)?;
+        let start_ip = packets.sync_ip.ok_or(FlowError::NoSync)?;
+        let mut trace = FlowTrace { start_ip, end_ip: start_ip, ..Default::default() };
+        let mut ip = start_ip;
+        // Mirror of the hardware RET-compression stack (64 deep).
+        let mut call_stack: Vec<u64> = Vec::new();
+
+        loop {
+            let insn = match self.image.insn_at(ip) {
+                Some(i) => i,
+                None => return Err(FlowError::BadIp { ip }),
+            };
+            trace.insns_walked += 1;
+            let next = ip + INSN_SIZE;
+            let kind = insn.cofi_kind();
+            match insn {
+                Insn::Halt => break,
+                Insn::Jmp { target } | Insn::Call { target } => {
+                    if self.ret_compression && matches!(insn, Insn::Call { .. }) {
+                        if call_stack.len() == 64 {
+                            call_stack.remove(0);
+                        }
+                        call_stack.push(next);
+                    }
+                    trace.branches.push(BranchEvent { from: ip, to: target, kind, taken: None });
+                    ip = target;
+                }
+                Insn::Jcc { target, .. } => match packets.next_needed(Need::Tnt, ip)? {
+                    Some(Outcome::Tnt(taken)) => {
+                        let to = if taken { target } else { next };
+                        trace.branches.push(BranchEvent { from: ip, to, kind, taken: Some(taken) });
+                        ip = to;
+                    }
+                    Some(_) => unreachable!("next_needed returns matching outcome"),
+                    None => break, // trace ends here
+                },
+                Insn::JmpInd { .. } | Insn::CallInd { .. } => {
+                    match packets.next_needed(Need::Tip, ip)? {
+                        Some(Outcome::Tip(to)) => {
+                            if self.ret_compression && matches!(insn, Insn::CallInd { .. }) {
+                                if call_stack.len() == 64 {
+                                    call_stack.remove(0);
+                                }
+                                call_stack.push(next);
+                            }
+                            trace.branches.push(BranchEvent { from: ip, to, kind, taken: None });
+                            ip = to;
+                        }
+                        Some(_) => unreachable!(),
+                        None => break,
+                    }
+                }
+                Insn::Ret => {
+                    let need = if self.ret_compression { Need::RetTarget } else { Need::Tip };
+                    match packets.next_needed(need, ip)? {
+                        Some(Outcome::Tip(to)) => {
+                            if self.ret_compression {
+                                call_stack.pop();
+                            }
+                            trace.branches.push(BranchEvent { from: ip, to, kind, taken: None });
+                            ip = to;
+                        }
+                        Some(Outcome::Tnt(taken)) => {
+                            // Compressed return: a taken bit, target from the
+                            // mirrored call stack.
+                            if !taken {
+                                return Err(FlowError::TraceMismatch {
+                                    ip,
+                                    detail: "not-taken TNT bit at a compressed return",
+                                });
+                            }
+                            let Some(to) = call_stack.pop() else {
+                                return Err(FlowError::TraceMismatch {
+                                    ip,
+                                    detail: "compressed return with an empty call stack",
+                                });
+                            };
+                            trace.branches.push(BranchEvent { from: ip, to, kind, taken: None });
+                            ip = to;
+                        }
+                        Some(_) => unreachable!(),
+                        None => break,
+                    }
+                }
+                Insn::Syscall => match packets.next_needed(Need::Resume, ip)? {
+                    Some(Outcome::Resume(to)) => {
+                        trace.branches.push(BranchEvent { from: ip, to, kind, taken: None });
+                        ip = to;
+                    }
+                    Some(_) => unreachable!(),
+                    None => break,
+                },
+                _ => ip = next,
+            }
+            trace.end_ip = ip;
+        }
+        trace.end_ip = ip;
+        Ok(trace)
+    }
+}
+
+enum Outcome {
+    Tnt(bool),
+    Tip(u64),
+    Resume(u64),
+}
+
+/// Packet stream cursor that pre-synchronises on PSB+ and answers the
+/// walker's "what happened at this branch" queries.
+struct PacketCursor<'a> {
+    parser: PacketParser<'a>,
+    pending_tnt: VecDeque<bool>,
+    sync_ip: Option<u64>,
+    in_psb_plus: bool,
+}
+
+impl<'a> PacketCursor<'a> {
+    fn new(buf: &'a [u8]) -> Result<PacketCursor<'a>, FlowError> {
+        let mut parser = PacketParser::new(buf);
+        // Find the first PSB (re-syncing past a wrap seam if necessary).
+        if parser.clone().next_packet().is_some_and(|r| r.is_err()) {
+            parser.sync_forward().ok_or(FlowError::NoSync)?;
+        }
+        let mut cursor = PacketCursor {
+            parser,
+            pending_tnt: VecDeque::new(),
+            sync_ip: None,
+            in_psb_plus: false,
+        };
+        cursor.find_sync()?;
+        Ok(cursor)
+    }
+
+    /// Scans forward for PSB+ and captures the FUP sync IP.
+    fn find_sync(&mut self) -> Result<(), FlowError> {
+        let mut seen_psb = false;
+        while let Some(item) = self.parser.next_packet() {
+            match item?.packet {
+                Packet::Psb => seen_psb = true,
+                Packet::Fup { ip } if seen_psb => {
+                    self.sync_ip = Some(ip);
+                }
+                Packet::Psbend if seen_psb => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(FlowError::NoSync)
+    }
+
+    /// Returns the next outcome of the requested kind, or `None` when the
+    /// trace ends.
+    fn next_needed(&mut self, need: Need, ip: u64) -> Result<Option<Outcome>, FlowError> {
+        match need {
+            Need::Tnt | Need::RetTarget => {
+                if let Some(b) = self.pending_tnt.pop_front() {
+                    return Ok(Some(Outcome::Tnt(b)));
+                }
+            }
+            _ if !self.pending_tnt.is_empty() => {
+                return Err(FlowError::TraceMismatch {
+                    ip,
+                    detail: "buffered TNT bits at an indirect branch",
+                });
+            }
+            _ => {}
+        }
+
+        // Syscall groups step through FUP → PGD → PGE.
+        let mut saw_fup = false;
+        let mut saw_pgd = false;
+
+        while let Some(item) = self.parser.next_packet() {
+            let p = item?;
+            match p.packet {
+                Packet::Pad | Packet::Cbr { .. } | Packet::ModeExec | Packet::Pip { .. } => {}
+                Packet::Psb => self.in_psb_plus = true,
+                Packet::Psbend => self.in_psb_plus = false,
+                Packet::Ovf => return Err(FlowError::Overflow),
+                Packet::Tnt(seq) => {
+                    if !matches!(need, Need::Tnt | Need::RetTarget) {
+                        return Err(FlowError::TraceMismatch {
+                            ip,
+                            detail: "TNT packet where a TIP/FUP was required",
+                        });
+                    }
+                    self.pending_tnt.extend(seq.iter());
+                    if let Some(b) = self.pending_tnt.pop_front() {
+                        return Ok(Some(Outcome::Tnt(b)));
+                    }
+                }
+                Packet::Tip { ip: target } => match need {
+                    Need::Tip | Need::RetTarget => return Ok(Some(Outcome::Tip(target))),
+                    Need::Tnt => {
+                        return Err(FlowError::TraceMismatch {
+                            ip,
+                            detail: "TIP packet where a TNT bit was required",
+                        })
+                    }
+                    Need::Resume => {
+                        return Err(FlowError::TraceMismatch {
+                            ip,
+                            detail: "TIP packet inside a syscall group",
+                        })
+                    }
+                },
+                Packet::Fup { ip: _ } => {
+                    if self.in_psb_plus {
+                        continue; // periodic PSB+ carries an informational FUP
+                    }
+                    match need {
+                        Need::Resume => saw_fup = true,
+                        _ => {
+                            return Err(FlowError::TraceMismatch {
+                                ip,
+                                detail: "unexpected FUP outside a syscall group",
+                            })
+                        }
+                    }
+                }
+                Packet::TipPgd { .. } => match need {
+                    Need::Resume if saw_fup => saw_pgd = true,
+                    _ => {
+                        return Err(FlowError::TraceMismatch {
+                            ip,
+                            detail: "unexpected TIP.PGD",
+                        })
+                    }
+                },
+                Packet::TipPge { ip: resume } => match need {
+                    Need::Resume if saw_pgd => return Ok(Some(Outcome::Resume(resume))),
+                    _ => {
+                        return Err(FlowError::TraceMismatch {
+                            ip,
+                            detail: "unexpected TIP.PGE",
+                        })
+                    }
+                },
+            }
+        }
+        Ok(None) // trace exhausted — graceful end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::PacketEncoder;
+    use fg_isa::asm::Asm;
+    use fg_isa::image::Linker;
+    use fg_isa::insn::regs::*;
+    use fg_isa::insn::Cond;
+
+    /// Builds a small image: main compares, branches, makes an indirect call
+    /// through a table, helper returns.
+    fn test_image() -> Image {
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.movi(R0, 1); // +0
+        a.cmpi(R0, 0); // +8
+        a.jcc(Cond::Gt, "big"); // +16  (taken)
+        a.halt(); // +24
+        a.label("big");
+        a.lea(R1, "table"); // +32
+        a.ld(R2, R1, 0); // +40
+        a.calli(R2); // +48  TIP → helper
+        a.halt(); // +56
+        a.label("helper");
+        a.movi(R3, 7); // +64
+        a.ret(); // +72  TIP → +56
+        a.data_ptrs("table", &["helper"]);
+        Linker::new(a.finish().unwrap()).link().unwrap()
+    }
+
+    /// Hand-encodes the trace the hardware would produce for `test_image`.
+    fn test_trace(img: &Image) -> Vec<u8> {
+        let base = img.entry();
+        let helper = base + 64;
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(base), Some(0x1000));
+        enc.tnt_bit(true); // jgt taken
+        enc.tip(helper); // calli
+        enc.tip(base + 56); // ret
+        enc.into_sink()
+    }
+
+    #[test]
+    fn reconstructs_complete_flow() {
+        let img = test_image();
+        let trace_bytes = test_trace(&img);
+        let flow = FlowDecoder::new(&img).decode(&trace_bytes).unwrap();
+        let base = img.entry();
+        assert_eq!(flow.start_ip, base);
+        let kinds: Vec<CofiKind> = flow.branches.iter().map(|b| b.kind).collect();
+        assert_eq!(kinds, vec![CofiKind::CondBranch, CofiKind::IndCall, CofiKind::Ret]);
+        // Direct info (the Jcc target) is recovered from the binary.
+        assert_eq!(flow.branches[0].to, base + 32);
+        assert_eq!(flow.branches[0].taken, Some(true));
+        assert_eq!(flow.branches[1].to, base + 64);
+        assert_eq!(flow.branches[2].to, base + 56);
+        // Walked: every executed instruction up to the final halt.
+        assert!(flow.insns_walked >= 9, "walked {} insns", flow.insns_walked);
+        assert_eq!(flow.end_ip, base + 56);
+    }
+
+    #[test]
+    fn graceful_end_when_trace_stops_mid_flow() {
+        let img = test_image();
+        let base = img.entry();
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(base), None);
+        enc.tnt_bit(true);
+        // trace ends before the calli's TIP.
+        let flow = FlowDecoder::new(&img).decode(&enc.into_sink()).unwrap();
+        assert_eq!(flow.branches.len(), 1);
+    }
+
+    #[test]
+    fn no_sync_is_error() {
+        let img = test_image();
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tip(0x40_0000);
+        assert_eq!(FlowDecoder::new(&img).decode(&enc.into_sink()), Err(FlowError::NoSync));
+    }
+
+    #[test]
+    fn mismatch_tip_where_tnt_required() {
+        let img = test_image();
+        let base = img.entry();
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(base), None);
+        enc.tip(base + 64); // but the walk is at the Jcc, needing a TNT
+        let err = FlowDecoder::new(&img).decode(&enc.into_sink()).unwrap_err();
+        assert!(matches!(err, FlowError::TraceMismatch { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn bad_ip_when_tip_leaves_code() {
+        let img = test_image();
+        let base = img.entry();
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(base), None);
+        enc.tnt_bit(true);
+        enc.tip(0x0dead000); // unmapped target
+        let err = FlowDecoder::new(&img).decode(&enc.into_sink()).unwrap_err();
+        assert_eq!(err, FlowError::BadIp { ip: 0x0dead000 });
+    }
+
+    #[test]
+    fn syscall_group_resumes_at_pge_target() {
+        // main: syscall; halt — with a FUP/PGD/PGE group in the trace.
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.syscall(); // +0
+        a.halt(); // +8
+        let img = Linker::new(a.finish().unwrap()).link().unwrap();
+        let base = img.entry();
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(base), None);
+        enc.fup(base);
+        enc.tip_pgd(None);
+        enc.tip_pge(base + 8);
+        let flow = FlowDecoder::new(&img).decode(&enc.into_sink()).unwrap();
+        assert_eq!(flow.branches.len(), 1);
+        assert_eq!(flow.branches[0].kind, CofiKind::FarTransfer);
+        assert_eq!(flow.branches[0].to, base + 8);
+        assert_eq!(flow.end_ip, base + 8);
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let img = test_image();
+        let base = img.entry();
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(base), None);
+        enc.ovf();
+        let err = FlowDecoder::new(&img).decode(&enc.into_sink()).unwrap_err();
+        assert_eq!(err, FlowError::Overflow);
+    }
+
+    #[test]
+    fn periodic_psb_plus_mid_stream_is_transparent() {
+        let img = test_image();
+        let base = img.entry();
+        let helper = base + 64;
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(base), None);
+        enc.tnt_bit(true);
+        // A periodic PSB+ lands between packets; its FUP must be ignored.
+        enc.psb_plus(Some(base + 48), None);
+        enc.tip(helper);
+        enc.tip(base + 56);
+        let flow = FlowDecoder::new(&img).decode(&enc.into_sink()).unwrap();
+        assert_eq!(flow.branches.len(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! # fg-ipt — Intel Processor Trace, modelled bit-for-bit
+//!
+//! This crate reproduces the IPT mechanics the FlowGuard paper (HPCA 2017)
+//! builds on:
+//!
+//! * [`packet`] — packet types and SDM wire formats (TNT with stop-bit
+//!   compression, TIP with last-IP compression, PSB/PSBEND, FUP,
+//!   TIP.PGE/PGD, PIP, CBR, MODE, OVF, PAD);
+//! * [`encode`] — the hardware-side [`encode::PacketEncoder`] with the TNT
+//!   shift register and last-IP compression (why tracing costs "<1 bit per
+//!   retired instruction");
+//! * [`decode`] — the packet-level [`decode::PacketParser`], including PSB
+//!   re-synchronisation for wrapped/partial buffers;
+//! * [`topa`] — the Table-of-Physical-Addresses output scheme with INT/STOP
+//!   regions and PMI generation;
+//! * [`msr`] — the `IA32_RTIT_*` MSR model with CPL and CR3 filtering;
+//! * [`fast`] — packet-level TIP/TNT extraction (FlowGuard's fast-path
+//!   primitive, no binary needed);
+//! * [`flow`] — the instruction-flow layer ([`flow::FlowDecoder`]): the full,
+//!   slow decoder that walks the binary to reconstruct complete flow.
+//!
+//! The asymmetry between [`fast::scan`] (cost ∝ trace bytes) and
+//! [`flow::FlowDecoder::decode`] (cost ∝ instructions executed) is the
+//! paper's central performance tension, and what the ITC-CFG is designed to
+//! exploit.
+
+pub mod decode;
+pub mod encode;
+pub mod fast;
+pub mod flow;
+pub mod msr;
+pub mod packet;
+pub mod topa;
+
+pub use decode::{PacketAt, PacketError, PacketParser};
+pub use encode::{PacketEncoder, TraceSink};
+pub use fast::{FastScan, TipEvent};
+pub use flow::{BranchEvent, FlowDecoder, FlowError, FlowTrace};
+pub use msr::{IptMsrs, RtitCtl};
+pub use packet::{Packet, TntSeq};
+pub use topa::{Topa, TopaFlags, TopaRegion};

@@ -1,0 +1,101 @@
+//! Additional packet-level properties: parser bookkeeping, error display,
+//! ToPA interrupt semantics, TNT display.
+
+use fg_ipt::decode::{PacketError, PacketErrorKind, PacketParser};
+use fg_ipt::encode::{PacketEncoder, TraceSink};
+use fg_ipt::packet::TntSeq;
+use fg_ipt::topa::{Topa, TopaFlags, TopaRegion};
+use proptest::prelude::*;
+
+#[test]
+fn parser_position_and_remaining_track_consumption() {
+    let mut enc = PacketEncoder::new(Vec::new());
+    enc.tip(0x40_0000);
+    enc.tip(0x40_0008);
+    let bytes = enc.into_sink();
+    let mut p = PacketParser::new(&bytes);
+    assert_eq!(p.position(), 0);
+    assert_eq!(p.remaining(), bytes.len());
+    let first = p.next_packet().unwrap().unwrap();
+    assert_eq!(p.position(), first.len);
+    assert_eq!(p.remaining(), bytes.len() - first.len);
+    let _ = p.next_packet().unwrap().unwrap();
+    assert!(p.next_packet().is_none());
+    assert_eq!(p.remaining(), 0);
+}
+
+#[test]
+fn error_kinds_have_distinct_messages() {
+    let kinds = [
+        PacketErrorKind::Truncated,
+        PacketErrorKind::UnknownOpcode(0x0f),
+        PacketErrorKind::UnknownExtOpcode(0x55),
+        PacketErrorKind::BadIpBytes(0b101),
+        PacketErrorKind::SuppressedIp,
+        PacketErrorKind::EmptyTnt,
+    ];
+    let msgs: Vec<String> =
+        kinds.iter().map(|&kind| PacketError { offset: 9, kind }.to_string()).collect();
+    for (i, a) in msgs.iter().enumerate() {
+        assert!(a.contains('9'), "offset shown: {a}");
+        for b in &msgs[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+}
+
+#[test]
+fn tnt_display_shows_taken_pattern() {
+    let seq = TntSeq::from_slice(&[true, true, false]);
+    assert_eq!(seq.to_string(), "TNT(TTN)");
+}
+
+#[test]
+fn topa_pmi_is_edge_not_level() {
+    let mut t = Topa::new(vec![
+        TopaRegion::new(4096, TopaFlags { int: true, stop: false }),
+        TopaRegion::new(4096, TopaFlags::default()),
+    ])
+    .unwrap();
+    t.write_packet(&vec![0; 4096]);
+    t.write_packet(&[1]);
+    assert!(t.take_pmi());
+    // Writing more within region 1 must not re-raise.
+    t.write_packet(&[2, 3]);
+    assert!(!t.pmi_pending());
+    // Wrapping back into region 0 and filling it again re-raises.
+    t.write_packet(&vec![0; 4095]);
+    t.write_packet(&vec![9; 4097]);
+    assert!(t.pmi_pending());
+}
+
+proptest! {
+    /// Any byte soup either parses or errors — never panics — and
+    /// sync_forward never loops forever.
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut p = PacketParser::new(&bytes);
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            prop_assert!(guard < 10_000, "parser must make progress");
+            match p.next_packet() {
+                None => break,
+                Some(Ok(_)) => {}
+                Some(Err(_)) => {
+                    if p.sync_forward().is_none() {
+                        break;
+                    }
+                    // skip past the PSB so the loop advances
+                    let _ = p.next_packet();
+                }
+            }
+        }
+    }
+
+    /// fast::scan never panics on garbage either.
+    #[test]
+    fn scan_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = fg_ipt::fast::scan(&bytes);
+    }
+}

@@ -1,0 +1,635 @@
+//! A small assembler DSL for building [`Module`]s programmatically.
+//!
+//! The assembler resolves local labels to pc-relative displacements, turns
+//! calls to imported symbols into PLT-stub calls, and records relocations for
+//! `lea` and data-section pointer tables. It is the stand-in for the
+//! toolchain that produced the paper's protected COTS binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use fg_isa::asm::Asm;
+//! use fg_isa::insn::regs::*;
+//!
+//! # fn main() -> Result<(), fg_isa::asm::AsmError> {
+//! let mut a = Asm::new("demo");
+//! a.export("main");
+//! a.label("main");
+//! a.movi(R0, 3);
+//! a.label("loop");
+//! a.addi(R0, -1);
+//! a.cmpi(R0, 0);
+//! a.jcc(fg_isa::insn::Cond::Gt, "loop");
+//! a.halt();
+//! let module = a.finish()?;
+//! assert_eq!(module.export("main").unwrap().offset, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::insn::{AluOp, Cond, Insn, Reg, Width, INSN_SIZE};
+use crate::module::{Export, Module, Reloc};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced while assembling a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label or data symbol was defined twice.
+    DuplicateSymbol(String),
+    /// A branch, `lea`, or export referenced a name that is neither a local
+    /// label, a data symbol, nor a declared import.
+    UnknownSymbol(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateSymbol(s) => write!(f, "symbol `{s}` defined twice"),
+            AsmError::UnknownSymbol(s) => write!(f, "reference to unknown symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum PInsn {
+    Ready(Insn),
+    /// Direct branch to a local label or (for jmp/call) an imported symbol.
+    Branch { kind: BranchKind, label: String },
+    /// `rd = &sym` — patched by an `Abs` relocation.
+    Lea { rd: Reg, sym: String },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BranchKind {
+    Jmp,
+    Jcc(Cond),
+    Call,
+}
+
+/// Incremental builder for a [`Module`]. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Asm {
+    name: String,
+    insns: Vec<PInsn>,
+    labels: BTreeMap<String, usize>,
+    data: Vec<u8>,
+    data_syms: BTreeMap<String, u64>,
+    data_relocs: Vec<(usize, String)>,
+    imports: Vec<String>,
+    exports: Vec<String>,
+    needed: Vec<String>,
+}
+
+impl Asm {
+    /// Starts assembling a module with the given name.
+    pub fn new(name: impl Into<String>) -> Asm {
+        Asm {
+            name: name.into(),
+            insns: Vec::new(),
+            labels: BTreeMap::new(),
+            data: Vec::new(),
+            data_syms: BTreeMap::new(),
+            data_relocs: Vec::new(),
+            imports: Vec::new(),
+            exports: Vec::new(),
+            needed: Vec::new(),
+        }
+    }
+
+    /// Number of instructions emitted so far (PLT not included).
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Defines a local label at the current position.
+    ///
+    /// Duplicate definitions are reported by [`Asm::finish`].
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Asm {
+        let name = name.into();
+        // Duplicates are detected in finish(); last definition kept here but
+        // flagged as an error there.
+        if self.labels.insert(name.clone(), self.insns.len()).is_some() {
+            // Re-insert a sentinel so finish() can report it.
+            self.labels.insert(format!("__dup__{name}"), usize::MAX);
+            self.labels.insert(name, self.insns.len());
+        }
+        self
+    }
+
+    /// Declares an imported symbol, creating a PLT stub and GOT slot for it.
+    pub fn import(&mut self, sym: impl Into<String>) -> &mut Asm {
+        let sym = sym.into();
+        if !self.imports.contains(&sym) {
+            self.imports.push(sym);
+        }
+        self
+    }
+
+    /// Marks a label or data symbol as exported (global).
+    pub fn export(&mut self, sym: impl Into<String>) -> &mut Asm {
+        let sym = sym.into();
+        if !self.exports.contains(&sym) {
+            self.exports.push(sym);
+        }
+        self
+    }
+
+    /// Appends a module to the `DT_NEEDED`-style dependency list.
+    pub fn needs(&mut self, module: impl Into<String>) -> &mut Asm {
+        let m = module.into();
+        if !self.needed.contains(&m) {
+            self.needed.push(m);
+        }
+        self
+    }
+
+    /// Emits a pre-built instruction. Direct branch targets must already be
+    /// module-relative offsets; prefer the label-based helpers.
+    pub fn insn(&mut self, i: Insn) -> &mut Asm {
+        self.insns.push(PInsn::Ready(i));
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Data section
+    // ------------------------------------------------------------------
+
+    /// Adds named bytes to the data section, returning their offset within it.
+    pub fn data_bytes(&mut self, name: impl Into<String>, bytes: &[u8]) -> u64 {
+        let name = name.into();
+        let off = self.data.len() as u64;
+        if self.data_syms.insert(name.clone(), off).is_some() {
+            self.data_syms.insert(format!("__dup__{name}"), u64::MAX);
+            self.data_syms.insert(name, off);
+        }
+        self.data.extend_from_slice(bytes);
+        self.align_data();
+        off
+    }
+
+    /// Adds a zero-initialised buffer of `len` bytes.
+    pub fn data_zeros(&mut self, name: impl Into<String>, len: usize) -> u64 {
+        self.data_bytes(name, &vec![0u8; len])
+    }
+
+    /// Adds named 64-bit words.
+    pub fn data_words(&mut self, name: impl Into<String>, words: &[u64]) -> u64 {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data_bytes(name, &bytes)
+    }
+
+    /// Adds a table of symbol addresses (e.g. a function-pointer dispatch
+    /// table). Each entry becomes a `DataAbs` relocation resolved at link
+    /// time; entries may name local labels or data symbols.
+    pub fn data_ptrs(&mut self, name: impl Into<String>, syms: &[&str]) -> u64 {
+        let base = self.data.len();
+        let off = self.data_bytes(name, &vec![0u8; syms.len() * 8]);
+        for (i, s) in syms.iter().enumerate() {
+            self.data_relocs.push((base + i * 8, (*s).to_string()));
+        }
+        off
+    }
+
+    fn align_data(&mut self) {
+        while self.data.len() % 8 != 0 {
+            self.data.push(0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instruction helpers
+    // ------------------------------------------------------------------
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.insn(Insn::Nop)
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) -> &mut Asm {
+        self.insn(Insn::Halt)
+    }
+
+    /// `rd = imm`.
+    pub fn movi(&mut self, rd: Reg, imm: i32) -> &mut Asm {
+        self.insn(Insn::MovImm { rd, imm })
+    }
+
+    /// `rd = rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.insn(Insn::Mov { rd, rs })
+    }
+
+    /// `rd = op(rd, rs)`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs: Reg) -> &mut Asm {
+        self.insn(Insn::Alu { op, rd, rs })
+    }
+
+    /// `rd += rs`.
+    pub fn add(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.alu(AluOp::Add, rd, rs)
+    }
+
+    /// `rd -= rs`.
+    pub fn sub(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.alu(AluOp::Sub, rd, rs)
+    }
+
+    /// `rd ^= rs`.
+    pub fn xor(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.alu(AluOp::Xor, rd, rs)
+    }
+
+    /// `rd = op(rd, imm)`.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, imm: i32) -> &mut Asm {
+        self.insn(Insn::AluImm { op, rd, imm })
+    }
+
+    /// `rd += imm`.
+    pub fn addi(&mut self, rd: Reg, imm: i32) -> &mut Asm {
+        self.alui(AluOp::Add, rd, imm)
+    }
+
+    /// `rd *= imm`.
+    pub fn muli(&mut self, rd: Reg, imm: i32) -> &mut Asm {
+        self.alui(AluOp::Mul, rd, imm)
+    }
+
+    /// `rd <<= imm`.
+    pub fn shli(&mut self, rd: Reg, imm: i32) -> &mut Asm {
+        self.alui(AluOp::Shl, rd, imm)
+    }
+
+    /// `rd &= imm`.
+    pub fn andi(&mut self, rd: Reg, imm: i32) -> &mut Asm {
+        self.alui(AluOp::And, rd, imm)
+    }
+
+    /// Compare two registers.
+    pub fn cmp(&mut self, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.insn(Insn::Cmp { rs1, rs2 })
+    }
+
+    /// Compare a register with an immediate.
+    pub fn cmpi(&mut self, rs: Reg, imm: i32) -> &mut Asm {
+        self.insn(Insn::CmpImm { rs, imm })
+    }
+
+    /// `rd = mem64[base + off]`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i32) -> &mut Asm {
+        self.insn(Insn::Load { w: Width::B8, rd, base, off })
+    }
+
+    /// `rd = mem8[base + off]` (zero-extended).
+    pub fn ldb(&mut self, rd: Reg, base: Reg, off: i32) -> &mut Asm {
+        self.insn(Insn::Load { w: Width::B1, rd, base, off })
+    }
+
+    /// `mem64[base + off] = rs`.
+    pub fn st(&mut self, rs: Reg, base: Reg, off: i32) -> &mut Asm {
+        self.insn(Insn::Store { w: Width::B8, rs, base, off })
+    }
+
+    /// `mem8[base + off] = rs` (truncated).
+    pub fn stb(&mut self, rs: Reg, base: Reg, off: i32) -> &mut Asm {
+        self.insn(Insn::Store { w: Width::B1, rs, base, off })
+    }
+
+    /// Push a register.
+    pub fn push(&mut self, rs: Reg) -> &mut Asm {
+        self.insn(Insn::Push { rs })
+    }
+
+    /// Pop into a register.
+    pub fn pop(&mut self, rd: Reg) -> &mut Asm {
+        self.insn(Insn::Pop { rd })
+    }
+
+    /// Unconditional direct jump to a local label (or PLT stub of an import).
+    pub fn jmp(&mut self, label: impl Into<String>) -> &mut Asm {
+        self.insns.push(PInsn::Branch { kind: BranchKind::Jmp, label: label.into() });
+        self
+    }
+
+    /// Conditional branch to a local label.
+    pub fn jcc(&mut self, cc: Cond, label: impl Into<String>) -> &mut Asm {
+        self.insns.push(PInsn::Branch { kind: BranchKind::Jcc(cc), label: label.into() });
+        self
+    }
+
+    /// `jeq label`.
+    pub fn jeq(&mut self, label: impl Into<String>) -> &mut Asm {
+        self.jcc(Cond::Eq, label)
+    }
+
+    /// `jne label`.
+    pub fn jne(&mut self, label: impl Into<String>) -> &mut Asm {
+        self.jcc(Cond::Ne, label)
+    }
+
+    /// Direct call to a local label, or to the PLT stub of a declared import.
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Asm {
+        self.insns.push(PInsn::Branch { kind: BranchKind::Call, label: label.into() });
+        self
+    }
+
+    /// Indirect jump through a register.
+    pub fn jmpi(&mut self, rs: Reg) -> &mut Asm {
+        self.insn(Insn::JmpInd { rs })
+    }
+
+    /// Indirect call through a register.
+    pub fn calli(&mut self, rs: Reg) -> &mut Asm {
+        self.insn(Insn::CallInd { rs })
+    }
+
+    /// Return.
+    pub fn ret(&mut self) -> &mut Asm {
+        self.insn(Insn::Ret)
+    }
+
+    /// System call.
+    pub fn syscall(&mut self) -> &mut Asm {
+        self.insn(Insn::Syscall)
+    }
+
+    /// `rd = &sym` where `sym` is a local label or data symbol; resolved by an
+    /// absolute relocation at link time.
+    pub fn lea(&mut self, rd: Reg, sym: impl Into<String>) -> &mut Asm {
+        self.insns.push(PInsn::Lea { rd, sym: sym.into() });
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Finalisation
+    // ------------------------------------------------------------------
+
+    /// Lays out code, PLT, GOT, and data, resolves local references, and
+    /// produces the relocatable [`Module`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if a symbol is defined twice or a reference names
+    /// an unknown symbol.
+    pub fn finish(self) -> Result<Module, AsmError> {
+        for key in self.labels.keys().chain(self.data_syms.keys()) {
+            if let Some(orig) = key.strip_prefix("__dup__") {
+                return Err(AsmError::DuplicateSymbol(orig.to_string()));
+            }
+        }
+        for l in self.labels.keys() {
+            if self.data_syms.contains_key(l) {
+                return Err(AsmError::DuplicateSymbol(l.clone()));
+            }
+        }
+
+        let plt_start = self.insns.len();
+        let n_code = plt_start + 3 * self.imports.len();
+        let mut code: Vec<Insn> = Vec::with_capacity(n_code);
+        let mut relocs: Vec<Reloc> = Vec::new();
+
+        // Final layout is known up front (fixed-width instructions).
+        let got_offset = n_code as u64 * INSN_SIZE;
+        let data_offset = got_offset + self.imports.len() as u64 * 8;
+
+        // Offsets of PLT stubs, keyed by import index.
+        let plt_stub_off = |idx: usize| (plt_start + 3 * idx) as u64 * INSN_SIZE;
+
+        // Resolve a code-reference: local label first, then PLT stub.
+        let resolve_code = |label: &str| -> Result<u64, AsmError> {
+            if let Some(&idx) = self.labels.get(label) {
+                return Ok(idx as u64 * INSN_SIZE);
+            }
+            if let Some(i) = self.imports.iter().position(|s| s == label) {
+                return Ok(plt_stub_off(i));
+            }
+            Err(AsmError::UnknownSymbol(label.to_string()))
+        };
+
+        // Resolve any local symbol (code label or data symbol) to its
+        // module-relative offset.
+        let sym_offset = |name: &str| -> Result<u64, AsmError> {
+            if let Some(&idx) = self.labels.get(name) {
+                Ok(idx as u64 * INSN_SIZE)
+            } else if let Some(&off) = self.data_syms.get(name) {
+                Ok(data_offset + off)
+            } else {
+                Err(AsmError::UnknownSymbol(name.to_string()))
+            }
+        };
+
+        for (i, p) in self.insns.iter().enumerate() {
+            match p {
+                PInsn::Ready(insn) => code.push(*insn),
+                PInsn::Branch { kind, label } => {
+                    let target = resolve_code(label)?;
+                    code.push(match kind {
+                        BranchKind::Jmp => Insn::Jmp { target },
+                        BranchKind::Jcc(cc) => Insn::Jcc { cc: *cc, target },
+                        BranchKind::Call => Insn::Call { target },
+                    });
+                }
+                PInsn::Lea { rd, sym } => {
+                    let target_offset = sym_offset(sym)?;
+                    code.push(Insn::MovImm { rd: *rd, imm: 0 });
+                    relocs.push(Reloc::Abs { code_index: i, target_offset, sym: sym.clone() });
+                }
+            }
+        }
+
+        // PLT stubs: mov fp, &got[i]; ld fp, [fp]; jmp *fp
+        use crate::insn::Reg;
+        for (i, import) in self.imports.iter().enumerate() {
+            let stub_idx = code.len();
+            code.push(Insn::MovImm { rd: Reg::FP, imm: 0 });
+            relocs.push(Reloc::GotAddr { code_index: stub_idx, got_index: i, import: import.clone() });
+            code.push(Insn::Load { w: Width::B8, rd: Reg::FP, base: Reg::FP, off: 0 });
+            code.push(Insn::JmpInd { rs: Reg::FP });
+        }
+        debug_assert_eq!(code.len(), n_code);
+
+        let mut exports = Vec::with_capacity(self.exports.len());
+        for e in &self.exports {
+            exports.push(Export { name: e.clone(), offset: sym_offset(e)? });
+        }
+
+        for (off, sym) in &self.data_relocs {
+            let target_offset = sym_offset(sym)?;
+            relocs.push(Reloc::DataAbs { data_offset: *off, target_offset, sym: sym.clone() });
+        }
+
+        let labels = self
+            .labels
+            .iter()
+            .map(|(n, &i)| (n.clone(), i as u64 * INSN_SIZE))
+            .collect();
+
+        Ok(Module {
+            name: self.name,
+            code,
+            plt_start,
+            data: self.data,
+            imports: self.imports,
+            exports,
+            needed: self.needed,
+            relocs,
+            labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::regs::*;
+
+    #[test]
+    fn labels_resolve_to_offsets() {
+        let mut a = Asm::new("t");
+        a.label("start");
+        a.nop();
+        a.label("mid");
+        a.jmp("start");
+        a.jcc(Cond::Eq, "mid");
+        a.halt();
+        let m = a.finish().unwrap();
+        assert_eq!(m.code[1], Insn::Jmp { target: 0 });
+        assert_eq!(m.code[2], Insn::Jcc { cc: Cond::Eq, target: 8 });
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut a = Asm::new("t");
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateSymbol("x".into()));
+    }
+
+    #[test]
+    fn label_data_collision_rejected() {
+        let mut a = Asm::new("t");
+        a.label("x");
+        a.halt();
+        a.data_bytes("x", &[1]);
+        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateSymbol("x".into()));
+    }
+
+    #[test]
+    fn unknown_branch_target_rejected() {
+        let mut a = Asm::new("t");
+        a.jmp("nowhere");
+        assert_eq!(a.finish().unwrap_err(), AsmError::UnknownSymbol("nowhere".into()));
+    }
+
+    #[test]
+    fn import_call_goes_through_plt() {
+        let mut a = Asm::new("t");
+        a.import("memcpy").needs("libc");
+        a.call("memcpy");
+        a.halt();
+        let m = a.finish().unwrap();
+        // 2 user insns, then a 3-insn PLT stub.
+        assert_eq!(m.plt_start, 2);
+        assert_eq!(m.code.len(), 5);
+        // call targets the stub.
+        assert_eq!(m.code[0], Insn::Call { target: 16 });
+        // stub = movi fp, got; ld fp,[fp]; jmp *fp
+        assert!(matches!(m.code[2], Insn::MovImm { rd: Reg::FP, .. }));
+        assert!(matches!(m.code[3], Insn::Load { .. }));
+        assert_eq!(m.code[4], Insn::JmpInd { rs: Reg::FP });
+        assert!(m
+            .relocs
+            .iter()
+            .any(|r| matches!(r, Reloc::GotAddr { code_index: 2, got_index: 0, import } if import == "memcpy")));
+        assert_eq!(m.needed, vec!["libc".to_string()]);
+    }
+
+    #[test]
+    fn lea_emits_abs_reloc() {
+        let mut a = Asm::new("t");
+        a.data_bytes("buf", &[0; 16]);
+        a.lea(R1, "buf");
+        a.halt();
+        let m = a.finish().unwrap();
+        assert!(matches!(m.code[0], Insn::MovImm { .. }));
+        assert!(m
+            .relocs
+            .iter()
+            .any(|r| matches!(r, Reloc::Abs { code_index: 0, sym, .. } if sym == "buf")));
+    }
+
+    #[test]
+    fn lea_unknown_symbol_rejected() {
+        let mut a = Asm::new("t");
+        a.lea(R1, "ghost");
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn data_ptr_table_relocations() {
+        let mut a = Asm::new("t");
+        a.label("f1");
+        a.ret();
+        a.label("f2");
+        a.ret();
+        a.data_ptrs("handlers", &["f1", "f2"]);
+        let m = a.finish().unwrap();
+        let dr: Vec<_> = m
+            .relocs
+            .iter()
+            .filter(|r| matches!(r, Reloc::DataAbs { .. }))
+            .collect();
+        assert_eq!(dr.len(), 2);
+    }
+
+    #[test]
+    fn exports_cover_code_and_data() {
+        let mut a = Asm::new("t");
+        a.export("main").export("table");
+        a.label("main");
+        a.halt();
+        a.data_words("table", &[1, 2]);
+        let m = a.finish().unwrap();
+        assert_eq!(m.export("main").unwrap().offset, 0);
+        // data starts right after code (no imports → no PLT/GOT).
+        assert_eq!(m.export("table").unwrap().offset, m.data_offset());
+    }
+
+    #[test]
+    fn export_of_unknown_symbol_rejected() {
+        let mut a = Asm::new("t");
+        a.export("ghost");
+        a.halt();
+        assert!(matches!(a.finish(), Err(AsmError::UnknownSymbol(s)) if s == "ghost"));
+    }
+
+    #[test]
+    fn data_alignment_is_eight_bytes() {
+        let mut a = Asm::new("t");
+        a.data_bytes("a", &[1, 2, 3]);
+        let off = a.data_bytes("b", &[4]);
+        assert_eq!(off % 8, 0);
+    }
+
+    #[test]
+    fn import_idempotent() {
+        let mut a = Asm::new("t");
+        a.import("x").import("x");
+        a.halt();
+        let m = a.finish().unwrap();
+        assert_eq!(m.imports.len(), 1);
+    }
+}

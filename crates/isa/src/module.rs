@@ -1,0 +1,180 @@
+//! Relocatable modules: the unit of static linking.
+//!
+//! A [`Module`] is the output of the assembler ([`crate::asm::Asm`]) and the
+//! input of the linker ([`crate::image::Linker`]). It holds position-
+//! independent code (direct branch targets are pc-relative in the binary
+//! encoding, stored here as module-relative offsets), a data section,
+//! import/export symbol tables, a PLT/GOT for inter-module calls, and the
+//! relocations the linker must apply.
+
+use crate::insn::Insn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relocation the linker applies when the module is assigned a base
+/// address and its imported symbols are resolved.
+///
+/// Intra-module symbol references are already resolved to module-relative
+/// offsets by the assembler; the linker only rebases them (and fills GOT
+/// slots from the global symbol resolution). The `sym` fields are retained
+/// for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reloc {
+    /// Patch the 32-bit immediate of the instruction at `code_index` with the
+    /// absolute address `base + target_offset` (used by `lea`).
+    Abs { code_index: usize, target_offset: u64, sym: String },
+    /// Patch the 32-bit immediate of the instruction at `code_index` with the
+    /// absolute address of this module's GOT slot `got_index` (used by PLT
+    /// stubs).
+    GotAddr { code_index: usize, got_index: usize, import: String },
+    /// Write the absolute address `base + target_offset` as a 64-bit word at
+    /// byte offset `data_offset` inside the data section (function-pointer
+    /// tables, vtables, …).
+    DataAbs { data_offset: usize, target_offset: u64, sym: String },
+}
+
+/// An exported (global) symbol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Export {
+    /// Symbol name.
+    pub name: String,
+    /// Module-relative byte offset of the symbol.
+    pub offset: u64,
+}
+
+/// A relocatable module produced by the assembler.
+///
+/// Layout once loaded at a base address `B`:
+///
+/// ```text
+/// B                 ── code (assembled instructions)
+/// B + plt_offset    ── PLT stubs (3 instructions per import)
+/// B + got_offset    ── GOT (8 bytes per import, filled by the linker)
+/// B + data_offset   ── data section
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (e.g. `"nginx"`, `"libc"`).
+    pub name: String,
+    /// All instructions — user code followed by PLT stubs. Direct branch
+    /// targets are *module-relative offsets* until the linker rebases them.
+    pub code: Vec<Insn>,
+    /// Index into [`Module::code`] of the first PLT instruction.
+    pub plt_start: usize,
+    /// Initial contents of the data section.
+    pub data: Vec<u8>,
+    /// Imported symbol names, in GOT-slot order.
+    pub imports: Vec<String>,
+    /// Exported symbols.
+    pub exports: Vec<Export>,
+    /// Names of modules this one depends on, in `DT_NEEDED` order.
+    pub needed: Vec<String>,
+    /// Relocations to apply at link time.
+    pub relocs: Vec<Reloc>,
+    /// All local labels (name → module-relative offset); retained for
+    /// diagnostics and tests, not used at link time.
+    pub labels: BTreeMap<String, u64>,
+}
+
+impl Module {
+    /// Byte offset of the PLT (also the end of user code).
+    pub fn plt_offset(&self) -> u64 {
+        self.plt_start as u64 * crate::insn::INSN_SIZE
+    }
+
+    /// Byte offset of the GOT (just after the PLT).
+    pub fn got_offset(&self) -> u64 {
+        self.code.len() as u64 * crate::insn::INSN_SIZE
+    }
+
+    /// Byte offset of the data section (just after the GOT).
+    pub fn data_offset(&self) -> u64 {
+        self.got_offset() + self.imports.len() as u64 * 8
+    }
+
+    /// Total loaded size of the module in bytes.
+    pub fn size(&self) -> u64 {
+        self.data_offset() + self.data.len() as u64
+    }
+
+    /// Looks up an export by name.
+    pub fn export(&self, name: &str) -> Option<&Export> {
+        self.exports.iter().find(|e| e.name == name)
+    }
+
+    /// The GOT slot index for an imported symbol.
+    pub fn got_slot(&self, import: &str) -> Option<usize> {
+        self.imports.iter().position(|i| i == import)
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "module {} ({} insns, {} data bytes, {} imports, {} exports)",
+            self.name,
+            self.code.len(),
+            self.data.len(),
+            self.imports.len(),
+            self.exports.len()
+        )?;
+        for (i, insn) in self.code.iter().enumerate() {
+            let off = i as u64 * crate::insn::INSN_SIZE;
+            for (l, &o) in &self.labels {
+                if o == off {
+                    writeln!(f, "{l}:")?;
+                }
+            }
+            writeln!(f, "  {off:#06x}: {insn}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::INSN_SIZE;
+
+    fn sample() -> Module {
+        Module {
+            name: "m".into(),
+            code: vec![Insn::Nop, Insn::Ret, Insn::Nop, Insn::Nop, Insn::Nop],
+            plt_start: 2,
+            data: vec![1, 2, 3, 4],
+            imports: vec!["memcpy".into()],
+            exports: vec![Export { name: "main".into(), offset: 0 }],
+            needed: vec!["libc".into()],
+            relocs: vec![],
+            labels: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn layout_offsets() {
+        let m = sample();
+        assert_eq!(m.plt_offset(), 2 * INSN_SIZE);
+        assert_eq!(m.got_offset(), 5 * INSN_SIZE);
+        assert_eq!(m.data_offset(), 5 * INSN_SIZE + 8);
+        assert_eq!(m.size(), 5 * INSN_SIZE + 8 + 4);
+    }
+
+    #[test]
+    fn export_and_got_lookup() {
+        let m = sample();
+        assert_eq!(m.export("main").unwrap().offset, 0);
+        assert!(m.export("nope").is_none());
+        assert_eq!(m.got_slot("memcpy"), Some(0));
+        assert_eq!(m.got_slot("nope"), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = sample();
+        let s = m.to_string();
+        assert!(s.contains("module m"));
+        assert!(s.contains("ret"));
+    }
+}

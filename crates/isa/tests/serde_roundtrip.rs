@@ -1,0 +1,100 @@
+//! Serialisation round trips for the linkable/loadable artifacts.
+
+use fg_isa::asm::Asm;
+use fg_isa::image::{Image, Linker};
+use fg_isa::insn::regs::*;
+use fg_isa::insn::{Cond, Insn};
+
+fn sample_image() -> Image {
+    let mut lib = Asm::new("libc");
+    lib.export("f");
+    lib.label("f");
+    lib.movi(R0, 7);
+    lib.ret();
+    let mut a = Asm::new("app");
+    a.import("f").needs("libc");
+    a.export("main");
+    a.label("main");
+    a.cmpi(R0, 3);
+    a.jcc(Cond::Lt, "skip");
+    a.call("f");
+    a.label("skip");
+    a.halt();
+    a.data_ptrs("tbl", &["main"]);
+    Linker::new(a.finish().unwrap()).library(lib.finish().unwrap()).link().unwrap()
+}
+
+#[test]
+fn image_json_roundtrip_preserves_bytes_and_symbols() {
+    let img = sample_image();
+    let json = serde_json::to_string(&img).expect("serialise");
+    let back: Image = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(back.entry(), img.entry());
+    assert_eq!(back.modules().len(), img.modules().len());
+    for (a, b) in img.modules().iter().zip(back.modules()) {
+        assert_eq!(a.bytes, b.bytes, "module {} bytes", a.name);
+        assert_eq!(a.exports, b.exports);
+    }
+    // Decoded instructions agree too.
+    let va = img.entry();
+    assert_eq!(img.insn_at(va), back.insn_at(va));
+}
+
+#[test]
+fn module_json_roundtrip() {
+    let mut a = Asm::new("m");
+    a.export("main");
+    a.label("main");
+    a.push(R1);
+    a.pop(R1);
+    a.halt();
+    let m = a.finish().unwrap();
+    let json = serde_json::to_string(&m).expect("serialise");
+    let back: fg_isa::Module = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(back, m);
+}
+
+#[test]
+fn insn_json_roundtrip() {
+    for i in [
+        Insn::MovImm { rd: R3, imm: -1 },
+        Insn::Jcc { cc: Cond::Ge, target: 0x40_0000 },
+        Insn::Ret,
+        Insn::Syscall,
+    ] {
+        let json = serde_json::to_string(&i).expect("serialise");
+        let back: Insn = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, i);
+    }
+}
+
+#[test]
+fn display_formats_are_stable() {
+    assert_eq!(Insn::MovImm { rd: R2, imm: 5 }.to_string(), "mov r2, 5");
+    assert_eq!(Insn::JmpInd { rs: R6 }.to_string(), "jmp *r6");
+    assert_eq!(Insn::CallInd { rs: R7 }.to_string(), "call *r7");
+    assert_eq!(Insn::Jcc { cc: Cond::Le, target: 0x10 }.to_string(), "jle 0x10");
+    assert_eq!(
+        Insn::Load { w: fg_isa::Width::B1, rd: R1, base: R2, off: -3 }.to_string(),
+        "ldb r1, [r2-3]"
+    );
+}
+
+#[test]
+fn linker_rejects_oversized_module() {
+    let mut a = Asm::new("bloated");
+    a.export("main");
+    a.label("main");
+    a.halt();
+    // A data section larger than the per-library stride.
+    a.data_zeros("huge", fg_isa::image::LIB_STRIDE as usize + 16);
+    let exe = {
+        let mut e = Asm::new("app");
+        e.export("main");
+        e.label("main");
+        e.halt();
+        e.finish().unwrap()
+    };
+    let err = Linker::new(exe).library(a.finish().unwrap()).link().unwrap_err();
+    assert!(matches!(err, fg_isa::image::LinkError::ModuleTooLarge { .. }), "{err}");
+}

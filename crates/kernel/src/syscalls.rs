@@ -1,0 +1,148 @@
+//! Syscall numbers and the security-sensitive set.
+//!
+//! FlowGuard "uses critical system calls as endpoints for CFI checking" and
+//! "selects the same sets of syscalls as PathArmor since they represent the
+//! major threats" (§5.2): `execve`, `mmap`, `mprotect`, plus `write` and
+//! `sigreturn` (the syscalls at which the paper's ROP and SROP attacks are
+//! caught, §7.1.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Syscall numbers of the simulated kernel ABI (number in `r0`, arguments
+/// in `r1`–`r5`, result in `r0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u64)]
+pub enum Sysno {
+    /// `exit(code)` — terminate the process.
+    Exit = 0,
+    /// `read(fd, buf, len) → n` — fd 0 is the de-socketed input stream.
+    Read = 1,
+    /// `write(fd, buf, len) → n` — output is collected by the kernel.
+    Write = 2,
+    /// `open(path_ptr, path_len) → fd` on the in-memory filesystem.
+    Open = 3,
+    /// `close(fd)`.
+    Close = 4,
+    /// `mmap(hint, len) → va` — map anonymous memory.
+    Mmap = 5,
+    /// `mprotect(va, len, prot)`.
+    Mprotect = 6,
+    /// `execve(path_ptr, path_len)`.
+    Execve = 7,
+    /// `sigreturn()` — restore a signal frame from the stack.
+    Sigreturn = 8,
+    /// `gettimeofday() → ticks` (the VDSO-accelerated call of §4.1).
+    Gettimeofday = 9,
+    /// `getpid() → pid`.
+    Getpid = 10,
+}
+
+impl Sysno {
+    /// Decodes a syscall number.
+    pub fn from_u64(nr: u64) -> Option<Sysno> {
+        Some(match nr {
+            0 => Sysno::Exit,
+            1 => Sysno::Read,
+            2 => Sysno::Write,
+            3 => Sysno::Open,
+            4 => Sysno::Close,
+            5 => Sysno::Mmap,
+            6 => Sysno::Mprotect,
+            7 => Sysno::Execve,
+            8 => Sysno::Sigreturn,
+            9 => Sysno::Gettimeofday,
+            10 => Sysno::Getpid,
+            _ => return None,
+        })
+    }
+
+    /// The syscall's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sysno::Exit => "exit",
+            Sysno::Read => "read",
+            Sysno::Write => "write",
+            Sysno::Open => "open",
+            Sysno::Close => "close",
+            Sysno::Mmap => "mmap",
+            Sysno::Mprotect => "mprotect",
+            Sysno::Execve => "execve",
+            Sysno::Sigreturn => "sigreturn",
+            Sysno::Gettimeofday => "gettimeofday",
+            Sysno::Getpid => "getpid",
+        }
+    }
+}
+
+/// The set of syscalls treated as security-sensitive endpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SensitiveSet {
+    numbers: Vec<Sysno>,
+}
+
+impl SensitiveSet {
+    /// The PathArmor-like default: `execve`, `mmap`, `mprotect`, `write`,
+    /// `sigreturn`.
+    pub fn patharmor_default() -> SensitiveSet {
+        SensitiveSet {
+            numbers: vec![
+                Sysno::Execve,
+                Sysno::Mmap,
+                Sysno::Mprotect,
+                Sysno::Write,
+                Sysno::Sigreturn,
+            ],
+        }
+    }
+
+    /// A user-specified set ("FlowGuard provides an interface for users to
+    /// specify their own endpoints", §7.1.2).
+    pub fn custom(numbers: Vec<Sysno>) -> SensitiveSet {
+        SensitiveSet { numbers }
+    }
+
+    /// Whether `nr` is sensitive.
+    pub fn contains(&self, nr: Sysno) -> bool {
+        self.numbers.contains(&nr)
+    }
+
+    /// The contained syscalls.
+    pub fn iter(&self) -> impl Iterator<Item = Sysno> + '_ {
+        self.numbers.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_roundtrip() {
+        for nr in 0..=10u64 {
+            let s = Sysno::from_u64(nr).unwrap();
+            assert_eq!(s as u64, nr);
+            assert!(!s.name().is_empty());
+        }
+        assert_eq!(Sysno::from_u64(99), None);
+    }
+
+    #[test]
+    fn default_sensitive_set_matches_patharmor() {
+        let s = SensitiveSet::patharmor_default();
+        assert!(s.contains(Sysno::Execve));
+        assert!(s.contains(Sysno::Mprotect));
+        assert!(s.contains(Sysno::Mmap));
+        assert!(s.contains(Sysno::Write), "traditional ROP caught at write (§7.1.2)");
+        assert!(s.contains(Sysno::Sigreturn), "SROP caught at sigreturn (§7.1.2)");
+        assert!(!s.contains(Sysno::Read));
+        assert!(!s.contains(Sysno::Gettimeofday));
+    }
+
+    #[test]
+    fn custom_set() {
+        let s = SensitiveSet::custom(vec![Sysno::Read]);
+        assert!(s.contains(Sysno::Read));
+        assert!(!s.contains(Sysno::Write));
+        assert_eq!(s.iter().count(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Kernel integration: filesystem surface, interceptor lifecycle, PMI
+//! default behaviour.
+
+use fg_cpu::machine::{Machine, StopReason};
+use fg_kernel::{DenyAll, Kernel, SensitiveSet, Sysno};
+use fg_isa::asm::Asm;
+use fg_isa::image::{Image, Linker};
+use fg_isa::insn::regs::*;
+
+fn build(f: impl FnOnce(&mut Asm)) -> Image {
+    let mut a = Asm::new("app");
+    a.export("main");
+    a.label("main");
+    f(&mut a);
+    Linker::new(a.finish().unwrap()).link().unwrap()
+}
+
+#[test]
+fn open_creates_file_entries_and_returns_fds() {
+    let img = build(|a| {
+        a.lea(R1, "p1");
+        a.movi(R2, 4);
+        a.movi(R0, Sysno::Open as i32);
+        a.syscall();
+        a.mov(R10, R0);
+        a.lea(R1, "p2");
+        a.movi(R2, 4);
+        a.movi(R0, Sysno::Open as i32);
+        a.syscall();
+        a.mov(R11, R0);
+        a.movi(R0, Sysno::Close as i32);
+        a.syscall();
+        a.halt();
+        a.data_bytes("p1", b"/f/a");
+        a.data_bytes("p2", b"/f/b");
+    });
+    let mut m = Machine::new(&img, 0x1000);
+    let mut k = Kernel::new();
+    assert_eq!(m.run(&mut k, 1000), StopReason::Halted);
+    assert!(k.files.contains_key("/f/a"));
+    assert!(k.files.contains_key("/f/b"));
+    assert_ne!(m.cpu.regs[10], m.cpu.regs[11], "distinct fds");
+}
+
+#[test]
+fn interceptor_can_be_removed_and_reinstalled() {
+    let img = build(|a| {
+        a.movi(R0, Sysno::Mprotect as i32);
+        a.syscall();
+        a.halt();
+    });
+    let mut k = Kernel::new();
+    k.install_interceptor(Box::new(DenyAll {
+        sensitive: SensitiveSet::patharmor_default(),
+        cr3: 0x1000,
+    }));
+    let module = k.take_interceptor();
+    assert!(module.is_some());
+    // Without the module, the sensitive syscall sails through.
+    let mut m = Machine::new(&img, 0x1000);
+    assert_eq!(m.run(&mut k, 100), StopReason::Halted);
+    assert!(!k.violated());
+    // Reinstall: killed.
+    k.install_interceptor(module.unwrap());
+    let mut m2 = Machine::new(&img, 0x1000);
+    assert_eq!(m2.run(&mut k, 100), StopReason::Killed(fg_kernel::SIGKILL));
+}
+
+#[test]
+fn kernel_debug_output_is_informative() {
+    let k = Kernel::with_input(b"abc");
+    let dbg = format!("{k:?}");
+    assert!(dbg.contains("input_len: 3"));
+    assert!(dbg.contains("protected: false"));
+}
+
+#[test]
+fn pmi_default_acknowledges_without_killing() {
+    // A long loop with a tiny ToPA: PMIs fire, the default handler just
+    // acknowledges, the program completes.
+    let img = build(|a| {
+        a.movi(R0, 80_000);
+        a.label("spin");
+        a.cmpi(R0, 0);
+        a.jcc(fg_isa::insn::Cond::Le, "done");
+        a.addi(R0, -1);
+        a.jmp("spin");
+        a.label("done");
+        a.halt();
+    });
+    let mut m = Machine::new(&img, 0x1000);
+    let mut unit = fg_cpu::IptUnit::flowguard(0x1000, fg_ipt::Topa::two_regions(4096).unwrap());
+    unit.start(img.entry(), 0x1000);
+    m.trace = fg_cpu::TraceUnit::Ipt(unit);
+    let mut k = Kernel::new();
+    assert_eq!(m.run(&mut k, 1_000_000), StopReason::Halted);
+    assert!(m.trace.as_ipt().unwrap().topa().has_wrapped() || m.trace.as_ipt().unwrap().bytes_emitted() > 4096);
+    assert!(!m.trace.as_ipt().unwrap().topa().pmi_pending(), "PMIs acknowledged");
+}

@@ -1,0 +1,256 @@
+//! The shared C-library module every workload links against.
+//!
+//! Besides realistic helpers (`memcpy`, `strlen`, checksums, syscall
+//! wrappers), the library deliberately contains the register-restore
+//! epilogues (`pop rN; ret`) that real libcs are full of — the gadget
+//! material the paper's ROP/SROP attacks chain together. The `vdso` module
+//! provides `gettimeofday`, which the linker resolves ahead of libraries
+//! (§4.1's VDSO precedence).
+
+use fg_isa::asm::Asm;
+use fg_isa::insn::regs::*;
+use fg_isa::insn::Cond;
+use fg_isa::module::Module;
+
+/// Syscall numbers mirrored from `fg-kernel` (workloads only depend on
+/// `fg-isa`, so the ABI constants are duplicated here by value).
+pub mod sys {
+    pub const EXIT: i32 = 0;
+    pub const READ: i32 = 1;
+    pub const WRITE: i32 = 2;
+    pub const OPEN: i32 = 3;
+    pub const MMAP: i32 = 5;
+    pub const MPROTECT: i32 = 6;
+    pub const EXECVE: i32 = 7;
+    pub const SIGRETURN: i32 = 8;
+    pub const GETTIMEOFDAY: i32 = 9;
+}
+
+/// Builds the shared `libc` module.
+///
+/// Exported symbols:
+///
+/// * `memcpy(r1=dst, r2=src, r3=len)`
+/// * `strlen(r1=ptr) → r0`
+/// * `checksum(r1=ptr, r2=len) → r0`
+/// * `atoi(r1=ptr, r2=len) → r0`
+/// * `read_in(r1=buf, r2=len) → r0` / `write_out(r1=buf, r2=len)`
+/// * `exit(r1=code)`
+/// * `do_syscall` — raw `syscall; ret` stub (the SROP gadget)
+/// * `restore1`/`restore2`/`restore0` — `pop …; ret` epilogues (ROP gadget
+///   material)
+pub fn build_libc() -> Module {
+    let mut a = Asm::new("libc");
+    for s in [
+        "memcpy", "strlen", "checksum", "atoi", "read_in", "write_out", "exit", "do_syscall",
+        "restore0", "restore1", "restore2",
+    ] {
+        a.export(s);
+    }
+
+    // memcpy(dst=r1, src=r2, len=r3)
+    a.label("memcpy");
+    a.movi(R4, 0);
+    a.label("mc_loop");
+    a.cmp(R4, R3);
+    a.jcc(Cond::Ge, "mc_done");
+    a.mov(R5, R2);
+    a.add(R5, R4);
+    a.ldb(R6, R5, 0);
+    a.mov(R5, R1);
+    a.add(R5, R4);
+    a.stb(R6, R5, 0);
+    a.addi(R4, 1);
+    a.jmp("mc_loop");
+    a.label("mc_done");
+    a.ret();
+
+    // strlen(ptr=r1) -> r0
+    a.label("strlen");
+    a.movi(R0, 0);
+    a.label("sl_loop");
+    a.mov(R5, R1);
+    a.add(R5, R0);
+    a.ldb(R6, R5, 0);
+    a.cmpi(R6, 0);
+    a.jcc(Cond::Eq, "sl_done");
+    a.addi(R0, 1);
+    a.jmp("sl_loop");
+    a.label("sl_done");
+    a.ret();
+
+    // checksum(ptr=r1, len=r2) -> r0 — branchy rolling sum.
+    a.label("checksum");
+    a.movi(R0, 0);
+    a.movi(R4, 0);
+    a.label("ck_loop");
+    a.cmp(R4, R2);
+    a.jcc(Cond::Ge, "ck_done");
+    a.mov(R5, R1);
+    a.add(R5, R4);
+    a.ldb(R6, R5, 0);
+    a.add(R0, R6);
+    a.cmpi(R6, 127);
+    a.jcc(Cond::Le, "ck_low");
+    a.alui(fg_isa::insn::AluOp::Xor, R0, 0x5a);
+    a.label("ck_low");
+    a.cmpi(R6, 32);
+    a.jcc(Cond::Ge, "ck_print");
+    a.alui(fg_isa::insn::AluOp::Add, R0, 7);
+    a.label("ck_print");
+    a.addi(R4, 1);
+    a.jmp("ck_loop");
+    a.label("ck_done");
+    a.ret();
+
+    // atoi(ptr=r1, len=r2) -> r0 — decimal parse with digit validation.
+    a.label("atoi");
+    a.movi(R0, 0);
+    a.movi(R4, 0);
+    a.label("at_loop");
+    a.cmp(R4, R2);
+    a.jcc(Cond::Ge, "at_done");
+    a.mov(R5, R1);
+    a.add(R5, R4);
+    a.ldb(R6, R5, 0);
+    a.cmpi(R6, b'0' as i32);
+    a.jcc(Cond::Lt, "at_done");
+    a.cmpi(R6, b'9' as i32);
+    a.jcc(Cond::Gt, "at_done");
+    a.muli(R0, 10);
+    a.addi(R6, -(b'0' as i32));
+    a.add(R0, R6);
+    a.addi(R4, 1);
+    a.jmp("at_loop");
+    a.label("at_done");
+    a.ret();
+
+    // read_in(buf=r1, len=r2) -> r0
+    a.label("read_in");
+    a.mov(R3, R2); // len
+    a.mov(R2, R1); // buf
+    a.movi(R1, 0); // fd 0
+    a.movi(R0, sys::READ);
+    a.syscall();
+    a.ret();
+
+    // write_out(buf=r1, len=r2)
+    a.label("write_out");
+    a.mov(R3, R2);
+    a.mov(R2, R1);
+    a.movi(R1, 1);
+    a.movi(R0, sys::WRITE);
+    a.syscall();
+    a.ret();
+
+    // exit(code=r1)
+    a.label("exit");
+    a.movi(R0, sys::EXIT);
+    a.syscall();
+    a.ret();
+
+    // do_syscall — raw syscall stub: the classic SROP trampoline.
+    a.label("do_syscall");
+    a.syscall();
+    a.ret();
+
+    // Register-restore epilogues: ROP gadget fodder.
+    a.label("restore0");
+    a.pop(R0);
+    a.ret();
+    a.label("restore1");
+    a.pop(R1);
+    a.ret();
+    a.label("restore2");
+    a.pop(R2);
+    a.pop(R3);
+    a.ret();
+
+    // A wrapper whose post-call cleanup forms a *call-preceded, long,
+    // NOP-like* code stretch — the gadget shape Carlini & Wagner use to
+    // evade kBouncer-style heuristics (the return site `cp_wrapper+8` is
+    // preceded by a call, and the 24 scratch moves before its `ret` defeat
+    // short-gadget-chain detection).
+    a.export("cp_wrapper");
+    a.label("cp_wrapper");
+    a.call("cp_noop");
+    for i in 0..24 {
+        a.movi(R8, i);
+    }
+    a.ret();
+    a.label("cp_noop");
+    a.ret();
+
+    // --- the service registry --------------------------------------------
+    // Real libraries are full of address-taken functions (qsort comparators,
+    // atexit handlers, vtable thunks). The registry makes the conservative
+    // indirect-target universe realistically large: 48 small services of
+    // varying arity, all address-taken through `services`, dispatched by
+    // `dispatch_service(r1 = index)`.
+    a.export("dispatch_service");
+    a.label("dispatch_service");
+    a.andi(R1, 47); // bound the index
+    a.shli(R1, 3);
+    a.lea(R6, "services");
+    a.add(R6, R1);
+    a.ld(R6, R6, 0);
+    a.movi(R1, 1); // one argument prepared
+    a.calli(R6);
+    a.ret();
+
+    let mut names: Vec<String> = Vec::new();
+    for k in 0..48 {
+        let f = format!("service{k}");
+        a.label(f.clone());
+        names.push(f);
+        // Arity varies with k: services 0–23 read r1; 24–35 read r1+r2;
+        // the rest take no arguments.
+        if k < 24 {
+            a.mov(R7, R1);
+        } else if k < 36 {
+            a.mov(R7, R1);
+            a.add(R7, R2);
+        } else {
+            a.movi(R7, k);
+        }
+        a.alui(fg_isa::insn::AluOp::Xor, R7, 0x2a + k);
+        a.cmpi(R7, 16);
+        a.jcc(Cond::Lt, format!("svc_lo{k}"));
+        a.alui(fg_isa::insn::AluOp::Shr, R7, 1);
+        a.label(format!("svc_lo{k}"));
+        a.ret();
+    }
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    a.data_ptrs("services", &refs);
+
+    a.finish().expect("libc assembles")
+}
+
+/// Builds the `vdso` module exporting `gettimeofday`.
+pub fn build_vdso() -> Module {
+    let mut a = Asm::new("vdso");
+    a.export("gettimeofday");
+    a.label("gettimeofday");
+    a.movi(R0, sys::GETTIMEOFDAY);
+    a.syscall();
+    a.ret();
+    a.finish().expect("vdso assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libc_exports_expected_symbols() {
+        let m = build_libc();
+        for s in ["memcpy", "strlen", "checksum", "do_syscall", "restore1", "restore2"] {
+            assert!(m.export(s).is_some(), "missing {s}");
+        }
+    }
+
+    #[test]
+    fn vdso_exports_gettimeofday() {
+        assert!(build_vdso().export("gettimeofday").is_some());
+    }
+}

@@ -1,0 +1,311 @@
+//! Synthetic server applications: the nginx / vsftpd / OpenSSH / exim
+//! stand-ins of §7.
+//!
+//! Each server is an event loop: read a framed request from the de-socketed
+//! input stream, parse it (the nginx-alike's parser contains the paper's
+//! "artificially implanted obvious vulnerability" — an unbounded copy into a
+//! 32-byte stack buffer), dispatch through a function-pointer handler table
+//! (indirect calls), and write a response (`write` — a sensitive endpoint,
+//! so every response triggers a FlowGuard check, as in the paper's ab
+//! benchmark).
+//!
+//! Request wire format: `[cmd:1][len:1][payload:len]`.
+
+use crate::libc::{build_libc, build_vdso};
+use crate::{Category, Workload};
+use fg_isa::asm::Asm;
+use fg_isa::image::Linker;
+use fg_isa::insn::regs::*;
+use fg_isa::insn::{AluOp, Cond};
+use fg_isa::module::Module;
+
+/// Heap address the request buffer lives at (`fg-cpu` maps the heap at
+/// `0x6000_0000`).
+pub const REQ_BUF: i32 = 0x6000_0000;
+/// Size of the vulnerable stack buffer in the parser.
+pub const VULN_BUF: i32 = 32;
+
+/// Parameters distinguishing the four servers.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerParams {
+    /// Binary name.
+    pub name: &'static str,
+    /// Number of request handlers (dispatch-table size).
+    pub handlers: usize,
+    /// Number of auxiliary shared libraries beyond libc/vdso.
+    pub aux_libs: usize,
+    /// Work multiplier inside handlers (requests get "heavier").
+    pub work_reps: i32,
+    /// Whether the parser contains the implanted overflow.
+    pub vulnerable: bool,
+}
+
+/// Builds one framed request.
+pub fn request(cmd: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= 255, "payload fits the length byte");
+    let mut out = vec![cmd, payload.len() as u8];
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A benign request mix (the `ab`-style load generator).
+pub fn benign_input(requests: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..requests {
+        let cmd = (i % 3) as u8; // never the POST/store path's edge cases
+        // Lengths stay below the parser's 32-byte buffer: benign traffic
+        // must not trip the implanted overflow.
+        let payload: Vec<u8> =
+            (0..(12 + (i * 7) % 18)).map(|j| b'a' + (j % 26) as u8).collect();
+        out.extend(request(cmd, &payload));
+    }
+    out
+}
+
+/// Builds an auxiliary shared library with `n` exported worker functions
+/// (`<name>_f0` …), deterministic from the name.
+fn build_auxlib(name: &str, n: usize) -> Module {
+    let mut a = Asm::new(name);
+    for i in 0..n {
+        let f = format!("{name}_f{i}");
+        a.export(f.clone());
+        a.label(f);
+        // A small branchy kernel, parameterised by i.
+        a.movi(R4, (3 + i as i32) % 7 + 2);
+        a.label(format!("{name}_l{i}"));
+        a.alui(AluOp::Add, R0, i as i32 + 1);
+        a.alui(AluOp::Xor, R0, 0x11);
+        a.cmpi(R0, 64);
+        a.jcc(Cond::Lt, format!("{name}_s{i}"));
+        a.alui(AluOp::Shr, R0, 1);
+        a.label(format!("{name}_s{i}"));
+        a.addi(R4, -1);
+        a.cmpi(R4, 0);
+        a.jcc(Cond::Gt, format!("{name}_l{i}"));
+        a.ret();
+    }
+    a.finish().expect("auxlib assembles")
+}
+
+/// Builds the server's executable module.
+fn build_app(p: &ServerParams) -> Module {
+    let mut a = Asm::new(p.name);
+    a.export("main");
+    a.export("handlers"); // dispatch table visible in the symbol table
+    for f in
+        ["read_in", "write_out", "exit", "checksum", "strlen", "atoi", "memcpy", "dispatch_service"]
+    {
+        a.import(f);
+    }
+    a.import("gettimeofday");
+    a.needs("libc");
+    for i in 0..p.aux_libs {
+        a.import(format!("aux{i}_f0"));
+        a.needs(format!("aux{i}"));
+    }
+
+    // ---- main event loop -------------------------------------------------
+    a.label("main");
+    a.label("evloop");
+    // read 2-byte header
+    a.movi(R1, REQ_BUF);
+    a.movi(R2, 2);
+    a.call("read_in");
+    a.cmpi(R0, 2);
+    a.jcc(Cond::Lt, "shutdown");
+    a.movi(R8, REQ_BUF);
+    a.ldb(R9, R8, 0); // cmd
+    a.ldb(R10, R8, 1); // len
+    // read payload
+    a.movi(R1, REQ_BUF + 2);
+    a.mov(R2, R10);
+    a.call("read_in");
+    // parse (the vulnerable routine)
+    a.movi(R1, REQ_BUF + 2);
+    a.mov(R2, R10);
+    a.call("parse");
+    // clamp cmd to the handler table
+    a.cmpi(R9, p.handlers as i32);
+    a.jcc(Cond::Lt, "dispatch_ok");
+    a.movi(R9, 0);
+    a.label("dispatch_ok");
+    // indirect dispatch: handlers[cmd]
+    a.mov(R11, R9);
+    a.shli(R11, 3);
+    a.lea(R12, "handlers");
+    a.add(R12, R11);
+    a.ld(R13, R12, 0);
+    a.mov(R1, R10); // arg: payload length
+    a.calli(R13);
+    a.jmp("evloop");
+    a.label("shutdown");
+    a.movi(R1, 0);
+    a.call("exit");
+    a.halt();
+
+    // ---- parser ------------------------------------------------------------
+    // parse(r1 = payload, r2 = len): copies the payload into a 32-byte
+    // stack buffer. The vulnerable build omits the bound check.
+    a.label("parse");
+    a.alui(AluOp::Add, SP, -VULN_BUF);
+    if !p.vulnerable {
+        a.cmpi(R2, VULN_BUF);
+        a.jcc(Cond::Le, "p_sizeok");
+        a.movi(R2, VULN_BUF);
+        a.label("p_sizeok");
+    }
+    a.movi(R4, 0);
+    a.label("p_loop");
+    a.cmp(R4, R2);
+    a.jcc(Cond::Ge, "p_done");
+    a.mov(R5, R1);
+    a.add(R5, R4);
+    a.ldb(R6, R5, 0);
+    a.mov(R7, SP);
+    a.add(R7, R4);
+    a.stb(R6, R7, 0);
+    a.addi(R4, 1);
+    a.jmp("p_loop");
+    a.label("p_done");
+    a.alui(AluOp::Add, SP, VULN_BUF);
+    a.ret();
+
+    // ---- handlers ----------------------------------------------------------
+    let mut table: Vec<String> = Vec::new();
+    for h in 0..p.handlers {
+        let label = format!("h{h}");
+        table.push(label.clone());
+        a.label(label);
+        match h % 4 {
+            0 => {
+                // status: write a canned banner.
+                a.lea(R1, "banner");
+                a.movi(R2, 8);
+                a.call("write_out");
+            }
+            1 => {
+                // get: checksum the payload `work_reps` times, write echo.
+                a.movi(R7, p.work_reps);
+                a.label(format!("h{h}_w"));
+                a.movi(R1, REQ_BUF + 2);
+                a.mov(R2, R10);
+                a.call("checksum");
+                a.addi(R7, -1);
+                a.cmpi(R7, 0);
+                a.jcc(Cond::Gt, format!("h{h}_w"));
+                a.movi(R1, REQ_BUF + 2);
+                a.mov(R2, R10);
+                a.call("write_out");
+            }
+            2 => {
+                // time: VDSO call, then write one byte.
+                a.call("gettimeofday");
+                a.movi(R8, REQ_BUF);
+                a.stb(R0, R8, 0);
+                a.movi(R1, REQ_BUF);
+                a.movi(R2, 1);
+                a.call("write_out");
+            }
+            _ => {
+                // store: atoi + service-registry dispatch + aux work + ack.
+                a.movi(R1, REQ_BUF + 2);
+                a.mov(R2, R10);
+                a.call("atoi");
+                a.mov(R1, R0);
+                a.call("dispatch_service");
+                if p.aux_libs > 0 {
+                    a.call(format!("aux{}_f0", h % p.aux_libs));
+                }
+                a.lea(R1, "ack");
+                a.movi(R2, 3);
+                a.call("write_out");
+            }
+        }
+        a.ret();
+    }
+
+    a.data_bytes("banner", b"HTTP/1.1");
+    a.data_bytes("ack", b"ok\n");
+    let table_refs: Vec<&str> = table.iter().map(String::as_str).collect();
+    a.data_ptrs("handlers", &table_refs);
+
+    a.finish().expect("server assembles")
+}
+
+/// Links a server from its parameters.
+pub fn build_server(p: ServerParams) -> Workload {
+    let mut linker = Linker::new(build_app(&p)).library(build_libc()).vdso(build_vdso());
+    for i in 0..p.aux_libs {
+        linker = linker.library(build_auxlib(&format!("aux{i}"), 4));
+    }
+    let image = linker.link().expect("server links");
+    Workload {
+        name: p.name.to_string(),
+        image,
+        default_input: benign_input(24),
+        category: Category::Server,
+    }
+}
+
+/// The nginx-alike web server (vulnerable parser, as implanted in §7.1.2).
+pub fn nginx() -> Workload {
+    build_server(ServerParams { name: "nginx", handlers: 8, aux_libs: 6, work_reps: 2000, vulnerable: true })
+}
+
+/// The nginx-alike with the overflow patched (for overhead measurements).
+pub fn nginx_patched() -> Workload {
+    build_server(ServerParams { name: "nginx", handlers: 8, aux_libs: 6, work_reps: 2000, vulnerable: false })
+}
+
+/// The vsftpd-alike FTP server.
+pub fn vsftpd() -> Workload {
+    build_server(ServerParams { name: "vsftpd", handlers: 6, aux_libs: 1, work_reps: 2500, vulnerable: false })
+}
+
+/// The OpenSSH-alike (key-exchange-heavy: large work multiplier, many
+/// libraries).
+pub fn openssh() -> Workload {
+    build_server(ServerParams { name: "openssh", handlers: 5, aux_libs: 19, work_reps: 3500, vulnerable: false })
+}
+
+/// The exim-alike mail server.
+pub fn exim() -> Workload {
+    build_server(ServerParams { name: "exim", handlers: 7, aux_libs: 16, work_reps: 2200, vulnerable: false })
+}
+
+/// All four servers (the Table 4 / Figure 5a population).
+pub fn servers() -> Vec<Workload> {
+    vec![nginx(), vsftpd(), openssh(), exim()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_servers_link() {
+        for w in servers() {
+            assert!(w.image.total_insns() > 50, "{} too small", w.name);
+            assert!(w.image.modules().len() >= 3, "{} needs libs", w.name);
+        }
+    }
+
+    #[test]
+    fn library_counts_scale_like_table4() {
+        assert!(openssh().image.modules().len() > exim().image.modules().len());
+        assert!(exim().image.modules().len() > vsftpd().image.modules().len());
+    }
+
+    #[test]
+    fn request_framing() {
+        let r = request(2, b"abc");
+        assert_eq!(r, vec![2, 3, b'a', b'b', b'c']);
+        assert!(!benign_input(5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length byte")]
+    fn oversized_payload_rejected() {
+        let _ = request(0, &[0; 300]);
+    }
+}

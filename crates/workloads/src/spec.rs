@@ -1,0 +1,193 @@
+//! SPECCPU-2006-profile programs (Figure 5c).
+//!
+//! The paper runs the C programs of SPECCPU 2006. What the tracing/checking
+//! overhead depends on is each benchmark's *control-flow shape*: conditional
+//! branch density, indirect-branch density, and syscall rate. These profiles
+//! reproduce those shapes — most benchmarks are conditional-branch-dominated
+//! with rare indirect calls, while `h264ref` is "a loop with many indirect
+//! calls" that "generated much more traces (90%) than other benchmarks"
+//! (§7.2.1) and stands out exactly as in Figure 5c.
+
+use crate::libc::{build_libc, build_vdso};
+use crate::{Category, Workload};
+use fg_isa::asm::Asm;
+use fg_isa::image::Linker;
+use fg_isa::insn::regs::*;
+use fg_isa::insn::{AluOp, Cond};
+
+/// Shape parameters of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecParams {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Number of worker functions.
+    pub funcs: usize,
+    /// Inner-loop iterations per worker call (conditional branches).
+    pub inner: i32,
+    /// Outer-loop iterations.
+    pub iters: i32,
+    /// Make an indirect (function-pointer) call every `ind_every` outer
+    /// iterations (a power of two, or 1); 0 disables indirect dispatch.
+    pub ind_every: i32,
+    /// Emit a `write` syscall every `sys_every` outer iterations (a power
+    /// of two); 0 never.
+    pub sys_every: i32,
+    /// Bytes fed to the per-invocation library call (smaller → TIP-denser).
+    pub lib_bytes: i32,
+}
+
+/// The 12 C benchmarks of Figure 5c with their profile parameters.
+pub const SPEC_TABLE: [SpecParams; 12] = [
+    SpecParams { name: "perlbench", funcs: 6, inner: 10, iters: 4000, ind_every: 8, sys_every: 512 , lib_bytes: 16 },
+    SpecParams { name: "bzip2", funcs: 4, inner: 14, iters: 4000, ind_every: 0, sys_every: 1024 , lib_bytes: 16 },
+    SpecParams { name: "gcc", funcs: 8, inner: 8, iters: 4000, ind_every: 8, sys_every: 512 , lib_bytes: 16 },
+    SpecParams { name: "mcf", funcs: 3, inner: 16, iters: 4000, ind_every: 0, sys_every: 2048 , lib_bytes: 16 },
+    SpecParams { name: "milc", funcs: 4, inner: 12, iters: 4000, ind_every: 0, sys_every: 1024 , lib_bytes: 16 },
+    SpecParams { name: "gobmk", funcs: 6, inner: 9, iters: 4000, ind_every: 16, sys_every: 1024 , lib_bytes: 16 },
+    SpecParams { name: "hmmer", funcs: 4, inner: 15, iters: 4000, ind_every: 0, sys_every: 2048 , lib_bytes: 16 },
+    SpecParams { name: "sjeng", funcs: 5, inner: 10, iters: 4000, ind_every: 16, sys_every: 1024 , lib_bytes: 16 },
+    SpecParams { name: "libquantum", funcs: 3, inner: 18, iters: 4000, ind_every: 0, sys_every: 2048 , lib_bytes: 16 },
+    // The outlier: an indirect call *every* iteration with shallow inner
+    // work → TIP-dense trace.
+    SpecParams { name: "h264ref", funcs: 8, inner: 2, iters: 4000, ind_every: 1, sys_every: 1024 , lib_bytes: 2 },
+    SpecParams { name: "lbm", funcs: 2, inner: 20, iters: 4000, ind_every: 0, sys_every: 2048 , lib_bytes: 16 },
+    SpecParams { name: "sphinx3", funcs: 5, inner: 11, iters: 4000, ind_every: 8, sys_every: 1024 , lib_bytes: 16 },
+];
+
+const BUF: i32 = 0x6000_0000;
+
+/// Builds one SPEC-profile workload.
+pub fn spec_program(p: SpecParams) -> Workload {
+    let mut a = Asm::new(p.name);
+    a.export("main");
+    for f in ["write_out", "checksum", "exit"] {
+        a.import(f);
+    }
+    a.needs("libc");
+
+    a.label("main");
+    a.movi(R9, p.iters); // outer counter
+    a.movi(R10, 0); // iteration index
+    a.label("outer");
+    // Direct call to the worker selected by a branch ladder (realistic
+    // direct-call mix without indirect dispatch).
+    a.mov(R11, R10);
+    a.andi(R11, (p.funcs - 1).max(1) as i32);
+    for f in 0..p.funcs {
+        a.cmpi(R11, f as i32);
+        a.jcc(Cond::Ne, format!("skip{f}"));
+        a.call(format!("work{f}"));
+        a.label(format!("skip{f}"));
+    }
+    // Indirect dispatch every `ind_every` iterations.
+    if p.ind_every > 0 {
+        a.mov(R12, R10);
+        a.andi(R12, p.ind_every - 1); // ind_every is a power of two or 1
+        a.cmpi(R12, 0);
+        a.jcc(Cond::Ne, "no_ind");
+        a.mov(R12, R10);
+        a.andi(R12, (p.funcs - 1) as i32);
+        a.shli(R12, 3);
+        a.lea(R13, "ftable");
+        a.add(R13, R12);
+        a.ld(R13, R13, 0);
+        a.calli(R13);
+        a.label("no_ind");
+    }
+    // Occasional output syscall.
+    if p.sys_every > 0 {
+        a.mov(R12, R10);
+        a.andi(R12, p.sys_every - 1);
+        a.cmpi(R12, 0);
+        a.jcc(Cond::Ne, "no_sys");
+        a.movi(R1, BUF);
+        a.movi(R2, 4);
+        a.call("write_out");
+        a.label("no_sys");
+    }
+    a.addi(R10, 1);
+    a.addi(R9, -1);
+    a.cmpi(R9, 0);
+    a.jcc(Cond::Gt, "outer");
+    a.movi(R1, 0);
+    a.call("exit");
+    a.halt();
+
+    // Worker functions: `inner` iterations of branchy ALU work.
+    for f in 0..p.funcs {
+        a.label(format!("work{f}"));
+        a.movi(R4, p.inner);
+        a.label(format!("w{f}_loop"));
+        a.alui(AluOp::Add, R6, f as i32 + 3);
+        a.alui(AluOp::Mul, R6, 3);
+        a.alui(AluOp::And, R6, 0xffff);
+        a.cmpi(R6, 0x8000);
+        a.jcc(Cond::Lt, format!("w{f}_lo"));
+        a.alui(AluOp::Shr, R6, 2);
+        a.label(format!("w{f}_lo"));
+        a.addi(R4, -1);
+        a.cmpi(R4, 0);
+        a.jcc(Cond::Gt, format!("w{f}_loop"));
+        // Library call per invocation — real SPEC code leans on libc
+        // (memcpy/strcmp/printf) even in hot regions.
+        a.movi(R1, BUF);
+        a.movi(R2, p.lib_bytes);
+        a.call("checksum");
+        a.ret();
+    }
+
+    if p.ind_every > 0 {
+        let fs: Vec<String> = (0..p.funcs).map(|f| format!("work{f}")).collect();
+        let refs: Vec<&str> = fs.iter().map(String::as_str).collect();
+        a.data_ptrs("ftable", &refs);
+    }
+
+    let image =
+        Linker::new(a.finish().expect("spec assembles")).library(build_libc()).vdso(build_vdso())
+            .link()
+            .expect("spec links");
+    Workload { name: p.name.into(), image, default_input: Vec::new(), category: Category::Spec }
+}
+
+/// Builds the whole Figure 5c suite.
+pub fn spec_suite() -> Vec<Workload> {
+    SPEC_TABLE.iter().map(|&p| spec_program(p)).collect()
+}
+
+/// Looks up one benchmark by name.
+pub fn spec_by_name(name: &str) -> Option<Workload> {
+    SPEC_TABLE.iter().find(|p| p.name == name).map(|&p| spec_program(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_twelve_build() {
+        let suite = spec_suite();
+        assert_eq!(suite.len(), 12);
+        for w in &suite {
+            assert!(w.image.total_insns() > 40, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn h264ref_is_indirect_call_dense() {
+        let h264 = SPEC_TABLE.iter().find(|p| p.name == "h264ref").unwrap();
+        assert_eq!(h264.ind_every, 1);
+        for p in SPEC_TABLE.iter().filter(|p| p.name != "h264ref") {
+            assert!(
+                p.ind_every == 0 || p.ind_every >= 8,
+                "{} should be far sparser than h264ref",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(spec_by_name("mcf").is_some());
+        assert!(spec_by_name("nonesuch").is_none());
+    }
+}

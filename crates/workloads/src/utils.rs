@@ -1,0 +1,242 @@
+//! Linux-utility workloads: `tar`, `dd`, `make`, `scp` (Figure 5b).
+//!
+//! These "simply execute once and instantly exit" (§7.2.1). Their profiles
+//! match the paper's observations — notably `dd`, which "has small number of
+//! branch instructions and seldomly invokes system calls" and therefore
+//! shows negligible protection overhead.
+
+use crate::libc::{build_libc, build_vdso};
+use crate::{Category, Workload};
+use fg_isa::asm::Asm;
+use fg_isa::image::Linker;
+use fg_isa::insn::regs::*;
+use fg_isa::insn::{AluOp, Cond};
+
+const BUF: i32 = 0x6000_0000;
+
+fn link(app: fg_isa::module::Module) -> fg_isa::image::Image {
+    Linker::new(app).library(build_libc()).vdso(build_vdso()).link().expect("utility links")
+}
+
+/// `tar`: reads 4 KiB blocks, checksums each with multiple passes
+/// (compression-like compute), writes the block.
+pub fn tar() -> Workload {
+    let mut a = Asm::new("tar");
+    a.export("main");
+    for f in ["read_in", "write_out", "checksum", "exit"] {
+        a.import(f);
+    }
+    a.needs("libc");
+    a.label("main");
+    a.label("block");
+    a.movi(R1, BUF);
+    a.movi(R2, 4096);
+    a.call("read_in");
+    a.cmpi(R0, 0);
+    a.jcc(Cond::Le, "done");
+    a.mov(R10, R0);
+    // Compression-like compute: 8 passes of per-64-byte-chunk checksums
+    // (library-call dense, like real compressors).
+    a.movi(R9, 30);
+    a.label("passes");
+    a.movi(R11, 0); // chunk offset
+    a.label("chunks");
+    a.cmp(R11, R10);
+    a.jcc(Cond::Ge, "pass_end");
+    a.movi(R1, BUF);
+    a.add(R1, R11);
+    a.movi(R2, 64);
+    a.call("checksum");
+    a.addi(R11, 64);
+    a.jmp("chunks");
+    a.label("pass_end");
+    a.addi(R9, -1);
+    a.cmpi(R9, 0);
+    a.jcc(Cond::Gt, "passes");
+    // store checksum as a 1-byte trailer inside the block buffer
+    a.movi(R8, BUF + 8192);
+    a.stb(R0, R8, 0);
+    a.movi(R1, BUF);
+    a.mov(R2, R10);
+    a.call("write_out");
+    a.jmp("block");
+    a.label("done");
+    a.movi(R1, 0);
+    a.call("exit");
+    a.halt();
+    let image = link(a.finish().expect("tar assembles"));
+    Workload {
+        name: "tar".into(),
+        image,
+        default_input: vec![0x42; 4096 * 4],
+        category: Category::Utility,
+    }
+}
+
+/// `dd`: one read, a long in-memory copy loop (few branches), one write.
+pub fn dd() -> Workload {
+    let mut a = Asm::new("dd");
+    a.export("main");
+    for f in ["read_in", "write_out", "memcpy", "exit"] {
+        a.import(f);
+    }
+    a.needs("libc");
+    a.label("main");
+    a.movi(R1, BUF);
+    a.movi(R2, 512);
+    a.call("read_in");
+    a.mov(R10, R0);
+    // Long straight-line copy work: 200 rounds of memcpy between two heap
+    // halves — branch-poor, syscall-free.
+    a.movi(R9, 200);
+    a.label("copy");
+    a.movi(R1, BUF + 4096);
+    a.movi(R2, BUF);
+    a.mov(R3, R10);
+    a.call("memcpy");
+    a.addi(R9, -1);
+    a.cmpi(R9, 0);
+    a.jcc(Cond::Gt, "copy");
+    a.movi(R1, BUF + 4096);
+    a.mov(R2, R10);
+    a.call("write_out");
+    a.movi(R1, 0);
+    a.call("exit");
+    a.halt();
+    let image = link(a.finish().expect("dd assembles"));
+    Workload {
+        name: "dd".into(),
+        image,
+        default_input: (0..512u32).map(|i| i as u8).collect(),
+        category: Category::Utility,
+    }
+}
+
+/// `make`: evaluates a rule DAG through a function-pointer table
+/// (indirect-call heavy for a utility) and writes a build log.
+pub fn make() -> Workload {
+    let mut a = Asm::new("make");
+    a.export("main");
+    for f in ["write_out", "checksum", "exit"] {
+        a.import(f);
+    }
+    a.needs("libc");
+    a.label("main");
+    // Walk the 6-rule table twice (two "build passes").
+    a.movi(R9, 2);
+    a.label("pass");
+    a.movi(R8, 0); // rule index
+    a.label("rule_loop");
+    a.cmpi(R8, 6);
+    a.jcc(Cond::Ge, "pass_done");
+    a.mov(R11, R8);
+    a.shli(R11, 3);
+    a.lea(R12, "rules");
+    a.add(R12, R11);
+    a.ld(R13, R12, 0);
+    a.calli(R13);
+    a.addi(R8, 1);
+    a.jmp("rule_loop");
+    a.label("pass_done");
+    a.lea(R1, "log");
+    a.movi(R2, 5);
+    a.call("write_out");
+    a.addi(R9, -1);
+    a.cmpi(R9, 0);
+    a.jcc(Cond::Gt, "pass");
+    a.movi(R1, 0);
+    a.call("exit");
+    a.halt();
+    for r in 0..6 {
+        // Each rule hashes its "recipe" state in 64-byte library calls —
+        // call-dense, like a recipe interpreter.
+        a.label(format!("rule{r}"));
+        a.movi(R10, 60 + 10 * r); // r10 survives the libc calls
+        a.label(format!("rw{r}"));
+        a.movi(R1, BUF);
+        a.movi(R2, 64);
+        a.call("checksum");
+        a.alui(AluOp::Xor, R7, 0x33);
+        a.addi(R10, -1);
+        a.cmpi(R10, 0);
+        a.jcc(Cond::Gt, format!("rw{r}"));
+        a.ret();
+    }
+    a.data_bytes("log", b"made\n");
+    let rules: Vec<String> = (0..6).map(|r| format!("rule{r}")).collect();
+    let refs: Vec<&str> = rules.iter().map(String::as_str).collect();
+    a.data_ptrs("rules", &refs);
+    let image = link(a.finish().expect("make assembles"));
+    Workload { name: "make".into(), image, default_input: Vec::new(), category: Category::Utility }
+}
+
+/// `scp`: read/checksum/write streaming loop.
+pub fn scp() -> Workload {
+    let mut a = Asm::new("scp");
+    a.export("main");
+    for f in ["read_in", "write_out", "checksum", "exit"] {
+        a.import(f);
+    }
+    a.needs("libc");
+    a.label("main");
+    a.label("chunk");
+    a.movi(R1, BUF);
+    a.movi(R2, 2048);
+    a.call("read_in");
+    a.cmpi(R0, 0);
+    a.jcc(Cond::Le, "done");
+    a.mov(R10, R0);
+    // Encryption-like compute: 14 passes of per-64-byte-block ciphering
+    // (library-call dense, like a real cipher).
+    a.movi(R9, 40);
+    a.label("crypt");
+    a.movi(R11, 0);
+    a.label("blocks");
+    a.cmp(R11, R10);
+    a.jcc(Cond::Ge, "crypt_end");
+    a.movi(R1, BUF);
+    a.add(R1, R11);
+    a.movi(R2, 64);
+    a.call("checksum");
+    a.addi(R11, 64);
+    a.jmp("blocks");
+    a.label("crypt_end");
+    a.addi(R9, -1);
+    a.cmpi(R9, 0);
+    a.jcc(Cond::Gt, "crypt");
+    a.movi(R1, BUF);
+    a.mov(R2, R10);
+    a.call("write_out");
+    a.jmp("chunk");
+    a.label("done");
+    a.movi(R1, 0);
+    a.call("exit");
+    a.halt();
+    let image = link(a.finish().expect("scp assembles"));
+    Workload {
+        name: "scp".into(),
+        image,
+        default_input: vec![0x55; 2048 * 6],
+        category: Category::Utility,
+    }
+}
+
+/// The Figure 5b population.
+pub fn utilities() -> Vec<Workload> {
+    vec![tar(), make(), scp(), dd()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilities_link_and_have_inputs() {
+        let us = utilities();
+        assert_eq!(us.len(), 4);
+        for u in &us {
+            assert!(u.image.total_insns() > 30, "{}", u.name);
+            assert_eq!(u.category, Category::Utility);
+        }
+    }
+}

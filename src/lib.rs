@@ -1,0 +1,43 @@
+//! # flowguard-suite — umbrella crate for the FlowGuard reproduction
+//!
+//! Re-exports every crate of the workspace under one roof, hosts the
+//! runnable examples (`cargo run --example quickstart`) and the cross-crate
+//! integration/property tests (`tests/`).
+//!
+//! The layering, bottom-up:
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | binary substrate | [`isa`] | instruction set, assembler, PLT/GOT linker |
+//! | trace hardware | [`ipt`] | packet codec, ToPA, MSRs, decoders |
+//! | core | [`cpu`] | interpreter, IPT/BTS/LBR units, cost model |
+//! | OS | [`kernel`] | syscalls, signals, interception hook |
+//! | static analysis | [`cfg`] | O-CFG, TypeArmor, ITC-CFG, AIA |
+//! | training | [`fuzz`] | AFL-style fuzzer, credit/TNT labeling |
+//! | the system | [`flowguard`] | fast/slow paths, engine, deployment |
+//! | evaluation | [`workloads`], [`attacks`] | servers/utilities/SPEC, exploits |
+//!
+//! # Examples
+//!
+//! The complete pipeline on a bundled workload:
+//!
+//! ```
+//! use flowguard::{Deployment, FlowGuardConfig};
+//!
+//! let app = fg_workloads::tar();
+//! let mut deployment = Deployment::analyze(&app.image);
+//! deployment.train(&[app.default_input.clone()]);
+//! let mut process = deployment.launch(&app.default_input, FlowGuardConfig::default());
+//! process.run(500_000_000);
+//! assert!(!process.violated());
+//! ```
+
+pub use fg_attacks as attacks;
+pub use fg_cfg as cfg;
+pub use fg_cpu as cpu;
+pub use fg_fuzz as fuzz;
+pub use fg_ipt as ipt;
+pub use fg_isa as isa;
+pub use fg_kernel as kernel;
+pub use fg_workloads as workloads;
+pub use flowguard;

@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: the complete FlowGuard pipeline over the
+//! whole evaluation population.
+
+use fg_cpu::{IptUnit, Machine, StopReason, TraceUnit};
+use fg_ipt::topa::Topa;
+use fg_kernel::Kernel;
+use flowguard::{Deployment, FlowGuardConfig};
+
+fn all_benign_workloads() -> Vec<fg_workloads::Workload> {
+    let mut ws = vec![fg_workloads::nginx_patched()];
+    ws.extend([fg_workloads::vsftpd(), fg_workloads::openssh(), fg_workloads::exim()]);
+    ws.extend(fg_workloads::utilities());
+    ws.extend(fg_workloads::spec_suite());
+    ws
+}
+
+/// Every workload, protected and trained, runs its benign input with zero
+/// violations — the paper's no-false-positives property (§7.1.2) across the
+/// entire population.
+#[test]
+fn no_false_positives_across_population() {
+    for w in all_benign_workloads() {
+        let mut d = Deployment::analyze(&w.image);
+        d.train(&[w.default_input.clone()]);
+        let mut p = d.launch(&w.default_input, FlowGuardConfig::default());
+        let stop = p.run(500_000_000);
+        assert!(
+            matches!(stop, StopReason::Exited(0)),
+            "{}: benign protected run must exit cleanly, got {stop:?}",
+            w.name
+        );
+        assert!(!p.violated(), "{}: no violations on benign input", w.name);
+    }
+}
+
+/// The §4.2 soundness theorem, on real workloads: every pair of consecutive
+/// TIP packets in a benign trace is an ITC-CFG edge.
+#[test]
+fn itc_soundness_on_real_workloads() {
+    for w in all_benign_workloads() {
+        let ocfg = fg_cfg::OCfg::build(&w.image);
+        let itc = fg_cfg::ItcCfg::build(&ocfg);
+        let mut m = Machine::new(&w.image, 0x4000);
+        let mut unit = IptUnit::flowguard(0x4000, Topa::two_regions(1 << 23).expect("topa"));
+        unit.start(w.image.entry(), 0x4000);
+        m.trace = TraceUnit::Ipt(unit);
+        let mut k = Kernel::with_input(&w.default_input);
+        m.run(&mut k, 500_000_000);
+        m.trace.as_ipt_mut().expect("ipt").flush();
+        let bytes = m.trace.as_ipt().expect("ipt").trace_bytes();
+        let scan = fg_ipt::fast::scan(&bytes).expect("scan");
+        for pair in scan.tips.windows(2) {
+            assert!(
+                itc.edge(pair[0].ip, pair[1].ip).is_some(),
+                "{}: TIP pair {:#x} → {:#x} must be an ITC edge",
+                w.name,
+                pair[0].ip,
+                pair[1].ip
+            );
+        }
+    }
+}
+
+/// Full-decoder fidelity across the population: the instruction-flow
+/// reconstruction reproduces the interpreter's branch log exactly.
+#[test]
+fn decoder_fidelity_on_real_workloads() {
+    for w in all_benign_workloads().into_iter().take(8) {
+        let mut m = Machine::new(&w.image, 0x4000);
+        m.enable_branch_log();
+        let mut unit = IptUnit::flowguard(0x4000, Topa::two_regions(1 << 23).expect("topa"));
+        unit.start(w.image.entry(), 0x4000);
+        m.trace = TraceUnit::Ipt(unit);
+        let mut k = Kernel::with_input(&w.default_input);
+        m.run(&mut k, 500_000_000);
+        m.trace.as_ipt_mut().expect("ipt").flush();
+        let bytes = m.trace.as_ipt().expect("ipt").trace_bytes();
+        let flow = fg_ipt::flow::FlowDecoder::new(&w.image).decode(&bytes).expect("decodes");
+        let log = m.branch_log.as_ref().expect("log");
+        assert_eq!(flow.branches.len(), log.len(), "{}: branch counts", w.name);
+        for (got, want) in flow.branches.iter().zip(log.iter()) {
+            assert_eq!((got.from, got.to, got.kind), (want.from, want.to, want.kind), "{}", w.name);
+        }
+    }
+}
+
+/// All four attack routes of the evaluation are detected end to end, while
+/// the same deployment keeps serving benign traffic.
+#[test]
+fn attack_detection_end_to_end() {
+    let (w, d) = fg_attacks::trained_vulnerable_nginx();
+    let g = fg_attacks::find_gadgets(&w.image);
+    let attacks: Vec<(&str, Vec<u8>)> = vec![
+        ("rop", fg_attacks::rop_write(&w.image, &g)),
+        ("srop", fg_attacks::srop_execve(&w.image, &g)),
+        ("ret2lib", fg_attacks::ret_to_lib(&w.image, &g)),
+        ("flush", fg_attacks::history_flush(&w.image, &g, 12)),
+    ];
+    for (name, payload) in attacks {
+        let r = fg_attacks::run_protected(&d, &payload, FlowGuardConfig::default());
+        assert!(r.detected, "{name} must be detected");
+        assert_eq!(r.stop, StopReason::Killed(fg_kernel::SIGKILL), "{name}");
+    }
+    let benign = fg_attacks::run_protected(&d, &w.default_input, FlowGuardConfig::default());
+    assert!(!benign.detected);
+}
+
+/// The slow-path cache makes a repeated untrained run cheaper: second
+/// serving of the same load does fewer slow-path upcalls than the first.
+#[test]
+fn slow_path_cache_warms_within_a_run() {
+    let w = fg_workloads::nginx_patched();
+    let d = Deployment::analyze(&w.image); // completely untrained
+    let mut doubled = w.default_input.clone();
+    doubled.extend_from_slice(&w.default_input);
+    let mut p = d.launch(&doubled, FlowGuardConfig::default());
+    let stop = p.run(500_000_000);
+    assert!(matches!(stop, StopReason::Exited(0)), "{stop:?}");
+    let s = p.stats.lock();
+    assert!(s.slow_invocations > 0, "untrained run must escalate at least once");
+    assert!(
+        s.fast_clean > s.slow_invocations,
+        "cache should let most checks pass fast ({} clean vs {} slow)",
+        s.fast_clean,
+        s.slow_invocations
+    );
+}
+
+/// Parallel PSB-segment scanning is exactly equivalent to serial scanning
+/// when enabled on the engine path.
+#[test]
+fn parallel_decode_config_is_equivalent() {
+    let w = fg_workloads::vsftpd();
+    let mut d = Deployment::analyze(&w.image);
+    d.train(&[w.default_input.clone()]);
+    let serial = {
+        let mut p = d.launch(&w.default_input, FlowGuardConfig::default());
+        p.run(500_000_000);
+        let s = p.stats.lock();
+        (s.checks, s.fast_clean, s.pairs_checked)
+    };
+    let parallel = {
+        let cfg = FlowGuardConfig { parallel_decode: true, ..Default::default() };
+        let mut p = d.launch(&w.default_input, cfg);
+        p.run(500_000_000);
+        let s = p.stats.lock();
+        (s.checks, s.fast_clean, s.pairs_checked)
+    };
+    assert_eq!(serial, parallel);
+}

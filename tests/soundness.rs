@@ -1,0 +1,264 @@
+//! Property-based soundness tests over *randomly generated programs*: the
+//! §4.2 theorem (every consecutive TIP pair is an ITC-CFG edge), O-CFG
+//! conservatism, and decoder fidelity must hold for any program the
+//! generator can produce and any input.
+
+use fg_cpu::{IptUnit, Machine, StopReason, TraceUnit};
+use fg_ipt::topa::Topa;
+use fg_isa::asm::Asm;
+use fg_isa::image::{Image, Linker};
+use fg_isa::insn::regs::*;
+use fg_isa::insn::Cond;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random-but-terminating program:
+///
+/// * `n` functions; function `i` may (randomly) direct-call higher-index
+///   functions and indirect-call through a table of the last few "leaf"
+///   functions (address-taken);
+/// * `main` reads input bytes and dispatches `table[byte % n]` per byte;
+/// * every loop is counter-bounded.
+fn random_image(seed: u64, n_funcs: usize) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_leaves = (n_funcs / 3).max(1);
+
+    let mut lib = Asm::new("libr");
+    lib.export("lib_work");
+    lib.label("lib_work");
+    lib.movi(R4, 3);
+    lib.label("lw");
+    lib.alui(fg_isa::insn::AluOp::Add, R6, 1);
+    lib.addi(R4, -1);
+    lib.cmpi(R4, 0);
+    lib.jcc(Cond::Gt, "lw");
+    lib.ret();
+
+    let mut a = Asm::new("app");
+    a.import("lib_work").needs("libr");
+    a.export("main");
+    a.label("main");
+    // read(0, heap, 16)
+    a.movi(R0, 1);
+    a.movi(R1, 0);
+    a.movi(R2, 0x6000_0000);
+    a.movi(R3, 16);
+    a.syscall();
+    a.mov(R12, R0); // bytes read
+    a.movi(R13, 0); // index
+    a.label("dispatch_loop");
+    a.cmp(R13, R12);
+    a.jcc(Cond::Ge, "done");
+    a.movi(R8, 0x6000_0000);
+    a.add(R8, R13);
+    a.ldb(R9, R8, 0);
+    // table[byte % n] via mask-and-clamp
+    a.andi(R9, 31);
+    a.cmpi(R9, n_funcs as i32);
+    a.jcc(Cond::Lt, "idx_ok");
+    a.movi(R9, 0);
+    a.label("idx_ok");
+    a.shli(R9, 3);
+    a.lea(R10, "table");
+    a.add(R10, R9);
+    a.ld(R11, R10, 0);
+    a.calli(R11);
+    a.addi(R13, 1);
+    a.jmp("dispatch_loop");
+    a.label("done");
+    a.movi(R0, 0);
+    a.movi(R1, 0);
+    a.syscall();
+    a.halt();
+
+    for f in 0..n_funcs {
+        a.label(format!("f{f}"));
+        // A bounded inner loop with a data-dependent conditional.
+        let loops: i32 = rng.gen_range(1..5);
+        a.movi(R4, loops);
+        a.label(format!("f{f}_l"));
+        a.alui(fg_isa::insn::AluOp::Add, R6, f as i32 + 1);
+        a.alui(fg_isa::insn::AluOp::And, R6, 0xff);
+        a.cmpi(R6, rng.gen_range(0..256));
+        a.jcc(Cond::Lt, format!("f{f}_s"));
+        a.alui(fg_isa::insn::AluOp::Xor, R6, 0x55);
+        a.label(format!("f{f}_s"));
+        a.addi(R4, -1);
+        a.cmpi(R4, 0);
+        a.jcc(Cond::Gt, format!("f{f}_l"));
+        // Maybe call a strictly higher-index function (terminating DAG).
+        if f + 1 < n_funcs && rng.gen_bool(0.6) {
+            let callee = rng.gen_range(f + 1..n_funcs);
+            a.call(format!("f{callee}"));
+        }
+        // Maybe call the library.
+        if rng.gen_bool(0.4) {
+            a.call("lib_work");
+        }
+        a.ret();
+    }
+
+    // Dispatch table: all functions are address-taken.
+    let names: Vec<String> = (0..n_funcs).map(|f| format!("f{f}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    a.data_ptrs("table", &refs);
+    let _ = n_leaves;
+    Linker::new(a.finish().expect("assembles")).library(lib.finish().expect("lib")).link().expect("links")
+}
+
+fn traced_run(image: &Image, input: &[u8]) -> (Machine, Vec<u8>) {
+    let mut m = Machine::new(image, 0x4000);
+    m.enable_branch_log();
+    let mut unit = IptUnit::flowguard(0x4000, Topa::two_regions(1 << 22).expect("topa"));
+    unit.start(image.entry(), 0x4000);
+    m.trace = TraceUnit::Ipt(unit);
+    let mut k = fg_kernel::Kernel::with_input(input);
+    let stop = m.run(&mut k, 5_000_000);
+    assert!(matches!(stop, StopReason::Exited(0)), "generated programs terminate: {stop:?}");
+    m.trace.as_ipt_mut().expect("ipt").flush();
+    let bytes = m.trace.as_ipt().expect("ipt").trace_bytes();
+    (m, bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// §4.2 soundness on random programs and random inputs.
+    #[test]
+    fn itc_soundness_random_programs(
+        seed in any::<u64>(),
+        n_funcs in 2usize..10,
+        input in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let image = random_image(seed, n_funcs);
+        let ocfg = fg_cfg::OCfg::build(&image);
+        let itc = fg_cfg::ItcCfg::build(&ocfg);
+        let (_, bytes) = traced_run(&image, &input);
+        let scan = fg_ipt::fast::scan(&bytes).expect("scan");
+        for pair in scan.tips.windows(2) {
+            prop_assert!(
+                itc.edge(pair[0].ip, pair[1].ip).is_some(),
+                "TIP pair {:#x} → {:#x} off the ITC-CFG",
+                pair[0].ip,
+                pair[1].ip
+            );
+        }
+    }
+
+    /// O-CFG conservatism: every executed transfer is admitted.
+    #[test]
+    fn ocfg_admits_random_executions(
+        seed in any::<u64>(),
+        n_funcs in 2usize..10,
+        input in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let image = random_image(seed, n_funcs);
+        let ocfg = fg_cfg::OCfg::build(&image);
+        let (m, _) = traced_run(&image, &input);
+        for b in m.branch_log.as_ref().expect("log") {
+            if b.kind == fg_isa::insn::CofiKind::FarTransfer {
+                continue;
+            }
+            let bi = ocfg.disasm.block_containing(b.from).expect("known block");
+            prop_assert!(
+                ocfg.admits(bi, b.to),
+                "O-CFG must admit {:#x} → {:#x} ({:?})",
+                b.from,
+                b.to,
+                b.kind
+            );
+        }
+    }
+
+    /// Decoder fidelity: reconstruction equals ground truth.
+    #[test]
+    fn decoder_fidelity_random_programs(
+        seed in any::<u64>(),
+        n_funcs in 2usize..10,
+        input in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let image = random_image(seed, n_funcs);
+        let (m, bytes) = traced_run(&image, &input);
+        let flow = fg_ipt::flow::FlowDecoder::new(&image).decode(&bytes).expect("decodes");
+        let log = m.branch_log.as_ref().expect("log");
+        prop_assert_eq!(flow.branches.len(), log.len());
+        for (got, want) in flow.branches.iter().zip(log.iter()) {
+            prop_assert_eq!((got.from, got.to, got.kind), (want.from, want.to, want.kind));
+        }
+    }
+
+    /// Trained-on-same-input fast path returns Clean for that input.
+    #[test]
+    fn trained_fast_path_is_clean(
+        seed in any::<u64>(),
+        n_funcs in 2usize..8,
+        input in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let image = random_image(seed, n_funcs);
+        let mut d = flowguard::Deployment::analyze(&image);
+        d.train(&[input.clone()]);
+        let mut p = d.launch(&input, flowguard::FlowGuardConfig::default());
+        let stop = p.run(5_000_000);
+        prop_assert!(matches!(stop, StopReason::Exited(0)), "{:?}", stop);
+        prop_assert!(!p.violated());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Packet codec round-trip for arbitrary event sequences.
+    #[test]
+    fn packet_codec_roundtrip(ops in proptest::collection::vec(
+        (0u8..5, any::<u32>(), any::<bool>()), 1..120))
+    {
+        use fg_ipt::{Packet, PacketEncoder, PacketParser};
+        let mut enc = PacketEncoder::new(Vec::new());
+        let mut expected: Vec<Packet> = Vec::new();
+        let mut pending: Vec<bool> = Vec::new();
+        let mut flush = |pending: &mut Vec<bool>, expected: &mut Vec<Packet>| {
+            for chunk in pending.chunks(6) {
+                expected.push(Packet::Tnt(fg_ipt::TntSeq::from_slice(chunk)));
+            }
+            pending.clear();
+        };
+        for (op, val, flag) in ops {
+            let ip = (val as u64) & 0x7fff_ffff;
+            match op {
+                0 => {
+                    pending.push(flag);
+                    if pending.len() == 6 {
+                        flush(&mut pending, &mut expected);
+                    }
+                    enc.tnt_bit(flag);
+                }
+                1 => {
+                    flush(&mut pending, &mut expected);
+                    expected.push(Packet::Tip { ip });
+                    enc.tip(ip);
+                }
+                2 => {
+                    flush(&mut pending, &mut expected);
+                    expected.push(Packet::Fup { ip });
+                    enc.fup(ip);
+                }
+                3 => {
+                    flush(&mut pending, &mut expected);
+                    expected.push(Packet::TipPge { ip });
+                    enc.tip_pge(ip);
+                }
+                _ => {
+                    flush(&mut pending, &mut expected);
+                    expected.push(Packet::TipPgd { ip: flag.then_some(ip) });
+                    enc.tip_pgd(flag.then_some(ip));
+                }
+            }
+        }
+        flush(&mut pending, &mut expected);
+        let bytes = enc.into_sink();
+        let got: Vec<Packet> =
+            PacketParser::new(&bytes).map(|p| p.expect("valid").packet).collect();
+        prop_assert_eq!(got, expected);
+    }
+}
