@@ -18,4 +18,7 @@ pub mod runner;
 pub use fg_kernel::SIGFRAME_WORDS;
 pub use gadgets::{find as find_gadgets, GadgetMap};
 pub use payloads::{history_flush, kbouncer_evasion, ret_to_lib, rop_write, srop_execve};
-pub use runner::{run_cfimon, run_kbouncer, run_protected, run_unprotected, trained_vulnerable_nginx, AttackResult};
+pub use runner::{
+    run_cfimon, run_kbouncer, run_protected, run_unprotected, trained_vulnerable_nginx,
+    AttackResult,
+};

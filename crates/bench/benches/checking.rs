@@ -21,7 +21,12 @@ fn setup() -> Setup {
     let w = fg_workloads::nginx_patched();
     let ocfg = OCfg::build(&w.image);
     let mut itc = ItcCfg::build(&ocfg);
-    fg_fuzz::train(&mut itc, &w.image, &[w.default_input.clone()], fg_fuzz::TrainConfig::default());
+    fg_fuzz::train(
+        &mut itc,
+        &w.image,
+        std::slice::from_ref(&w.default_input),
+        fg_fuzz::TrainConfig::default(),
+    );
     let mut m = Machine::new(&w.image, 0x4000);
     let mut unit = IptUnit::flowguard(0x4000, Topa::two_regions(1 << 22).expect("topa"));
     unit.start(w.image.entry(), 0x4000);
@@ -57,7 +62,16 @@ fn bench_paths(c: &mut Criterion) {
     let cache = HashSet::new();
     let cost = CostModel::calibrated();
     c.bench_function("fast_path_window", |b| {
-        b.iter(|| flowguard::fastpath::check(&s.itc, &cache, &s.w.image, &s.scan, &cfg, cost.edge_check_cycles))
+        b.iter(|| {
+            flowguard::fastpath::check(
+                &s.itc,
+                &cache,
+                &s.w.image,
+                &s.scan,
+                &cfg,
+                cost.edge_check_cycles,
+            )
+        })
     });
     c.bench_function("slow_path_full", |b| {
         b.iter(|| flowguard::slowpath::check(&s.w.image, &s.ocfg, &s.trace, &cost))

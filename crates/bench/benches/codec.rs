@@ -44,9 +44,7 @@ fn bench_scan_vs_flow_decode(c: &mut Criterion) {
     let (w, bytes) = workload_trace();
     let mut g = c.benchmark_group("decode");
     g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("packet_scan", |b| {
-        b.iter(|| fg_ipt::fast::scan(&bytes).expect("scan"))
-    });
+    g.bench_function("packet_scan", |b| b.iter(|| fg_ipt::fast::scan(&bytes).expect("scan")));
     g.bench_function("instruction_flow", |b| {
         b.iter(|| fg_ipt::flow::FlowDecoder::new(&w.image).decode(&bytes).expect("decodes"))
     });

@@ -3,6 +3,7 @@
 //! ```text
 //! flowguard_cli analyze  <workload> <artifact.json>        # ① static analysis
 //! flowguard_cli train    <artifact.json> [--fuzz N]        # ② credit labeling
+//! flowguard_cli verify   <artifact.json>                   # static artifact checks
 //! flowguard_cli info     <artifact.json>                   # inspect an artifact
 //! flowguard_cli run      <artifact.json> [--input FILE]    # ③–⑤ protected run
 //! flowguard_cli attack   <artifact.json> <rop|srop|ret2lib|flush|kbouncer>
@@ -42,7 +43,8 @@ fn default_input_for(d: &Deployment) -> Vec<u8> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  flowguard_cli workloads\n  flowguard_cli analyze <workload> <artifact.json>\n  \
-         flowguard_cli train <artifact.json> [--fuzz N]\n  flowguard_cli info <artifact.json>\n  \
+         flowguard_cli train <artifact.json> [--fuzz N]\n  \
+         flowguard_cli verify <artifact.json>\n  flowguard_cli info <artifact.json>\n  \
          flowguard_cli run <artifact.json> [--input FILE]\n  \
          flowguard_cli attack <artifact.json> <rop|srop|ret2lib|flush|kbouncer>"
     );
@@ -54,7 +56,9 @@ fn main() -> ExitCode {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("workloads") => {
-            for w in ["nginx", "nginx-patched", "vsftpd", "openssh", "exim", "tar", "dd", "make", "scp"] {
+            for w in
+                ["nginx", "nginx-patched", "vsftpd", "openssh", "exim", "tar", "dd", "make", "scp"]
+            {
                 println!("{w}");
             }
             for p in fg_workloads::SPEC_TABLE {
@@ -98,11 +102,14 @@ fn main() -> ExitCode {
                 }
             };
             let stats = if let Some(execs) = fuzz_execs {
-                let seeds = vec![fg_workloads::request(0, b"seed"), fg_workloads::request(1, b"s2")];
-                let (stats, history) =
-                    d.fuzz_train(seeds, execs, fg_fuzz::FuzzConfig::default());
+                let seeds =
+                    vec![fg_workloads::request(0, b"seed"), fg_workloads::request(1, b"s2")];
+                let (stats, history) = d.fuzz_train(seeds, execs, fg_fuzz::FuzzConfig::default());
                 if let Some(last) = history.last() {
-                    println!("fuzzer: {} execs, {} paths, {} crashes", last.execs, last.paths, last.crashes);
+                    println!(
+                        "fuzzer: {} execs, {} paths, {} crashes",
+                        last.execs, last.paths, last.crashes
+                    );
                 }
                 stats
             } else {
@@ -120,6 +127,36 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             ExitCode::SUCCESS
+        }
+        Some("verify") => {
+            let Some(path) = it.next() else { return usage() };
+            // Load unchecked so a rejected artifact can still be reported
+            // rule by rule (the verifying `load` would refuse it outright).
+            let d = match Deployment::load_unchecked(path) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot load artifact: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = d.verify();
+            for diag in &report.diagnostics {
+                println!("{diag}");
+            }
+            if report.has_errors() {
+                eprintln!(
+                    "FAIL: {} error(s), {} warning(s)",
+                    report.error_count(),
+                    report.warning_count()
+                );
+                ExitCode::FAILURE
+            } else {
+                println!(
+                    "OK: artifact passes verification ({} warning(s))",
+                    report.warning_count()
+                );
+                ExitCode::SUCCESS
+            }
         }
         Some("info") => {
             let Some(path) = it.next() else { return usage() };
@@ -209,7 +246,12 @@ fn main() -> ExitCode {
                 }
             };
             let free = fg_attacks::run_unprotected(&d.image, &payload);
-            println!("unprotected: {} (output {} bytes, execve {:?})", free.stop, free.output.len(), free.execve);
+            println!(
+                "unprotected: {} (output {} bytes, execve {:?})",
+                free.stop,
+                free.output.len(),
+                free.execve
+            );
             let guarded = fg_attacks::run_protected(&d, &payload, FlowGuardConfig::default());
             println!(
                 "protected:   {} — {}",

@@ -3,6 +3,7 @@
 fn main() {
     use fg_bench::experiments as e;
     println!("# FlowGuard (HPCA 2017) — full evaluation reproduction\n");
+    fg_bench::measure::verify_preflight();
     e::table2::print();
     e::table1::print();
     e::sec2::print();

@@ -4,7 +4,10 @@
 //! expected endpoint).
 
 use crate::table::Table;
-use fg_attacks::{find_gadgets, history_flush, ret_to_lib, rop_write, run_protected, run_unprotected, srop_execve, trained_vulnerable_nginx};
+use fg_attacks::{
+    find_gadgets, history_flush, ret_to_lib, rop_write, run_protected, run_unprotected,
+    srop_execve, trained_vulnerable_nginx,
+};
 use flowguard::FlowGuardConfig;
 
 /// Result row for one attack.
@@ -37,8 +40,7 @@ pub fn run() -> Vec<Row> {
             let guarded = run_protected(&d, &payload, FlowGuardConfig::default());
             Row {
                 attack: name,
-                works_unprotected: free.attack_succeeded(marker)
-                    || name == "history flushing", // its goal is evasion, not data
+                works_unprotected: free.attack_succeeded(marker) || name == "history flushing", // its goal is evasion, not data
                 detected: guarded.detected,
                 endpoint: guarded.endpoints.first().map(|s| s.to_string()).unwrap_or_default(),
             }

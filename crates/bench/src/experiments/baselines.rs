@@ -9,7 +9,10 @@
 
 use crate::measure::{run_baseline, run_traced, Mechanism};
 use crate::table::{fmt, Table};
-use fg_attacks::{find_gadgets, kbouncer_evasion, rop_write, run_cfimon, run_kbouncer, run_protected, trained_vulnerable_nginx};
+use fg_attacks::{
+    find_gadgets, kbouncer_evasion, rop_write, run_cfimon, run_kbouncer, run_protected,
+    trained_vulnerable_nginx,
+};
 use flowguard::FlowGuardConfig;
 
 /// Detection matrix row.
@@ -61,9 +64,11 @@ pub fn print() {
     let w = fg_workloads::spec_by_name("gobmk").expect("gobmk");
     let base = run_baseline(&w).account.total();
     let mut t2 = Table::new(&["mechanism", "tracing overhead"]);
-    for (name, mech) in
-        [("LBR (kBouncer)", Mechanism::Lbr), ("BTS (CFIMon)", Mechanism::Bts), ("IPT (FlowGuard)", Mechanism::Ipt)]
-    {
+    for (name, mech) in [
+        ("LBR (kBouncer)", Mechanism::Lbr),
+        ("BTS (CFIMon)", Mechanism::Bts),
+        ("IPT (FlowGuard)", Mechanism::Ipt),
+    ] {
         let o = (run_traced(&w, mech).account.total() / base - 1.0) * 100.0;
         t2.row(vec![name.into(), format!("{}%", fmt(o, 2))]);
     }

@@ -69,8 +69,11 @@ pub fn training_curve(points: &[u64]) -> Vec<TrainingPoint> {
     for &execs in points {
         let mut d = Deployment::analyze(&w.image);
         let seeds = vec![fg_workloads::request(0, b"seed-input")];
-        let (_, history) =
-            d.fuzz_train(seeds, execs, fg_fuzz::FuzzConfig { havoc_per_entry: 24, ..Default::default() });
+        let (_, history) = d.fuzz_train(
+            seeds,
+            execs,
+            fg_fuzz::FuzzConfig { havoc_per_entry: 24, ..Default::default() },
+        );
         let paths = history.last().map(|s| s.paths).unwrap_or(0);
         // Serve the ab-style benign load and observe the credit ratio.
         let mut p = d.launch(&w.default_input, FlowGuardConfig::default());

@@ -42,7 +42,7 @@ pub fn run() -> MicroResult {
     let w = fg_workloads::nginx_patched();
     let d = flowguard::Deployment::analyze(&w.image);
     let mut d = d;
-    d.train(&[w.default_input.clone()]);
+    d.train(std::slice::from_ref(&w.default_input));
     let ocfg = OCfg::build(&w.image);
     let cost = CostModel::calibrated();
 
@@ -83,7 +83,8 @@ pub fn run() -> MicroResult {
         &bytes[..]
     };
 
-    let cfg = FlowGuardConfig { pkt_count: 100, require_module_stride: false, ..Default::default() };
+    let cfg =
+        FlowGuardConfig { pkt_count: 100, require_module_stride: false, ..Default::default() };
     let cache = HashSet::new();
 
     // Fast path: simulated + wall clock (averaged over repeats).
@@ -94,7 +95,14 @@ pub fn run() -> MicroResult {
     for _ in 0..REPS {
         let scan = fast::scan(window_bytes).expect("scan");
         tips = scan.tip_count();
-        let r = flowguard::fastpath::check(&d.itc, &cache, &w.image, &scan, &cfg, cost.edge_check_cycles);
+        let r = flowguard::fastpath::check(
+            &d.itc,
+            &cache,
+            &w.image,
+            &scan,
+            &cfg,
+            cost.edge_check_cycles,
+        );
         fast_cycles = window_bytes.len() as f64 * cost.packet_scan_byte_cycles + r.check_cycles;
     }
     let fast_wall_us = t0.elapsed().as_secs_f64() * 1e6 / REPS as f64;

@@ -36,16 +36,13 @@ fn run_two_workers(multi_cr3: bool) -> Row {
     let cost = CostModel::calibrated();
     let w = fg_workloads::vsftpd();
     let cr3s = [0x4000u64, 0x5000];
-    let mut machines: Vec<Machine> = cr3s
-        .iter()
-        .map(|&cr3| Machine::new(&w.image, cr3))
-        .collect();
-    let mut kernels: Vec<Kernel> =
-        (0..2).map(|_| Kernel::with_input(&w.default_input)).collect();
+    let mut machines: Vec<Machine> = cr3s.iter().map(|&cr3| Machine::new(&w.image, cr3)).collect();
+    let mut kernels: Vec<Kernel> = (0..2).map(|_| Kernel::with_input(&w.default_input)).collect();
     let mut done = [false; 2];
 
     // One core: one IPT unit, handed to whichever process runs.
-    let mut core_unit = Some(IptUnit::flowguard(cr3s[0], Topa::two_regions(1 << 22).expect("topa")));
+    let mut core_unit =
+        Some(IptUnit::flowguard(cr3s[0], Topa::two_regions(1 << 22).expect("topa")));
     let mut reconfig_cycles = 0.0;
     let mut switches = 0u64;
     let mut last: Option<usize> = None;

@@ -38,10 +38,7 @@ pub fn aia_sweep(ratios: &[f64]) -> Vec<AiaPoint> {
                 .iter()
                 .map(|(n, _, itc, fine)| (n.clone(), aia_flowguard(r, *fine, *itc)))
                 .collect();
-            let all_beat = servers
-                .iter()
-                .zip(&aia)
-                .all(|((_, o, _, _), (_, a))| a < o);
+            let all_beat = servers.iter().zip(&aia).all(|((_, o, _, _), (_, a))| a < o);
             AiaPoint { ratio: r, aia, all_beat_ocfg: all_beat }
         })
         .collect()
@@ -64,11 +61,8 @@ pub fn window_sweep(counts: &[usize]) -> Vec<WindowPoint> {
     counts
         .iter()
         .map(|&pkt_count| {
-            let cfg = FlowGuardConfig {
-                pkt_count,
-                require_module_stride: false,
-                ..Default::default()
-            };
+            let cfg =
+                FlowGuardConfig { pkt_count, require_module_stride: false, ..Default::default() };
             let r = fg_attacks::run_protected(&d, &attack, cfg);
             WindowPoint { pkt_count, detected: r.detected }
         })
@@ -96,7 +90,10 @@ pub fn print() {
     let sweep = window_sweep(&[2, 3, 5, 10, 20, 30]);
     let mut t2 = Table::new(&["pkt_count", "history-flush detected"]);
     for p in &sweep {
-        t2.row(vec![p.pkt_count.to_string(), if p.detected { "yes" } else { "NO (evaded)" }.into()]);
+        t2.row(vec![
+            p.pkt_count.to_string(),
+            if p.detected { "yes" } else { "NO (evaded)" }.into(),
+        ]);
     }
     t2.print("§7.1.1 — checking-window size vs history flushing (default pkt_count = 30)");
     assert!(sweep.last().expect("points").detected, "the default window must catch the attack");

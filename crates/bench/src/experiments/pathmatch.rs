@@ -103,10 +103,7 @@ pub fn print() {
         "ablation — high-credit path matching ({} trained grams, partial training)",
         rows[0].grams
     ));
-    assert!(
-        rows[1].slow_fraction >= rows[0].slow_fraction,
-        "path matching can only escalate more"
-    );
+    assert!(rows[1].slow_fraction >= rows[0].slow_fraction, "path matching can only escalate more");
     assert!(
         rows[1].stitchable_pairs < rows[0].stitchable_pairs,
         "path matching must shrink the stitchable fast-path surface"

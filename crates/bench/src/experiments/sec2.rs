@@ -66,5 +66,10 @@ pub fn print() {
     let over500 = rows.iter().filter(|r| r.decode_x > 500.0).count();
     t.row(vec!["geomean".into(), fmt(g, 0), String::new()]);
     t.print("§2 — pause-and-decode overhead of full IPT decoding (SPEC profiles)");
-    println!("\nmeasured geomean {:.0}x ({} of {} benchmarks above 500x); paper: ~230x, 8/12 above 500x", g, over500, rows.len());
+    println!(
+        "\nmeasured geomean {:.0}x ({} of {} benchmarks above 500x); paper: ~230x, 8/12 above 500x",
+        g,
+        over500,
+        rows.len()
+    );
 }

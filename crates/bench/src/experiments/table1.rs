@@ -54,8 +54,8 @@ pub fn run() -> Vec<Row> {
                 matches!(b.kind, IndCall | IndJmp | Ret)
             })
             .count() as f64;
-        let decode_cycles =
-            flow.insns_walked as f64 * cost.flow_decode_insn_cycles + tips * cost.flow_decode_tip_cycles;
+        let decode_cycles = flow.insns_walked as f64 * cost.flow_decode_insn_cycles
+            + tips * cost.flow_decode_tip_cycles;
         ipt_decode.push(decode_cycles / m.account.exec);
     }
 
@@ -74,11 +74,9 @@ pub fn print() {
         let (precise, decode, filtering) = match r.name {
             "BTS" => ("Full", "None (records are plain)".to_string(), "None"),
             "LBR" => ("Low (16 entries)", "Very low".to_string(), "CPL, CoFI type"),
-            _ => (
-                "Full",
-                format!("High ({:.0}x)", r.decode_x.expect("ipt decodes")),
-                "CPL, CR3, IP",
-            ),
+            _ => {
+                ("Full", format!("High ({:.0}x)", r.decode_x.expect("ipt decodes")), "CPL, CR3, IP")
+            }
         };
         t.row(vec![
             r.name.to_string(),
@@ -89,7 +87,5 @@ pub fn print() {
         ]);
     }
     t.print("Table 1 — hardware control-flow tracing mechanisms (geomean, SPEC profiles)");
-    println!(
-        "\npaper: BTS high (~50x = ~5000%), LBR <1%, IPT ~3% tracing with high decode cost"
-    );
+    println!("\npaper: BTS high (~50x = ~5000%), LBR <1%, IPT ~3% tracing with high decode cost");
 }

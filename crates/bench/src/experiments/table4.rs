@@ -3,7 +3,7 @@
 
 use crate::measure::trained_deployment;
 use crate::table::{fmt, Table};
-use fg_cfg::{aia_fine, aia_flowguard, aia_itc, aia_itc_with_tnt, aia_ocfg, ItcCfg, OCfg};
+use fg_cfg::{aia_fine, aia_flowguard, aia_itc, aia_itc_with_tnt, aia_ocfg, aia_vsa, ItcCfg, OCfg};
 use flowguard::FlowGuardConfig;
 
 /// One application's row.
@@ -22,6 +22,9 @@ pub struct Row {
     /// O-CFG AIA over indirect call sites only (the TypeArmor-restricted
     /// forward-edge view).
     pub aia_icall: f64,
+    /// O-CFG AIA after value-set-analysis refinement (table-driven indirect
+    /// branches narrowed to their resolved concrete target sets).
+    pub aia_vsa: f64,
     /// ITC-CFG node count |V|.
     pub itc_v: usize,
     /// ITC-CFG edge count |E|.
@@ -42,6 +45,7 @@ pub fn run() -> Vec<Row> {
         .iter()
         .map(|w| {
             let ocfg = OCfg::build(&w.image);
+            let refined = OCfg::build_refined(&w.image);
             let itc = ItcCfg::build(&ocfg);
             let per = ocfg.per_module_counts();
             let (mut bb_e, mut bb_l, mut ed_e, mut ed_l) = (0, 0, 0, 0);
@@ -87,6 +91,7 @@ pub fn run() -> Vec<Row> {
                 edges: (ed_e, ed_l),
                 aia_o: o,
                 aia_icall,
+                aia_vsa: aia_vsa(&refined),
                 itc_v: itc.node_count(),
                 itc_e: itc.edge_count(),
                 aia_itc: i_,
@@ -110,6 +115,7 @@ pub fn print() {
         "edge# lib",
         "O-CFG AIA",
         "icall AIA",
+        "VSA AIA",
         "ITC |V|",
         "ITC |E|",
         "ITC AIA (w/ tnt)",
@@ -129,6 +135,7 @@ pub fn print() {
             r.edges.1.to_string(),
             fmt(r.aia_o, 2),
             fmt(r.aia_icall, 1),
+            fmt(r.aia_vsa, 2),
             r.itc_v.to_string(),
             r.itc_e.to_string(),
             format!("{} ({})", fmt(r.aia_itc, 2), fmt(r.aia_tnt, 2)),
@@ -145,5 +152,12 @@ pub fn print() {
     for r in &rows {
         assert!(r.aia_itc >= r.aia_o, "{}: ITC collapse must not gain precision", r.name);
         assert!(r.aia_fg < r.aia_o, "{}: FlowGuard must beat the O-CFG", r.name);
+        assert!(
+            r.aia_vsa <= r.aia_o,
+            "{}: VSA refinement must not widen the O-CFG ({} > {})",
+            r.name,
+            r.aia_vsa,
+            r.aia_o
+        );
     }
 }

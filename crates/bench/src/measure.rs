@@ -134,6 +134,26 @@ pub fn trained_deployment(w: &Workload) -> Deployment {
     d
 }
 
+/// Verifies the trained artifact of every bundled server before the
+/// experiments run: a corrupted analysis pipeline fails fast here instead
+/// of silently skewing every downstream number.
+///
+/// # Panics
+///
+/// Panics with the diagnostic list if any artifact fails verification.
+pub fn verify_preflight() {
+    for w in &fg_workloads::servers() {
+        let d = trained_deployment(w);
+        let report = d.verify();
+        assert!(
+            !report.has_errors(),
+            "{}: deployment artifact failed verification:\n{report}",
+            w.name
+        );
+    }
+    println!("artifact preflight: all server deployments pass verification\n");
+}
+
 /// Runs a workload under full FlowGuard protection.
 pub fn run_protected(
     w: &Workload,

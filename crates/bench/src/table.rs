@@ -89,6 +89,6 @@ mod tests {
 
     #[test]
     fn fmt_decimals() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(1.23456, 2), "1.23");
     }
 }

@@ -73,6 +73,13 @@ pub fn aia_fine(ocfg: &OCfg) -> f64 {
     mean(&sets)
 }
 
+/// AIA of a VSA-refined O-CFG (see [`OCfg::build_refined`]): the same mean
+/// over indirect branch sites, but with each table-driven site narrowed to
+/// the concrete target set the value-set analysis resolved.
+pub fn aia_vsa(refined: &OCfg) -> f64 {
+    aia_ocfg(refined)
+}
+
 /// The §7.1.1 interpolation: the effective AIA seen by an attacker when a
 /// fraction `cred_ratio` of checked edges is high-credit (and therefore
 /// subject to the fine-grained slow-path policy on violation).

@@ -107,7 +107,12 @@ fn scan_data_pointers(image: &Image, m: &LoadedModule, taken: &mut BTreeSet<u64>
 
 /// Resolves PLT stubs by reading their GOT slot from the initialised image
 /// (the `movi fp, &got; ld fp,[fp]; jmp *fp` pattern).
-fn resolve_plt(image: &Image, m: &LoadedModule, insns: &[(u64, Insn)], out: &mut BTreeMap<u64, u64>) {
+fn resolve_plt(
+    image: &Image,
+    m: &LoadedModule,
+    insns: &[(u64, Insn)],
+    out: &mut BTreeMap<u64, u64>,
+) {
     for w in insns.windows(3) {
         let (va0, i0) = w[0];
         if va0 < m.plt_start {
@@ -162,7 +167,7 @@ pub fn disassemble(image: &Image) -> Disassembly {
             // Address-taken via immediates (lea-materialised code pointers).
             if let Insn::MovImm { imm, .. } = insn {
                 let v = imm as u64;
-                if v % INSN_SIZE == 0 && image.is_code(v) {
+                if v.is_multiple_of(INSN_SIZE) && image.is_code(v) {
                     address_taken.insert(v);
                 }
             }
@@ -264,7 +269,7 @@ mod tests {
         }
         for b in &d.blocks {
             assert!(!b.is_empty());
-            assert!(b.len() >= 1);
+            assert!(!b.is_empty());
         }
     }
 
@@ -316,14 +321,9 @@ mod tests {
     fn terminators_recorded() {
         let img = two_module_image();
         let d = disassemble(&img);
-        let has_ret = d
-            .blocks
-            .iter()
-            .any(|b| matches!(b.term, BlockEnd::Terminator(Insn::Ret)));
-        let has_calli = d
-            .blocks
-            .iter()
-            .any(|b| matches!(b.term, BlockEnd::Terminator(Insn::CallInd { .. })));
+        let has_ret = d.blocks.iter().any(|b| matches!(b.term, BlockEnd::Terminator(Insn::Ret)));
+        let has_calli =
+            d.blocks.iter().any(|b| matches!(b.term, BlockEnd::Terminator(Insn::CallInd { .. })));
         assert!(has_ret && has_calli);
     }
 

@@ -130,6 +130,21 @@ impl TntInfo {
 /// Index of an edge inside the flattened target array.
 pub type EdgeIdx = usize;
 
+/// Borrowed raw arrays of an [`ItcCfg`] (see [`ItcCfg::raw_view`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ItcRawView<'a> {
+    /// Sorted IT-BB entry addresses.
+    pub node_addrs: &'a [u64],
+    /// Per node: `(start, len)` into `targets`.
+    pub ranges: &'a [(u32, u32)],
+    /// Flattened, per-node-sorted target addresses.
+    pub targets: &'a [u64],
+    /// Per-edge credit labels.
+    pub credits: &'a [Credit],
+    /// Per-edge TNT information.
+    pub tnt: &'a [TntInfo],
+}
+
 /// The indirect-targets-connected CFG with per-edge credits and TNT labels.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ItcCfg {
@@ -208,6 +223,40 @@ impl ItcCfg {
             targets,
             credits: vec![Credit::Low; n_edges],
             tnt: vec![TntInfo::default(); n_edges],
+            path_grams: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Borrowed view of the runtime arrays, for external validators that
+    /// must inspect the raw representation (sortedness, range bounds, label
+    /// arity) without trusting the accessor invariants.
+    pub fn raw_view(&self) -> ItcRawView<'_> {
+        ItcRawView {
+            node_addrs: &self.node_addrs,
+            ranges: &self.ranges,
+            targets: &self.targets,
+            credits: &self.credits,
+            tnt: &self.tnt,
+        }
+    }
+
+    /// Reassembles an ITC-CFG from raw runtime arrays **without any
+    /// validation** — intended for artifact tooling and for mutation-style
+    /// tests that deliberately construct ill-formed graphs. Run the
+    /// `fg-verify` checker over the result before trusting it.
+    pub fn from_raw_parts(
+        node_addrs: Vec<u64>,
+        ranges: Vec<(u32, u32)>,
+        targets: Vec<u64>,
+        credits: Vec<Credit>,
+        tnt: Vec<TntInfo>,
+    ) -> ItcCfg {
+        ItcCfg {
+            node_addrs,
+            ranges,
+            targets,
+            credits,
+            tnt,
             path_grams: std::collections::BTreeSet::new(),
         }
     }
@@ -310,7 +359,9 @@ impl ItcCfg {
             + self
                 .tnt
                 .iter()
-                .map(|t| std::mem::size_of::<TntInfo>() + t.sigs.len() * std::mem::size_of::<TntSig>())
+                .map(|t| {
+                    std::mem::size_of::<TntInfo>() + t.sigs.len() * std::mem::size_of::<TntSig>()
+                })
                 .sum::<usize>()
     }
 }
@@ -474,7 +525,7 @@ mod tests {
         let sig = TntSig::from_bools(&[true, false, true]).unwrap();
         assert_eq!(sig.len(), 3);
         assert!(!sig.is_empty());
-        assert!(TntSig::from_bools(&vec![true; 65]).is_none());
+        assert!(TntSig::from_bools(&[true; 65]).is_none());
         let seq = TntSeq::from_slice(&[true, false, true]);
         assert_eq!(TntSig::from_seq(&seq), sig);
     }

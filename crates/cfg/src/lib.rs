@@ -11,9 +11,12 @@
 //!    (the TypeArmor policy the paper adopts);
 //! 3. [`ocfg`] — the conservative O-CFG with call/return matching and
 //!    tail-call emulation;
-//! 4. [`itc`] — the indirect-targets-connected CFG (ITC-CFG) searched by the
+//! 4. [`vsa`] — value-set analysis: abstract interpretation that resolves
+//!    table-driven indirect branches to concrete target sets, further
+//!    narrowing the TypeArmor sets (opt-in via [`OCfg::build_refined`]);
+//! 5. [`itc`] — the indirect-targets-connected CFG (ITC-CFG) searched by the
 //!    runtime fast path, plus per-edge [`itc::Credit`] and TNT labels;
-//! 5. [`aia`] — the Average-Indirect-targets-Allowed precision metric.
+//! 6. [`aia`] — the Average-Indirect-targets-Allowed precision metric.
 //!
 //! The crate-level guarantee mirrors the paper's: the O-CFG (and hence the
 //! ITC-CFG) is *conservative* — any flow the program can actually execute is
@@ -51,9 +54,11 @@ pub mod bb;
 pub mod itc;
 pub mod ocfg;
 pub mod typearmor;
+pub mod vsa;
 
-pub use aia::{aia_fine, aia_flowguard, aia_itc, aia_itc_with_tnt, aia_ocfg};
+pub use aia::{aia_fine, aia_flowguard, aia_itc, aia_itc_with_tnt, aia_ocfg, aia_vsa};
 pub use bb::{BasicBlock, BlockEnd, Disassembly};
-pub use itc::{Credit, EdgeIdx, ItcCfg, TntInfo, TntSig};
+pub use itc::{Credit, EdgeIdx, ItcCfg, ItcRawView, TntInfo, TntSig};
 pub use ocfg::{OCfg, SuccSet};
 pub use typearmor::{Function, TypeArmor};
+pub use vsa::Vsa;

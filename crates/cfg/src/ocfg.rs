@@ -66,6 +66,35 @@ impl OCfg {
     pub fn build(image: &Image) -> OCfg {
         let disasm = crate::bb::disassemble(image);
         let typearmor = crate::typearmor::analyze(image, &disasm);
+        Self::build_with(disasm, typearmor, None)
+    }
+
+    /// Builds the O-CFG with value-set-analysis refinement: each indirect
+    /// call/jump target set is intersected with the concrete table the
+    /// [`crate::vsa`] pass resolved for that site (falling back to the
+    /// conservative set when the site is unresolved or the intersection is
+    /// empty), and call/return matching uses the narrowed sets. The result
+    /// keeps the conservative guarantee for benign executions — VSA only
+    /// removes edges no run can take — while shrinking AIA.
+    pub fn build_refined(image: &Image) -> OCfg {
+        let disasm = crate::bb::disassemble(image);
+        let typearmor = crate::typearmor::analyze(image, &disasm);
+        let vsa = crate::vsa::analyze(image, &disasm, &typearmor);
+        Self::build_with(disasm, typearmor, Some(&vsa))
+    }
+
+    fn build_with(
+        disasm: Disassembly,
+        typearmor: TypeArmor,
+        vsa: Option<&crate::vsa::Vsa>,
+    ) -> OCfg {
+        // Narrow a site's conservative target set through VSA when available.
+        let narrow = |site: u64, base: Vec<u64>| -> Vec<u64> {
+            match vsa {
+                Some(v) => v.narrow(site, base),
+                None => base,
+            }
+        };
 
         // Universe of indirectly callable function entries.
         let callable: Vec<u64> = disasm
@@ -94,15 +123,11 @@ impl OCfg {
                 }
                 Insn::CallInd { .. } => {
                     let ret_addr = site + INSN_SIZE;
-                    for &t in &callable {
-                        if typearmor.admits(site, t) {
-                            if let Some(fi) = typearmor
-                                .functions
-                                .binary_search_by_key(&t, |f| f.entry)
-                                .ok()
-                            {
-                                ret_sites[fi].insert(ret_addr);
-                            }
+                    let admitted: Vec<u64> =
+                        callable.iter().copied().filter(|&t| typearmor.admits(site, t)).collect();
+                    for t in narrow(site, admitted) {
+                        if let Ok(fi) = typearmor.functions.binary_search_by_key(&t, |f| f.entry) {
+                            ret_sites[fi].insert(ret_addr);
                         }
                     }
                 }
@@ -123,7 +148,7 @@ impl OCfg {
                     let from = typearmor.function_of(site);
                     let targets: Vec<u64> = match disasm.plt_targets.get(&site) {
                         Some(&t) => vec![t],
-                        None => callable.clone(),
+                        None => narrow(site, callable.clone()),
                     };
                     if let Some(from) = from {
                         for t in targets {
@@ -146,8 +171,7 @@ impl OCfg {
         while changed {
             changed = false;
             for &(from, to) in &tail_edges {
-                let add: Vec<u64> =
-                    ret_sites[from].difference(&ret_sites[to]).copied().collect();
+                let add: Vec<u64> = ret_sites[from].difference(&ret_sites[to]).copied().collect();
                 if !add.is_empty() {
                     ret_sites[to].extend(add);
                     changed = true;
@@ -171,11 +195,16 @@ impl OCfg {
                         Insn::Syscall => SuccSet::Direct(vec![b.end]),
                         Insn::JmpInd { .. } => match disasm.plt_targets.get(&site) {
                             Some(&t) => SuccSet::IndJmp(vec![t]),
-                            None => SuccSet::IndJmp(callable.clone()),
+                            None => SuccSet::IndJmp(narrow(site, callable.clone())),
                         },
-                        Insn::CallInd { .. } => SuccSet::IndCall(
-                            callable.iter().copied().filter(|&t| typearmor.admits(site, t)).collect(),
-                        ),
+                        Insn::CallInd { .. } => SuccSet::IndCall(narrow(
+                            site,
+                            callable
+                                .iter()
+                                .copied()
+                                .filter(|&t| typearmor.admits(site, t))
+                                .collect(),
+                        )),
                         Insn::Ret => {
                             let sites = typearmor
                                 .function_of(site)
@@ -221,11 +250,7 @@ impl OCfg {
 }
 
 /// Resolves a direct call target through PLT stubs to function indices.
-fn resolve_call_targets(
-    disasm: &Disassembly,
-    ta: &TypeArmor,
-    target: u64,
-) -> Vec<usize> {
+fn resolve_call_targets(disasm: &Disassembly, ta: &TypeArmor, target: u64) -> Vec<usize> {
     // Direct call straight at a function entry.
     if let Ok(fi) = ta.functions.binary_search_by_key(&target, |f| f.entry) {
         return vec![fi];

@@ -197,10 +197,8 @@ pub fn analyze(image: &Image, disasm: &Disassembly) -> TypeArmor {
     for b in &disasm.blocks {
         let crate::bb::BlockEnd::Terminator(Insn::CallInd { .. }) = b.term else { continue };
         let callsite = b.last_insn();
-        let scan_start = ta_probe
-            .function_of(callsite)
-            .map(|i| ta_probe.functions[i].entry)
-            .unwrap_or(b.start);
+        let scan_start =
+            ta_probe.function_of(callsite).map(|i| ta_probe.functions[i].entry).unwrap_or(b.start);
         let mut written = [false; ARG_REGS as usize];
         let mut va = scan_start;
         while va < callsite {

@@ -1,0 +1,1118 @@
+//! Value-set analysis (VSA) for indirect-target refinement.
+//!
+//! The conservative O-CFG admits the whole TypeArmor-filtered address-taken
+//! set at every indirect call, which is exactly the imprecision the paper's
+//! AIA metric charges against coarse CFI. Real dispatch sites are far
+//! narrower: a bounded index selects a slot from a function-pointer table in
+//! statically-initialised data. This module recovers those tables with a
+//! classic abstract interpretation à la Balakrishnan & Reps:
+//!
+//! * **domain** — per-register values drawn from a three-level lattice:
+//!   bounded concrete [`AbsVal::Set`]s (at most [`MAX_SET`] members), strided
+//!   [`AbsVal::Interval`]s `{lo, lo+stride, …, hi}`, and `Top`;
+//! * **transfer** — `movi`/`mov`/ALU arithmetic track values exactly where
+//!   the domain allows (including sub-mask enumeration for `and`, the shape
+//!   `andi idx, 47` produces), byte loads yield `[0, 255]`, and word loads
+//!   whose address set lies entirely inside a module's statically-initialised
+//!   GOT/data region are resolved against the linked image bytes — the same
+//!   trust the disassembler already places in those bytes for PLT and
+//!   address-taken discovery (tables are RELRO-style: never rewritten by the
+//!   benign program);
+//! * **flow** — a per-function forward fixpoint over the function's basic
+//!   blocks, with conditional-branch refinement from `cmp`+`jcc` pairs
+//!   (signed semantics, applied only to values already bounded inside
+//!   `[0, i64::MAX]` where signed and unsigned orders agree) and widening to
+//!   `Top` after [`WIDEN_AFTER`] visits of a block, which bounds the fixpoint;
+//! * **calls** — direct calls clobber only the callee's *transitive*
+//!   may-write register set (computed by a whole-image fixpoint over the call
+//!   graph, following PLT stubs and tail jumps); indirect calls and anything
+//!   unresolved clobber everything. Syscalls clobber `r0`–`r5`: benign
+//!   kernels write the result to `r0` and may trash argument registers, and
+//!   a benign `sigreturn` only re-installs a context captured at a point the
+//!   flow-insensitive analysis already covers.
+//!
+//! The result maps each `calli`/`jmpi` site to the set of values its operand
+//! register can hold — an over-approximation of the runtime targets, so
+//! intersecting it with the TypeArmor set ([`crate::ocfg::OCfg::build_refined`])
+//! can only remove edges no benign execution takes. Sites the analysis cannot
+//! bound are simply absent and keep their conservative sets.
+
+use crate::bb::{BlockEnd, Disassembly};
+use crate::typearmor::{Function, TypeArmor};
+use fg_isa::image::Image;
+use fg_isa::insn::{AluOp, Cond, Insn, Reg, Width, INSN_SIZE};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Maximum cardinality of an [`AbsVal::Set`]; larger collections widen to a
+/// strided interval hull.
+pub const MAX_SET: usize = 64;
+/// Maximum number of addresses a word load will enumerate when resolving a
+/// pointer table.
+pub const MAX_TABLE: usize = 256;
+/// Number of visits after which a block's join widens changed registers to
+/// `Top`, bounding the fixpoint.
+pub const WIDEN_AFTER: u32 = 8;
+
+/// An abstract register value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Any value.
+    Top,
+    /// One of at most [`MAX_SET`] concrete values. The empty set is ⊥
+    /// (an unreachable path).
+    Set(BTreeSet<u64>),
+    /// `{lo, lo + stride, …, hi}` with `lo ≤ hi`, `stride ≥ 1`, and
+    /// `stride | (hi - lo)`.
+    Interval {
+        /// Smallest member.
+        lo: u64,
+        /// Largest member.
+        hi: u64,
+        /// Distance between members.
+        stride: u64,
+    },
+}
+
+impl AbsVal {
+    /// The singleton abstraction of a concrete value.
+    pub fn constant(v: u64) -> AbsVal {
+        AbsVal::Set(BTreeSet::from([v]))
+    }
+
+    /// ⊥ — no value (unreachable).
+    fn bottom() -> AbsVal {
+        AbsVal::Set(BTreeSet::new())
+    }
+
+    fn is_bottom(&self) -> bool {
+        matches!(self, AbsVal::Set(s) if s.is_empty())
+    }
+
+    /// The single concrete value, if exactly one.
+    pub fn as_const(&self) -> Option<u64> {
+        match self {
+            AbsVal::Set(s) if s.len() == 1 => s.iter().next().copied(),
+            _ => None,
+        }
+    }
+
+    /// Number of members, when not `Top`.
+    fn count(&self) -> Option<u64> {
+        match *self {
+            AbsVal::Top => None,
+            AbsVal::Set(ref s) => Some(s.len() as u64),
+            AbsVal::Interval { lo, hi, stride } => Some((hi - lo) / stride + 1),
+        }
+    }
+
+    /// Enumerates the members when there are at most `limit` of them.
+    pub fn enumerate(&self, limit: usize) -> Option<Vec<u64>> {
+        match *self {
+            AbsVal::Top => None,
+            AbsVal::Set(ref s) => (s.len() <= limit).then(|| s.iter().copied().collect()),
+            AbsVal::Interval { lo, hi, stride } => {
+                if self.count()? > limit as u64 {
+                    return None;
+                }
+                Some(interval_members(lo, hi, stride))
+            }
+        }
+    }
+
+    /// Collapses small intervals to sets and oversized sets to interval
+    /// hulls, keeping the representation canonical.
+    fn canon(self) -> AbsVal {
+        match self {
+            AbsVal::Interval { lo, hi, stride } if (hi - lo) / stride < MAX_SET as u64 => {
+                AbsVal::Set(interval_members(lo, hi, stride).into_iter().collect())
+            }
+            AbsVal::Set(s) if s.len() > MAX_SET => hull_of_set(&s),
+            v => v,
+        }
+    }
+
+    /// `(lo, hi, stride)` hull of the members, when not `Top`.
+    fn hull(&self) -> Option<(u64, u64, u64)> {
+        match *self {
+            AbsVal::Top => None,
+            AbsVal::Set(ref s) => {
+                let lo = *s.first()?;
+                let hi = *s.last()?;
+                let stride = s.iter().fold(0u64, |g, &v| gcd(g, v - lo)).max(1);
+                Some((lo, hi, stride))
+            }
+            AbsVal::Interval { lo, hi, stride } => Some((lo, hi, stride)),
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        if self.is_bottom() {
+            return other.clone();
+        }
+        if other.is_bottom() {
+            return self.clone();
+        }
+        match (self, other) {
+            (AbsVal::Top, _) | (_, AbsVal::Top) => AbsVal::Top,
+            (AbsVal::Set(a), AbsVal::Set(b)) => {
+                let u: BTreeSet<u64> = a.union(b).copied().collect();
+                AbsVal::Set(u).canon()
+            }
+            _ => {
+                let (l1, h1, s1) = self.hull().expect("non-top");
+                let (l2, h2, s2) = other.hull().expect("non-top");
+                let stride = gcd(gcd(s1, s2), l1.abs_diff(l2)).max(1);
+                AbsVal::Interval { lo: l1.min(l2), hi: h1.max(h2), stride }.canon()
+            }
+        }
+    }
+}
+
+/// Members of `{lo, lo+stride, …, hi}`; `stride | (hi - lo)` guarantees the
+/// walk lands exactly on `hi` and never overflows.
+fn interval_members(lo: u64, hi: u64, stride: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut v = lo;
+    loop {
+        out.push(v);
+        if v >= hi {
+            break;
+        }
+        v += stride;
+    }
+    out
+}
+
+fn hull_of_set(s: &BTreeSet<u64>) -> AbsVal {
+    let lo = *s.first().expect("non-empty");
+    let hi = *s.last().expect("non-empty");
+    let stride = s.iter().fold(0u64, |g, &v| gcd(g, v - lo)).max(1);
+    AbsVal::Interval { lo, hi, stride }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Applies `op` elementwise over a set against a constant.
+fn set_map(s: &BTreeSet<u64>, f: impl Fn(u64) -> u64) -> AbsVal {
+    let out: BTreeSet<u64> = s.iter().map(|&v| f(v)).collect();
+    AbsVal::Set(out).canon()
+}
+
+/// All 2ⁿ sub-masks of `mask` (sound result of `Top & mask`), as a set when
+/// small enough, else the `[0, mask]` interval.
+fn submasks(mask: u64) -> AbsVal {
+    if mask.count_ones() <= MAX_SET.trailing_zeros() {
+        let mut out = BTreeSet::new();
+        // Standard sub-mask enumeration: m, (m-1)&mask, … , 0.
+        let mut sub = mask;
+        loop {
+            out.insert(sub);
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & mask;
+        }
+        AbsVal::Set(out)
+    } else {
+        AbsVal::Interval { lo: 0, hi: mask, stride: 1 }.canon()
+    }
+}
+
+/// Abstract transfer of one ALU operation `a ⊕ b`.
+fn alu(op: AluOp, a: &AbsVal, b: &AbsVal) -> AbsVal {
+    // A constant right operand unlocks exact elementwise transfer on sets.
+    let bc = b.as_const();
+    match op {
+        AluOp::Add => {
+            // Commutative: normalise a constant left operand (the common
+            // `table_base + index` shape) to the right so the exact set and
+            // stride-preserving interval transfers below apply.
+            if bc.is_none() && a.as_const().is_some() {
+                return alu(AluOp::Add, b, a);
+            }
+            match (a, bc) {
+                (AbsVal::Set(s), Some(c)) => set_map(s, |v| v.wrapping_add(c)),
+                (AbsVal::Interval { lo, hi, stride }, Some(c)) => {
+                    match (lo.checked_add(c), hi.checked_add(c)) {
+                        (Some(l), Some(h)) => AbsVal::Interval { lo: l, hi: h, stride: *stride },
+                        _ => AbsVal::Top,
+                    }
+                }
+                _ => {
+                    // Symmetric: also handles constant-left (table base + index).
+                    let (Some((l1, h1, s1)), Some((l2, h2, s2))) = (a.hull(), b.hull()) else {
+                        return AbsVal::Top;
+                    };
+                    match (l1.checked_add(l2), h1.checked_add(h2)) {
+                        (Some(lo), Some(hi)) => {
+                            AbsVal::Interval { lo, hi, stride: gcd(s1, s2).max(1) }.canon()
+                        }
+                        _ => AbsVal::Top,
+                    }
+                }
+            }
+        }
+        AluOp::Sub => match (a, bc) {
+            (AbsVal::Set(s), Some(c)) => set_map(s, |v| v.wrapping_sub(c)),
+            (AbsVal::Interval { lo, hi, stride }, Some(c)) if *lo >= c => {
+                AbsVal::Interval { lo: lo - c, hi: hi - c, stride: *stride }
+            }
+            _ => AbsVal::Top,
+        },
+        AluOp::Mul => match (a, bc) {
+            (AbsVal::Set(s), Some(c)) => set_map(s, |v| v.wrapping_mul(c)),
+            (AbsVal::Interval { lo, hi, stride }, Some(c)) if c > 0 => {
+                match (lo.checked_mul(c), hi.checked_mul(c), stride.checked_mul(c)) {
+                    (Some(l), Some(h), Some(s)) => AbsVal::Interval { lo: l, hi: h, stride: s },
+                    _ => AbsVal::Top,
+                }
+            }
+            _ => AbsVal::Top,
+        },
+        AluOp::And => match (a, bc) {
+            (AbsVal::Set(s), Some(c)) => set_map(s, |v| v & c),
+            // Anything masked is a sub-mask of the mask.
+            (_, Some(c)) => submasks(c),
+            _ => AbsVal::Top,
+        },
+        AluOp::Or => match (a, bc) {
+            (AbsVal::Set(s), Some(c)) => set_map(s, |v| v | c),
+            _ => AbsVal::Top,
+        },
+        AluOp::Xor => match (a, bc) {
+            (AbsVal::Set(s), Some(c)) => set_map(s, |v| v ^ c),
+            _ => AbsVal::Top,
+        },
+        AluOp::Shl => match (a, bc) {
+            (AbsVal::Set(s), Some(c)) => set_map(s, |v| v.wrapping_shl((c & 63) as u32)),
+            (AbsVal::Interval { lo, hi, stride }, Some(c)) => {
+                let k = (c & 63) as u32;
+                match (lo.checked_shl(k), hi.checked_shl(k), stride.checked_shl(k)) {
+                    (Some(l), Some(h), Some(s)) if h >> k == *hi && s >> k == *stride => {
+                        AbsVal::Interval { lo: l, hi: h, stride: s }
+                    }
+                    _ => AbsVal::Top,
+                }
+            }
+            _ => AbsVal::Top,
+        },
+        AluOp::Shr => match (a, bc) {
+            (AbsVal::Set(s), Some(c)) => set_map(s, |v| v.wrapping_shr((c & 63) as u32)),
+            (AbsVal::Interval { lo, hi, .. }, Some(c)) => {
+                let k = (c & 63) as u32;
+                AbsVal::Interval { lo: lo >> k, hi: hi >> k, stride: 1 }.canon()
+            }
+            _ => AbsVal::Top,
+        },
+    }
+}
+
+/// Refines `val` by the constraint `cc.eval((v as i64) - rhs)` (the machine's
+/// signed flag semantics). Sound only while the value is known to lie in
+/// `[0, i64::MAX]`, where signed and unsigned orders coincide; `Top` can be
+/// refined by `Eq` alone.
+fn refine(val: &AbsVal, cc: Cond, rhs: i64) -> AbsVal {
+    let eval = |v: u64| -> bool {
+        let ord = (v as i128) - (rhs as i128);
+        match cc {
+            Cond::Eq => ord == 0,
+            Cond::Ne => ord != 0,
+            Cond::Lt => ord < 0,
+            Cond::Le => ord <= 0,
+            Cond::Gt => ord > 0,
+            Cond::Ge => ord >= 0,
+        }
+    };
+    match val {
+        AbsVal::Top => {
+            if cc == Cond::Eq {
+                AbsVal::constant(rhs as u64)
+            } else {
+                AbsVal::Top
+            }
+        }
+        AbsVal::Set(s) => {
+            if *s.last().unwrap_or(&0) > i64::MAX as u64 {
+                return val.clone(); // signed/unsigned orders diverge
+            }
+            AbsVal::Set(s.iter().copied().filter(|&v| eval(v)).collect())
+        }
+        &AbsVal::Interval { lo, hi, stride } => {
+            if hi > i64::MAX as u64 {
+                return val.clone();
+            }
+            let (mut lo, mut hi) = (lo, hi);
+            match cc {
+                Cond::Eq => {
+                    let c = rhs as u64;
+                    return if rhs >= 0 && c >= lo && c <= hi && (c - lo).is_multiple_of(stride) {
+                        AbsVal::constant(c)
+                    } else {
+                        AbsVal::bottom()
+                    };
+                }
+                Cond::Ne => {
+                    // Only the endpoints can be trimmed representably.
+                    if rhs >= 0 && lo == rhs as u64 {
+                        lo += stride;
+                    }
+                    if rhs >= 0 && hi == rhs as u64 && hi >= stride {
+                        hi -= stride;
+                    }
+                }
+                Cond::Lt | Cond::Le => {
+                    let bound = if cc == Cond::Lt { rhs.saturating_sub(1) } else { rhs };
+                    if bound < lo as i64 {
+                        return AbsVal::bottom();
+                    }
+                    let b = (bound as u64).min(hi);
+                    hi = lo + (b - lo) / stride * stride;
+                }
+                Cond::Gt | Cond::Ge => {
+                    let bound = if cc == Cond::Gt { rhs.saturating_add(1) } else { rhs };
+                    if bound > hi as i64 {
+                        return AbsVal::bottom();
+                    }
+                    let b = (bound.max(0) as u64).max(lo);
+                    lo = lo + (b - lo).div_ceil(stride) * stride;
+                }
+            }
+            if lo > hi {
+                AbsVal::bottom()
+            } else {
+                AbsVal::Interval { lo, hi, stride }.canon()
+            }
+        }
+    }
+}
+
+/// Whether `[va, va+8)` lies in a module's statically-initialised GOT/data
+/// region (linker-written, treated as read-only table storage).
+fn in_static_data(image: &Image, va: u64) -> bool {
+    image
+        .modules()
+        .iter()
+        .any(|m| va >= m.got_start && va.checked_add(8).is_some_and(|e| e <= m.end()))
+}
+
+/// Resolves a word load through an enumerable address set against the linked
+/// image bytes.
+fn load_word(image: &Image, addr: &AbsVal) -> AbsVal {
+    let Some(addrs) = addr.enumerate(MAX_TABLE) else { return AbsVal::Top };
+    let mut out = BTreeSet::new();
+    for a in addrs {
+        if !in_static_data(image, a) {
+            return AbsVal::Top;
+        }
+        let Some(bytes) = image.read_bytes(a, 8) else { return AbsVal::Top };
+        out.insert(u64::from_le_bytes(bytes.try_into().expect("8 bytes")));
+    }
+    AbsVal::Set(out).canon()
+}
+
+// ---------------------------------------------------------------------------
+// Abstract machine state
+// ---------------------------------------------------------------------------
+
+const NREGS: usize = Reg::COUNT;
+const ALL_REGS: u16 = u16::MAX;
+
+/// Register file + compare-flag abstraction at one program point.
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    regs: Vec<AbsVal>,
+    /// Last `cmp reg, const` whose flags are still live: `(reg, rhs)`.
+    flags: Option<(Reg, i64)>,
+}
+
+impl State {
+    fn top() -> State {
+        State { regs: vec![AbsVal::Top; NREGS], flags: None }
+    }
+
+    fn get(&self, r: Reg) -> &AbsVal {
+        &self.regs[r.index()]
+    }
+
+    fn set(&mut self, r: Reg, v: AbsVal) {
+        if let Some((fr, _)) = self.flags {
+            if fr == r {
+                self.flags = None;
+            }
+        }
+        self.regs[r.index()] = v;
+    }
+
+    fn clobber_mask(&mut self, mask: u16) {
+        for i in 0..NREGS {
+            if mask & (1 << i) != 0 {
+                self.set(Reg::new(i as u8), AbsVal::Top);
+            }
+        }
+    }
+
+    /// Joins `incoming` into `self`; returns whether anything changed.
+    /// With `widen`, registers that would change go straight to `Top`.
+    fn join_from(&mut self, incoming: &State, widen: bool) -> bool {
+        let mut changed = false;
+        for i in 0..NREGS {
+            let j = self.regs[i].join(&incoming.regs[i]);
+            if j != self.regs[i] {
+                self.regs[i] = if widen { AbsVal::Top } else { j };
+                changed = true;
+            }
+        }
+        if self.flags != incoming.flags && self.flags.is_some() {
+            self.flags = None;
+            changed = true;
+        }
+        changed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural clobber summaries
+// ---------------------------------------------------------------------------
+
+fn written_reg(insn: &Insn) -> Option<Reg> {
+    match *insn {
+        Insn::MovImm { rd, .. }
+        | Insn::Mov { rd, .. }
+        | Insn::Alu { rd, .. }
+        | Insn::AluImm { rd, .. }
+        | Insn::Load { rd, .. }
+        | Insn::Pop { rd } => Some(rd),
+        _ => None,
+    }
+}
+
+/// Syscalls may write the result and trash the argument registers.
+fn syscall_mask() -> u16 {
+    (0..=5).fold(0u16, |m, i| m | (1 << i))
+}
+
+/// Resolves a direct call/jump target to a function index, following one PLT
+/// stub indirection.
+fn resolve_fn(ta: &TypeArmor, disasm: &Disassembly, target: u64) -> Option<usize> {
+    if let Ok(fi) = ta.functions.binary_search_by_key(&target, |f| f.entry) {
+        return Some(fi);
+    }
+    let bi = disasm.block_containing(target)?;
+    let b = &disasm.blocks[bi];
+    if let BlockEnd::Terminator(Insn::JmpInd { .. }) = b.term {
+        let &t = disasm.plt_targets.get(&b.last_insn())?;
+        return ta.functions.binary_search_by_key(&t, |f| f.entry).ok();
+    }
+    None
+}
+
+/// Per-function transitive may-write register masks (bit *i* = `r<i>`), via a
+/// fixpoint over the direct call graph. Functions containing unresolved
+/// indirect transfers clobber everything.
+fn clobber_masks(image: &Image, disasm: &Disassembly, ta: &TypeArmor) -> Vec<u16> {
+    let n = ta.functions.len();
+    let mut masks = vec![0u16; n];
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    for (fi, f) in ta.functions.iter().enumerate() {
+        let mut va = f.entry;
+        let mut last = None;
+        while va < f.end {
+            let Some(insn) = image.insn_at(va) else { break };
+            last = Some(insn);
+            if let Some(r) = written_reg(&insn) {
+                masks[fi] |= 1 << r.index();
+            }
+            match insn {
+                Insn::Syscall => masks[fi] |= syscall_mask(),
+                Insn::Call { target } | Insn::Jmp { target } | Insn::Jcc { target, .. } => {
+                    // Calls, tail jumps, and cross-extent branches propagate
+                    // the target function's clobbers; intra-extent branches
+                    // resolve to fi itself or stay local (no-op).
+                    match resolve_fn(ta, disasm, target) {
+                        Some(ci) => callees[fi].push(ci),
+                        None if f.contains(target) => {}
+                        None => masks[fi] = ALL_REGS,
+                    }
+                }
+                Insn::CallInd { .. } => masks[fi] = ALL_REGS,
+                Insn::JmpInd { .. } => match disasm.plt_targets.get(&va) {
+                    Some(&t) => match resolve_fn(ta, disasm, t) {
+                        Some(ci) => callees[fi].push(ci),
+                        None => masks[fi] = ALL_REGS,
+                    },
+                    None => masks[fi] = ALL_REGS,
+                },
+                _ => {}
+            }
+            va += INSN_SIZE;
+        }
+        // Control can leave the extent by falling (or returning from a call
+        // at the last slot) into the next function's entry.
+        let leaks_into_next = match last {
+            None => false,
+            Some(Insn::Halt | Insn::Ret | Insn::Jmp { .. } | Insn::JmpInd { .. }) => false,
+            Some(_) => true,
+        };
+        if leaks_into_next {
+            match resolve_fn(ta, disasm, f.end) {
+                Some(ni) if ni != fi => callees[fi].push(ni),
+                Some(_) => {}
+                None => masks[fi] = ALL_REGS,
+            }
+        }
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fi in 0..n {
+            let mut m = masks[fi];
+            for &ci in &callees[fi] {
+                m |= masks[ci];
+            }
+            if m != masks[fi] {
+                masks[fi] = m;
+                changed = true;
+            }
+        }
+    }
+    masks
+}
+
+// ---------------------------------------------------------------------------
+// Per-function fixpoint
+// ---------------------------------------------------------------------------
+
+/// The analysis result: per indirect-branch site (address of the `calli` /
+/// `jmpi` instruction), the set of values its operand can hold.
+#[derive(Debug, Clone, Default)]
+pub struct Vsa {
+    /// Site address → over-approximate concrete target set.
+    pub resolved: BTreeMap<u64, BTreeSet<u64>>,
+    /// Indirect-branch sites inspected (excluding returns and PLT stubs).
+    pub sites: BTreeSet<u64>,
+    /// Functions analysed to a fixpoint.
+    pub functions: usize,
+}
+
+impl Vsa {
+    /// Intersects `base` with the resolved set for `site`, falling back to
+    /// `base` when the site is unresolved or the intersection is empty.
+    pub fn narrow(&self, site: u64, base: Vec<u64>) -> Vec<u64> {
+        let Some(t) = self.resolved.get(&site) else { return base };
+        let narrowed: Vec<u64> = base.iter().copied().filter(|v| t.contains(v)).collect();
+        if narrowed.is_empty() {
+            base
+        } else {
+            narrowed
+        }
+    }
+}
+
+struct FnAnalysis<'a> {
+    image: &'a Image,
+    disasm: &'a Disassembly,
+    blocks: Vec<usize>,
+    /// Block start → position in `blocks`.
+    index: BTreeMap<u64, usize>,
+    in_states: Vec<Option<State>>,
+    visits: Vec<u32>,
+    masks: &'a [u16],
+    ta: &'a TypeArmor,
+}
+
+impl FnAnalysis<'_> {
+    fn propagate(&mut self, to: u64, state: State, f: &Function, work: &mut VecDeque<usize>) {
+        if to < f.entry || to >= f.end {
+            return;
+        }
+        let Some(&li) = self.index.get(&to) else { return };
+        self.visits[li] += 1;
+        let widen = self.visits[li] > WIDEN_AFTER;
+        match &mut self.in_states[li] {
+            Some(existing) => {
+                if existing.join_from(&state, widen) {
+                    work.push_back(li);
+                }
+            }
+            slot @ None => {
+                *slot = Some(state);
+                work.push_back(li);
+            }
+        }
+    }
+
+    fn run(&mut self, f: &Function, externals: &[u64], out: &mut Vsa) {
+        let Some(&entry_li) = self.index.get(&f.entry) else { return };
+        self.in_states[entry_li] = Some(State::top());
+        let mut work: VecDeque<usize> = VecDeque::from([entry_li]);
+        // Blocks entered by branches from outside the extent carry unknown
+        // register state.
+        for &va in externals {
+            if let Some(&li) = self.index.get(&va) {
+                if self.in_states[li].is_none() {
+                    self.in_states[li] = Some(State::top());
+                    work.push_back(li);
+                }
+            }
+        }
+        // Belt-and-braces bound on top of widening.
+        let mut budget = self.blocks.len().saturating_mul(64) + 256;
+
+        while let Some(li) = work.pop_front() {
+            if budget == 0 {
+                return;
+            }
+            budget -= 1;
+            let mut st = self.in_states[li].clone().expect("queued with state");
+            let b = self.disasm.blocks[self.blocks[li]];
+
+            // Straight-line body.
+            let mut va = b.start;
+            let body_end = match b.term {
+                BlockEnd::Terminator(_) => b.last_insn(),
+                BlockEnd::FallIntoNext => b.end,
+            };
+            while va < body_end {
+                if let Some(insn) = self.image.insn_at(va) {
+                    step(&mut st, &insn, self.image);
+                }
+                va += INSN_SIZE;
+            }
+
+            match b.term {
+                BlockEnd::FallIntoNext => self.propagate(b.end, st, f, &mut work),
+                BlockEnd::Terminator(term) => {
+                    let site = b.last_insn();
+                    match term {
+                        Insn::Halt | Insn::Ret => {}
+                        Insn::Jmp { target } => self.propagate(target, st, f, &mut work),
+                        Insn::Jcc { cc, target } => {
+                            let mut taken = st.clone();
+                            let mut fall = st;
+                            if let Some((r, rhs)) = taken.flags {
+                                let v = taken.get(r).clone();
+                                taken.set(r, refine(&v, cc, rhs));
+                                fall.set(r, refine(&v, cc.invert(), rhs));
+                            }
+                            if !taken.get_any_bottom() {
+                                self.propagate(target, taken, f, &mut work);
+                            }
+                            if !fall.get_any_bottom() {
+                                self.propagate(b.end, fall, f, &mut work);
+                            }
+                        }
+                        Insn::Call { target } => {
+                            let mask = resolve_fn(self.ta, self.disasm, target)
+                                .map(|ci| self.masks[ci])
+                                .unwrap_or(ALL_REGS);
+                            st.clobber_mask(mask);
+                            self.propagate(b.end, st, f, &mut work);
+                        }
+                        Insn::CallInd { rs } => {
+                            out.record(site, st.get(rs));
+                            st.clobber_mask(ALL_REGS);
+                            self.propagate(b.end, st, f, &mut work);
+                        }
+                        // PLT stubs already resolve through the GOT.
+                        Insn::JmpInd { rs } if !self.disasm.plt_targets.contains_key(&site) => {
+                            out.record(site, st.get(rs));
+                        }
+                        Insn::Syscall => {
+                            st.clobber_mask(syscall_mask());
+                            self.propagate(b.end, st, f, &mut work);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl State {
+    fn get_any_bottom(&self) -> bool {
+        self.regs.iter().any(AbsVal::is_bottom)
+    }
+}
+
+impl Vsa {
+    /// Records the latest abstract value at a site. The fixpoint re-processes
+    /// a site's block whenever its in-state widens, so the final call wins —
+    /// and a site that widens past enumerability must drop any earlier,
+    /// narrower answer.
+    fn record(&mut self, site: u64, val: &AbsVal) {
+        self.sites.insert(site);
+        match val.enumerate(MAX_TABLE) {
+            Some(targets) => {
+                self.resolved.insert(site, targets.into_iter().collect());
+            }
+            None => {
+                self.resolved.remove(&site);
+            }
+        }
+    }
+}
+
+/// Abstract transfer of one straight-line instruction.
+fn step(st: &mut State, insn: &Insn, image: &Image) {
+    match *insn {
+        Insn::MovImm { rd, imm } => st.set(rd, AbsVal::constant(imm as i64 as u64)),
+        Insn::Mov { rd, rs } => {
+            let v = st.get(rs).clone();
+            st.set(rd, v);
+        }
+        Insn::Alu { op, rd, rs } => {
+            let v = alu(op, st.get(rd), st.get(rs));
+            st.set(rd, v);
+        }
+        Insn::AluImm { op, rd, imm } => {
+            let v = alu(op, st.get(rd), &AbsVal::constant(imm as i64 as u64));
+            st.set(rd, v);
+        }
+        Insn::Cmp { rs1, rs2 } => {
+            st.flags = match st.get(rs2).as_const() {
+                Some(c) if c <= i64::MAX as u64 => Some((rs1, c as i64)),
+                _ => None,
+            };
+        }
+        Insn::CmpImm { rs, imm } => st.flags = Some((rs, imm as i64)),
+        Insn::Load { w: Width::B1, rd, .. } => {
+            st.set(rd, AbsVal::Interval { lo: 0, hi: 255, stride: 1 });
+        }
+        Insn::Load { w: Width::B8, rd, base, off } => {
+            let addr = alu(AluOp::Add, st.get(base), &AbsVal::constant(off as i64 as u64));
+            let v = load_word(image, &addr);
+            st.set(rd, v);
+        }
+        Insn::Pop { rd } => st.set(rd, AbsVal::Top),
+        Insn::Store { .. } | Insn::Push { .. } | Insn::Nop => {}
+        // Terminators are handled at block edges.
+        _ => {}
+    }
+}
+
+/// Runs the value-set analysis over every function of a disassembled image.
+pub fn analyze(image: &Image, disasm: &Disassembly, ta: &TypeArmor) -> Vsa {
+    let masks = clobber_masks(image, disasm, ta);
+    let mut out = Vsa::default();
+
+    // Direct branches, by (source, target): a branch entering a function
+    // mid-extent from outside it is an external entry with unknown state.
+    let cross_branches: Vec<(u64, u64)> = disasm
+        .blocks
+        .iter()
+        .filter_map(|b| match b.term {
+            BlockEnd::Terminator(Insn::Jmp { target } | Insn::Jcc { target, .. }) => {
+                Some((b.last_insn(), target))
+            }
+            _ => None,
+        })
+        .collect();
+
+    for f in &ta.functions {
+        // Local CFG: the blocks inside this function's extent.
+        let blocks: Vec<usize> = disasm
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.start >= f.entry && b.start < f.end)
+            .map(|(i, _)| i)
+            .collect();
+        if blocks.is_empty() {
+            continue;
+        }
+        let index: BTreeMap<u64, usize> =
+            blocks.iter().enumerate().map(|(li, &bi)| (disasm.blocks[bi].start, li)).collect();
+        let externals: Vec<u64> = cross_branches
+            .iter()
+            .filter(|&&(src, tgt)| tgt > f.entry && tgt < f.end && !(src >= f.entry && src < f.end))
+            .map(|&(_, tgt)| tgt)
+            .collect();
+        let n = blocks.len();
+        let mut fa = FnAnalysis {
+            image,
+            disasm,
+            blocks,
+            index,
+            in_states: vec![None; n],
+            visits: vec![0; n],
+            masks: &masks,
+            ta,
+        };
+        fa.run(f, &externals, &mut out);
+        out.functions += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ocfg::OCfg;
+    use fg_isa::asm::Asm;
+    use fg_isa::image::Linker;
+    use fg_isa::insn::regs::*;
+
+    /// The canonical clamp-dispatch shape the servers use: byte index,
+    /// bounds check with a zero fallback, scaled table load, `calli`.
+    fn dispatch_image(n_handlers: usize, extra_taken: usize) -> Image {
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.lea(R8, "idx"); // command byte in data (readable when executed)
+        a.ldb(R9, R8, 0);
+        a.cmpi(R9, n_handlers as i32);
+        a.jcc(Cond::Lt, "ok");
+        a.movi(R9, 0);
+        a.label("ok");
+        a.mov(R11, R9);
+        a.shli(R11, 3);
+        a.lea(R12, "table");
+        a.add(R12, R11);
+        a.ld(R13, R12, 0);
+        a.calli(R13);
+        a.halt();
+        let mut names: Vec<String> = Vec::new();
+        for h in 0..n_handlers {
+            let l = format!("h{h}");
+            a.label(l.clone());
+            names.push(l);
+            a.movi(R0, h as i32);
+            a.ret();
+        }
+        // Unrelated address-taken functions inflate the conservative set.
+        let mut extra: Vec<String> = Vec::new();
+        for e in 0..extra_taken {
+            let l = format!("x{e}");
+            a.label(l.clone());
+            extra.push(l);
+            a.movi(R0, -1);
+            a.ret();
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        a.data_ptrs("table", &refs);
+        let xrefs: Vec<&str> = extra.iter().map(String::as_str).collect();
+        a.data_ptrs("others", &xrefs);
+        a.data_bytes("idx", &[3]);
+        a.finish().map(|m| Linker::new(m).link().unwrap()).unwrap()
+    }
+
+    fn calli_site(cfg: &OCfg) -> (usize, u64) {
+        cfg.disasm
+            .blocks
+            .iter()
+            .enumerate()
+            .find_map(|(i, b)| {
+                matches!(b.term, crate::bb::BlockEnd::Terminator(Insn::CallInd { .. }))
+                    .then(|| (i, b.last_insn()))
+            })
+            .expect("calli present")
+    }
+
+    #[test]
+    fn clamp_dispatch_resolves_to_table() {
+        let img = dispatch_image(6, 10);
+        let cfg = OCfg::build(&img);
+        let vsa = analyze(&img, &cfg.disasm, &cfg.typearmor);
+        let (_, site) = calli_site(&cfg);
+        let t = vsa.resolved.get(&site).expect("site resolved");
+        assert_eq!(t.len(), 6, "exactly the six handlers: {t:x?}");
+        let main = img.symbol("main").unwrap();
+        for h in 0..6u64 {
+            // handlers start after the 12-instruction main body.
+            let addr = main + (12 + 2 * h) * INSN_SIZE;
+            assert!(t.contains(&addr), "handler {h} at {addr:#x} in {t:x?}");
+        }
+    }
+
+    #[test]
+    fn refined_ocfg_shrinks_indirect_call_set() {
+        let img = dispatch_image(6, 10);
+        let base = OCfg::build(&img);
+        let refined = OCfg::build_refined(&img);
+        let (bi, _) = calli_site(&base);
+        let conservative = base.succs[bi].targets().len();
+        let narrow = refined.succs[bi].targets().len();
+        assert!(narrow < conservative, "{narrow} < {conservative}");
+        assert_eq!(narrow, 6);
+        // Refined targets are a subset of the conservative set.
+        for t in refined.succs[bi].targets() {
+            assert!(base.succs[bi].targets().contains(t));
+        }
+    }
+
+    #[test]
+    fn masked_index_enumerates_submasks() {
+        // `and idx, 0b101` admits indices {0, 1, 4, 5}.
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.andi(R1, 0b101);
+        a.shli(R1, 3);
+        a.lea(R2, "table");
+        a.add(R2, R1);
+        a.ld(R3, R2, 0);
+        a.calli(R3);
+        a.halt();
+        let mut names: Vec<String> = Vec::new();
+        for h in 0..6 {
+            let l = format!("f{h}");
+            a.label(l.clone());
+            names.push(l);
+            a.ret();
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        a.data_ptrs("table", &refs);
+        let img = Linker::new(a.finish().unwrap()).link().unwrap();
+        let cfg = OCfg::build(&img);
+        let vsa = analyze(&img, &cfg.disasm, &cfg.typearmor);
+        let (_, site) = calli_site(&cfg);
+        let t = vsa.resolved.get(&site).expect("resolved");
+        let main = img.symbol("main").unwrap();
+        let f = |i: u64| main + (7 + i) * INSN_SIZE;
+        assert_eq!(
+            t.iter().copied().collect::<Vec<_>>(),
+            vec![f(0), f(1), f(4), f(5)],
+            "sub-masks of 0b101 select handlers 0, 1, 4, 5"
+        );
+    }
+
+    #[test]
+    fn unbounded_pointer_stays_conservative() {
+        // The callee register is loaded from the heap: nothing to resolve.
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.movi(R8, 0x6000_0000);
+        a.ld(R9, R8, 0);
+        a.calli(R9);
+        a.halt();
+        a.label("f");
+        a.ret();
+        a.data_ptrs("table", &["f"]);
+        let img = Linker::new(a.finish().unwrap()).link().unwrap();
+        let base = OCfg::build(&img);
+        let refined = OCfg::build_refined(&img);
+        let vsa = analyze(&img, &base.disasm, &base.typearmor);
+        let (bi, site) = calli_site(&base);
+        assert!(!vsa.resolved.contains_key(&site), "heap load must stay Top");
+        assert_eq!(base.succs[bi], refined.succs[bi], "refinement is a no-op");
+    }
+
+    #[test]
+    fn callee_clobbers_respect_summaries() {
+        // The index in r9 survives a call to a function that only writes
+        // r0/r4, but not a call to one that writes r9.
+        for (clobbers_r9, expect_resolved) in [(false, true), (true, false)] {
+            let mut a = Asm::new("app");
+            a.export("main");
+            a.label("main");
+            a.movi(R9, 1);
+            a.call("helper");
+            a.cmpi(R9, 2);
+            a.jcc(Cond::Lt, "ok");
+            a.movi(R9, 0);
+            a.label("ok");
+            a.shli(R9, 3);
+            a.lea(R12, "table");
+            a.add(R12, R9);
+            a.ld(R13, R12, 0);
+            a.calli(R13);
+            a.halt();
+            a.label("helper");
+            if clobbers_r9 {
+                a.movi(R9, 99);
+            } else {
+                a.movi(R4, 99);
+            }
+            a.movi(R0, 0);
+            a.ret();
+            a.label("h0");
+            a.ret();
+            a.label("h1");
+            a.ret();
+            a.data_ptrs("table", &["h0", "h1"]);
+            let img = Linker::new(a.finish().unwrap()).link().unwrap();
+            let cfg = OCfg::build(&img);
+            let vsa = analyze(&img, &cfg.disasm, &cfg.typearmor);
+            let (_, site) = calli_site(&cfg);
+            assert_eq!(
+                vsa.resolved.contains_key(&site),
+                expect_resolved,
+                "clobbers_r9 = {clobbers_r9}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_intersection_falls_back_to_base_set() {
+        let vsa = Vsa {
+            resolved: BTreeMap::from([(0x100, BTreeSet::from([0xdead]))]),
+            sites: BTreeSet::from([0x100]),
+            functions: 1,
+        };
+        // No overlap with the base set: keep the conservative answer.
+        assert_eq!(vsa.narrow(0x100, vec![1, 2]), vec![1, 2]);
+        // Overlap: narrow.
+        assert_eq!(vsa.narrow(0x100, vec![1, 0xdead]), vec![0xdead]);
+        // Unresolved site: untouched.
+        assert_eq!(vsa.narrow(0x200, vec![7]), vec![7]);
+    }
+
+    #[test]
+    fn refined_cfg_stays_sound_under_execution() {
+        let img = dispatch_image(6, 4);
+        let cfg = OCfg::build_refined(&img);
+        let mut m = fg_cpu::Machine::new(&img, 0x1000);
+        m.enable_branch_log();
+        let stop = m.run(&mut fg_cpu::NullKernel, 10_000);
+        assert_eq!(stop, fg_cpu::StopReason::Halted);
+        for b in m.branch_log.as_ref().unwrap() {
+            let bi = cfg.disasm.block_containing(b.from).expect("known block");
+            assert!(
+                cfg.admits(bi, b.to) || b.kind == fg_isa::insn::CofiKind::FarTransfer,
+                "refined O-CFG must admit {:#x} → {:#x}",
+                b.from,
+                b.to,
+            );
+        }
+    }
+
+    #[test]
+    fn domain_operations_are_canonical() {
+        let a = AbsVal::Interval { lo: 0, hi: 24, stride: 8 }.canon();
+        assert_eq!(a, AbsVal::Set(BTreeSet::from([0, 8, 16, 24])));
+        let j = AbsVal::constant(4).join(&AbsVal::constant(12));
+        assert_eq!(j, AbsVal::Set(BTreeSet::from([4, 12])));
+        let t = AbsVal::Top.join(&AbsVal::constant(1));
+        assert_eq!(t, AbsVal::Top);
+        // Widening an oversized set to its strided hull.
+        let big: BTreeSet<u64> = (0..(MAX_SET as u64 + 1)).map(|i| i * 4).collect();
+        let h = AbsVal::Set(big).canon();
+        assert_eq!(h, AbsVal::Interval { lo: 0, hi: MAX_SET as u64 * 4, stride: 4 });
+    }
+
+    #[test]
+    fn refinement_matches_signed_flags() {
+        let v = AbsVal::Interval { lo: 0, hi: 255, stride: 1 };
+        let r = refine(&v, Cond::Lt, 6);
+        assert_eq!(r, AbsVal::Set((0..6).collect()));
+        let r = refine(&v, Cond::Ge, 250);
+        assert_eq!(r, AbsVal::Set((250..=255).collect()));
+        assert!(refine(&v, Cond::Lt, 0).is_bottom());
+        assert_eq!(refine(&AbsVal::Top, Cond::Eq, 42), AbsVal::constant(42));
+        assert_eq!(refine(&AbsVal::Top, Cond::Lt, 42), AbsVal::Top);
+        // A huge value defeats the signed/unsigned agreement precondition.
+        let huge = AbsVal::Interval { lo: 0, hi: u64::MAX, stride: 1 };
+        assert_eq!(refine(&huge, Cond::Lt, 6), huge);
+    }
+}

@@ -65,10 +65,10 @@ impl KBouncerLike {
     /// Whether `to` is a call-preceded location (the instruction before it
     /// is a call) — kBouncer's return-target policy.
     fn call_preceded(&self, to: u64) -> bool {
-        match self.image.insn_at(to.wrapping_sub(INSN_SIZE)) {
-            Some(Insn::Call { .. }) | Some(Insn::CallInd { .. }) => true,
-            _ => false,
-        }
+        matches!(
+            self.image.insn_at(to.wrapping_sub(INSN_SIZE)),
+            Some(Insn::Call { .. }) | Some(Insn::CallInd { .. })
+        )
     }
 
     /// Runs the two heuristics over an LBR snapshot (oldest first).
@@ -79,10 +79,7 @@ impl KBouncerLike {
         //    whose *source* is a ret instruction.
         for r in records {
             if matches!(self.image.insn_at(r.from), Some(Insn::Ret)) && !self.call_preceded(r.to) {
-                return Some(format!(
-                    "return {:#x} → {:#x} is not call-preceded",
-                    r.from, r.to
-                ));
+                return Some(format!("return {:#x} → {:#x} is not call-preceded", r.from, r.to));
             }
         }
         // 2. Gadget-chain heuristic: consecutive records where fewer than
@@ -163,10 +160,7 @@ impl CfimonLike {
             if block.last_insn() != r.from {
                 continue;
             }
-            if matches!(
-                block.term,
-                fg_cfg::BlockEnd::Terminator(Insn::Syscall)
-            ) {
+            if matches!(block.term, fg_cfg::BlockEnd::Terminator(Insn::Syscall)) {
                 continue;
             }
             if !self.ocfg.admits(bi, r.to) {

@@ -61,10 +61,7 @@ impl FlowGuardConfig {
     ///
     /// Panics if `cred_ratio` is outside `[0, 1]` or `pkt_count` is zero.
     pub fn validate(&self) {
-        assert!(
-            (0.0..=1.0).contains(&self.cred_ratio),
-            "cred_ratio must be within [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&self.cred_ratio), "cred_ratio must be within [0,1]");
         assert!(self.pkt_count > 0, "pkt_count must be positive");
     }
 }

@@ -28,6 +28,9 @@ pub enum ArtifactError {
     Io(std::io::Error),
     /// Malformed artifact file.
     Format(serde_json::Error),
+    /// Syntactically valid but semantically inconsistent artifact: the
+    /// static verifier found error-severity rule violations.
+    Invalid(fg_verify::Report),
 }
 
 impl std::fmt::Display for ArtifactError {
@@ -35,6 +38,9 @@ impl std::fmt::Display for ArtifactError {
         match self {
             ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
             ArtifactError::Format(e) => write!(f, "artifact format error: {e}"),
+            ArtifactError::Invalid(report) => {
+                write!(f, "artifact failed verification: {report}")
+            }
         }
     }
 }
@@ -44,6 +50,7 @@ impl std::error::Error for ArtifactError {
         match self {
             ArtifactError::Io(e) => Some(e),
             ArtifactError::Format(e) => Some(e),
+            ArtifactError::Invalid(_) => None,
         }
     }
 }
@@ -138,12 +145,31 @@ impl Deployment {
         Ok(())
     }
 
-    /// Loads a previously [`Deployment::save`]d artifact.
+    /// Loads a previously [`Deployment::save`]d artifact and verifies it:
+    /// an artifact the static checker rejects never reaches the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] on I/O or deserialisation failure, and
+    /// [`ArtifactError::Invalid`] with the full diagnostic list when the
+    /// artifact parses but fails verification.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Deployment, ArtifactError> {
+        let d = Self::load_unchecked(path)?;
+        let report = d.verify();
+        if report.has_errors() {
+            return Err(ArtifactError::Invalid(report));
+        }
+        Ok(d)
+    }
+
+    /// Loads an artifact without running the verifier. Only for tooling
+    /// that wants to inspect a rejected artifact; the engine should go
+    /// through [`Deployment::load`].
     ///
     /// # Errors
     ///
     /// Returns [`ArtifactError`] on I/O or deserialisation failure.
-    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Deployment, ArtifactError> {
+    pub fn load_unchecked(path: impl AsRef<std::path::Path>) -> Result<Deployment, ArtifactError> {
         let file = std::fs::File::open(path)?;
         let artifact: Artifact = serde_json::from_reader(std::io::BufReader::new(file))?;
         Ok(Deployment {
@@ -154,14 +180,24 @@ impl Deployment {
         })
     }
 
+    /// Runs the `fg-verify` rule catalogue over this deployment.
+    pub fn verify(&self) -> fg_verify::Report {
+        fg_verify::verify(&self.image, &self.ocfg, &self.itc)
+    }
+
     /// Builds the runtime engine for a process with the given CR3.
     pub fn engine(
         &self,
         cfg: FlowGuardConfig,
         cr3: u64,
     ) -> (FlowGuardEngine, Arc<Mutex<EngineStats>>) {
-        let engine =
-            FlowGuardEngine::new(self.image.clone(), Arc::clone(&self.ocfg), self.itc.clone(), cfg, cr3);
+        let engine = FlowGuardEngine::new(
+            self.image.clone(),
+            Arc::clone(&self.ocfg),
+            self.itc.clone(),
+            cfg,
+            cr3,
+        );
         let stats = engine.stats_handle();
         (engine, stats)
     }
@@ -228,7 +264,7 @@ mod tests {
     fn full_pipeline_protects_benign_run() {
         let w = fg_workloads::nginx_patched();
         let mut d = Deployment::analyze(&w.image);
-        let stats = d.train(&[w.default_input.clone()]);
+        let stats = d.train(std::slice::from_ref(&w.default_input));
         assert!(stats.edges_labeled > 0);
         let mut p = d.launch(&w.default_input, FlowGuardConfig::default());
         assert_eq!(p.run(50_000_000), StopReason::Exited(0));
@@ -240,7 +276,7 @@ mod tests {
     fn artifact_roundtrip_preserves_protection() {
         let w = fg_workloads::vsftpd();
         let mut d = Deployment::analyze(&w.image);
-        d.train(&[w.default_input.clone()]);
+        d.train(std::slice::from_ref(&w.default_input));
         let path = std::env::temp_dir().join("fg_artifact_test.json");
         d.save(&path).expect("save");
         let d2 = Deployment::load(&path).expect("load");
@@ -253,6 +289,43 @@ mod tests {
         let mut p = d2.launch(&w.default_input, FlowGuardConfig::default());
         assert_eq!(p.run(500_000_000), StopReason::Exited(0));
         assert!(!p.violated());
+    }
+
+    #[test]
+    fn load_rejects_inconsistent_artifact() {
+        // A parseable artifact with a truncated credit table must be
+        // rejected by the verifying load with the diagnostic list, while
+        // the unchecked load still parses it for inspection.
+        let w = fg_workloads::nginx_patched();
+        let mut d = Deployment::analyze(&w.image);
+        let v = d.itc.raw_view();
+        let (nodes, ranges, targets, mut credits, tnt) = (
+            v.node_addrs.to_vec(),
+            v.ranges.to_vec(),
+            v.targets.to_vec(),
+            v.credits.to_vec(),
+            v.tnt.to_vec(),
+        );
+        credits.pop().expect("artifact has edges");
+        d.itc = fg_cfg::ItcCfg::from_raw_parts(nodes, ranges, targets, credits, tnt);
+        let path = std::env::temp_dir().join("fg_artifact_inconsistent.json");
+        d.save(&path).expect("save");
+        let err = Deployment::load(&path).unwrap_err();
+        let ArtifactError::Invalid(report) = &err else {
+            panic!("expected Invalid, got {err}");
+        };
+        assert!(report.contains(fg_verify::Rule::LabelArity), "{report}");
+        assert!(Deployment::load_unchecked(&path).is_ok(), "unchecked load still parses");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn honest_deployment_verifies_clean() {
+        let w = fg_workloads::vsftpd();
+        let mut d = Deployment::analyze(&w.image);
+        d.train(std::slice::from_ref(&w.default_input));
+        let report = d.verify();
+        assert!(!report.has_errors(), "honest trained artifact must pass:\n{report}");
     }
 
     #[test]

@@ -194,11 +194,8 @@ impl FlowGuardEngine {
             if full_buffer { bytes.len().max(1) } else { (self.cfg.pkt_count * 24).max(512) };
         let (scan, scanned_len) = loop {
             let window = tail_window(&bytes, budget);
-            let scan = if self.cfg.parallel_decode {
-                scan_parallel(window)
-            } else {
-                fast::scan(window)
-            };
+            let scan =
+                if self.cfg.parallel_decode { scan_parallel(window) } else { fast::scan(window) };
             let scan = match scan {
                 Ok(s) => s,
                 Err(_) => {
@@ -224,7 +221,14 @@ impl FlowGuardEngine {
                 require_module_stride: false,
                 ..self.cfg.clone()
             };
-            fastpath::check(&self.itc, &self.cache, &self.image, &scan, &all, self.cost.edge_check_cycles)
+            fastpath::check(
+                &self.itc,
+                &self.cache,
+                &self.image,
+                &scan,
+                &all,
+                self.cost.edge_check_cycles,
+            )
         } else {
             fastpath::check(
                 &self.itc,
@@ -322,8 +326,7 @@ mod tests {
         let engine = FlowGuardEngine::new(w.image.clone(), ocfg, itc, cfg.clone(), cr3);
         let stats = engine.stats_handle();
         let mut m = Machine::new(&w.image, cr3);
-        let mut unit =
-            IptUnit::flowguard(cr3, Topa::two_regions(cfg.topa_region_bytes).unwrap());
+        let mut unit = IptUnit::flowguard(cr3, Topa::two_regions(cfg.topa_region_bytes).unwrap());
         unit.start(w.image.entry(), cr3);
         m.trace = TraceUnit::Ipt(unit);
         let mut k = fg_kernel::Kernel::with_input(input);
@@ -332,15 +335,13 @@ mod tests {
         (stop, stats, k)
     }
 
-    fn trained_deployment(
-        w: &fg_workloads::Workload,
-    ) -> (ItcCfg, Arc<OCfg>) {
+    fn trained_deployment(w: &fg_workloads::Workload) -> (ItcCfg, Arc<OCfg>) {
         let ocfg = OCfg::build(&w.image);
         let mut itc = ItcCfg::build(&ocfg);
         fg_fuzz::train(
             &mut itc,
             &w.image,
-            &[w.default_input.clone()],
+            std::slice::from_ref(&w.default_input),
             fg_fuzz::TrainConfig::default(),
         );
         (itc, Arc::new(ocfg))

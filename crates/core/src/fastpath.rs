@@ -163,9 +163,8 @@ pub fn check_windowed(
         let tnt_ok = cached || tnt_truncated || itc.tnt(e).admits(&w[1].tnt_before);
         // Path matching (§7.1.2 future work): the consecutive edge pair must
         // be a trained high-credit path gram.
-        let gram_ok = !cfg.path_matching
-            || cached
-            || prev_edge.is_none_or(|p| itc.has_path_gram(p, e));
+        let gram_ok =
+            !cfg.path_matching || cached || prev_edge.is_none_or(|p| itc.has_path_gram(p, e));
         prev_edge = Some(e);
         if high && tnt_ok && gram_ok {
             credited += 1;
@@ -208,7 +207,7 @@ mod tests {
         fg_fuzz::train(
             &mut itc,
             &w.image,
-            &[w.default_input.clone()],
+            std::slice::from_ref(&w.default_input),
             fg_fuzz::TrainConfig::default(),
         );
         let mut m = Machine::new(&w.image, 0x4000);
@@ -329,11 +328,7 @@ mod tests {
         let s = trained_setup();
         let cfg = FlowGuardConfig { path_matching: true, ..Default::default() };
         let r = check(&s.itc, &HashSet::new(), &s.image, &s.scan, &cfg, 18.0);
-        assert_eq!(
-            r.verdict,
-            FastVerdict::Clean,
-            "grams learned from the same input must match"
-        );
+        assert_eq!(r.verdict, FastVerdict::Clean, "grams learned from the same input must match");
     }
 
     #[test]
@@ -349,9 +344,8 @@ mod tests {
             .find_map(|(a, b, e1)| {
                 s.itc.targets_of(b).iter().find_map(|&c| {
                     let e2 = s.itc.edge(b, c)?;
-                    (s.itc.credit(e2) == fg_cfg::Credit::High
-                        && !s.itc.has_path_gram(e1, e2))
-                    .then_some((a, b, c))
+                    (s.itc.credit(e2) == fg_cfg::Credit::High && !s.itc.has_path_gram(e1, e2))
+                        .then_some((a, b, c))
                 })
             });
         let Some((a, b, c)) = stitched else {
@@ -379,11 +373,8 @@ mod tests {
     #[test]
     fn window_honors_pkt_count() {
         let s = trained_setup();
-        let cfg = FlowGuardConfig {
-            pkt_count: 5,
-            require_module_stride: false,
-            ..Default::default()
-        };
+        let cfg =
+            FlowGuardConfig { pkt_count: 5, require_module_stride: false, ..Default::default() };
         let r = check(&s.itc, &HashSet::new(), &s.image, &s.scan, &cfg, 18.0);
         assert_eq!(r.pairs_checked, 4);
     }

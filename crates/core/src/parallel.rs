@@ -65,9 +65,7 @@ pub fn scan_parallel(buf: &[u8]) -> Result<FastScan, PacketError> {
             }
             merged.tips.push(tip);
         }
-        merged
-            .boundaries
-            .extend(scan.boundaries.into_iter().map(|(i, b)| (i + base, b)));
+        merged.boundaries.extend(scan.boundaries.into_iter().map(|(i, b)| (i + base, b)));
         pending_tnt.extend(scan.trailing_tnt);
         merged.bytes_scanned += scan.bytes_scanned;
         if merged.sync_offset.is_none() {

@@ -68,11 +68,7 @@ impl ShadowStack {
                     self.matched += 1;
                     ShadowOutcome::Matched
                 }
-                Some(expected) => ShadowOutcome::Violation {
-                    from: ev.from,
-                    went: ev.to,
-                    expected,
-                },
+                Some(expected) => ShadowOutcome::Violation { from: ev.from, went: ev.to, expected },
                 None => {
                     self.unverifiable += 1;
                     ShadowOutcome::Unverifiable
@@ -110,10 +106,7 @@ mod tests {
         let mut s = ShadowStack::new();
         s.feed(&call(0x100));
         let out = s.feed(&ret(0x9010, 0xdead));
-        assert_eq!(
-            out,
-            ShadowOutcome::Violation { from: 0x9010, went: 0xdead, expected: 0x108 }
-        );
+        assert_eq!(out, ShadowOutcome::Violation { from: 0x9010, went: 0xdead, expected: 0x108 });
     }
 
     #[test]
@@ -139,7 +132,12 @@ mod tests {
         let mut s = ShadowStack::new();
         s.feed(&call(0x100));
         assert_eq!(
-            s.feed(&BranchEvent { from: 0x9000, to: 0xa000, kind: CofiKind::DirectJmp, taken: None }),
+            s.feed(&BranchEvent {
+                from: 0x9000,
+                to: 0xa000,
+                kind: CofiKind::DirectJmp,
+                taken: None
+            }),
             ShadowOutcome::Ignored
         );
         assert_eq!(s.feed(&ret(0xa010, 0x108)), ShadowOutcome::Matched);

@@ -99,15 +99,20 @@ pub fn check(image: &Image, ocfg: &OCfg, trace: &[u8], cost: &CostModel) -> Slow
         .iter()
         .filter(|b| matches!(b.kind, CofiKind::IndCall | CofiKind::IndJmp | CofiKind::Ret))
         .count() as u64;
-    let decode_cycles =
-        flow.insns_walked as f64 * cost.flow_decode_insn_cycles + tip_count as f64 * cost.flow_decode_tip_cycles;
+    let decode_cycles = flow.insns_walked as f64 * cost.flow_decode_insn_cycles
+        + tip_count as f64 * cost.flow_decode_tip_cycles;
 
     for ev in &flow.branches {
         // Fine-grained forward edges + conservative return sets.
         match ev.kind {
             CofiKind::IndCall | CofiKind::IndJmp => {
                 let Some(bi) = ocfg.disasm.block_containing(ev.from) else {
-                    return attack(SlowViolation::ForwardEdge { from: ev.from, to: ev.to }, &flow, cost, &shadow);
+                    return attack(
+                        SlowViolation::ForwardEdge { from: ev.from, to: ev.to },
+                        &flow,
+                        cost,
+                        &shadow,
+                    );
                 };
                 match &ocfg.succs[bi] {
                     SuccSet::IndCall(ts) | SuccSet::IndJmp(ts) => {
@@ -132,7 +137,12 @@ pub fn check(image: &Image, ocfg: &OCfg, trace: &[u8], cost: &CostModel) -> Slow
             }
             CofiKind::Ret => {
                 let Some(bi) = ocfg.disasm.block_containing(ev.from) else {
-                    return attack(SlowViolation::ReturnOffCfg { from: ev.from, to: ev.to }, &flow, cost, &shadow);
+                    return attack(
+                        SlowViolation::ReturnOffCfg { from: ev.from, to: ev.to },
+                        &flow,
+                        cost,
+                        &shadow,
+                    );
                 };
                 if let SuccSet::Ret(ts) = &ocfg.succs[bi] {
                     if !ts.contains(&ev.to) {
@@ -149,7 +159,12 @@ pub fn check(image: &Image, ocfg: &OCfg, trace: &[u8], cost: &CostModel) -> Slow
         }
         // Shadow stack (single-target returns).
         if let ShadowOutcome::Violation { from, went, expected } = shadow.feed(ev) {
-            return attack(SlowViolation::ReturnEdge { from, went, expected }, &flow, cost, &shadow);
+            return attack(
+                SlowViolation::ReturnEdge { from, went, expected },
+                &flow,
+                cost,
+                &shadow,
+            );
         }
         // Track validated TIP pairs for the cache.
         if matches!(ev.kind, CofiKind::IndCall | CofiKind::IndJmp | CofiKind::Ret) {

@@ -268,7 +268,10 @@ impl Machine {
     /// # Errors
     ///
     /// Returns the [`MemFault`] of a crashing access.
-    pub fn step(&mut self, kernel: &mut dyn SyscallHandler) -> Result<Option<StopReason>, MemFault> {
+    pub fn step(
+        &mut self,
+        kernel: &mut dyn SyscallHandler,
+    ) -> Result<Option<StopReason>, MemFault> {
         let pc = self.cpu.pc;
         let bytes = self.mem.fetch(pc)?;
         let insn = match Insn::decode(bytes, pc) {
@@ -647,8 +650,7 @@ mod tests {
         assert_eq!(scan.tip_count(), tips_logged - rets, "all returns compressed away");
 
         // ...but the compression-aware decoder reconstructs everything.
-        let flow =
-            fg_ipt::flow::FlowDecoder::with_ret_compression(&img).decode(&bytes).unwrap();
+        let flow = fg_ipt::flow::FlowDecoder::with_ret_compression(&img).decode(&bytes).unwrap();
         assert_eq!(flow.branches.len(), log.len());
         for (got, want) in flow.branches.iter().zip(log.iter()) {
             assert_eq!((got.from, got.to, got.kind), (want.from, want.to, want.kind));

@@ -32,7 +32,9 @@ impl MemFault {
     /// The faulting address.
     pub fn va(&self) -> u64 {
         match *self {
-            MemFault::Unmapped { va } | MemFault::ReadOnly { va } | MemFault::NotExecutable { va } => va,
+            MemFault::Unmapped { va }
+            | MemFault::ReadOnly { va }
+            | MemFault::NotExecutable { va } => va,
         }
     }
 }

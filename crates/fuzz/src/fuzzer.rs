@@ -51,7 +51,7 @@ pub struct FuzzConfig {
 
 impl Default for FuzzConfig {
     fn default() -> FuzzConfig {
-        FuzzConfig { seed: 0x1 ,max_len: 256, havoc_per_entry: 32, insn_budget: 2_000_000 }
+        FuzzConfig { seed: 0x1, max_len: 256, havoc_per_entry: 32, insn_budget: 2_000_000 }
     }
 }
 

@@ -56,7 +56,8 @@ pub fn train(itc: &mut ItcCfg, image: &Image, corpus: &[Vec<u8>], cfg: TrainConf
 
     for input in corpus {
         let mut m = Machine::new(image, cfg.cr3);
-        let mut unit = IptUnit::flowguard(cfg.cr3, Topa::two_regions(cfg.topa_region).expect("topa"));
+        let mut unit =
+            IptUnit::flowguard(cfg.cr3, Topa::two_regions(cfg.topa_region).expect("topa"));
         unit.start(image.entry(), cfg.cr3);
         m.trace = TraceUnit::Ipt(unit);
         let mut kernel = fg_kernel::Kernel::with_input(input);
@@ -103,10 +104,7 @@ mod tests {
         let corpus = vec![w.default_input.clone()];
         let stats = train(&mut itc, &w.image, &corpus, TrainConfig::default());
         assert!(stats.pairs > 10, "benign run produces many TIP pairs");
-        assert_eq!(
-            stats.unmatched_pairs, 0,
-            "soundness: every runtime TIP pair is an ITC edge"
-        );
+        assert_eq!(stats.unmatched_pairs, 0, "soundness: every runtime TIP pair is an ITC edge");
         assert!(stats.edges_labeled > 0);
         assert!(stats.cred_fraction > 0.0 && stats.cred_fraction < 1.0);
         // Some edge is high, some low.
@@ -126,11 +124,8 @@ mod tests {
         let w = fg_workloads::nginx_patched();
         let ocfg = OCfg::build(&w.image);
         let mut itc = ItcCfg::build(&ocfg);
-        train(&mut itc, &w.image, &[w.default_input.clone()], TrainConfig::default());
-        let trained_tnt = itc
-            .iter_edges()
-            .filter(|&(_, _, e)| itc.tnt(e).is_trained())
-            .count();
+        train(&mut itc, &w.image, std::slice::from_ref(&w.default_input), TrainConfig::default());
+        let trained_tnt = itc.iter_edges().filter(|&(_, _, e)| itc.tnt(e).is_trained()).count();
         assert!(trained_tnt > 0, "edges should carry TNT info after training");
     }
 

@@ -286,8 +286,7 @@ mod tests {
         assert_eq!(total, bytes.len());
         assert_eq!(segs[0].0, 0);
         // Scanning segments individually finds the same number of TIPs.
-        let n: usize =
-            segs.iter().map(|&(o, l)| scan(&bytes[o..o + l]).unwrap().tip_count()).sum();
+        let n: usize = segs.iter().map(|&(o, l)| scan(&bytes[o..o + l]).unwrap().tip_count()).sum();
         assert_eq!(n, 3);
     }
 }

@@ -356,21 +356,11 @@ impl<'a> PacketCursor<'a> {
                 }
                 Packet::TipPgd { .. } => match need {
                     Need::Resume if saw_fup => saw_pgd = true,
-                    _ => {
-                        return Err(FlowError::TraceMismatch {
-                            ip,
-                            detail: "unexpected TIP.PGD",
-                        })
-                    }
+                    _ => return Err(FlowError::TraceMismatch { ip, detail: "unexpected TIP.PGD" }),
                 },
                 Packet::TipPge { ip: resume } => match need {
                     Need::Resume if saw_pgd => return Ok(Some(Outcome::Resume(resume))),
-                    _ => {
-                        return Err(FlowError::TraceMismatch {
-                            ip,
-                            detail: "unexpected TIP.PGE",
-                        })
-                    }
+                    _ => return Err(FlowError::TraceMismatch { ip, detail: "unexpected TIP.PGE" }),
                 },
             }
         }

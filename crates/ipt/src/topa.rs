@@ -299,11 +299,8 @@ mod tests {
 
     #[test]
     fn stop_region_halts_tracing() {
-        let t = Topa::new(vec![TopaRegion::new(
-            4096,
-            TopaFlags { int: false, stop: true },
-        )])
-        .unwrap();
+        let t =
+            Topa::new(vec![TopaRegion::new(4096, TopaFlags { int: false, stop: true })]).unwrap();
         let mut t = t;
         t.write_packet(&vec![0; 4096]);
         t.write_packet(&[1, 2, 3]);

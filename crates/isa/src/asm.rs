@@ -57,9 +57,15 @@ impl std::error::Error for AsmError {}
 enum PInsn {
     Ready(Insn),
     /// Direct branch to a local label or (for jmp/call) an imported symbol.
-    Branch { kind: BranchKind, label: String },
+    Branch {
+        kind: BranchKind,
+        label: String,
+    },
     /// `rd = &sym` — patched by an `Abs` relocation.
-    Lea { rd: Reg, sym: String },
+    Lea {
+        rd: Reg,
+        sym: String,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,7 +208,7 @@ impl Asm {
     }
 
     fn align_data(&mut self) {
-        while self.data.len() % 8 != 0 {
+        while !self.data.len().is_multiple_of(8) {
             self.data.push(0);
         }
     }
@@ -453,7 +459,11 @@ impl Asm {
         for (i, import) in self.imports.iter().enumerate() {
             let stub_idx = code.len();
             code.push(Insn::MovImm { rd: Reg::FP, imm: 0 });
-            relocs.push(Reloc::GotAddr { code_index: stub_idx, got_index: i, import: import.clone() });
+            relocs.push(Reloc::GotAddr {
+                code_index: stub_idx,
+                got_index: i,
+                import: import.clone(),
+            });
             code.push(Insn::Load { w: Width::B8, rd: Reg::FP, base: Reg::FP, off: 0 });
             code.push(Insn::JmpInd { rs: Reg::FP });
         }
@@ -469,11 +479,7 @@ impl Asm {
             relocs.push(Reloc::DataAbs { data_offset: *off, target_offset, sym: sym.clone() });
         }
 
-        let labels = self
-            .labels
-            .iter()
-            .map(|(n, &i)| (n.clone(), i as u64 * INSN_SIZE))
-            .collect();
+        let labels = self.labels.iter().map(|(n, &i)| (n.clone(), i as u64 * INSN_SIZE)).collect();
 
         Ok(Module {
             name: self.name,
@@ -587,11 +593,7 @@ mod tests {
         a.ret();
         a.data_ptrs("handlers", &["f1", "f2"]);
         let m = a.finish().unwrap();
-        let dr: Vec<_> = m
-            .relocs
-            .iter()
-            .filter(|r| matches!(r, Reloc::DataAbs { .. }))
-            .collect();
+        let dr: Vec<_> = m.relocs.iter().filter(|r| matches!(r, Reloc::DataAbs { .. })).collect();
         assert_eq!(dr.len(), 2);
     }
 

@@ -205,11 +205,19 @@ impl Image {
     /// not instruction-aligned.
     pub fn insn_at(&self, va: u64) -> Option<Insn> {
         let m = self.module_containing(va)?;
-        if !m.contains_code(va) || (va - m.base) % INSN_SIZE != 0 {
+        if !m.contains_code(va) || !(va - m.base).is_multiple_of(INSN_SIZE) {
             return None;
         }
         let bytes: [u8; 8] = self.read_bytes(va, 8)?.try_into().ok()?;
         Insn::decode(bytes, va).ok()
+    }
+
+    /// Whether `va` is a decodable instruction address: mapped, inside an
+    /// executable portion, instruction-aligned, and holding a valid
+    /// encoding. The static verifier uses this to reject CFG artifacts whose
+    /// edges point outside real code.
+    pub fn is_insn_addr(&self, va: u64) -> bool {
+        self.insn_at(va).is_some()
     }
 
     /// Resolves a symbol using the global resolution order (executable,
@@ -228,11 +236,7 @@ impl Image {
                 out.push(Segment { va: m.base, bytes: &m.bytes[..code_len], writable: false });
             }
             if m.bytes.len() > code_len {
-                out.push(Segment {
-                    va: m.exec_end,
-                    bytes: &m.bytes[code_len..],
-                    writable: true,
-                });
+                out.push(Segment { va: m.exec_end, bytes: &m.bytes[code_len..], writable: true });
             }
         }
         out
@@ -351,7 +355,8 @@ impl Linker {
 
         // ---- export tables ----------------------------------------------
         // (module name, kind, base, exports resolved to absolute addresses)
-        let export_table: Vec<(String, ModuleKind, Vec<(String, u64)>)> = placed
+        type ExportEntry = (String, ModuleKind, Vec<(String, u64)>);
+        let export_table: Vec<ExportEntry> = placed
             .iter()
             .map(|p| {
                 let exports =
@@ -525,10 +530,8 @@ mod tests {
 
     #[test]
     fn basic_link_resolves_entry_and_symbols() {
-        let img = Linker::new(exe_calling("f", &["l1"]))
-            .library(lib_with("l1", &["f"]))
-            .link()
-            .unwrap();
+        let img =
+            Linker::new(exe_calling("f", &["l1"])).library(lib_with("l1", &["f"])).link().unwrap();
         assert_eq!(img.entry(), EXEC_BASE);
         let f = img.symbol("f").unwrap();
         assert!(img.module_named("l1").unwrap().contains_code(f));
@@ -536,10 +539,8 @@ mod tests {
 
     #[test]
     fn got_contains_resolved_address() {
-        let img = Linker::new(exe_calling("f", &["l1"]))
-            .library(lib_with("l1", &["f"]))
-            .link()
-            .unwrap();
+        let img =
+            Linker::new(exe_calling("f", &["l1"])).library(lib_with("l1", &["f"])).link().unwrap();
         let app = img.executable();
         let got = img.read_bytes(app.got_start, 8).unwrap();
         let addr = u64::from_le_bytes(got.try_into().unwrap());
@@ -548,10 +549,8 @@ mod tests {
 
     #[test]
     fn plt_stub_decodes_to_indirect_jump() {
-        let img = Linker::new(exe_calling("f", &["l1"]))
-            .library(lib_with("l1", &["f"]))
-            .link()
-            .unwrap();
+        let img =
+            Linker::new(exe_calling("f", &["l1"])).library(lib_with("l1", &["f"])).link().unwrap();
         let app = img.executable();
         // Stub: movi fp, got; ld fp,[fp]; jmp *fp.
         let i0 = img.insn_at(app.plt_start).unwrap();
@@ -613,10 +612,7 @@ mod tests {
     #[test]
     fn unresolved_symbol_reported() {
         let err = Linker::new(exe_calling("ghost", &[])).link().unwrap_err();
-        assert_eq!(
-            err,
-            LinkError::UnresolvedSymbol { module: "app".into(), sym: "ghost".into() }
-        );
+        assert_eq!(err, LinkError::UnresolvedSymbol { module: "app".into(), sym: "ghost".into() });
         assert!(err.to_string().contains("ghost"));
     }
 
@@ -683,10 +679,8 @@ mod tests {
 
     #[test]
     fn insn_at_rejects_data_and_misaligned() {
-        let img = Linker::new(exe_calling("f", &["l1"]))
-            .library(lib_with("l1", &["f"]))
-            .link()
-            .unwrap();
+        let img =
+            Linker::new(exe_calling("f", &["l1"])).library(lib_with("l1", &["f"])).link().unwrap();
         let app = img.executable();
         assert!(img.insn_at(app.base).is_some());
         assert!(img.insn_at(app.base + 1).is_none(), "misaligned");
@@ -696,10 +690,8 @@ mod tests {
 
     #[test]
     fn module_lookup_by_address() {
-        let img = Linker::new(exe_calling("f", &["l1"]))
-            .library(lib_with("l1", &["f"]))
-            .link()
-            .unwrap();
+        let img =
+            Linker::new(exe_calling("f", &["l1"])).library(lib_with("l1", &["f"])).link().unwrap();
         assert_eq!(img.module_containing(EXEC_BASE).unwrap().name, "app");
         assert_eq!(img.module_containing(LIB_BASE).unwrap().name, "l1");
         assert!(img.module_containing(0x10).is_none());
@@ -708,10 +700,8 @@ mod tests {
 
     #[test]
     fn symbol_at_finds_function_names() {
-        let img = Linker::new(exe_calling("f", &["l1"]))
-            .library(lib_with("l1", &["f"]))
-            .link()
-            .unwrap();
+        let img =
+            Linker::new(exe_calling("f", &["l1"])).library(lib_with("l1", &["f"])).link().unwrap();
         let f = img.symbol("f").unwrap();
         assert_eq!(img.module_named("l1").unwrap().symbol_at(f), Some("f"));
     }

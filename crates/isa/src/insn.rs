@@ -347,9 +347,7 @@ impl Insn {
     /// The statically known direct target, if any.
     pub fn direct_target(&self) -> Option<u64> {
         match *self {
-            Insn::Jmp { target } | Insn::Call { target } | Insn::Jcc { target, .. } => {
-                Some(target)
-            }
+            Insn::Jmp { target } | Insn::Call { target } | Insn::Jcc { target, .. } => Some(target),
             _ => None,
         }
     }
@@ -488,10 +486,14 @@ impl Insn {
             op::HALT => Insn::Halt,
             op::MOVI => Insn::MovImm { rd: reg(a)?, imm: imm as i32 },
             op::MOV => Insn::Mov { rd: reg(a)?, rs: reg(b)? },
-            op::ALU => Insn::Alu { op: AluOp::from_code(c).ok_or_else(bad)?, rd: reg(a)?, rs: reg(b)? },
-            op::ALUI => {
-                Insn::AluImm { op: AluOp::from_code(c).ok_or_else(bad)?, rd: reg(a)?, imm: imm as i32 }
+            op::ALU => {
+                Insn::Alu { op: AluOp::from_code(c).ok_or_else(bad)?, rd: reg(a)?, rs: reg(b)? }
             }
+            op::ALUI => Insn::AluImm {
+                op: AluOp::from_code(c).ok_or_else(bad)?,
+                rd: reg(a)?,
+                imm: imm as i32,
+            },
             op::CMP => Insn::Cmp { rs1: reg(a)?, rs2: reg(b)? },
             op::CMPI => Insn::CmpImm { rs: reg(a)?, imm: imm as i32 },
             op::LOAD => Insn::Load { w: Width::B8, rd: reg(a)?, base: reg(b)?, off: imm as i32 },
@@ -619,10 +621,7 @@ mod tests {
     fn cofi_classification_matches_table3() {
         assert_eq!(Insn::Jmp { target: 0 }.cofi_kind(), CofiKind::DirectJmp);
         assert_eq!(Insn::Call { target: 0 }.cofi_kind(), CofiKind::DirectCall);
-        assert_eq!(
-            Insn::Jcc { cc: Cond::Eq, target: 0 }.cofi_kind(),
-            CofiKind::CondBranch
-        );
+        assert_eq!(Insn::Jcc { cc: Cond::Eq, target: 0 }.cofi_kind(), CofiKind::CondBranch);
         assert_eq!(Insn::JmpInd { rs: R0 }.cofi_kind(), CofiKind::IndJmp);
         assert_eq!(Insn::CallInd { rs: R0 }.cofi_kind(), CofiKind::IndCall);
         assert_eq!(Insn::Ret.cofi_kind(), CofiKind::Ret);

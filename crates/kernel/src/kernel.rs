@@ -146,11 +146,8 @@ impl SyscallHandler for Kernel {
             u.topa_mut().take_pmi();
         }
         if let Some(mut module) = self.interceptor.take() {
-            let verdict = if module.protects(ctx.cr3) {
-                module.on_pmi(ctx)
-            } else {
-                InterceptVerdict::Allow
-            };
+            let verdict =
+                if module.protects(ctx.cr3) { module.on_pmi(ctx) } else { InterceptVerdict::Allow };
             self.interceptor = Some(module);
             if let InterceptVerdict::Kill(sig) = verdict {
                 self.violations.push("pmi");
@@ -368,7 +365,7 @@ mod tests {
             a.st(R1, SP, 0); // pc
             a.movi(R2, 0x42);
             a.st(R2, SP, 8 * 6); // regs[5]
-            // new sp must be sane: store current sp as regs[14].
+                                 // new sp must be sane: store current sp as regs[14].
             a.mov(R3, SP);
             a.st(R3, SP, 8 * 15);
             a.movi(R0, Sysno::Sigreturn as i32);

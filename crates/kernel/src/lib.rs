@@ -17,5 +17,7 @@
 pub mod kernel;
 pub mod syscalls;
 
-pub use kernel::{DenyAll, InterceptVerdict, Kernel, SyscallInterceptor, SIGFRAME_WORDS, SIGKILL, SIGSYS};
+pub use kernel::{
+    DenyAll, InterceptVerdict, Kernel, SyscallInterceptor, SIGFRAME_WORDS, SIGKILL, SIGSYS,
+};
 pub use syscalls::{SensitiveSet, Sysno};

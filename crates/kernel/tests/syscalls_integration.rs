@@ -2,10 +2,10 @@
 //! default behaviour.
 
 use fg_cpu::machine::{Machine, StopReason};
-use fg_kernel::{DenyAll, Kernel, SensitiveSet, Sysno};
 use fg_isa::asm::Asm;
 use fg_isa::image::{Image, Linker};
 use fg_isa::insn::regs::*;
+use fg_kernel::{DenyAll, Kernel, SensitiveSet, Sysno};
 
 fn build(f: impl FnOnce(&mut Asm)) -> Image {
     let mut a = Asm::new("app");
@@ -94,6 +94,9 @@ fn pmi_default_acknowledges_without_killing() {
     m.trace = fg_cpu::TraceUnit::Ipt(unit);
     let mut k = Kernel::new();
     assert_eq!(m.run(&mut k, 1_000_000), StopReason::Halted);
-    assert!(m.trace.as_ipt().unwrap().topa().has_wrapped() || m.trace.as_ipt().unwrap().bytes_emitted() > 4096);
+    assert!(
+        m.trace.as_ipt().unwrap().topa().has_wrapped()
+            || m.trace.as_ipt().unwrap().bytes_emitted() > 4096
+    );
     assert!(!m.trace.as_ipt().unwrap().topa().pmi_pending(), "PMIs acknowledged");
 }

@@ -1,0 +1,281 @@
+//! Structured diagnostics: rules, severities, locations, and the report.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not a reason to reject the artifact.
+    Warning,
+    /// The artifact must be rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The rule catalogue. Each rule has a stable ID (`FG-W*` well-formedness,
+/// `FG-S*` soundness, `FG-P*` policy, `FG-N*` notes) used by tests and
+/// tooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `FG-W01` — ITC node addresses strictly increasing (sorted, deduped).
+    NodeOrder,
+    /// `FG-W02` — per-node target ranges contiguous and within the target
+    /// array.
+    RangeBounds,
+    /// `FG-W03` — per-node target lists strictly increasing (sorted,
+    /// deduped).
+    TargetOrder,
+    /// `FG-W04` — credit and TNT label arrays parallel to the edge array
+    /// (an edge index outside the label tables reads out of range).
+    LabelArity,
+    /// `FG-W05` — every edge target is itself a known ITC node.
+    DanglingEdge,
+    /// `FG-W06` — the O-CFG successor table is parallel to its block array.
+    CfgShape,
+    /// `FG-S01` — every ITC edge is derivable from the O-CFG by the
+    /// nearest-indirect collapse.
+    EdgeDerivable,
+    /// `FG-S02` — the collapse lost nothing: the ITC node set equals the
+    /// O-CFG's indirect-target set and every derivable edge is present.
+    CoarseningComplete,
+    /// `FG-S03` — every return-successor target pairs with a real call site
+    /// (the address immediately after a `call`/`calli`).
+    CallRetPairing,
+    /// `FG-S04` — the O-CFG re-derives from the image: equal block
+    /// structure, successor sets no wider than the conservative rebuild.
+    CfgRederivable,
+    /// `FG-P01` — every indirect target is a decodable instruction address.
+    InstructionTarget,
+    /// `FG-P02` — TNT signatures with conditional outcomes only on edges
+    /// whose direct region contains conditional branches.
+    TntEdgeKind,
+    /// `FG-N01` — the artifact is untrained (all credits low).
+    Untrained,
+}
+
+impl Rule {
+    /// All rules, in catalogue order.
+    pub const ALL: [Rule; 13] = [
+        Rule::NodeOrder,
+        Rule::RangeBounds,
+        Rule::TargetOrder,
+        Rule::LabelArity,
+        Rule::DanglingEdge,
+        Rule::CfgShape,
+        Rule::EdgeDerivable,
+        Rule::CoarseningComplete,
+        Rule::CallRetPairing,
+        Rule::CfgRederivable,
+        Rule::InstructionTarget,
+        Rule::TntEdgeKind,
+        Rule::Untrained,
+    ];
+
+    /// The stable rule ID.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NodeOrder => "FG-W01",
+            Rule::RangeBounds => "FG-W02",
+            Rule::TargetOrder => "FG-W03",
+            Rule::LabelArity => "FG-W04",
+            Rule::DanglingEdge => "FG-W05",
+            Rule::CfgShape => "FG-W06",
+            Rule::EdgeDerivable => "FG-S01",
+            Rule::CoarseningComplete => "FG-S02",
+            Rule::CallRetPairing => "FG-S03",
+            Rule::CfgRederivable => "FG-S04",
+            Rule::InstructionTarget => "FG-P01",
+            Rule::TntEdgeKind => "FG-P02",
+            Rule::Untrained => "FG-N01",
+        }
+    }
+
+    /// The short kebab-case rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NodeOrder => "node-order",
+            Rule::RangeBounds => "range-bounds",
+            Rule::TargetOrder => "target-order",
+            Rule::LabelArity => "label-arity",
+            Rule::DanglingEdge => "dangling-edge",
+            Rule::CfgShape => "cfg-shape",
+            Rule::EdgeDerivable => "edge-derivable",
+            Rule::CoarseningComplete => "coarsening-complete",
+            Rule::CallRetPairing => "call-ret-pairing",
+            Rule::CfgRederivable => "cfg-rederivable",
+            Rule::InstructionTarget => "instruction-target",
+            Rule::TntEdgeKind => "tnt-edge-kind",
+            Rule::Untrained => "untrained",
+        }
+    }
+
+    /// The severity findings of this rule carry.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::Untrained => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id(), self.name())
+    }
+}
+
+/// Where in the artifact a finding is anchored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// The artifact as a whole.
+    Artifact,
+    /// An ITC node.
+    Node(u64),
+    /// An ITC edge.
+    Edge {
+        /// Source node address.
+        from: u64,
+        /// Target address.
+        to: u64,
+    },
+    /// An O-CFG basic block (by start address).
+    Block(u64),
+    /// A bare address.
+    Address(u64),
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Location::Artifact => write!(f, "artifact"),
+            Location::Node(va) => write!(f, "node {va:#x}"),
+            Location::Edge { from, to } => write!(f, "edge {from:#x} → {to:#x}"),
+            Location::Block(va) => write!(f, "block {va:#x}"),
+            Location::Address(va) => write!(f, "address {va:#x}"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Severity (always `rule.severity()`).
+    pub severity: Severity,
+    /// Anchor within the artifact.
+    pub location: Location,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] at {}: {}", self.severity, self.rule, self.location, self.message)
+    }
+}
+
+/// The outcome of a verification run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Records a finding.
+    pub fn push(&mut self, rule: Rule, location: Location, message: String) {
+        self.diagnostics.push(Diagnostic { rule, severity: rule.severity(), location, message });
+    }
+
+    /// Whether any error-severity finding was recorded (the artifact must
+    /// then be rejected).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Whether a finding of `rule` was recorded.
+    pub fn contains(&self, rule: Rule) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+
+    /// Whether no findings at all were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const SHOWN: usize = 8;
+        if self.diagnostics.is_empty() {
+            return write!(f, "clean (no findings)");
+        }
+        write!(f, "{} error(s), {} warning(s)", self.error_count(), self.warning_count())?;
+        for d in self.diagnostics.iter().take(SHOWN) {
+            write!(f, "\n  {d}")?;
+        }
+        if self.diagnostics.len() > SHOWN {
+            write!(f, "\n  … and {} more", self.diagnostics.len() - SHOWN)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_stable() {
+        let ids: std::collections::BTreeSet<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+        assert_eq!(ids.len(), Rule::ALL.len(), "duplicate rule ID");
+        assert_eq!(Rule::DanglingEdge.id(), "FG-W05");
+        assert_eq!(Rule::EdgeDerivable.id(), "FG-S01");
+        assert_eq!(Rule::TntEdgeKind.id(), "FG-P02");
+    }
+
+    #[test]
+    fn report_counts_and_display() {
+        let mut r = Report::default();
+        assert!(r.is_empty());
+        assert!(!r.has_errors());
+        r.push(Rule::Untrained, Location::Artifact, "all low".into());
+        assert!(!r.has_errors(), "warnings alone do not reject");
+        r.push(Rule::DanglingEdge, Location::Edge { from: 0x10, to: 0x20 }, "gone".into());
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.contains(Rule::DanglingEdge));
+        assert!(!r.contains(Rule::NodeOrder));
+        let s = r.to_string();
+        assert!(s.contains("FG-W05"), "{s}");
+        assert!(s.contains("0x10"), "{s}");
+    }
+
+    #[test]
+    fn only_untrained_is_a_warning() {
+        for rule in Rule::ALL {
+            let expect = if rule == Rule::Untrained { Severity::Warning } else { Severity::Error };
+            assert_eq!(rule.severity(), expect, "{rule}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! # fg-verify — static verification of deployment artifacts
+//!
+//! FlowGuard's trust model (§3.3) assumes the CFG artifact shipped with a
+//! protected binary was "securely conducted" before distribution — but the
+//! enforcement engine itself should not have to take that on faith. This
+//! crate is a lint-style static checker over the artifact triple
+//! `(Image, O-CFG, ITC-CFG)`: every check emits a structured
+//! [`Diagnostic`] with a stable rule ID, a severity, and a location, and
+//! the engine accepts the artifact only when the [`Report`] carries no
+//! errors.
+//!
+//! The rule catalogue has three layers:
+//!
+//! * **Well-formedness** (`FG-W*`) — the runtime arrays are structurally
+//!   valid: sorted and deduplicated node/target arrays, contiguous in-bounds
+//!   ranges, label arrays parallel to the edge array, every edge referencing
+//!   a real node, and the O-CFG's successor table parallel to its blocks.
+//! * **Soundness cross-checks** (`FG-S*`) — the ITC-CFG is exactly what the
+//!   collapse derives from the O-CFG (no injected and no missing edges),
+//!   return-successor sets pair with real call sites, and the O-CFG itself
+//!   re-derives from the image (equal block structure, successor sets no
+//!   wider than the conservative rebuild).
+//! * **Policy** (`FG-P*`) — every indirect target is a decodable
+//!   instruction address, and TNT signatures are only attached to edges
+//!   whose direct region actually contains conditional branches.
+//!
+//! Verification runs in two phases: if any well-formedness rule fails, the
+//! soundness and policy phases are skipped (their traversals assume a
+//! structurally valid graph) and the report is returned immediately.
+//!
+//! # Examples
+//!
+//! ```
+//! use fg_isa::asm::Asm;
+//! use fg_isa::image::Linker;
+//! use fg_cfg::{ItcCfg, OCfg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new("app");
+//! a.export("main");
+//! a.label("main");
+//! a.lea(fg_isa::insn::regs::R1, "table");
+//! a.ld(fg_isa::insn::regs::R2, fg_isa::insn::regs::R1, 0);
+//! a.calli(fg_isa::insn::regs::R2);
+//! a.halt();
+//! a.label("handler");
+//! a.ret();
+//! a.data_ptrs("table", &["handler"]);
+//!
+//! let image = Linker::new(a.finish()?).link()?;
+//! let ocfg = OCfg::build(&image);
+//! let itc = ItcCfg::build(&ocfg);
+//! let report = fg_verify::verify(&image, &ocfg, &itc);
+//! assert!(!report.has_errors(), "honest pipeline passes: {report}");
+//! # Ok(())
+//! # }
+//! ```
+
+use fg_cfg::{ItcCfg, OCfg};
+use fg_isa::image::Image;
+
+mod diag;
+mod rules;
+
+pub use diag::{Diagnostic, Location, Report, Rule, Severity};
+
+/// Runs the full rule catalogue over an artifact triple.
+///
+/// Well-formedness errors short-circuit the soundness and policy phases,
+/// whose traversals assume a structurally valid graph.
+pub fn verify(image: &Image, ocfg: &OCfg, itc: &ItcCfg) -> Report {
+    let mut report = Report::default();
+    rules::wellformed(ocfg, itc, &mut report);
+    if report.has_errors() {
+        return report;
+    }
+    rules::soundness(image, ocfg, itc, &mut report);
+    rules::policy(image, ocfg, itc, &mut report);
+    if itc.edge_count() > 0 && itc.high_credit_fraction() == 0.0 {
+        report.push(
+            Rule::Untrained,
+            Location::Artifact,
+            "no edge carries a high-credit label — every indirect branch will be \
+             escalated to the slow path"
+                .to_string(),
+        );
+    }
+    report
+}

@@ -1,0 +1,324 @@
+//! The rule implementations, grouped by catalogue layer.
+
+use crate::diag::{Location, Report, Rule};
+use fg_cfg::{BlockEnd, ItcCfg, OCfg, SuccSet};
+use fg_isa::image::Image;
+use fg_isa::insn::{Insn, INSN_SIZE};
+use std::collections::{BTreeSet, VecDeque};
+
+/// `FG-W*` — structural validity of the runtime arrays. Everything later
+/// phases traverse is checked here first.
+pub(crate) fn wellformed(ocfg: &OCfg, itc: &ItcCfg, r: &mut Report) {
+    if ocfg.succs.len() != ocfg.disasm.blocks.len() {
+        r.push(
+            Rule::CfgShape,
+            Location::Artifact,
+            format!(
+                "O-CFG has {} successor sets for {} blocks",
+                ocfg.succs.len(),
+                ocfg.disasm.blocks.len()
+            ),
+        );
+    }
+
+    let v = itc.raw_view();
+    for w in v.node_addrs.windows(2) {
+        if w[0] >= w[1] {
+            r.push(
+                Rule::NodeOrder,
+                Location::Node(w[1]),
+                format!("node array not strictly increasing ({:#x} then {:#x})", w[0], w[1]),
+            );
+        }
+    }
+
+    if v.ranges.len() != v.node_addrs.len() {
+        r.push(
+            Rule::RangeBounds,
+            Location::Artifact,
+            format!("{} ranges for {} nodes", v.ranges.len(), v.node_addrs.len()),
+        );
+        return; // no per-node iteration is meaningful
+    }
+
+    // Ranges must tile the target array contiguously; each in-bounds range
+    // must be sorted+deduped and reference known nodes.
+    let mut expected = 0usize;
+    let mut tiled = true;
+    for (i, &(start, len)) in v.ranges.iter().enumerate() {
+        let node = v.node_addrs[i];
+        let (s, l) = (start as usize, len as usize);
+        if s != expected || s.saturating_add(l) > v.targets.len() {
+            r.push(
+                Rule::RangeBounds,
+                Location::Node(node),
+                format!(
+                    "range ({start}, {len}) breaks the contiguous tiling of {} targets",
+                    v.targets.len()
+                ),
+            );
+            tiled = false;
+            break;
+        }
+        expected = s + l;
+        let range = &v.targets[s..s + l];
+        for w in range.windows(2) {
+            if w[0] >= w[1] {
+                r.push(
+                    Rule::TargetOrder,
+                    Location::Node(node),
+                    format!("target list not strictly increasing ({:#x} then {:#x})", w[0], w[1]),
+                );
+            }
+        }
+        for &t in range {
+            if !v.node_addrs.contains(&t) {
+                r.push(
+                    Rule::DanglingEdge,
+                    Location::Edge { from: node, to: t },
+                    format!("edge target {t:#x} is not an ITC node"),
+                );
+            }
+        }
+    }
+    if tiled && expected != v.targets.len() {
+        r.push(
+            Rule::RangeBounds,
+            Location::Artifact,
+            format!("{} trailing targets belong to no range", v.targets.len() - expected),
+        );
+    }
+
+    if v.credits.len() != v.targets.len() {
+        r.push(
+            Rule::LabelArity,
+            Location::Artifact,
+            format!(
+                "{} credit labels for {} edges — some edge's credit is out of range",
+                v.credits.len(),
+                v.targets.len()
+            ),
+        );
+    }
+    if v.tnt.len() != v.targets.len() {
+        r.push(
+            Rule::LabelArity,
+            Location::Artifact,
+            format!("{} TNT labels for {} edges", v.tnt.len(), v.targets.len()),
+        );
+    }
+}
+
+/// `FG-S*` — the artifact agrees with what static analysis derives.
+pub(crate) fn soundness(image: &Image, ocfg: &OCfg, itc: &ItcCfg, r: &mut Report) {
+    // FG-S01 / FG-S02 — the ITC-CFG must be exactly the nearest-indirect
+    // collapse of the shipped O-CFG: extra edges admit flows the derivation
+    // does not justify, missing edges raise false positives.
+    let rebuilt = ItcCfg::build(ocfg);
+    for (from, to, _) in itc.iter_edges() {
+        if rebuilt.edge(from, to).is_none() {
+            r.push(
+                Rule::EdgeDerivable,
+                Location::Edge { from, to },
+                "edge is not derivable from the O-CFG by the nearest-indirect collapse".to_string(),
+            );
+        }
+    }
+    let artifact_nodes = itc.raw_view().node_addrs;
+    let derived_nodes = rebuilt.raw_view().node_addrs;
+    for &n in derived_nodes {
+        if !artifact_nodes.contains(&n) {
+            r.push(
+                Rule::CoarseningComplete,
+                Location::Node(n),
+                "indirect target of the O-CFG is missing from the ITC node set".to_string(),
+            );
+        }
+    }
+    for &n in artifact_nodes {
+        if !derived_nodes.contains(&n) {
+            r.push(
+                Rule::CoarseningComplete,
+                Location::Node(n),
+                "node is not an indirect target of the O-CFG".to_string(),
+            );
+        }
+    }
+    for (from, to, _) in rebuilt.iter_edges() {
+        if itc.edge(from, to).is_none() {
+            r.push(
+                Rule::CoarseningComplete,
+                Location::Edge { from, to },
+                "derivable edge is missing — benign executions would be flagged".to_string(),
+            );
+        }
+    }
+
+    // FG-S03 — every return target must be the fall-through of a call site
+    // (the invariant a shadow stack would enforce exactly).
+    let call_rets: BTreeSet<u64> = ocfg
+        .disasm
+        .blocks
+        .iter()
+        .filter(|b| {
+            matches!(
+                b.term,
+                BlockEnd::Terminator(Insn::Call { .. })
+                    | BlockEnd::Terminator(Insn::CallInd { .. })
+            )
+        })
+        .map(|b| b.last_insn() + INSN_SIZE)
+        .collect();
+    for (b, s) in ocfg.disasm.blocks.iter().zip(&ocfg.succs) {
+        if let SuccSet::Ret(targets) = s {
+            for &t in targets {
+                if !call_rets.contains(&t) {
+                    r.push(
+                        Rule::CallRetPairing,
+                        Location::Block(b.start),
+                        format!("return target {t:#x} does not follow any call site"),
+                    );
+                }
+            }
+        }
+    }
+
+    // FG-S04 — the shipped O-CFG must re-derive from the image: identical
+    // block structure, successor sets no wider than the conservative
+    // rebuild (a refined build may be narrower, never wider).
+    let fresh = OCfg::build(image);
+    let same_shape = fresh.disasm.blocks.len() == ocfg.disasm.blocks.len()
+        && fresh
+            .disasm
+            .blocks
+            .iter()
+            .zip(&ocfg.disasm.blocks)
+            .all(|(a, b)| a.start == b.start && a.end == b.end && a.module == b.module);
+    if !same_shape {
+        r.push(
+            Rule::CfgRederivable,
+            Location::Artifact,
+            "disassembly does not match a re-disassembly of the image".to_string(),
+        );
+        return;
+    }
+    for (i, (a, f)) in ocfg.succs.iter().zip(&fresh.succs).enumerate() {
+        let block = ocfg.disasm.blocks[i].start;
+        if std::mem::discriminant(a) != std::mem::discriminant(f) {
+            r.push(
+                Rule::CfgRederivable,
+                Location::Block(block),
+                "successor kind differs from the image re-derivation".to_string(),
+            );
+            continue;
+        }
+        match a {
+            // Direct edges are fully determined by the instruction stream.
+            SuccSet::None => {}
+            SuccSet::Direct(va) => {
+                if va != f.targets() {
+                    r.push(
+                        Rule::CfgRederivable,
+                        Location::Block(block),
+                        "direct successors differ from the image re-derivation".to_string(),
+                    );
+                }
+            }
+            // Indirect sets may be refined (narrowed) but never widened.
+            SuccSet::IndJmp(va) | SuccSet::IndCall(va) | SuccSet::Ret(va) => {
+                for &t in va {
+                    if !f.targets().contains(&t) {
+                        r.push(
+                            Rule::CfgRederivable,
+                            Location::Block(block),
+                            format!(
+                                "indirect target {t:#x} is wider than the conservative \
+                                 re-derivation admits"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `FG-P*` — deployment policy: targets land on real instructions, TNT
+/// labels match what the edge's direct region can produce.
+pub(crate) fn policy(image: &Image, ocfg: &OCfg, itc: &ItcCfg, r: &mut Report) {
+    let v = itc.raw_view();
+    for &n in v.node_addrs {
+        if !image.is_insn_addr(n) {
+            r.push(
+                Rule::InstructionTarget,
+                Location::Node(n),
+                "node address is not a decodable instruction".to_string(),
+            );
+        }
+    }
+    for (b, s) in ocfg.disasm.blocks.iter().zip(&ocfg.succs) {
+        if s.is_indirect() {
+            for &t in s.targets() {
+                if !image.is_insn_addr(t) {
+                    r.push(
+                        Rule::InstructionTarget,
+                        Location::Block(b.start),
+                        format!("indirect target {t:#x} is not a decodable instruction"),
+                    );
+                }
+            }
+        }
+    }
+
+    // FG-P02 — a TNT signature records conditional-branch outcomes along
+    // the direct path realising an edge; a non-empty signature on an edge
+    // whose entire direct region is conditional-free cannot have come from
+    // training.
+    for (i, &from) in v.node_addrs.iter().enumerate() {
+        if direct_region_has_cond(ocfg, from) {
+            continue;
+        }
+        let (start, len) = v.ranges[i];
+        for e in start as usize..(start + len) as usize {
+            if v.tnt[e].sigs.iter().any(|sig| !sig.is_empty()) {
+                r.push(
+                    Rule::TntEdgeKind,
+                    Location::Edge { from, to: v.targets[e] },
+                    "conditional TNT signature on an edge whose direct region has no \
+                     conditional branches"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Whether any conditional branch is reachable from `start_va` along direct
+/// edges only (the region whose outcomes a TNT signature for an edge out of
+/// `start_va` could record).
+fn direct_region_has_cond(ocfg: &OCfg, start_va: u64) -> bool {
+    let Some(b0) = ocfg.disasm.block_at(start_va) else {
+        return true; // unknown block: don't second-guess the signature
+    };
+    let mut seen = vec![false; ocfg.disasm.blocks.len()];
+    let mut queue = VecDeque::from([b0]);
+    seen[b0] = true;
+    while let Some(bi) = queue.pop_front() {
+        if matches!(ocfg.disasm.blocks[bi].term, BlockEnd::Terminator(Insn::Jcc { .. })) {
+            return true;
+        }
+        let succ = &ocfg.succs[bi];
+        if succ.is_indirect() {
+            continue; // TNT runs never cross an indirect branch
+        }
+        for &t in succ.targets() {
+            if let Some(ti) = ocfg.disasm.block_at(t) {
+                if !seen[ti] {
+                    seen[ti] = true;
+                    queue.push_back(ti);
+                }
+            }
+        }
+    }
+    false
+}

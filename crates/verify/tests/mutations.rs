@@ -1,0 +1,284 @@
+//! Mutation-style tests: each of the six corruption classes the issue
+//! tracker calls out must be rejected with its expected rule ID, while the
+//! honest artifact passes untouched.
+
+use fg_cfg::{BlockEnd, Credit, ItcCfg, OCfg, SuccSet, TntInfo};
+use fg_isa::asm::Asm;
+use fg_isa::image::{Image, Linker};
+use fg_isa::insn::regs::*;
+use fg_isa::insn::{Cond, Insn, INSN_SIZE};
+use fg_verify::{verify, Rule};
+
+/// A two-dispatch program with a conditional diamond between the calls, so
+/// the artifact has several nodes, return edges, and a conditional-free
+/// node (`h1`) for the TNT mutation.
+fn image() -> Image {
+    let mut a = Asm::new("app");
+    a.export("main");
+    a.label("main");
+    a.lea(R6, "table"); // 0
+    a.ld(R7, R6, 0); // 1
+    a.calli(R7); // 2
+    a.label("mid"); // 3
+    a.cmpi(R1, 0); // 3
+    a.jcc(Cond::Gt, "left"); // 4
+    a.nop(); // 5
+    a.jmp("join"); // 6
+    a.label("left"); // 7
+    a.nop(); // 7
+    a.label("join"); // 8
+    a.ld(R7, R6, 8); // 8
+    a.calli(R7); // 9
+    a.halt(); // 10
+    a.label("h1"); // 11
+    a.movi(R1, 1); // 11
+    a.ret(); // 12
+    a.label("h2"); // 13
+    a.movi(R2, 2); // 13
+    a.ret(); // 14
+    a.data_ptrs("table", &["h1", "h2"]);
+    Linker::new(a.finish().unwrap()).link().unwrap()
+}
+
+fn artifact() -> (Image, OCfg, ItcCfg) {
+    let img = image();
+    let ocfg = OCfg::build(&img);
+    let itc = ItcCfg::build(&ocfg);
+    (img, ocfg, itc)
+}
+
+/// Owned raw arrays, ready to corrupt and reassemble.
+type Parts = (Vec<u64>, Vec<(u32, u32)>, Vec<u64>, Vec<Credit>, Vec<TntInfo>);
+
+fn parts(itc: &ItcCfg) -> Parts {
+    let v = itc.raw_view();
+    (
+        v.node_addrs.to_vec(),
+        v.ranges.to_vec(),
+        v.targets.to_vec(),
+        v.credits.to_vec(),
+        v.tnt.to_vec(),
+    )
+}
+
+#[test]
+fn honest_artifact_is_accepted() {
+    let (img, ocfg, itc) = artifact();
+    let report = verify(&img, &ocfg, &itc);
+    assert!(!report.has_errors(), "honest artifact must pass:\n{report}");
+}
+
+#[test]
+fn dangling_edge_is_rejected() {
+    let (img, ocfg, itc) = artifact();
+    let (nodes, mut ranges, mut targets, mut credits, mut tnt) = parts(&itc);
+    // Insert, into the first non-empty range, an edge whose target is a
+    // real instruction but not an ITC node: the program entry block.
+    let main = img.symbol("main").unwrap();
+    assert!(!nodes.contains(&main), "entry must not be an IT-BB in this fixture");
+    let (ni, _) =
+        ranges.iter().enumerate().find(|&(_, &(_, len))| len > 0).expect("some node has edges");
+    let (start, len) = ranges[ni];
+    let slot = (start as usize..(start + len) as usize)
+        .find(|&i| targets[i] > main)
+        .unwrap_or((start + len) as usize);
+    targets.insert(slot, main);
+    credits.insert(slot, Credit::Low);
+    tnt.insert(slot, TntInfo::default());
+    ranges[ni].1 += 1;
+    for r in ranges.iter_mut().skip(ni + 1) {
+        r.0 += 1;
+    }
+    let bad = ItcCfg::from_raw_parts(nodes, ranges, targets, credits, tnt);
+    let report = verify(&img, &ocfg, &bad);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::DanglingEdge), "expected FG-W05:\n{report}");
+}
+
+#[test]
+fn injected_indirect_target_is_rejected() {
+    let (img, ocfg, itc) = artifact();
+    let (nodes, mut ranges, mut targets, mut credits, mut tnt) = parts(&itc);
+    // Add an edge between two existing nodes that the collapse does not
+    // derive: from a node X to a node Y with no X → Y edge.
+    let (ni, extra) = nodes
+        .iter()
+        .enumerate()
+        .find_map(|(ni, &from)| {
+            nodes.iter().find(|&&to| itc.edge(from, to).is_none()).map(|&to| (ni, to))
+        })
+        .expect("some underivable node pair exists");
+    let (start, len) = ranges[ni];
+    let range = start as usize..(start + len) as usize;
+    assert!(!targets[range.clone()].contains(&extra));
+    let slot = range.clone().find(|&i| targets[i] > extra).unwrap_or(range.end);
+    targets.insert(slot, extra);
+    credits.insert(slot, Credit::High);
+    tnt.insert(slot, TntInfo::default());
+    ranges[ni].1 += 1;
+    for r in ranges.iter_mut().skip(ni + 1) {
+        r.0 += 1;
+    }
+    let bad = ItcCfg::from_raw_parts(nodes, ranges, targets, credits, tnt);
+    let report = verify(&img, &ocfg, &bad);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::EdgeDerivable), "expected FG-S01:\n{report}");
+}
+
+#[test]
+fn out_of_range_credit_is_rejected() {
+    let (img, ocfg, itc) = artifact();
+    let (nodes, ranges, targets, mut credits, tnt) = parts(&itc);
+    credits.pop().expect("artifact has edges");
+    let bad = ItcCfg::from_raw_parts(nodes, ranges, targets, credits, tnt);
+    let report = verify(&img, &ocfg, &bad);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::LabelArity), "expected FG-W04:\n{report}");
+}
+
+#[test]
+fn unsorted_arrays_are_rejected() {
+    let (img, ocfg, itc) = artifact();
+    let (nodes, ranges, mut targets, credits, tnt) = parts(&itc);
+    let (start, len) = *ranges.iter().find(|&&(_, len)| len >= 2).expect("some node has two edges");
+    targets.swap(start as usize, (start + len - 1) as usize);
+    let bad = ItcCfg::from_raw_parts(nodes, ranges, targets, credits, tnt);
+    let report = verify(&img, &ocfg, &bad);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::TargetOrder), "expected FG-W03:\n{report}");
+
+    // The node array variant of the same corruption.
+    let (mut nodes, ranges, targets, credits, tnt) = parts(&itc);
+    nodes.swap(0, 1);
+    let bad = ItcCfg::from_raw_parts(nodes, ranges, targets, credits, tnt);
+    let report = verify(&img, &ocfg, &bad);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::NodeOrder), "expected FG-W01:\n{report}");
+}
+
+#[test]
+fn broken_call_ret_pairing_is_rejected() {
+    let (img, mut ocfg, itc) = artifact();
+    // Widen some return set with an address that follows no call site.
+    let main = img.symbol("main").unwrap();
+    let bogus = main + 5 * INSN_SIZE; // the diamond's nop — not a call return
+    let ret = ocfg
+        .succs
+        .iter_mut()
+        .find_map(|s| match s {
+            SuccSet::Ret(v) => Some(v),
+            _ => None,
+        })
+        .expect("a return set exists");
+    ret.push(bogus);
+    ret.sort_unstable();
+    let report = verify(&img, &ocfg, &itc);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::CallRetPairing), "expected FG-S03:\n{report}");
+}
+
+#[test]
+fn tnt_edge_kind_mismatch_is_rejected() {
+    let (img, ocfg, mut itc) = artifact();
+    // h1's direct region is `movi; ret` — no conditional branch can
+    // execute between a transfer into h1 and its return TIP, so a
+    // conditional signature on any h1 edge cannot come from training.
+    let main = img.symbol("main").unwrap();
+    let h1 = main + 11 * INSN_SIZE;
+    let (_, _, e) =
+        itc.iter_edges().find(|&(from, _, _)| from == h1).expect("h1 has a return edge");
+    itc.add_tnt(e, &[true, false, true]);
+    let report = verify(&img, &ocfg, &itc);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::TntEdgeKind), "expected FG-P02:\n{report}");
+}
+
+#[test]
+fn widened_ocfg_is_rejected() {
+    // Tampering with the O-CFG itself — widening an indirect call set past
+    // what the image re-derivation admits — is the attack the artifact
+    // verifier exists to stop.
+    let (img, mut ocfg, itc) = artifact();
+    let main = img.symbol("main").unwrap();
+    let attacker = main + 5 * INSN_SIZE; // mid-function, never address-taken
+    let widened = ocfg
+        .succs
+        .iter_mut()
+        .find_map(|s| match s {
+            SuccSet::IndCall(v) => Some(v),
+            _ => None,
+        })
+        .expect("an indirect call set exists");
+    widened.push(attacker);
+    widened.sort_unstable();
+    let report = verify(&img, &ocfg, &itc);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::CfgRederivable), "expected FG-S04:\n{report}");
+}
+
+#[test]
+fn truncated_itc_is_rejected_as_incomplete() {
+    // Dropping a derivable edge must be flagged too: the runtime would
+    // raise false positives on benign executions.
+    let (img, ocfg, itc) = artifact();
+    let (nodes, mut ranges, mut targets, mut credits, mut tnt) = parts(&itc);
+    let (ni, _) =
+        ranges.iter().enumerate().find(|&(_, &(_, len))| len > 0).expect("some node has edges");
+    let start = ranges[ni].0 as usize;
+    targets.remove(start);
+    credits.remove(start);
+    tnt.remove(start);
+    ranges[ni].1 -= 1;
+    for r in ranges.iter_mut().skip(ni + 1) {
+        r.0 -= 1;
+    }
+    let bad = ItcCfg::from_raw_parts(nodes, ranges, targets, credits, tnt);
+    let report = verify(&img, &ocfg, &bad);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::CoarseningComplete), "expected FG-S02:\n{report}");
+}
+
+#[test]
+fn shape_mismatch_short_circuits() {
+    // An O-CFG with a truncated successor table fails FG-W06 and the
+    // verifier stops before any traversal could index out of bounds.
+    let (img, mut ocfg, itc) = artifact();
+    ocfg.succs.pop();
+    let report = verify(&img, &ocfg, &itc);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::CfgShape), "expected FG-W06:\n{report}");
+}
+
+#[test]
+fn direct_region_analysis_sees_through_the_diamond() {
+    // `mid` reaches the second calli through a conditional diamond — a
+    // conditional TNT signature there is legitimate and must NOT be
+    // flagged.
+    let (img, ocfg, mut itc) = artifact();
+    let main = img.symbol("main").unwrap();
+    let mid = main + 3 * INSN_SIZE;
+    let (_, _, e) = itc.iter_edges().find(|&(from, _, _)| from == mid).expect("mid has edges");
+    itc.add_tnt(e, &[true]);
+    let report = verify(&img, &ocfg, &itc);
+    assert!(!report.has_errors(), "legitimate TNT signature flagged:\n{report}");
+}
+
+#[test]
+fn every_block_end_variant_is_handled() {
+    // Sanity: the fixture exercises call, conditional, fall-through and
+    // return block terminators, so the rules above saw each shape.
+    let (_, ocfg, _) = artifact();
+    let mut kinds = std::collections::BTreeSet::new();
+    for b in &ocfg.disasm.blocks {
+        match b.term {
+            BlockEnd::FallIntoNext => kinds.insert("fall"),
+            BlockEnd::Terminator(Insn::Jcc { .. }) => kinds.insert("jcc"),
+            BlockEnd::Terminator(Insn::Ret) => kinds.insert("ret"),
+            BlockEnd::Terminator(Insn::CallInd { .. }) => kinds.insert("calli"),
+            BlockEnd::Terminator(_) => kinds.insert("other"),
+        };
+    }
+    for k in ["fall", "jcc", "ret", "calli"] {
+        assert!(kinds.contains(k), "fixture lost its {k} block");
+    }
+}

@@ -42,8 +42,17 @@ pub mod sys {
 pub fn build_libc() -> Module {
     let mut a = Asm::new("libc");
     for s in [
-        "memcpy", "strlen", "checksum", "atoi", "read_in", "write_out", "exit", "do_syscall",
-        "restore0", "restore1", "restore2",
+        "memcpy",
+        "strlen",
+        "checksum",
+        "atoi",
+        "read_in",
+        "write_out",
+        "exit",
+        "do_syscall",
+        "restore0",
+        "restore1",
+        "restore2",
     ] {
         a.export(s);
     }

@@ -53,10 +53,9 @@ pub fn benign_input(requests: usize) -> Vec<u8> {
     let mut out = Vec::new();
     for i in 0..requests {
         let cmd = (i % 3) as u8; // never the POST/store path's edge cases
-        // Lengths stay below the parser's 32-byte buffer: benign traffic
-        // must not trip the implanted overflow.
-        let payload: Vec<u8> =
-            (0..(12 + (i * 7) % 18)).map(|j| b'a' + (j % 26) as u8).collect();
+                                 // Lengths stay below the parser's 32-byte buffer: benign traffic
+                                 // must not trip the implanted overflow.
+        let payload: Vec<u8> = (0..(12 + (i * 7) % 18)).map(|j| b'a' + (j % 26) as u8).collect();
         out.extend(request(cmd, &payload));
     }
     out
@@ -116,7 +115,7 @@ fn build_app(p: &ServerParams) -> Module {
     a.movi(R8, REQ_BUF);
     a.ldb(R9, R8, 0); // cmd
     a.ldb(R10, R8, 1); // len
-    // read payload
+                       // read payload
     a.movi(R1, REQ_BUF + 2);
     a.mov(R2, R10);
     a.call("read_in");
@@ -249,28 +248,58 @@ pub fn build_server(p: ServerParams) -> Workload {
 
 /// The nginx-alike web server (vulnerable parser, as implanted in §7.1.2).
 pub fn nginx() -> Workload {
-    build_server(ServerParams { name: "nginx", handlers: 8, aux_libs: 6, work_reps: 2000, vulnerable: true })
+    build_server(ServerParams {
+        name: "nginx",
+        handlers: 8,
+        aux_libs: 6,
+        work_reps: 2000,
+        vulnerable: true,
+    })
 }
 
 /// The nginx-alike with the overflow patched (for overhead measurements).
 pub fn nginx_patched() -> Workload {
-    build_server(ServerParams { name: "nginx", handlers: 8, aux_libs: 6, work_reps: 2000, vulnerable: false })
+    build_server(ServerParams {
+        name: "nginx",
+        handlers: 8,
+        aux_libs: 6,
+        work_reps: 2000,
+        vulnerable: false,
+    })
 }
 
 /// The vsftpd-alike FTP server.
 pub fn vsftpd() -> Workload {
-    build_server(ServerParams { name: "vsftpd", handlers: 6, aux_libs: 1, work_reps: 2500, vulnerable: false })
+    build_server(ServerParams {
+        name: "vsftpd",
+        handlers: 6,
+        aux_libs: 1,
+        work_reps: 2500,
+        vulnerable: false,
+    })
 }
 
 /// The OpenSSH-alike (key-exchange-heavy: large work multiplier, many
 /// libraries).
 pub fn openssh() -> Workload {
-    build_server(ServerParams { name: "openssh", handlers: 5, aux_libs: 19, work_reps: 3500, vulnerable: false })
+    build_server(ServerParams {
+        name: "openssh",
+        handlers: 5,
+        aux_libs: 19,
+        work_reps: 3500,
+        vulnerable: false,
+    })
 }
 
 /// The exim-alike mail server.
 pub fn exim() -> Workload {
-    build_server(ServerParams { name: "exim", handlers: 7, aux_libs: 16, work_reps: 2200, vulnerable: false })
+    build_server(ServerParams {
+        name: "exim",
+        handlers: 7,
+        aux_libs: 16,
+        work_reps: 2200,
+        vulnerable: false,
+    })
 }
 
 /// All four servers (the Table 4 / Figure 5a population).

@@ -38,20 +38,116 @@ pub struct SpecParams {
 
 /// The 12 C benchmarks of Figure 5c with their profile parameters.
 pub const SPEC_TABLE: [SpecParams; 12] = [
-    SpecParams { name: "perlbench", funcs: 6, inner: 10, iters: 4000, ind_every: 8, sys_every: 512 , lib_bytes: 16 },
-    SpecParams { name: "bzip2", funcs: 4, inner: 14, iters: 4000, ind_every: 0, sys_every: 1024 , lib_bytes: 16 },
-    SpecParams { name: "gcc", funcs: 8, inner: 8, iters: 4000, ind_every: 8, sys_every: 512 , lib_bytes: 16 },
-    SpecParams { name: "mcf", funcs: 3, inner: 16, iters: 4000, ind_every: 0, sys_every: 2048 , lib_bytes: 16 },
-    SpecParams { name: "milc", funcs: 4, inner: 12, iters: 4000, ind_every: 0, sys_every: 1024 , lib_bytes: 16 },
-    SpecParams { name: "gobmk", funcs: 6, inner: 9, iters: 4000, ind_every: 16, sys_every: 1024 , lib_bytes: 16 },
-    SpecParams { name: "hmmer", funcs: 4, inner: 15, iters: 4000, ind_every: 0, sys_every: 2048 , lib_bytes: 16 },
-    SpecParams { name: "sjeng", funcs: 5, inner: 10, iters: 4000, ind_every: 16, sys_every: 1024 , lib_bytes: 16 },
-    SpecParams { name: "libquantum", funcs: 3, inner: 18, iters: 4000, ind_every: 0, sys_every: 2048 , lib_bytes: 16 },
+    SpecParams {
+        name: "perlbench",
+        funcs: 6,
+        inner: 10,
+        iters: 4000,
+        ind_every: 8,
+        sys_every: 512,
+        lib_bytes: 16,
+    },
+    SpecParams {
+        name: "bzip2",
+        funcs: 4,
+        inner: 14,
+        iters: 4000,
+        ind_every: 0,
+        sys_every: 1024,
+        lib_bytes: 16,
+    },
+    SpecParams {
+        name: "gcc",
+        funcs: 8,
+        inner: 8,
+        iters: 4000,
+        ind_every: 8,
+        sys_every: 512,
+        lib_bytes: 16,
+    },
+    SpecParams {
+        name: "mcf",
+        funcs: 3,
+        inner: 16,
+        iters: 4000,
+        ind_every: 0,
+        sys_every: 2048,
+        lib_bytes: 16,
+    },
+    SpecParams {
+        name: "milc",
+        funcs: 4,
+        inner: 12,
+        iters: 4000,
+        ind_every: 0,
+        sys_every: 1024,
+        lib_bytes: 16,
+    },
+    SpecParams {
+        name: "gobmk",
+        funcs: 6,
+        inner: 9,
+        iters: 4000,
+        ind_every: 16,
+        sys_every: 1024,
+        lib_bytes: 16,
+    },
+    SpecParams {
+        name: "hmmer",
+        funcs: 4,
+        inner: 15,
+        iters: 4000,
+        ind_every: 0,
+        sys_every: 2048,
+        lib_bytes: 16,
+    },
+    SpecParams {
+        name: "sjeng",
+        funcs: 5,
+        inner: 10,
+        iters: 4000,
+        ind_every: 16,
+        sys_every: 1024,
+        lib_bytes: 16,
+    },
+    SpecParams {
+        name: "libquantum",
+        funcs: 3,
+        inner: 18,
+        iters: 4000,
+        ind_every: 0,
+        sys_every: 2048,
+        lib_bytes: 16,
+    },
     // The outlier: an indirect call *every* iteration with shallow inner
     // work → TIP-dense trace.
-    SpecParams { name: "h264ref", funcs: 8, inner: 2, iters: 4000, ind_every: 1, sys_every: 1024 , lib_bytes: 2 },
-    SpecParams { name: "lbm", funcs: 2, inner: 20, iters: 4000, ind_every: 0, sys_every: 2048 , lib_bytes: 16 },
-    SpecParams { name: "sphinx3", funcs: 5, inner: 11, iters: 4000, ind_every: 8, sys_every: 1024 , lib_bytes: 16 },
+    SpecParams {
+        name: "h264ref",
+        funcs: 8,
+        inner: 2,
+        iters: 4000,
+        ind_every: 1,
+        sys_every: 1024,
+        lib_bytes: 2,
+    },
+    SpecParams {
+        name: "lbm",
+        funcs: 2,
+        inner: 20,
+        iters: 4000,
+        ind_every: 0,
+        sys_every: 2048,
+        lib_bytes: 16,
+    },
+    SpecParams {
+        name: "sphinx3",
+        funcs: 5,
+        inner: 11,
+        iters: 4000,
+        ind_every: 8,
+        sys_every: 1024,
+        lib_bytes: 16,
+    },
 ];
 
 const BUF: i32 = 0x6000_0000;
@@ -142,10 +238,11 @@ pub fn spec_program(p: SpecParams) -> Workload {
         a.data_ptrs("ftable", &refs);
     }
 
-    let image =
-        Linker::new(a.finish().expect("spec assembles")).library(build_libc()).vdso(build_vdso())
-            .link()
-            .expect("spec links");
+    let image = Linker::new(a.finish().expect("spec assembles"))
+        .library(build_libc())
+        .vdso(build_vdso())
+        .link()
+        .expect("spec links");
     Workload { name: p.name.into(), image, default_input: Vec::new(), category: Category::Spec }
 }
 

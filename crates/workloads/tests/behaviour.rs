@@ -51,8 +51,7 @@ fn server_banner_handler_writes_banner() {
 #[test]
 fn vulnerable_and_patched_differ_only_under_overflow() {
     let benign = fg_workloads::request(1, &[b'a'; 20]);
-    for (w, name) in [(fg_workloads::nginx(), "vuln"), (fg_workloads::nginx_patched(), "patched")]
-    {
+    for (w, name) in [(fg_workloads::nginx(), "vuln"), (fg_workloads::nginx_patched(), "patched")] {
         let mut m = Machine::new(&w.image, 0x1000);
         let mut k = Kernel::with_input(&benign);
         assert_eq!(m.run(&mut k, 100_000_000), StopReason::Exited(0), "{name} benign");

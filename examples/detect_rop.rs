@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release --example detect_rop`
 
-use fg_attacks::{find_gadgets, rop_write, run_protected, run_unprotected, srop_execve, trained_vulnerable_nginx};
+use fg_attacks::{
+    find_gadgets, rop_write, run_protected, run_unprotected, srop_execve, trained_vulnerable_nginx,
+};
 use flowguard::FlowGuardConfig;
 
 fn main() {

@@ -36,7 +36,10 @@ fn main() {
         stats.cred_fraction * 100.0
     );
     if let Some(last) = history.last() {
-        println!("fuzzer: {} executions, {} paths, {} crashes", last.execs, last.paths, last.crashes);
+        println!(
+            "fuzzer: {} executions, {} paths, {} crashes",
+            last.execs, last.paths, last.crashes
+        );
     }
 
     // ③–⑤ protected serving
@@ -47,7 +50,11 @@ fn main() {
     println!("\nserved the benign load: {stop:?}");
     println!("  endpoint checks:     {}", s.checks);
     println!("  fast-path clean:     {}", s.fast_clean);
-    println!("  slow-path upcalls:   {} ({:.2}% of checks)", s.slow_invocations, s.slow_fraction() * 100.0);
+    println!(
+        "  slow-path upcalls:   {} ({:.2}% of checks)",
+        s.slow_invocations,
+        s.slow_fraction() * 100.0
+    );
     println!("  runtime cred-ratio:  {:.1}%", s.credited_fraction() * 100.0);
     println!("  violations:          {}", s.violations.len());
     assert!(s.violations.is_empty(), "no false positives on benign traffic");

@@ -71,7 +71,9 @@ fn main() {
         flow.branches.len(),
         flow.insns_walked
     );
-    println!("first 10 recovered transfers (note recovered direct branches — absent from packets):");
+    println!(
+        "first 10 recovered transfers (note recovered direct branches — absent from packets):"
+    );
     for b in flow.branches.iter().take(10) {
         println!("  {:#x} -> {:#x}  {:?}", b.from, b.to, b.kind);
     }

@@ -21,7 +21,7 @@ fn all_benign_workloads() -> Vec<fg_workloads::Workload> {
 fn no_false_positives_across_population() {
     for w in all_benign_workloads() {
         let mut d = Deployment::analyze(&w.image);
-        d.train(&[w.default_input.clone()]);
+        d.train(std::slice::from_ref(&w.default_input));
         let mut p = d.launch(&w.default_input, FlowGuardConfig::default());
         let stop = p.run(500_000_000);
         assert!(
@@ -132,7 +132,7 @@ fn slow_path_cache_warms_within_a_run() {
 fn parallel_decode_config_is_equivalent() {
     let w = fg_workloads::vsftpd();
     let mut d = Deployment::analyze(&w.image);
-    d.train(&[w.default_input.clone()]);
+    d.train(std::slice::from_ref(&w.default_input));
     let serial = {
         let mut p = d.launch(&w.default_input, FlowGuardConfig::default());
         p.run(500_000_000);

@@ -12,7 +12,7 @@ use flowguard::{Deployment, FlowGuardConfig};
 fn tiny_topa_survives_heavy_wrapping() {
     let w = fg_workloads::openssh();
     let mut d = Deployment::analyze(&w.image);
-    d.train(&[w.default_input.clone()]);
+    d.train(std::slice::from_ref(&w.default_input));
     let cfg = FlowGuardConfig { topa_region_bytes: 4096, ..Default::default() };
     let mut p = d.launch(&w.default_input, cfg);
     let stop = p.run(500_000_000);
@@ -66,7 +66,7 @@ fn custom_endpoint_set() {
 /// `gettimeofday` resolves to the VDSO (§4.1): the runtime TIP stream for
 /// the time handler must include VDSO addresses.
 #[test]
-fn vdso_calls_appear_in_trace()  {
+fn vdso_calls_appear_in_trace() {
     let w = fg_workloads::vsftpd();
     let vdso = w.image.module_named("vdso").expect("vdso module");
     let mut m = Machine::new(&w.image, 0x4000);

@@ -104,7 +104,10 @@ fn random_image(seed: u64, n_funcs: usize) -> Image {
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
     a.data_ptrs("table", &refs);
     let _ = n_leaves;
-    Linker::new(a.finish().expect("assembles")).library(lib.finish().expect("lib")).link().expect("links")
+    Linker::new(a.finish().expect("assembles"))
+        .library(lib.finish().expect("lib"))
+        .link()
+        .expect("links")
 }
 
 fn traced_run(image: &Image, input: &[u8]) -> (Machine, Vec<u8>) {
@@ -197,7 +200,7 @@ proptest! {
     ) {
         let image = random_image(seed, n_funcs);
         let mut d = flowguard::Deployment::analyze(&image);
-        d.train(&[input.clone()]);
+        d.train(std::slice::from_ref(&input));
         let mut p = d.launch(&input, flowguard::FlowGuardConfig::default());
         let stop = p.run(5_000_000);
         prop_assert!(matches!(stop, StopReason::Exited(0)), "{:?}", stop);
@@ -217,7 +220,7 @@ proptest! {
         let mut enc = PacketEncoder::new(Vec::new());
         let mut expected: Vec<Packet> = Vec::new();
         let mut pending: Vec<bool> = Vec::new();
-        let mut flush = |pending: &mut Vec<bool>, expected: &mut Vec<Packet>| {
+        let flush = |pending: &mut Vec<bool>, expected: &mut Vec<Packet>| {
             for chunk in pending.chunks(6) {
                 expected.push(Packet::Tnt(fg_ipt::TntSeq::from_slice(chunk)));
             }

@@ -1,0 +1,200 @@
+//! Property tests for the static artifact verifier (`fg-verify`) and the
+//! VSA-refined O-CFG: every artifact the honest pipeline produces must pass
+//! verification, and the refined CFG must stay sound against execution.
+
+use fg_cpu::{Machine, StopReason};
+use fg_isa::asm::Asm;
+use fg_isa::image::{Image, Linker};
+use fg_isa::insn::regs::*;
+use fg_isa::insn::Cond;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Same program family as `tests/soundness.rs`: `n` functions, all
+/// address-taken through a dispatch table that `main` indexes with each
+/// input byte; higher-index direct calls keep the call graph a DAG.
+fn random_image(seed: u64, n_funcs: usize) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut lib = Asm::new("libr");
+    lib.export("lib_work");
+    lib.label("lib_work");
+    lib.movi(R4, 2);
+    lib.label("lw");
+    lib.alui(fg_isa::insn::AluOp::Add, R6, 1);
+    lib.addi(R4, -1);
+    lib.cmpi(R4, 0);
+    lib.jcc(Cond::Gt, "lw");
+    lib.ret();
+
+    let mut a = Asm::new("app");
+    a.import("lib_work").needs("libr");
+    a.export("main");
+    a.label("main");
+    a.movi(R0, 1);
+    a.movi(R1, 0);
+    a.movi(R2, 0x6000_0000);
+    a.movi(R3, 16);
+    a.syscall();
+    a.mov(R12, R0);
+    a.movi(R13, 0);
+    a.label("dispatch_loop");
+    a.cmp(R13, R12);
+    a.jcc(Cond::Ge, "done");
+    a.movi(R8, 0x6000_0000);
+    a.add(R8, R13);
+    a.ldb(R9, R8, 0);
+    a.andi(R9, 31);
+    a.cmpi(R9, n_funcs as i32);
+    a.jcc(Cond::Lt, "idx_ok");
+    a.movi(R9, 0);
+    a.label("idx_ok");
+    a.shli(R9, 3);
+    a.lea(R10, "table");
+    a.add(R10, R9);
+    a.ld(R11, R10, 0);
+    a.calli(R11);
+    a.addi(R13, 1);
+    a.jmp("dispatch_loop");
+    a.label("done");
+    a.movi(R0, 0);
+    a.movi(R1, 0);
+    a.syscall();
+    a.halt();
+
+    for f in 0..n_funcs {
+        a.label(format!("f{f}"));
+        let loops: i32 = rng.gen_range(1..4);
+        a.movi(R4, loops);
+        a.label(format!("f{f}_l"));
+        a.alui(fg_isa::insn::AluOp::Add, R6, f as i32 + 1);
+        a.alui(fg_isa::insn::AluOp::And, R6, 0xff);
+        a.cmpi(R6, rng.gen_range(0..256));
+        a.jcc(Cond::Lt, format!("f{f}_s"));
+        a.alui(fg_isa::insn::AluOp::Xor, R6, 0x55);
+        a.label(format!("f{f}_s"));
+        a.addi(R4, -1);
+        a.cmpi(R4, 0);
+        a.jcc(Cond::Gt, format!("f{f}_l"));
+        if f + 1 < n_funcs && rng.gen_bool(0.6) {
+            let callee = rng.gen_range(f + 1..n_funcs);
+            a.call(format!("f{callee}"));
+        }
+        if rng.gen_bool(0.4) {
+            a.call("lib_work");
+        }
+        a.ret();
+    }
+
+    let names: Vec<String> = (0..n_funcs).map(|f| format!("f{f}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    a.data_ptrs("table", &refs);
+    Linker::new(a.finish().expect("assembles"))
+        .library(lib.finish().expect("lib"))
+        .link()
+        .expect("links")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Every artifact produced by the honest pipeline — assemble, build the
+    /// O-CFG/ITC-CFG, train, save — round-trips through the *verifying*
+    /// `Deployment::load` and reports zero errors.
+    #[test]
+    fn honest_pipeline_artifacts_pass_verifier(
+        seed in any::<u64>(),
+        n_funcs in 2usize..8,
+        input in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let image = random_image(seed, n_funcs);
+        let mut d = flowguard::Deployment::analyze(&image);
+        d.train(&[input]);
+
+        let report = d.verify();
+        prop_assert!(
+            !report.has_errors(),
+            "honest artifact flagged by verifier:\n{report}"
+        );
+
+        let path = std::env::temp_dir().join(format!("fg_verifier_pt_{seed}_{n_funcs}.json"));
+        d.save(&path).expect("save");
+        let reloaded = flowguard::Deployment::load(&path);
+        let _ = std::fs::remove_file(&path);
+        let reloaded = reloaded.expect("verifying load accepts honest artifact");
+        prop_assert_eq!(reloaded.itc.edge_count(), d.itc.edge_count());
+    }
+
+    /// The untrained artifact (straight out of `analyze`) is also
+    /// structurally valid — the verifier only *warns* about missing credit
+    /// labels, it does not error.
+    #[test]
+    fn untrained_artifacts_verify_with_warnings_only(
+        seed in any::<u64>(),
+        n_funcs in 2usize..8,
+    ) {
+        let image = random_image(seed, n_funcs);
+        let d = flowguard::Deployment::analyze(&image);
+        let report = d.verify();
+        prop_assert!(!report.has_errors(), "untrained artifact errored:\n{report}");
+        prop_assert!(
+            report.contains(fg_verify::Rule::Untrained),
+            "expected the FG-N01 untrained warning"
+        );
+    }
+
+    /// VSA soundness against execution: the *refined* O-CFG admits every
+    /// transfer a real run takes, for any program/input the generator
+    /// produces. Refinement may only drop targets that can never execute.
+    #[test]
+    fn refined_ocfg_admits_random_executions(
+        seed in any::<u64>(),
+        n_funcs in 2usize..10,
+        input in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let image = random_image(seed, n_funcs);
+        let refined = fg_cfg::OCfg::build_refined(&image);
+
+        let mut m = Machine::new(&image, 0x4000);
+        m.enable_branch_log();
+        let mut k = fg_kernel::Kernel::with_input(&input);
+        let stop = m.run(&mut k, 5_000_000);
+        prop_assert!(matches!(stop, StopReason::Exited(0)), "{stop:?}");
+
+        for b in m.branch_log.as_ref().expect("log") {
+            if b.kind == fg_isa::insn::CofiKind::FarTransfer {
+                continue;
+            }
+            let bi = refined.disasm.block_containing(b.from).expect("known block");
+            prop_assert!(
+                refined.admits(bi, b.to),
+                "refined O-CFG must admit {:#x} → {:#x} ({:?})",
+                b.from,
+                b.to,
+                b.kind
+            );
+        }
+    }
+
+    /// Refinement only narrows: the refined CFG's average indirect-target
+    /// count never exceeds the conservative build's, and the ITC-CFG built
+    /// from the refined O-CFG still passes the verifier.
+    #[test]
+    fn refined_ocfg_narrows_and_verifies(
+        seed in any::<u64>(),
+        n_funcs in 2usize..10,
+    ) {
+        let image = random_image(seed, n_funcs);
+        let ocfg = fg_cfg::OCfg::build(&image);
+        let refined = fg_cfg::OCfg::build_refined(&image);
+        prop_assert!(
+            fg_cfg::aia_vsa(&refined) <= fg_cfg::aia_ocfg(&ocfg) + 1e-9,
+            "VSA refinement must not widen the AIA"
+        );
+
+        let itc = fg_cfg::ItcCfg::build(&refined);
+        let report = fg_verify::verify(&image, &refined, &itc);
+        prop_assert!(!report.has_errors(), "refined artifact errored:\n{report}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Minimal vendored replacement for the `proptest` crate.
+//!
+//! Covers the surface this workspace uses: the `proptest!` macro with
+//! optional `#![proptest_config(...)]`, `any::<T>()`, integer-range and
+//! tuple strategies, `proptest::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! No shrinking: a failing case panics immediately with its case number and
+//! the generator seed, which is deterministic per (test name, case index),
+//! so failures reproduce exactly on re-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32, max_shrink_iters: 0 }
+    }
+}
+
+/// A generator of random values for one test parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A strategy producing `Vec`s of `elem`-generated values with a length
+    /// drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.start..self.len.end)
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Builds the deterministic per-case generator for `proptest!` (exposed for
+/// the macro; not part of the public surface).
+#[doc(hidden)]
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// Everything a `proptest!` block needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Defines property tests over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr)) => {};
+    (@with ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut proptest_rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut proptest_rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "proptest case {case}/{total} of `{name}` failed:\n{message}",
+                        case = case,
+                        total = config.cases,
+                        name = stringify!($name),
+                        message = message
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the enclosing proptest case with a message if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing proptest case if the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(format!($($fmt)+));
+                }
+            }
+        }
+    };
+}

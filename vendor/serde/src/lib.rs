@@ -1,0 +1,390 @@
+//! Minimal vendored replacement for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so serialisation runs
+//! through a small in-memory [`Value`] tree instead of serde's visitor data
+//! model. [`Serialize`]/[`Deserialize`] here are *not* API-compatible with
+//! real serde — they cover exactly what this workspace uses: derived impls
+//! on non-generic structs/enums (see `vendor/serde_derive`) plus the
+//! container/primitive impls below. `vendor/serde_json` prints and parses
+//! the `Value` tree as ordinary JSON, so artifacts stay interoperable and
+//! human-readable.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An in-memory JSON-like document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always < 0 when produced by the parser).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialisation error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a document tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, or explains why the value does not fit.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// -- helpers used by the derive-generated code ------------------------------
+
+/// Asserts `v` is an object, returning its entries.
+pub fn expect_object<'a>(v: &'a Value, what: &str) -> Result<&'a [(String, Value)], DeError> {
+    match v {
+        Value::Object(o) => Ok(o),
+        other => Err(DeError::new(format!("expected object for {what}, got {}", kind_of(other)))),
+    }
+}
+
+/// Asserts `v` is an array, returning its elements.
+pub fn expect_array<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], DeError> {
+    match v {
+        Value::Array(a) => Ok(a),
+        other => Err(DeError::new(format!("expected array for {what}, got {}", kind_of(other)))),
+    }
+}
+
+/// Asserts `v` is a single-entry object `{tag: inner}` (an externally tagged
+/// enum variant), returning the pair.
+pub fn expect_variant<'a>(v: &'a Value, what: &str) -> Result<(&'a str, &'a Value), DeError> {
+    match v {
+        Value::Object(o) if o.len() == 1 => Ok((o[0].0.as_str(), &o[0].1)),
+        other => Err(DeError::new(format!(
+            "expected single-variant object for {what}, got {}",
+            kind_of(other)
+        ))),
+    }
+}
+
+/// Looks up and deserialises a required object field.
+pub fn field<T: Deserialize>(o: &[(String, Value)], key: &str) -> Result<T, DeError> {
+    match o.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::new(format!("in field `{key}`: {e}")))
+        }
+        None => Err(DeError::new(format!("missing field `{key}`"))),
+    }
+}
+
+/// Like [`field`], but a missing key yields `T::default()`.
+pub fn field_or_default<T: Deserialize + Default>(
+    o: &[(String, Value)],
+    key: &str,
+) -> Result<T, DeError> {
+    match o.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::new(format!("in field `{key}`: {e}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
+/// Like [`field`], but a missing key yields `make()`.
+pub fn field_or_else<T: Deserialize>(
+    o: &[(String, Value)],
+    key: &str,
+    make: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match o.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::new(format!("in field `{key}`: {e}")))
+        }
+        None => Ok(make()),
+    }
+}
+
+fn kind_of(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::U64(_) | Value::I64(_) => "integer",
+        Value::F64(_) => "number",
+        Value::Str(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+// -- primitive impls --------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    ref other => {
+                        return Err(DeError::new(format!(
+                            "expected unsigned integer, got {}",
+                            kind_of(other)
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n).map_err(|_| {
+                        DeError::new(format!("integer {n} out of range for i64"))
+                    })?,
+                    ref other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, got {}",
+                            kind_of(other)
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            ref other => Err(DeError::new(format!("expected number, got {}", kind_of(other)))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {}", kind_of(other)))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, got {}", kind_of(other)))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// -- container impls --------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        expect_array(v, "Vec")?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let a = expect_array(v, "2-tuple")?;
+        if a.len() != 2 {
+            return Err(DeError::new(format!("expected 2 elements, got {}", a.len())));
+        }
+        Ok((A::from_value(&a[0])?, B::from_value(&a[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let a = expect_array(v, "3-tuple")?;
+        if a.len() != 3 {
+            return Err(DeError::new(format!("expected 3 elements, got {}", a.len())));
+        }
+        Ok((A::from_value(&a[0])?, B::from_value(&a[1])?, C::from_value(&a[2])?))
+    }
+}
+
+/// Maps serialise as an array of `[key, value]` pairs so non-string keys
+/// (addresses) survive the trip without a string conversion convention.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter().map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()])).collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let mut out = BTreeMap::new();
+        for entry in expect_array(v, "map")? {
+            let pair = expect_array(entry, "map entry")?;
+            if pair.len() != 2 {
+                return Err(DeError::new("map entry must be a [key, value] pair"));
+            }
+            out.insert(K::from_value(&pair[0])?, V::from_value(&pair[1])?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        expect_array(v, "set")?.iter().map(T::from_value).collect()
+    }
+}

@@ -1,0 +1,482 @@
+//! Minimal vendored replacement for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements just enough of `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` for the types in this workspace: non-generic
+//! structs (named, tuple, unit) and enums (unit, tuple and struct variants),
+//! plus the `#[serde(default)]` and `#[serde(skip, default = "path")]`
+//! field attributes.
+//!
+//! Instead of the real serde data model, the generated impls target the
+//! vendored `serde::Value` tree (see `vendor/serde`), which `serde_json`
+//! prints and parses. The wire format is the same externally-tagged layout
+//! real serde uses for JSON, so artifacts remain human-readable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default)]
+struct FieldAttrs {
+    /// `#[serde(skip)]` — never serialised, restored from the default.
+    skip: bool,
+    /// `#[serde(default)]` — use `Default::default()` when missing.
+    default_trait: bool,
+    /// `#[serde(default = "path")]` — call `path()` when missing.
+    default_path: Option<String>,
+}
+
+#[derive(Clone, Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Clone, Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Clone, Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Clone, Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips a run of `#[...]` outer attributes starting at `*i`, feeding any
+/// `#[serde(...)]` contents into `attrs`.
+fn skip_attrs(tts: &[TokenTree], i: &mut usize, attrs: &mut FieldAttrs) {
+    while *i + 1 < tts.len() {
+        let TokenTree::Punct(p) = &tts[*i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        if let TokenTree::Group(g) = &tts[*i + 1] {
+            parse_attr_group(g.stream(), attrs);
+        }
+        *i += 2;
+    }
+}
+
+/// Parses the inside of one `#[...]` group, recording serde attributes.
+fn parse_attr_group(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    if tts.first().and_then(ident_of).as_deref() != Some("serde") {
+        return;
+    }
+    let Some(TokenTree::Group(g)) = tts.get(1) else { return };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        match ident_of(&inner[j]).as_deref() {
+            Some("skip") => {
+                attrs.skip = true;
+                j += 1;
+            }
+            Some("default") => {
+                let eq =
+                    matches!(inner.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                if eq {
+                    if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                        let s = lit.to_string();
+                        attrs.default_path = Some(s.trim_matches('"').to_string());
+                    }
+                    j += 3;
+                } else {
+                    attrs.default_trait = true;
+                    j += 1;
+                }
+            }
+            _ => j += 1,
+        }
+    }
+}
+
+/// Skips `pub` / `pub(crate)` visibility tokens.
+fn skip_vis(tts: &[TokenTree], i: &mut usize) {
+    if tts.get(*i).and_then(ident_of).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tts.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Skips a type (or discriminant expression) up to a top-level `,`, which is
+/// also consumed. Tracks `<...>` nesting; parenthesised/bracketed groups are
+/// single token trees so their commas are invisible here.
+fn skip_to_comma(tts: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < tts.len() {
+        if let TokenTree::Punct(p) = &tts[*i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < tts.len() {
+        let mut attrs = FieldAttrs::default();
+        skip_attrs(&tts, &mut i, &mut attrs);
+        skip_vis(&tts, &mut i);
+        let Some(name) = tts.get(i).and_then(ident_of) else { break };
+        i += 1; // field name
+        i += 1; // ':'
+        skip_to_comma(&tts, &mut i);
+        out.push(Field { name, attrs });
+    }
+    out
+}
+
+/// Counts the comma-separated fields of a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < tts.len() {
+        // Each `skip_to_comma` consumes one field (attributes and visibility
+        // tokens are swallowed along with the type tokens).
+        skip_to_comma(&tts, &mut i);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < tts.len() {
+        let mut attrs = FieldAttrs::default();
+        skip_attrs(&tts, &mut i, &mut attrs);
+        let Some(name) = tts.get(i).and_then(ident_of) else { break };
+        i += 1;
+        let kind = match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_to_comma(&tts, &mut i);
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = FieldAttrs::default();
+    skip_attrs(&tts, &mut i, &mut attrs);
+    skip_vis(&tts, &mut i);
+    let kind = tts.get(i).and_then(ident_of).expect("struct or enum keyword");
+    i += 1;
+    let name = tts.get(i).and_then(ident_of).expect("type name");
+    i += 1;
+    if matches!(tts.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (deriving {name})");
+    }
+    match kind.as_str() {
+        "struct" => match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            _ => panic!("malformed enum {name}"),
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-based; parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "o.push(({n:?}.to_string(), serde::Serialize::to_value(&self.{n})));",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\
+                   fn to_value(&self) -> serde::Value {{\
+                     let mut o: Vec<(String, serde::Value)> = Vec::new();\
+                     {pushes}\
+                     serde::Value::Object(o)\
+                   }}\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> =
+                    (0..*arity).map(|k| format!("serde::Serialize::to_value(&self.{k})")).collect();
+                format!("serde::Value::Array(vec![{}])", elems.join(","))
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\
+                   fn to_value(&self) -> serde::Value {{ {body} }}\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\
+               fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str({vn:?}.to_string()),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(a0) => serde::Value::Object(vec![({vn:?}.to_string(), \
+                         serde::Serialize::to_value(a0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("a{k}")).collect();
+                        let elems: Vec<String> =
+                            (0..*n).map(|k| format!("serde::Serialize::to_value(a{k})")).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => serde::Value::Object(vec![({vn:?}.to_string(), \
+                             serde::Value::Array(vec![{e}]))]),",
+                            b = binds.join(","),
+                            e = elems.join(",")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "fo.push(({n:?}.to_string(), serde::Serialize::to_value({n})));",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => {{\
+                               let mut fo: Vec<(String, serde::Value)> = Vec::new();\
+                               {p}\
+                               serde::Value::Object(vec![({vn:?}.to_string(), serde::Value::Object(fo))])\
+                             }},",
+                            b = binds.join(","),
+                            p = pushes.join("")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\
+                   fn to_value(&self) -> serde::Value {{ match self {{ {arms} }} }}\
+                 }}"
+            )
+        }
+    }
+}
+
+fn named_field_exprs(fields: &[Field], obj: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let n = &f.name;
+        if f.attrs.skip {
+            if let Some(p) = &f.attrs.default_path {
+                out.push_str(&format!("{n}: {p}(),"));
+            } else {
+                out.push_str(&format!("{n}: ::core::default::Default::default(),"));
+            }
+        } else if let Some(p) = &f.attrs.default_path {
+            out.push_str(&format!("{n}: serde::field_or_else({obj}, {n:?}, {p})?,"));
+        } else if f.attrs.default_trait {
+            out.push_str(&format!("{n}: serde::field_or_default({obj}, {n:?})?,"));
+        } else {
+            out.push_str(&format!("{n}: serde::field({obj}, {n:?})?,"));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits = named_field_exprs(fields, "o");
+            let uses_obj = fields.iter().any(|f| !f.attrs.skip);
+            let (arg, obj_binding) = if uses_obj {
+                ("v", format!("let o = serde::expect_object(v, {name:?})?;"))
+            } else {
+                ("_v", String::new())
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\
+                   fn from_value({arg}: &serde::Value) -> Result<Self, serde::DeError> {{\
+                     {obj_binding}\
+                     Ok({name} {{ {inits} }})\
+                   }}\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("serde::Deserialize::from_value(&a[{k}])?"))
+                    .collect();
+                format!(
+                    "let a = serde::expect_array(v, {name:?})?;\
+                     if a.len() != {arity} {{\
+                       return Err(serde::DeError::new(format!(\
+                         \"expected {arity} elements for {name}, got {{}}\", a.len())));\
+                     }}\
+                     Ok({name}({e}))",
+                    e = elems.join(",")
+                )
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\
+                   fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\
+               fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {{ Ok({name}) }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),"));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("serde::Deserialize::from_value(&a[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\
+                               let a = serde::expect_array(inner, {vn:?})?;\
+                               if a.len() != {n} {{\
+                                 return Err(serde::DeError::new(format!(\
+                                   \"expected {n} elements for {name}::{vn}, got {{}}\", a.len())));\
+                               }}\
+                               Ok({name}::{vn}({e}))\
+                             }},",
+                            e = elems.join(",")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits = named_field_exprs(fields, "fo");
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\
+                               let fo = serde::expect_object(inner, {vn:?})?;\
+                               Ok({name}::{vn} {{ {inits} }})\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            let inner_bind = if tagged_arms.is_empty() { "_inner" } else { "inner" };
+            format!(
+                "impl serde::Deserialize for {name} {{\
+                   fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\
+                     if let serde::Value::Str(s) = v {{\
+                       return match s.as_str() {{\
+                         {unit_arms}\
+                         other => Err(serde::DeError::new(format!(\
+                           \"unknown unit variant `{{other}}` of {name}\"))),\
+                       }};\
+                     }}\
+                     let (tag, {inner_bind}) = serde::expect_variant(v, {name:?})?;\
+                     match tag {{\
+                       {tagged_arms}\
+                       other => Err(serde::DeError::new(format!(\
+                         \"unknown variant `{{other}}` of {name}\"))),\
+                     }}\
+                   }}\
+                 }}"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
