@@ -42,7 +42,7 @@ fn setup() -> Setup {
 fn bench_edge_lookup(c: &mut Criterion) {
     let s = setup();
     let pairs: Vec<(u64, u64)> =
-        s.scan.tips.windows(2).map(|w| (w[0].ip, w[1].ip)).take(1024).collect();
+        s.scan.tip_ips().windows(2).map(|w| (w[0], w[1])).take(1024).collect();
     c.bench_function("itc_edge_lookup_1k", |b| {
         b.iter(|| {
             let mut hits = 0usize;

@@ -1,0 +1,84 @@
+//! Standalone fast-path benchmark runner.
+//!
+//! Prints the fast-path metric table, writes `BENCH_fastpath.json` to the
+//! working directory, and — with `--check-baseline <path>` — exits non-zero
+//! if any hardware-independent ratio regressed by more than 2x against the
+//! checked-in baseline. CI runs this as the smoke-bench gate.
+
+use fg_bench::experiments::fastpath;
+
+const REGRESSION_FACTOR: f64 = 2.0;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check-baseline" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--check-baseline requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: fastpath_bench [--check-baseline <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let current = fastpath::run();
+    let mut t = fg_bench::table::Table::new(&["metric", "value"]);
+    t.row(vec!["serial scan MiB/s".into(), fg_bench::table::fmt(current.scan_mib_per_sec, 1)]);
+    t.row(vec![
+        "parallel scan MiB/s".into(),
+        fg_bench::table::fmt(current.parallel_scan_mib_per_sec, 1),
+    ]);
+    t.row(vec!["pairs checked / s".into(), fg_bench::table::fmt(current.pairs_per_sec, 0)]);
+    t.row(vec!["edge lookup (CSR) ns".into(), fg_bench::table::fmt(current.edge_lookup_ns, 1)]);
+    t.row(vec![
+        "edge lookup (BTreeMap) ns".into(),
+        fg_bench::table::fmt(current.edge_lookup_ns_btreemap, 1),
+    ]);
+    t.row(vec!["edge lookup speedup".into(), fg_bench::table::fmt(current.edge_lookup_speedup, 2)]);
+    t.row(vec!["endpoint check ns".into(), fg_bench::table::fmt(current.endpoint_check_ns, 0)]);
+    t.row(vec![
+        "bytes/check incremental".into(),
+        fg_bench::table::fmt(current.bytes_per_check_incremental, 1),
+    ]);
+    t.row(vec![
+        "bytes/check cold rescan".into(),
+        fg_bench::table::fmt(current.bytes_per_check_cold, 1),
+    ]);
+    t.row(vec!["bytes/check ratio".into(), fg_bench::table::fmt(current.bytes_per_check_ratio, 4)]);
+    t.row(vec!["edge-cache hit rate".into(), fg_bench::table::fmt(current.edge_cache_hit_rate, 3)]);
+    t.print("Fast-path micro-benchmarks");
+
+    if let Err(e) = fastpath::write_json(&current, fastpath::JSON_PATH) {
+        eprintln!("failed to write {}: {e}", fastpath::JSON_PATH);
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", fastpath::JSON_PATH);
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline: fastpath::FastpathBench = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let regressions = fastpath::regressions(&current, &baseline, REGRESSION_FACTOR);
+        if regressions.is_empty() {
+            println!("baseline check passed ({path}, tolerance {REGRESSION_FACTOR}x)");
+        } else {
+            eprintln!("\nbaseline check FAILED ({path}, tolerance {REGRESSION_FACTOR}x):");
+            for r in &regressions {
+                eprintln!("  - {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -22,5 +22,6 @@ fn main() {
     e::pathmatch::print();
     e::multiproc::print();
     e::cache::print();
+    e::fastpath::print();
     println!("\nAll experiments completed.");
 }

@@ -3,6 +3,7 @@
 pub mod attacks_eval;
 pub mod baselines;
 pub mod cache;
+pub mod fastpath;
 pub mod fig5;
 pub mod hw;
 pub mod micro;

@@ -61,6 +61,18 @@ impl TntSig {
         TntSig { bits: seq.raw_bits(), len: seq.len() }
     }
 
+    /// Builds a signature directly from the packed `(bits, len)` word a
+    /// [`fg_ipt::FastScan`] stores — the allocation-free fast-path route.
+    /// The encoding is identical (oldest outcome in the highest populated
+    /// bit); stray bits above `len` are masked off.
+    pub fn from_raw(bits: u64, len: u8) -> Option<TntSig> {
+        if len as usize > TntSig::MAX_LEN {
+            return None;
+        }
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        Some(TntSig { bits: bits & mask, len })
+    }
+
     /// Signature length in bits.
     pub fn len(&self) -> usize {
         self.len as usize
@@ -104,6 +116,21 @@ impl TntInfo {
         }
     }
 
+    /// [`TntInfo::admits`] over the packed `(bits, len)` word of a
+    /// [`fg_ipt::FastScan`] TNT run; `None` means the observed run exceeded
+    /// 64 bits, which only a wildcard edge admits.
+    pub fn admits_raw(&self, observed: Option<(u64, u8)>) -> bool {
+        if !self.is_trained() || self.any {
+            return true;
+        }
+        match observed {
+            Some((bits, len)) => {
+                TntSig::from_raw(bits, len).is_some_and(|sig| self.sigs.contains(&sig))
+            }
+            None => false,
+        }
+    }
+
     fn add(&mut self, outcomes: &[bool]) {
         if self.any {
             return;
@@ -129,6 +156,66 @@ impl TntInfo {
 
 /// Index of an edge inside the flattened target array.
 pub type EdgeIdx = usize;
+
+/// Dense node id: position of an IT-BB address in the sorted node array.
+pub type NodeId = u32;
+
+/// Open-addressing hash index from IT-BB address to dense [`NodeId`] — the
+/// O(1) interning probe replacing the per-lookup binary search on the hot
+/// path. Slot values are `node_id + 1` (0 = empty); power-of-two capacity
+/// at ≤ 50% load keeps probe chains short.
+///
+/// The index is redundant with `node_addrs` (it is rebuilt by every
+/// constructor and skipped by serde); lookups fall back to binary search
+/// when it is absent, so a deserialized graph stays correct before
+/// [`ItcCfg::reindex`] runs.
+#[derive(Debug, Clone, Default)]
+struct NodeIndex {
+    slots: Vec<u32>,
+    mask: usize,
+}
+
+impl NodeIndex {
+    fn build(addrs: &[u64]) -> NodeIndex {
+        if addrs.is_empty() {
+            return NodeIndex::default();
+        }
+        let cap = (addrs.len() * 2).next_power_of_two();
+        let mut idx = NodeIndex { slots: vec![0; cap], mask: cap - 1 };
+        for (i, &a) in addrs.iter().enumerate() {
+            let mut s = NodeIndex::hash(a) & idx.mask;
+            while idx.slots[s] != 0 {
+                s = (s + 1) & idx.mask;
+            }
+            idx.slots[s] = i as u32 + 1;
+        }
+        idx
+    }
+
+    /// Fibonacci (multiplicative) hashing: addresses are page-aligned-ish
+    /// and clustered, which pure masking would collide badly on.
+    #[inline]
+    fn hash(a: u64) -> usize {
+        (a.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize
+    }
+
+    /// Looks up `a`, given the address array the index was built over.
+    #[inline]
+    fn lookup(&self, addrs: &[u64], a: u64) -> Option<NodeId> {
+        let mut s = NodeIndex::hash(a) & self.mask;
+        loop {
+            match self.slots[s] {
+                0 => return None,
+                v => {
+                    if addrs[(v - 1) as usize] == a {
+                        return Some(v - 1);
+                    }
+                }
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+}
 
 /// Borrowed raw arrays of an [`ItcCfg`] (see [`ItcCfg::raw_view`]).
 #[derive(Debug, Clone, Copy)]
@@ -159,10 +246,14 @@ pub struct ItcCfg {
     /// Per-edge TNT information.
     tnt: Vec<TntInfo>,
     /// Trained 2-grams of consecutive high-credit edges — the paper's
-    /// future-work "matching the high-credit paths" (§7.1.2). Empty unless
-    /// path training ran.
+    /// future-work "matching the high-credit paths" (§7.1.2). Sorted for
+    /// binary search; empty unless path training ran. (Serde-compatible
+    /// with the former `BTreeSet`, which serializes as a sorted sequence.)
     #[serde(default)]
-    path_grams: std::collections::BTreeSet<(u64, u64)>,
+    path_grams: Vec<(u64, u64)>,
+    /// Address → dense node id hash index (rebuilt, never serialized).
+    #[serde(skip)]
+    index: NodeIndex,
 }
 
 impl ItcCfg {
@@ -217,13 +308,15 @@ impl ItcCfg {
             ranges.push((start, targets.len() as u32 - start));
         }
         let n_edges = targets.len();
+        let index = NodeIndex::build(&node_addrs);
         ItcCfg {
             node_addrs,
             ranges,
             targets,
             credits: vec![Credit::Low; n_edges],
             tnt: vec![TntInfo::default(); n_edges],
-            path_grams: std::collections::BTreeSet::new(),
+            path_grams: Vec::new(),
+            index,
         }
     }
 
@@ -251,14 +344,16 @@ impl ItcCfg {
         credits: Vec<Credit>,
         tnt: Vec<TntInfo>,
     ) -> ItcCfg {
-        ItcCfg {
-            node_addrs,
-            ranges,
-            targets,
-            credits,
-            tnt,
-            path_grams: std::collections::BTreeSet::new(),
-        }
+        let index = NodeIndex::build(&node_addrs);
+        ItcCfg { node_addrs, ranges, targets, credits, tnt, path_grams: Vec::new(), index }
+    }
+
+    /// Rebuilds the address→id hash index after deserialization (serde
+    /// skips it). Lookups are correct without this — they fall back to
+    /// binary search — but not O(1).
+    pub fn reindex(&mut self) {
+        self.index = NodeIndex::build(&self.node_addrs);
+        debug_assert!(self.path_grams.windows(2).all(|w| w[0] < w[1]), "path grams sorted");
     }
 
     /// Number of IT-BB nodes (`|V|` of Table 4).
@@ -271,16 +366,35 @@ impl ItcCfg {
         self.targets.len()
     }
 
-    /// Whether `va` is an IT-BB entry (binary search on the node array —
-    /// the first of the two fast-path checks of §5.3).
-    pub fn is_node(&self, va: u64) -> bool {
-        self.node_addrs.binary_search(&va).is_ok()
+    /// Interns an address to its dense node id: one O(1) hash probe, with a
+    /// binary-search fallback when the index is absent (deserialized graph
+    /// before [`ItcCfg::reindex`]).
+    #[inline]
+    pub fn node_id(&self, va: u64) -> Option<NodeId> {
+        if self.index.slots.is_empty() {
+            return self.node_addrs.binary_search(&va).ok().map(|i| i as NodeId);
+        }
+        self.index.lookup(&self.node_addrs, va)
     }
 
-    /// Looks up the edge `from → to` (the second fast-path check): binary
-    /// search on sources, then binary search within the target range.
+    /// The address of a dense node id.
+    pub fn node_addr(&self, id: NodeId) -> u64 {
+        self.node_addrs[id as usize]
+    }
+
+    /// Whether `va` is an IT-BB entry (one hash probe — the first of the
+    /// two fast-path checks of §5.3).
+    #[inline]
+    pub fn is_node(&self, va: u64) -> bool {
+        self.node_id(va).is_some()
+    }
+
+    /// Looks up the edge `from → to` (the second fast-path check): O(1)
+    /// source interning, then binary search within the CSR target slice —
+    /// O(log deg) total.
+    #[inline]
     pub fn edge(&self, from: u64, to: u64) -> Option<EdgeIdx> {
-        let ni = self.node_addrs.binary_search(&from).ok()?;
+        let ni = self.node_id(from)? as usize;
         let (start, len) = self.ranges[ni];
         let range = &self.targets[start as usize..(start + len) as usize];
         let off = range.binary_search(&to).ok()?;
@@ -289,12 +403,12 @@ impl ItcCfg {
 
     /// All outgoing targets of a node.
     pub fn targets_of(&self, from: u64) -> &[u64] {
-        match self.node_addrs.binary_search(&from) {
-            Ok(ni) => {
-                let (start, len) = self.ranges[ni];
+        match self.node_id(from) {
+            Some(ni) => {
+                let (start, len) = self.ranges[ni as usize];
                 &self.targets[start as usize..(start + len) as usize]
             }
-            Err(_) => &[],
+            None => &[],
         }
     }
 
@@ -326,14 +440,19 @@ impl ItcCfg {
     }
 
     /// Records that edge `e2` was observed immediately after edge `e1`
-    /// during training (path-gram learning).
+    /// during training (path-gram learning). Sorted insertion keeps
+    /// [`ItcCfg::has_path_gram`] a binary search.
     pub fn add_path_gram(&mut self, e1: EdgeIdx, e2: EdgeIdx) {
-        self.path_grams.insert((e1 as u64, e2 as u64));
+        let key = (e1 as u64, e2 as u64);
+        if let Err(pos) = self.path_grams.binary_search(&key) {
+            self.path_grams.insert(pos, key);
+        }
     }
 
-    /// Whether the consecutive edge pair was seen in training.
+    /// Whether the consecutive edge pair was seen in training (O(log n)).
+    #[inline]
     pub fn has_path_gram(&self, e1: EdgeIdx, e2: EdgeIdx) -> bool {
-        self.path_grams.contains(&(e1 as u64, e2 as u64))
+        self.path_grams.binary_search(&(e1 as u64, e2 as u64)).is_ok()
     }
 
     /// Number of trained path grams.
@@ -356,6 +475,8 @@ impl ItcCfg {
             + self.ranges.len() * 8
             + self.targets.len() * 8
             + self.credits.len()
+            + self.index.slots.len() * 4
+            + self.path_grams.len() * 16
             + self
                 .tnt
                 .iter()
@@ -466,13 +587,13 @@ mod tests {
         let bytes = m.trace.as_ipt().unwrap().trace_bytes();
         let scan = fg_ipt::fast::scan(&bytes).unwrap();
         assert!(scan.tip_count() >= 4);
-        for w in scan.tips.windows(2) {
-            assert!(itc.is_node(w[0].ip), "TIP target {:#x} is an IT-BB", w[0].ip);
+        for w in scan.tip_ips().windows(2) {
+            assert!(itc.is_node(w[0]), "TIP target {:#x} is an IT-BB", w[0]);
             assert!(
-                itc.edge(w[0].ip, w[1].ip).is_some(),
+                itc.edge(w[0], w[1]).is_some(),
                 "consecutive TIPs {:#x} → {:#x} must be an ITC edge",
-                w[0].ip,
-                w[1].ip
+                w[0],
+                w[1]
             );
         }
     }
@@ -528,6 +649,64 @@ mod tests {
         assert!(TntSig::from_bools(&[true; 65]).is_none());
         let seq = TntSeq::from_slice(&[true, false, true]);
         assert_eq!(TntSig::from_seq(&seq), sig);
+    }
+
+    #[test]
+    fn node_interning_matches_binary_search() {
+        let (_, _, itc) = itc();
+        let view = itc.raw_view();
+        // Every node address interns to its sorted-array position; probing
+        // near-miss addresses finds nothing.
+        for (i, &a) in view.node_addrs.iter().enumerate() {
+            assert_eq!(itc.node_id(a), Some(i as NodeId));
+            assert_eq!(itc.node_addr(i as NodeId), a);
+            assert_eq!(
+                itc.node_id(a + 1),
+                view.node_addrs.binary_search(&(a + 1)).ok().map(|x| x as NodeId)
+            );
+        }
+        assert_eq!(itc.node_id(0xdead_beef), None);
+    }
+
+    #[test]
+    fn reindex_after_deserialize_preserves_lookups() {
+        let (_, _, mut itc) = itc();
+        let (f, t, e) = itc.iter_edges().next().unwrap();
+        itc.set_high(e);
+        let json = serde_json::to_string(&itc).unwrap();
+        let mut back: ItcCfg = serde_json::from_str(&json).unwrap();
+        // Index is skipped by serde: the fallback still answers correctly.
+        assert_eq!(back.edge(f, t), Some(e));
+        back.reindex();
+        assert_eq!(back.edge(f, t), Some(e));
+        assert_eq!(back.node_count(), itc.node_count());
+    }
+
+    #[test]
+    fn admits_raw_matches_bool_admission() {
+        let mut info = TntInfo::default();
+        assert!(info.admits_raw(Some((0b10, 2))), "untrained admits anything");
+        info.add(&[true, false]);
+        assert!(info.admits_raw(Some((0b10, 2))));
+        assert!(!info.admits_raw(Some((0b01, 2))));
+        assert!(!info.admits_raw(Some((0, 0))));
+        assert!(!info.admits_raw(None), "over-long run only admitted by wildcard");
+        info.any = true;
+        assert!(info.admits_raw(None));
+        // Stray bits above `len` don't defeat matching.
+        assert_eq!(TntSig::from_raw(0b1110, 1), TntSig::from_bools(&[false]));
+    }
+
+    #[test]
+    fn path_grams_sorted_and_deduped() {
+        let (_, _, mut itc) = itc();
+        itc.add_path_gram(3, 4);
+        itc.add_path_gram(1, 2);
+        itc.add_path_gram(3, 4);
+        assert_eq!(itc.path_gram_count(), 2);
+        assert!(itc.has_path_gram(1, 2));
+        assert!(itc.has_path_gram(3, 4));
+        assert!(!itc.has_path_gram(2, 3));
     }
 
     #[test]

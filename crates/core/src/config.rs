@@ -23,6 +23,13 @@ pub struct FlowGuardConfig {
     pub cache_slow_path_results: bool,
     /// Decode ToPA segments in parallel using PSB sync points (§5.3).
     pub parallel_decode: bool,
+    /// Checkpoint the packet scanner between endpoint checks and consume
+    /// only the bytes appended since the previous check, instead of
+    /// re-scanning a tail window from a PSB sync point every time. Off, the
+    /// engine cold-scans the full buffer at each check — the reference mode
+    /// the incremental scanner is validated against.
+    #[serde(default = "default_incremental_scan")]
+    pub incremental_scan: bool,
     /// Also run a full-buffer check at every trace-buffer PMI — the paper's
     /// worst-case fallback against endpoint-pruning attacks (§7.1.2).
     pub pmi_endpoints: bool,
@@ -38,6 +45,10 @@ pub struct FlowGuardConfig {
     pub topa_region_bytes: usize,
 }
 
+fn default_incremental_scan() -> bool {
+    true
+}
+
 impl Default for FlowGuardConfig {
     fn default() -> FlowGuardConfig {
         FlowGuardConfig {
@@ -46,6 +57,7 @@ impl Default for FlowGuardConfig {
             require_module_stride: true,
             cache_slow_path_results: true,
             parallel_decode: false,
+            incremental_scan: true,
             pmi_endpoints: false,
             path_matching: false,
             endpoints: SensitiveSet::patharmor_default(),
@@ -77,6 +89,7 @@ mod tests {
         assert_eq!(c.cred_ratio, 1.0);
         assert!(c.require_module_stride);
         assert!(c.cache_slow_path_results);
+        assert!(c.incremental_scan);
         c.validate();
     }
 

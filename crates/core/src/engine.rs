@@ -7,13 +7,13 @@
 //! slow-path results, and kills the process on violation.
 
 use crate::config::FlowGuardConfig;
-use crate::fastpath::{self, FastVerdict};
+use crate::fastpath::{self, CheckScratch, FastVerdict};
 use crate::parallel::scan_parallel;
 use crate::slowpath::{self, SlowVerdict};
 use fg_cfg::{EdgeIdx, ItcCfg, OCfg};
 use fg_cpu::cost::CostModel;
 use fg_cpu::machine::SyscallCtx;
-use fg_ipt::fast;
+use fg_ipt::{fast, IncrementalScanner};
 use fg_isa::image::Image;
 use fg_kernel::{InterceptVerdict, SyscallInterceptor, Sysno, SIGKILL};
 use parking_lot::Mutex;
@@ -53,6 +53,17 @@ pub struct EngineStats {
     pub credited_pairs: u64,
     /// Current slow-path result cache size.
     pub cache_size: usize,
+    /// Total trace bytes actually scanned across all checks. With the
+    /// incremental scanner this grows by the appended delta per check, not
+    /// by a whole tail window.
+    pub bytes_scanned: u64,
+    /// Checkpoint losses: the ToPA wrapped past the scanner's position and
+    /// a cold PSB re-synchronisation was needed.
+    pub cold_restarts: u64,
+    /// Fast-path edge-cache hits (direct-mapped `(from, to)` cache).
+    pub edge_cache_hits: u64,
+    /// Fast-path edge-cache misses.
+    pub edge_cache_misses: u64,
     /// Cycles spent decoding (packet scans + instruction-flow decodes).
     pub decode_cycles: f64,
     /// Cycles spent matching against the ITC-CFG.
@@ -91,6 +102,8 @@ pub struct FlowGuardEngine {
     cost: CostModel,
     cr3: u64,
     cache: HashSet<EdgeIdx>,
+    scanner: IncrementalScanner,
+    scratch: CheckScratch,
     stats: Arc<Mutex<EngineStats>>,
 }
 
@@ -115,6 +128,7 @@ impl FlowGuardEngine {
     ) -> FlowGuardEngine {
         cfg.validate();
         FlowGuardEngine {
+            scratch: CheckScratch::new(&image),
             image,
             ocfg,
             itc,
@@ -122,6 +136,7 @@ impl FlowGuardEngine {
             cost: CostModel::calibrated(),
             cr3,
             cache: HashSet::new(),
+            scanner: IncrementalScanner::new(),
             stats: Arc::new(Mutex::new(EngineStats::default())),
         }
     }
@@ -185,60 +200,106 @@ impl FlowGuardEngine {
             return InterceptVerdict::Allow;
         };
         let bytes = ipt.trace_bytes();
+        let total_written = ipt.topa().total_written();
 
         // --- fast path -----------------------------------------------------
-        // "It is not required to decode the whole ToPA buffer" (§5.3): scan
-        // only a tail window, PSB-synchronised, widening it if it holds too
-        // few TIPs for the configured pkt_count.
-        let mut budget =
+        // "It is not required to decode the whole ToPA buffer" (§5.3): an
+        // endpoint check needs only the most recent window of flow. The
+        // checkpointed scanner consumes the bytes appended since the
+        // previous check, and when more was appended than one window can
+        // use it skips the excess and re-synchronises inside the kept tail,
+        // so per-check decode work is min(appended, window budget) bytes —
+        // never a rescan of flow an earlier check already extracted.
+        let window_budget =
             if full_buffer { bytes.len().max(1) } else { (self.cfg.pkt_count * 24).max(512) };
-        let (scan, scanned_len) = loop {
-            let window = tail_window(&bytes, budget);
-            let scan =
-                if self.cfg.parallel_decode { scan_parallel(window) } else { fast::scan(window) };
-            let scan = match scan {
-                Ok(s) => s,
+        let scan_owned;
+        let (scan, first_tnt_truncated) = if self.cfg.incremental_scan {
+            let delta = total_written.saturating_sub(self.scanner.stream_pos());
+            if delta > window_budget as u64 && delta <= bytes.len() as u64 {
+                // The accumulated flow already covers everything a previous
+                // check could see; the pair across the skip seam becomes
+                // unjudgeable (Resync boundary), exactly as it was outside
+                // the old rescan window.
+                self.scanner.skip_to(total_written - window_budget as u64);
+            }
+            match self.scanner.advance(&bytes, total_written, window_budget) {
+                Ok(info) => {
+                    if info.cold_restart {
+                        stats.cold_restarts += 1;
+                    }
+                    stats.bytes_scanned += info.new_bytes;
+                    let scan_cycles = info.new_bytes as f64 * self.cost.packet_scan_byte_cycles;
+                    stats.decode_cycles += scan_cycles;
+                    ctx.extra_cycles.decode += scan_cycles;
+                }
                 Err(_) => {
-                    // Unparseable buffer: be conservative and escalate.
+                    // Corrupt PSB+ bundle: skip past it, stay conservative.
+                    self.scanner.skip_to(total_written);
                     stats.insufficient += 1;
                     return InterceptVerdict::Allow;
                 }
-            };
-            if scan.tip_count() > self.cfg.pkt_count || window.len() == bytes.len() {
-                break (scan, window.len());
             }
-            budget *= 2;
+            (self.scanner.scan(), self.scanner.first_tip_truncated())
+        } else {
+            // Reference mode: a cold PSB-synchronised tail-window scan per
+            // check, widening (doubling) while it holds too few TIPs for
+            // the configured pkt_count — the pre-checkpointing behaviour.
+            let mut budget = window_budget;
+            let (cold, scanned_len) = loop {
+                let window = tail_window(&bytes, budget);
+                let scan = if self.cfg.parallel_decode {
+                    scan_parallel(window)
+                } else {
+                    fast::scan(window)
+                };
+                let scan = match scan {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // Unparseable buffer: be conservative and escalate.
+                        stats.insufficient += 1;
+                        return InterceptVerdict::Allow;
+                    }
+                };
+                if scan.tip_count() > self.cfg.pkt_count || window.len() == bytes.len() {
+                    break (scan, window.len());
+                }
+                budget *= 2;
+            };
+            scan_owned = cold;
+            stats.bytes_scanned += scanned_len as u64;
+            let scan_cycles = scanned_len as f64 * self.cost.packet_scan_byte_cycles;
+            stats.decode_cycles += scan_cycles;
+            ctx.extra_cycles.decode += scan_cycles;
+            (&scan_owned, false)
         };
-        let scan_cycles = scanned_len as f64 * self.cost.packet_scan_byte_cycles;
-        stats.decode_cycles += scan_cycles;
-        ctx.extra_cycles.decode += scan_cycles;
 
-        // PMI mode checks every pair in the buffer; endpoint mode checks the
-        // configured window.
-        let fast = if full_buffer {
-            let all = FlowGuardConfig {
+        // PMI mode checks every pair in the accumulated flow; endpoint mode
+        // checks the configured window.
+        let check_cfg = if full_buffer {
+            FlowGuardConfig {
                 pkt_count: scan.tip_count().max(2),
                 require_module_stride: false,
                 ..self.cfg.clone()
-            };
-            fastpath::check(
-                &self.itc,
-                &self.cache,
-                &self.image,
-                &scan,
-                &all,
-                self.cost.edge_check_cycles,
-            )
+            }
         } else {
-            fastpath::check(
-                &self.itc,
-                &self.cache,
-                &self.image,
-                &scan,
-                &self.cfg,
-                self.cost.edge_check_cycles,
-            )
+            self.cfg.clone()
         };
+        let fast = fastpath::check_windowed(
+            &self.itc,
+            &self.cache,
+            &mut self.scratch,
+            scan,
+            &check_cfg,
+            self.cost.edge_check_cycles,
+            first_tnt_truncated,
+        );
+        if self.cfg.incremental_scan {
+            // Bound the accumulated scan: keep comfortably more than the
+            // widest window the checker reaches back (pkt_count * 4).
+            self.scanner.compact(self.cfg.pkt_count.saturating_mul(8).max(256));
+        }
+        stats.edge_cache_hits = self.scratch.edge_cache_hits;
+        stats.edge_cache_misses = self.scratch.edge_cache_misses;
         stats.pairs_checked += fast.pairs_checked as u64;
         stats.credited_pairs += fast.credited_pairs as u64;
         stats.check_cycles += fast.check_cycles;
@@ -363,6 +424,36 @@ mod tests {
             "trained run should rarely hit the slow path ({}/{})",
             s.slow_invocations,
             s.checks
+        );
+    }
+
+    #[test]
+    fn incremental_and_cold_scan_agree_on_verdicts() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let run = |incremental: bool| {
+            let cfg = FlowGuardConfig { incremental_scan: incremental, ..Default::default() };
+            let (stop, stats, k) =
+                protected_run(&w, itc.clone(), Arc::clone(&ocfg), &w.default_input, cfg);
+            assert_eq!(stop, StopReason::Exited(0));
+            assert!(!k.violated());
+            let s = stats.lock();
+            let verdicts = (
+                s.checks,
+                s.fast_clean,
+                s.fast_malicious,
+                s.slow_invocations,
+                s.slow_attacks,
+                s.insufficient,
+            );
+            (verdicts, s.bytes_scanned)
+        };
+        let (inc_verdicts, inc_bytes) = run(true);
+        let (cold_verdicts, cold_bytes) = run(false);
+        assert_eq!(inc_verdicts, cold_verdicts, "incremental scan must not change any verdict");
+        assert!(
+            inc_bytes < cold_bytes,
+            "checkpointing must scan strictly fewer bytes ({inc_bytes} vs {cold_bytes})"
         );
     }
 

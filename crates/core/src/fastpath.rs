@@ -13,6 +13,89 @@ use fg_ipt::fast::{Boundary, FastScan};
 use fg_isa::image::{Image, ModuleKind};
 use std::collections::HashSet;
 
+/// Direct-mapped cache slots for `(from, to) → edge` resolutions. Credited
+/// edges repeat heavily (the same handlers are dispatched over and over),
+/// so even a small cache short-circuits most CSR probes.
+const EDGE_CACHE_SLOTS: usize = 512;
+
+/// Reusable per-process scratch for the fast path: precomputed sorted
+/// module ranges (replacing a linear module scan per TIP) and a
+/// direct-mapped hot-edge cache in front of [`ItcCfg::edge`].
+///
+/// The edge cache maps `(from, to)` to an [`EdgeIdx`] and is only valid for
+/// the ITC-CFG it was filled against: credit/TNT re-labeling is fine (edge
+/// indices are stable), but after swapping in a *rebuilt* graph call
+/// [`CheckScratch::invalidate_edges`].
+#[derive(Debug, Clone)]
+pub struct CheckScratch {
+    /// `(base, end, module_id, is_executable)`, sorted by base.
+    module_ranges: Vec<(u64, u64, u32, bool)>,
+    /// Direct-mapped `(from, to, edge)`; `from == u64::MAX` marks empty.
+    edge_cache: Vec<(u64, u64, EdgeIdx)>,
+    /// Per-module stamp used to count distinct modules in a window without
+    /// allocating (stamp == current generation ⇒ seen this pass).
+    module_stamp: Vec<u32>,
+    stamp_gen: u32,
+    /// Edge-cache hits (for BENCH_fastpath.json).
+    pub edge_cache_hits: u64,
+    /// Edge-cache misses.
+    pub edge_cache_misses: u64,
+}
+
+impl CheckScratch {
+    /// Builds scratch state for an image (sorts its module ranges once).
+    pub fn new(image: &Image) -> CheckScratch {
+        let mut module_ranges: Vec<(u64, u64, u32, bool)> = image
+            .modules()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.base, m.end(), i as u32, m.kind == ModuleKind::Executable))
+            .collect();
+        module_ranges.sort_unstable_by_key(|&(base, ..)| base);
+        CheckScratch {
+            module_stamp: vec![0; module_ranges.len()],
+            module_ranges,
+            edge_cache: vec![(u64::MAX, 0, 0); EDGE_CACHE_SLOTS],
+            stamp_gen: 0,
+            edge_cache_hits: 0,
+            edge_cache_misses: 0,
+        }
+    }
+
+    /// The module containing `va` (id and is-executable flag), by binary
+    /// search over the sorted ranges.
+    #[inline]
+    fn module_of(&self, va: u64) -> Option<(u32, bool)> {
+        let i = self.module_ranges.partition_point(|&(base, ..)| base <= va).checked_sub(1)?;
+        let (_, end, id, is_exec) = self.module_ranges[i];
+        (va < end).then_some((id, is_exec))
+    }
+
+    /// Resolves `from → to` through the direct-mapped cache.
+    #[inline]
+    fn edge(&mut self, itc: &ItcCfg, from: u64, to: u64) -> Option<EdgeIdx> {
+        let slot = (from
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(to.wrapping_mul(0xff51_afd7_ed55_8ccd))
+            >> 32) as usize
+            % EDGE_CACHE_SLOTS;
+        let (cf, ct, ce) = self.edge_cache[slot];
+        if cf == from && ct == to {
+            self.edge_cache_hits += 1;
+            return Some(ce);
+        }
+        self.edge_cache_misses += 1;
+        let e = itc.edge(from, to)?;
+        self.edge_cache[slot] = (from, to, e);
+        Some(e)
+    }
+
+    /// Drops all cached edge resolutions (call after replacing the graph).
+    pub fn invalidate_edges(&mut self) {
+        self.edge_cache.fill((u64::MAX, 0, 0));
+    }
+}
+
 /// Why the fast path flagged the flow as malicious.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Violation {
@@ -55,6 +138,10 @@ pub struct FastPathResult {
 /// The checked window is the most recent [`FlowGuardConfig::pkt_count`]
 /// TIPs, widened backwards until it strides at least two modules with one
 /// of them the executable (when the trace has such packets at all).
+///
+/// One-shot convenience: builds a throwaway [`CheckScratch`]. Repeated
+/// checks (the engine's endpoint loop) should hold a scratch and call
+/// [`check_windowed`].
 pub fn check(
     itc: &ItcCfg,
     cache: &HashSet<EdgeIdx>,
@@ -63,23 +150,25 @@ pub fn check(
     cfg: &FlowGuardConfig,
     edge_check_cycles: f64,
 ) -> FastPathResult {
-    check_windowed(itc, cache, image, scan, cfg, edge_check_cycles, false)
+    let mut scratch = CheckScratch::new(image);
+    check_windowed(itc, cache, &mut scratch, scan, cfg, edge_check_cycles, false)
 }
 
-/// [`check`] over a scan that started at a mid-trace sync point: the TNT
+/// [`check`] with reusable scratch state, over a scan that may have started
+/// at a mid-trace sync point: when `first_tnt_truncated` is set, the TNT
 /// run preceding the scan's very first TIP is truncated at the window edge
 /// and must not be compared against trained signatures.
 #[allow(clippy::too_many_arguments)]
 pub fn check_windowed(
     itc: &ItcCfg,
     cache: &HashSet<EdgeIdx>,
-    image: &Image,
+    scratch: &mut CheckScratch,
     scan: &FastScan,
     cfg: &FlowGuardConfig,
     edge_check_cycles: f64,
     first_tnt_truncated: bool,
 ) -> FastPathResult {
-    let tips = &scan.tips;
+    let tips = scan.tip_ips();
     if tips.len() < 2 {
         return FastPathResult {
             verdict: FastVerdict::InsufficientTrace,
@@ -92,45 +181,51 @@ pub fn check_windowed(
     // --- window selection -------------------------------------------------
     let mut start = tips.len().saturating_sub(cfg.pkt_count);
     if cfg.require_module_stride {
-        let satisfies = |s: usize| {
+        let satisfies = |scratch: &mut CheckScratch, s: usize| {
             let mut exec = false;
-            let mut modules: HashSet<usize> = HashSet::new();
-            for t in &tips[s..] {
-                if let Some(m) = image.modules().iter().position(|m| m.contains(t.ip)) {
-                    modules.insert(m);
-                    if image.modules()[m].kind == ModuleKind::Executable {
-                        exec = true;
+            let mut distinct = 0usize;
+            scratch.stamp_gen = scratch.stamp_gen.wrapping_add(1);
+            for &ip in &tips[s..] {
+                if let Some((m, is_exec)) = scratch.module_of(ip) {
+                    if scratch.module_stamp[m as usize] != scratch.stamp_gen {
+                        scratch.module_stamp[m as usize] = scratch.stamp_gen;
+                        distinct += 1;
+                        exec |= is_exec;
                     }
                 }
             }
-            exec && modules.len() >= 2
+            exec && distinct >= 2
         };
         // Widen while unsatisfied, but boundedly (the ToPA buffer itself
         // bounds how far back the implementation can reach): at most 4x the
         // configured window.
         let floor = tips.len().saturating_sub(cfg.pkt_count * 4);
-        while start > floor && !satisfies(start) {
+        while start > floor && !satisfies(scratch, start) {
             start = start.saturating_sub(8).max(floor);
         }
     }
-    let window = &tips[start..];
 
     // --- pair checking ----------------------------------------------------
     // TIP indices whose predecessor is *not* consecutive (buffer seams,
-    // packet loss): pairs crossing them are unjudgeable and skipped.
-    let breaks: HashSet<usize> = scan
+    // packet loss): pairs crossing them are unjudgeable and skipped. The
+    // boundary list is sorted by TIP index, so membership is a cursor walk.
+    let mut breaks = scan
         .boundaries
         .iter()
         .filter(|(_, b)| matches!(b, Boundary::Overflow | Boundary::Resync))
         .map(|&(i, _)| i)
-        .collect();
+        .peekable();
 
     let mut uncredited = Vec::new();
     let mut credited = 0usize;
     let mut pairs = 0usize;
     let mut prev_edge: Option<EdgeIdx> = None;
-    for (wi, w) in window.windows(2).enumerate() {
-        if breaks.contains(&(start + wi + 1)) {
+    for wi in 0..tips.len() - start - 1 {
+        let (from, to) = (tips[start + wi], tips[start + wi + 1]);
+        while breaks.peek().is_some_and(|&b| b < start + wi + 1) {
+            breaks.next();
+        }
+        if breaks.peek() == Some(&(start + wi + 1)) {
             prev_edge = None;
             continue; // non-consecutive TIPs across a seam
         }
@@ -138,17 +233,17 @@ pub fn check_windowed(
         // Is this pair's second TIP the scan's second TIP overall (i.e. its
         // TNT run may begin before the window)?
         let tnt_truncated = first_tnt_truncated && start + wi == 0;
-        if !itc.is_node(w[1].ip) {
+        if !itc.is_node(to) {
             return FastPathResult {
-                verdict: FastVerdict::Malicious(Violation::UnknownTarget { ip: w[1].ip }),
+                verdict: FastVerdict::Malicious(Violation::UnknownTarget { ip: to }),
                 pairs_checked: pairs,
                 credited_pairs: credited,
                 check_cycles: pairs as f64 * edge_check_cycles,
             };
         }
-        let Some(e) = itc.edge(w[0].ip, w[1].ip) else {
+        let Some(e) = scratch.edge(itc, from, to) else {
             return FastPathResult {
-                verdict: FastVerdict::Malicious(Violation::NoEdge { from: w[0].ip, to: w[1].ip }),
+                verdict: FastVerdict::Malicious(Violation::NoEdge { from, to }),
                 pairs_checked: pairs,
                 credited_pairs: credited,
                 check_cycles: pairs as f64 * edge_check_cycles,
@@ -159,8 +254,9 @@ pub fn check_windowed(
         // TNT association (§4.3): trained edges must match a recorded
         // signature; a mismatch means a direct-fork path never seen in
         // training — AIA-derogation territory — so escalate. A truncated
-        // first run cannot be compared meaningfully.
-        let tnt_ok = cached || tnt_truncated || itc.tnt(e).admits(&w[1].tnt_before);
+        // first run cannot be compared meaningfully. The comparison happens
+        // on the packed `(bits, len)` word — no per-pair allocation.
+        let tnt_ok = cached || tnt_truncated || itc.tnt(e).admits_raw(scan.tnt_raw(start + wi + 1));
         // Path matching (§7.1.2 future work): the consecutive edge pair must
         // be a trained high-credit path gram.
         let gram_ok =
@@ -270,7 +366,7 @@ mod tests {
         let mut scan = s.scan.clone();
         // Tamper: retarget the last TIP to a non-IT-BB code address.
         let exec_base = s.image.executable().base;
-        scan.tips.last_mut().unwrap().ip = exec_base + 8; // mid-entry block
+        scan.set_tip_ip(scan.tip_count() - 1, exec_base + 8); // mid-entry block
         let r = check(&s.itc, &HashSet::new(), &s.image, &scan, &cfg, 18.0);
         assert!(
             matches!(r.verdict, FastVerdict::Malicious(_)),
@@ -287,8 +383,8 @@ mod tests {
         // Swap two distant TIP targets to produce node-valid but edge-less
         // pairs (if the swap happens to form valid edges, the test still
         // passes via the Suspicious arm — assert "not Clean").
-        let n = scan.tips.len();
-        scan.tips.swap(n - 2, n - 8);
+        let n = scan.tip_count();
+        scan.swap_tips(n - 2, n - 8);
         let r = check(&s.itc, &HashSet::new(), &s.image, &scan, &cfg, 18.0);
         assert_ne!(r.verdict, FastVerdict::Clean);
     }
@@ -308,13 +404,15 @@ mod tests {
         let cfg = FlowGuardConfig { require_module_stride: false, ..Default::default() };
         let mut scan = s.scan.clone();
         // Flip one TNT bit ahead of the last TIP — a direct-fork divergence.
-        let last = scan.tips.last_mut().unwrap();
-        if last.tnt_before.is_empty() {
-            last.tnt_before.push(true);
+        let i = scan.tip_count() - 1;
+        let mut tnt = scan.tnt_vec(i);
+        if tnt.is_empty() {
+            tnt.push(true);
         } else {
-            let n = last.tnt_before.len();
-            last.tnt_before[n - 1] = !last.tnt_before[n - 1];
+            let n = tnt.len();
+            tnt[n - 1] = !tnt[n - 1];
         }
+        scan.set_tip_tnt(i, &tnt);
         let r = check(&s.itc, &HashSet::new(), &s.image, &scan, &cfg, 18.0);
         assert_ne!(
             r.verdict,
@@ -354,7 +452,7 @@ mod tests {
         };
         let mut scan = FastScan::default();
         for ip in [a, b, c] {
-            scan.tips.push(fg_ipt::fast::TipEvent { ip, tnt_before: Vec::new() });
+            scan.push_tip(ip, &[]);
         }
         let pm = FlowGuardConfig {
             require_module_stride: false,
@@ -368,6 +466,21 @@ mod tests {
             "unseen edge adjacency must escalate under path matching, got {:?}",
             r.verdict
         );
+    }
+
+    #[test]
+    fn scratch_edge_cache_hits_on_repeat() {
+        let s = trained_setup();
+        let cfg = FlowGuardConfig::default();
+        let mut scratch = CheckScratch::new(&s.image);
+        let empty = HashSet::new();
+        let r1 = check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false);
+        let r2 = check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false);
+        assert_eq!(r1, r2, "scratch reuse must not change verdicts");
+        assert!(scratch.edge_cache_hits > 0, "repeat checks hit the edge cache");
+        scratch.invalidate_edges();
+        let r3 = check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false);
+        assert_eq!(r1, r3);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod deploy;
 pub mod engine;
 pub mod fastpath;
 pub mod parallel;
+pub mod pool;
 pub mod shadow;
 pub mod slowpath;
 
@@ -54,7 +55,8 @@ pub use baselines::{BaselineStats, CfimonLike, KBouncerLike};
 pub use config::FlowGuardConfig;
 pub use deploy::{ArtifactError, Deployment, ProtectedProcess, DEFAULT_CR3};
 pub use engine::{EngineStats, FlowGuardEngine, ViolationRecord};
-pub use fastpath::{FastPathResult, FastVerdict, Violation};
+pub use fastpath::{CheckScratch, FastPathResult, FastVerdict, Violation};
 pub use parallel::scan_parallel;
+pub use pool::WorkerPool;
 pub use shadow::{ShadowOutcome, ShadowStack};
 pub use slowpath::{SlowPathResult, SlowVerdict, SlowViolation};

@@ -2,78 +2,63 @@
 //!
 //! "With the help of packet stream boundary (PSB) packets, which are served
 //! as sync points for the decoder, this process can be done in parallel to
-//! further accelerate the decoding" (§5.3). Segments are scanned on worker
-//! threads and the per-segment results merged in stream order; a TNT run cut
-//! by a PSB boundary is stitched back together during the merge.
+//! further accelerate the decoding" (§5.3). Segments are scanned on the
+//! reusable [`WorkerPool`] and the per-segment results merged in stream
+//! order by [`fast::merge_segments`], which stitches TNT runs cut at
+//! segment seams, rebases per-segment sync offsets to buffer coordinates,
+//! and resolves damage at a seam exactly as the serial scanner would.
 
+use crate::pool::WorkerPool;
 use fg_ipt::decode::PacketError;
 use fg_ipt::fast::{self, FastScan};
 
-/// Maximum worker threads for segment scanning.
-const MAX_WORKERS: usize = 8;
-
-/// Scans a trace buffer, fanning segments out across threads when the
-/// buffer contains multiple PSB sync points.
+/// Scans a trace buffer, fanning segments out across the worker pool when
+/// the buffer contains multiple PSB sync points.
 ///
 /// Produces exactly the same [`FastScan`] as [`fast::scan`] on the whole
 /// buffer.
 ///
 /// # Errors
 ///
-/// Propagates the first segment's [`PacketError`], as serial scanning would.
+/// Propagates the first failing segment's [`PacketError`] in stream order,
+/// with its offset rebased to buffer coordinates — the same error a serial
+/// scan would report.
 pub fn scan_parallel(buf: &[u8]) -> Result<FastScan, PacketError> {
     let segs = fast::segments(buf);
     if segs.len() <= 1 {
         return fast::scan(buf);
     }
 
-    let mut results: Vec<Option<Result<FastScan, PacketError>>> = vec![None; segs.len()];
-    let workers = segs.len().min(MAX_WORKERS);
-    crossbeam::thread::scope(|scope| {
-        let chunks: Vec<Vec<(usize, (usize, usize))>> = (0..workers)
-            .map(|w| segs.iter().copied().enumerate().skip(w).step_by(workers).collect())
-            .collect();
-        let mut handles = Vec::new();
-        for chunk in chunks {
-            handles.push(scope.spawn(move |_| {
-                chunk
-                    .into_iter()
-                    .map(|(i, (off, len))| (i, fast::scan(&buf[off..off + len])))
+    let pool = WorkerPool::global();
+    let workers = segs.len().min(pool.size());
+    // Strided distribution: segment sizes vary wildly (PSB periods drift),
+    // striding balances the expected load without measuring.
+    let tasks: Vec<_> = (0..workers)
+        .map(|w| {
+            let segs = &segs;
+            move || {
+                segs.iter()
+                    .copied()
+                    .skip(w)
+                    .step_by(workers)
+                    .map(|(off, len)| {
+                        let r = fast::scan(&buf[off..off + len])
+                            .map_err(|e| PacketError { offset: e.offset + off, kind: e.kind });
+                        (off, r)
+                    })
                     .collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            for (i, r) in h.join().expect("scan worker panicked") {
-                results[i] = Some(r);
             }
-        }
-    })
-    .expect("crossbeam scope");
+        })
+        .collect();
+    let mut results: Vec<(usize, Result<FastScan, PacketError>)> =
+        pool.run(tasks).into_iter().flatten().collect();
+    results.sort_unstable_by_key(|&(off, _)| off);
 
-    // Merge in stream order.
-    let mut merged = FastScan::default();
-    let mut pending_tnt: Vec<bool> = Vec::new();
-    for r in results.into_iter().map(|r| r.expect("all segments scanned")) {
-        let mut scan = r?;
-        let base = merged.tips.len();
-        for (i, mut tip) in scan.tips.drain(..).enumerate() {
-            if i == 0 && !pending_tnt.is_empty() {
-                // Stitch a TNT run cut at the segment seam.
-                let mut joined = std::mem::take(&mut pending_tnt);
-                joined.extend(tip.tnt_before);
-                tip.tnt_before = joined;
-            }
-            merged.tips.push(tip);
-        }
-        merged.boundaries.extend(scan.boundaries.into_iter().map(|(i, b)| (i + base, b)));
-        pending_tnt.extend(scan.trailing_tnt);
-        merged.bytes_scanned += scan.bytes_scanned;
-        if merged.sync_offset.is_none() {
-            merged.sync_offset = scan.sync_offset;
-        }
+    let mut parts = Vec::with_capacity(results.len());
+    for (off, r) in results {
+        parts.push((off, r?));
     }
-    merged.trailing_tnt = pending_tnt;
-    Ok(merged)
+    Ok(fast::merge_segments(parts))
 }
 
 #[cfg(test)]
@@ -99,10 +84,7 @@ mod tests {
         let bytes = multi_segment_trace();
         let serial = fast::scan(&bytes).unwrap();
         let parallel = scan_parallel(&bytes).unwrap();
-        assert_eq!(parallel.tips, serial.tips);
-        assert_eq!(parallel.trailing_tnt, serial.trailing_tnt);
-        assert_eq!(parallel.boundaries, serial.boundaries);
-        assert_eq!(parallel.bytes_scanned, serial.bytes_scanned);
+        assert_eq!(parallel, serial);
     }
 
     #[test]
@@ -112,6 +94,33 @@ mod tests {
         let bytes = enc.into_sink();
         let r = scan_parallel(&bytes).unwrap();
         assert_eq!(r.tip_count(), 1);
+    }
+
+    #[test]
+    fn sync_offset_rebased_to_buffer_coordinates() {
+        // Damage *inside* the second segment: the segment-relative sync
+        // offset must come back rebased by the segment's base offset.
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x40_0000);
+        let seg1 = enc.into_sink();
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x40_0008);
+        let mut seg2 = enc.into_sink();
+        seg2.extend_from_slice(&[0x47, 0x13]); // trailing damage
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0010), None);
+        enc.tip(0x40_0010);
+        let seg3 = enc.into_sink();
+
+        let mut bytes = seg1.clone();
+        bytes.extend_from_slice(&seg2);
+        bytes.extend_from_slice(&seg3);
+        let serial = fast::scan(&bytes).unwrap();
+        let parallel = scan_parallel(&bytes).unwrap();
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.sync_offset, Some(seg1.len() + seg2.len()));
     }
 
     #[test]
@@ -130,6 +139,6 @@ mod tests {
         let serial = fast::scan(&bytes).unwrap();
         let parallel = scan_parallel(&bytes).unwrap();
         assert!(serial.tip_count() > 20);
-        assert_eq!(parallel.tips, serial.tips);
+        assert_eq!(parallel, serial);
     }
 }

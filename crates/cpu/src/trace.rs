@@ -351,8 +351,8 @@ mod tests {
         let bytes = t.as_ipt().unwrap().trace_bytes();
         let scan = fast::scan(&bytes).unwrap();
         assert_eq!(scan.tip_count(), 1);
-        assert_eq!(scan.tips[0].ip, 0x50_0000);
-        assert_eq!(scan.tips[0].tnt_before, vec![true]);
+        assert_eq!(scan.tip_ips()[0], 0x50_0000);
+        assert_eq!(scan.tnt_vec(0), vec![true]);
     }
 
     #[test]

@@ -67,12 +67,13 @@ pub fn train(itc: &mut ItcCfg, image: &Image, corpus: &[Vec<u8>], cfg: TrainConf
         let bytes = ipt.trace_bytes();
         let Ok(scan) = fast::scan(&bytes) else { continue };
         let mut prev_edge: Option<fg_cfg::EdgeIdx> = None;
-        for w in scan.tips.windows(2) {
+        let tips = scan.tip_ips();
+        for i in 0..tips.len().saturating_sub(1) {
             stats.pairs += 1;
-            match itc.edge(w[0].ip, w[1].ip) {
+            match itc.edge(tips[i], tips[i + 1]) {
                 Some(e) => {
                     itc.set_high(e);
-                    itc.add_tnt(e, &w[1].tnt_before);
+                    itc.add_tnt(e, &scan.tnt_vec(i + 1));
                     if let Some(p) = prev_edge {
                         itc.add_path_gram(p, e);
                     }

@@ -97,6 +97,20 @@ impl<'a> PacketParser<'a> {
         PacketParser { buf, pos: offset, last_ip: 0 }
     }
 
+    /// Creates a parser resuming a previous parse: `last_ip` is the saved
+    /// last-IP decompression register. This is what lets an incremental
+    /// scanner continue over bytes appended after a checkpoint without
+    /// re-reading anything before it.
+    pub fn resume(buf: &'a [u8], offset: usize, last_ip: u64) -> PacketParser<'a> {
+        PacketParser { buf, pos: offset, last_ip }
+    }
+
+    /// The last-IP decompression register (checkpoint state for
+    /// [`PacketParser::resume`]).
+    pub fn last_ip(&self) -> u64 {
+        self.last_ip
+    }
+
     /// Current byte offset.
     pub fn position(&self) -> usize {
         self.pos

@@ -6,12 +6,91 @@
 //! of indirect-branch targets, each annotated with the conditional-branch
 //! outcomes (TNT bits) observed since the previous target — exactly the
 //! information FlowGuard matches against the credit-labeled ITC-CFG.
+//!
+//! The result is held in a structure-of-arrays layout: one flat array of
+//! target addresses and one shared packed bitvec of TNT outcomes, with each
+//! TIP owning an `(offset, len)` slice of the bitvec. The hot loop therefore
+//! performs no per-event heap allocation, and a TNT run is compared against
+//! trained signatures as a `(u64, u8)` word instead of a `Vec<bool>`.
 
 use crate::decode::{PacketError, PacketParser};
 use crate::packet::Packet;
 use serde::{Deserialize, Serialize};
 
-/// One indirect-branch target extracted from the trace.
+/// A packed bit vector backing the TNT runs of a [`FastScan`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An empty bit vector.
+    pub fn new() -> BitVec {
+        BitVec::default()
+    }
+
+    /// Number of bits held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bits are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, b: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if b {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// The `i`-th bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index out of range");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Materialises a bit range as booleans (oldest first).
+    pub fn range_vec(&self, start: usize, len: usize) -> Vec<bool> {
+        (start..start + len).map(|i| self.get(i)).collect()
+    }
+
+    /// Packs a bit range into the `(bits, len)` word encoding used by TNT
+    /// signatures (oldest bit in the highest populated position). Returns
+    /// `None` when the run is too long to pack into one word.
+    pub fn range_raw(&self, start: usize, len: usize) -> Option<(u64, u8)> {
+        if len > 64 {
+            return None;
+        }
+        let mut bits = 0u64;
+        for i in start..start + len {
+            bits = (bits << 1) | self.get(i) as u64;
+        }
+        Some((bits, len as u8))
+    }
+
+    /// Appends a range of bits copied from `other`.
+    pub fn extend_from_range(&mut self, other: &BitVec, start: usize, len: usize) {
+        for i in start..start + len {
+            self.push(other.get(i));
+        }
+    }
+}
+
+/// One indirect-branch target extracted from the trace, materialised from
+/// the packed representation (a view, not the storage format).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TipEvent {
     /// The target address from the TIP packet.
@@ -37,32 +116,297 @@ pub enum Boundary {
     Resync,
 }
 
-/// Result of a packet-level scan.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// Result of a packet-level scan, in structure-of-arrays layout.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FastScan {
-    /// Extracted indirect-branch targets in execution order.
-    pub tips: Vec<TipEvent>,
-    /// Trace boundaries, each tagged with the index into `tips` at which it
-    /// occurred.
+    /// Extracted indirect-branch target addresses in execution order.
+    tip_ips: Vec<u64>,
+    /// Per TIP: `(offset, len)` slice of `bits` holding the TNT run
+    /// observed since the previous TIP.
+    tnt_ranges: Vec<(u32, u32)>,
+    /// Shared packed TNT outcome bits.
+    bits: BitVec,
+    /// `(offset, len)` slice of `bits` trailing after the last TIP.
+    trailing: (u32, u32),
+    /// Trace boundaries, each tagged with the index into the TIP stream at
+    /// which it occurred.
     pub boundaries: Vec<(usize, Boundary)>,
-    /// TNT bits trailing after the last TIP.
-    pub trailing_tnt: Vec<bool>,
     /// Number of bytes scanned (the fast-decode cost driver).
     pub bytes_scanned: u64,
     /// Offset of the PSB the scan synchronised on, if resync was needed.
     pub sync_offset: Option<usize>,
+    /// The scan ended inside damaged bytes with no further sync point: a
+    /// continuation (next parallel segment, next incremental append) must
+    /// re-synchronise and record a [`Boundary::Resync`].
+    #[serde(default)]
+    pub(crate) truncated: bool,
+    /// The damage was at the very head of the buffer, before any packet
+    /// parsed (a wrapped ToPA seam): a continuation synchronises *silently*,
+    /// exactly like the cold scanner's head probe — no [`Boundary::Resync`].
+    #[serde(default)]
+    pub(crate) damage_at_head: bool,
 }
 
-impl FastScan {
-    /// The last `n` TIP events (or all of them if fewer).
-    pub fn last_tips(&self, n: usize) -> &[TipEvent] {
-        let start = self.tips.len().saturating_sub(n);
-        &self.tips[start..]
+/// Two scans are equal when they describe the same TIP/TNT/boundary stream;
+/// the physical packing of the shared bitvec (orphaned runs cleared by OVF,
+/// ranges re-pointed by mutation helpers) is not observable.
+impl PartialEq for FastScan {
+    fn eq(&self, other: &FastScan) -> bool {
+        self.tip_ips == other.tip_ips
+            && self.boundaries == other.boundaries
+            && self.bytes_scanned == other.bytes_scanned
+            && self.sync_offset == other.sync_offset
+            && self.truncated == other.truncated
+            && self.damage_at_head == other.damage_at_head
+            && self.trailing_tnt() == other.trailing_tnt()
+            && (0..self.tip_count()).all(|i| {
+                self.tnt_ranges[i].1 == other.tnt_ranges[i].1
+                    && self.tnt_raw(i) == other.tnt_raw(i)
+                    && (self.tnt_ranges[i].1 as usize <= 64 || self.tnt_vec(i) == other.tnt_vec(i))
+            })
     }
+}
 
+impl Eq for FastScan {}
+
+impl FastScan {
     /// Total TIP count.
     pub fn tip_count(&self) -> usize {
-        self.tips.len()
+        self.tip_ips.len()
+    }
+
+    /// The extracted TIP target addresses, in execution order.
+    pub fn tip_ips(&self) -> &[u64] {
+        &self.tip_ips
+    }
+
+    /// The `i`-th TIP target address.
+    pub fn tip_ip(&self, i: usize) -> u64 {
+        self.tip_ips[i]
+    }
+
+    /// The last `n` TIP target addresses (or all of them if fewer).
+    pub fn last_tips(&self, n: usize) -> &[u64] {
+        let start = self.tip_ips.len().saturating_sub(n);
+        &self.tip_ips[start..]
+    }
+
+    /// Length of the TNT run preceding the `i`-th TIP.
+    pub fn tnt_len(&self, i: usize) -> usize {
+        self.tnt_ranges[i].1 as usize
+    }
+
+    /// The TNT run preceding the `i`-th TIP, packed as `(bits, len)` in the
+    /// signature word encoding; `None` when the run exceeds 64 bits.
+    pub fn tnt_raw(&self, i: usize) -> Option<(u64, u8)> {
+        let (start, len) = self.tnt_ranges[i];
+        self.bits.range_raw(start as usize, len as usize)
+    }
+
+    /// The TNT run preceding the `i`-th TIP, materialised (oldest first).
+    pub fn tnt_vec(&self, i: usize) -> Vec<bool> {
+        let (start, len) = self.tnt_ranges[i];
+        self.bits.range_vec(start as usize, len as usize)
+    }
+
+    /// TNT bits trailing after the last TIP, materialised.
+    pub fn trailing_tnt(&self) -> Vec<bool> {
+        self.bits.range_vec(self.trailing.0 as usize, self.trailing.1 as usize)
+    }
+
+    /// Materialises the `i`-th TIP as a [`TipEvent`] view.
+    pub fn tip_event(&self, i: usize) -> TipEvent {
+        TipEvent { ip: self.tip_ip(i), tnt_before: self.tnt_vec(i) }
+    }
+
+    /// Materialises every TIP as a [`TipEvent`] (test/training convenience).
+    pub fn tip_events(&self) -> Vec<TipEvent> {
+        (0..self.tip_count()).map(|i| self.tip_event(i)).collect()
+    }
+
+    /// Appends a TIP whose TNT run is the bits pushed since the current
+    /// pending-run start.
+    fn push_tip_with_run(&mut self, ip: u64, run_start: usize) {
+        self.tip_ips.push(ip);
+        self.tnt_ranges.push((run_start as u32, (self.bits.len() - run_start) as u32));
+    }
+
+    /// Appends a synthetic TIP with an explicit TNT run (test construction).
+    pub fn push_tip(&mut self, ip: u64, tnt_before: &[bool]) {
+        let start = self.bits.len();
+        for &b in tnt_before {
+            self.bits.push(b);
+        }
+        self.tip_ips.push(ip);
+        self.tnt_ranges.push((start as u32, tnt_before.len() as u32));
+        self.trailing = (self.bits.len() as u32, 0);
+    }
+
+    /// Rewrites the `i`-th TIP's target address (tamper-style tests).
+    pub fn set_tip_ip(&mut self, i: usize, ip: u64) {
+        self.tip_ips[i] = ip;
+    }
+
+    /// Swaps two TIP events (address and TNT run together).
+    pub fn swap_tips(&mut self, i: usize, j: usize) {
+        self.tip_ips.swap(i, j);
+        self.tnt_ranges.swap(i, j);
+    }
+
+    /// Replaces the `i`-th TIP's TNT run (tamper-style tests). The old bits
+    /// are orphaned in the shared bitvec, which equality ignores.
+    pub fn set_tip_tnt(&mut self, i: usize, tnt_before: &[bool]) {
+        let start = self.bits.len();
+        for &b in tnt_before {
+            self.bits.push(b);
+        }
+        self.tnt_ranges[i] = (start as u32, tnt_before.len() as u32);
+    }
+
+    /// Replaces the trailing TNT run (test construction).
+    pub fn set_trailing_tnt(&mut self, tnt: &[bool]) {
+        let start = self.bits.len();
+        for &b in tnt {
+            self.bits.push(b);
+        }
+        self.trailing = (start as u32, tnt.len() as u32);
+    }
+
+    /// Appends a continuation scan (a later PSB segment or an incremental
+    /// delta) onto `self`, stitching a TNT run cut at the seam: the pending
+    /// trailing run of `self` joins the first TIP's run of `seg`.
+    ///
+    /// Boundaries are rebased onto `self`'s TIP indices. `bytes_scanned`,
+    /// `sync_offset` and `truncated` are the *caller's* concern (segment
+    /// offsets are only known to it).
+    pub fn append_segment(&mut self, seg: &FastScan) {
+        let base = self.tip_count();
+        let pending_start = self.trailing.0 as usize;
+        debug_assert_eq!(
+            pending_start + self.trailing.1 as usize,
+            self.bits.len(),
+            "pending run must sit at the end of the bitvec"
+        );
+        // An OVF/Resync in `seg` before its first TIP discards the pending
+        // run `self` carried, exactly as a cold scan of the concatenation
+        // would have cleared it.
+        let clears_at_0 = seg
+            .boundaries
+            .iter()
+            .take_while(|&&(i, _)| i == 0)
+            .any(|(_, b)| matches!(b, Boundary::Overflow | Boundary::Resync));
+        for i in 0..seg.tip_count() {
+            let (s, l) = seg.tnt_ranges[i];
+            let run_start = if i == 0 && !clears_at_0 { pending_start } else { self.bits.len() };
+            self.bits.extend_from_range(&seg.bits, s as usize, l as usize);
+            self.push_tip_with_run(seg.tip_ip(i), run_start);
+        }
+        self.boundaries.extend(seg.boundaries.iter().map(|&(i, b)| (i + base, b)));
+        // New pending run: what trailed `seg` — prefixed by the old pending
+        // bits only when `seg` held no TIP and nothing cleared the run.
+        let new_pending_start =
+            if seg.tip_count() == 0 && !clears_at_0 { pending_start } else { self.bits.len() };
+        self.bits.extend_from_range(&seg.bits, seg.trailing.0 as usize, seg.trailing.1 as usize);
+        self.trailing = (new_pending_start as u32, (self.bits.len() - new_pending_start) as u32);
+    }
+
+    /// Discards the pending trailing run (OVF/resync at a seam).
+    pub fn clear_pending(&mut self) {
+        self.trailing = (self.bits.len() as u32, 0);
+    }
+
+    /// Bit offset where the pending trailing run starts (parser-resume
+    /// state for the incremental scanner).
+    pub(crate) fn trailing_start(&self) -> usize {
+        self.trailing.0 as usize
+    }
+
+    /// Total bits held in the shared bitvec.
+    pub(crate) fn bits_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Drops the oldest `drop_tips` TIP events, rebasing boundaries and
+    /// repacking the shared bitvec — the compaction step bounding the
+    /// memory of a long-lived incremental scan.
+    pub fn truncate_front(&mut self, drop_tips: usize) {
+        let drop_tips = drop_tips.min(self.tip_count());
+        if drop_tips == 0 {
+            return;
+        }
+        let mut bits = BitVec::new();
+        let mut ranges = Vec::with_capacity(self.tip_count() - drop_tips);
+        for i in drop_tips..self.tip_count() {
+            let (s, l) = self.tnt_ranges[i];
+            let start = bits.len();
+            bits.extend_from_range(&self.bits, s as usize, l as usize);
+            ranges.push((start as u32, l));
+        }
+        let t_start = bits.len();
+        bits.extend_from_range(&self.bits, self.trailing.0 as usize, self.trailing.1 as usize);
+        self.trailing = (t_start as u32, (bits.len() - t_start) as u32);
+        self.bits = bits;
+        self.tnt_ranges = ranges;
+        self.tip_ips.drain(..drop_tips);
+        self.boundaries.retain_mut(|(i, _)| {
+            if *i < drop_tips {
+                false
+            } else {
+                *i -= drop_tips;
+                true
+            }
+        });
+    }
+}
+
+/// The per-packet dispatch shared by the cold scanner and the incremental
+/// scanner: everything except error recovery, which differs between the two.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct ScanCore {
+    /// Bit offset where the pending TNT run starts.
+    pub run_start: usize,
+    /// Inside a PSB+ bundle (its FUP is sync info, not a flow event).
+    pub in_psb_plus: bool,
+}
+
+impl ScanCore {
+    pub fn feed(&mut self, out: &mut FastScan, packet: &Packet) {
+        match packet {
+            Packet::Tnt(seq) => {
+                for b in seq.iter() {
+                    out.bits.push(b);
+                }
+            }
+            Packet::Tip { ip } => {
+                out.push_tip_with_run(*ip, self.run_start);
+                self.run_start = out.bits.len();
+            }
+            Packet::Fup { ip } => {
+                if !self.in_psb_plus {
+                    out.boundaries.push((out.tip_count(), Boundary::Fup { ip: *ip }));
+                }
+            }
+            Packet::TipPgd { ip } => {
+                out.boundaries.push((out.tip_count(), Boundary::PauseBegin { ip: *ip }));
+            }
+            Packet::TipPge { ip } => {
+                out.boundaries.push((out.tip_count(), Boundary::PauseEnd { ip: *ip }));
+            }
+            Packet::Ovf => {
+                // Everything before an overflow is untrustworthy for
+                // history-based checking.
+                out.boundaries.push((out.tip_count(), Boundary::Overflow));
+                self.run_start = out.bits.len();
+            }
+            Packet::Psb => self.in_psb_plus = true,
+            Packet::Psbend => self.in_psb_plus = false,
+            Packet::Pad | Packet::Cbr { .. } | Packet::ModeExec | Packet::Pip { .. } => {}
+        }
+    }
+
+    /// Finalises the pending run into the scan's trailing range.
+    pub fn finish(&self, out: &mut FastScan) {
+        out.trailing = (self.run_start as u32, (out.bits.len() - self.run_start) as u32);
     }
 }
 
@@ -89,63 +433,43 @@ pub fn scan(buf: &[u8]) -> Result<FastScan, PacketError> {
                 parser = p;
             }
             None => {
-                // No sync point: nothing reliable to extract.
+                // No sync point: nothing reliable to extract. The whole
+                // buffer is head damage — a later continuation syncs
+                // silently, as this probe would have.
+                out.truncated = true;
+                out.damage_at_head = true;
                 out.bytes_scanned = buf.len() as u64;
                 return Ok(out);
             }
         }
     }
 
-    let mut pending_tnt: Vec<bool> = Vec::new();
-    let mut in_psb_plus = false;
-
+    let mut core = ScanCore::default();
     while let Some(item) = parser.next_packet() {
         let item = match item {
             Ok(p) => p,
-            Err(_) if !in_psb_plus => {
+            Err(_) if !core.in_psb_plus => {
                 // Seam damage mid-buffer: re-sync on the next PSB, dropping
                 // the damaged span, exactly like a real PT decoder. TIPs on
                 // either side of the seam are not consecutive.
                 match parser.sync_forward() {
                     Some(off) => {
                         out.sync_offset.get_or_insert(off);
-                        out.boundaries.push((out.tips.len(), Boundary::Resync));
-                        pending_tnt.clear();
+                        out.boundaries.push((out.tip_count(), Boundary::Resync));
+                        core.run_start = out.bits.len();
                         continue;
                     }
-                    None => break,
+                    None => {
+                        out.truncated = true;
+                        break;
+                    }
                 }
             }
             Err(e) => return Err(e),
         };
-        match item.packet {
-            Packet::Tnt(seq) => pending_tnt.extend(seq.iter()),
-            Packet::Tip { ip } => {
-                out.tips.push(TipEvent { ip, tnt_before: std::mem::take(&mut pending_tnt) });
-            }
-            Packet::Fup { ip } => {
-                if !in_psb_plus {
-                    out.boundaries.push((out.tips.len(), Boundary::Fup { ip }));
-                }
-            }
-            Packet::TipPgd { ip } => {
-                out.boundaries.push((out.tips.len(), Boundary::PauseBegin { ip }));
-            }
-            Packet::TipPge { ip } => {
-                out.boundaries.push((out.tips.len(), Boundary::PauseEnd { ip }));
-            }
-            Packet::Ovf => {
-                // Everything before an overflow is untrustworthy for
-                // history-based checking.
-                out.boundaries.push((out.tips.len(), Boundary::Overflow));
-                pending_tnt.clear();
-            }
-            Packet::Psb => in_psb_plus = true,
-            Packet::Psbend => in_psb_plus = false,
-            Packet::Pad | Packet::Cbr { .. } | Packet::ModeExec | Packet::Pip { .. } => {}
-        }
+        core.feed(&mut out, &item.packet);
     }
-    out.trailing_tnt = pending_tnt;
+    core.finish(&mut out);
     out.bytes_scanned = buf.len() as u64;
     Ok(out)
 }
@@ -169,6 +493,43 @@ pub fn segments(buf: &[u8]) -> Vec<(usize, usize)> {
         .collect()
 }
 
+/// Merges per-segment scans — `(absolute offset, scan)` in stream order —
+/// into one scan equal to a cold [`scan`] of the concatenated buffer.
+///
+/// This is the reduce step of parallel decoding: TNT runs cut at segment
+/// seams are stitched, per-segment `sync_offset`s are rebased to buffer
+/// coordinates, and a segment that ended inside damaged bytes is resolved
+/// against the next segment's PSB (with a [`Boundary::Resync`] for
+/// mid-stream damage, silently for head damage — matching what the serial
+/// scanner's own recovery would have produced).
+pub fn merge_segments(parts: impl IntoIterator<Item = (usize, FastScan)>) -> FastScan {
+    let mut merged = FastScan::default();
+    let mut first = true;
+    for (off, seg) in parts {
+        if merged.truncated {
+            // The previous segment ended in damage; this segment starts at
+            // the PSB the serial scanner would have recovered on.
+            merged.clear_pending();
+            if !merged.damage_at_head {
+                merged.boundaries.push((merged.tip_count(), Boundary::Resync));
+            }
+            merged.sync_offset.get_or_insert(off);
+            merged.damage_at_head = false;
+        }
+        if merged.sync_offset.is_none() {
+            merged.sync_offset = seg.sync_offset.map(|s| s + off);
+        }
+        if first {
+            merged.damage_at_head = seg.damage_at_head;
+            first = false;
+        }
+        merged.bytes_scanned += seg.bytes_scanned;
+        merged.append_segment(&seg);
+        merged.truncated = seg.truncated;
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,10 +548,26 @@ mod tests {
         let bytes = enc.into_sink();
         let scan = scan(&bytes).unwrap();
         assert_eq!(scan.tip_count(), 2);
-        assert_eq!(scan.tips[0], TipEvent { ip: 0x50_0000, tnt_before: vec![true, false] });
-        assert_eq!(scan.tips[1], TipEvent { ip: 0x50_0100, tnt_before: vec![true] });
-        assert_eq!(scan.trailing_tnt, vec![false]);
+        assert_eq!(scan.tip_event(0), TipEvent { ip: 0x50_0000, tnt_before: vec![true, false] });
+        assert_eq!(scan.tip_event(1), TipEvent { ip: 0x50_0100, tnt_before: vec![true] });
+        assert_eq!(scan.trailing_tnt(), vec![false]);
         assert_eq!(scan.bytes_scanned, bytes.len() as u64);
+    }
+
+    #[test]
+    fn packed_tnt_matches_signature_encoding() {
+        let mut scan = FastScan::default();
+        scan.push_tip(0x50_0000, &[true, false, true]);
+        // Oldest-first shift-left packing: 0b101.
+        assert_eq!(scan.tnt_raw(0), Some((0b101, 3)));
+        assert_eq!(scan.tnt_len(0), 3);
+        scan.push_tip(0x50_0008, &[]);
+        assert_eq!(scan.tnt_raw(1), Some((0, 0)));
+        // Over-long runs don't pack.
+        let long = vec![true; 65];
+        scan.push_tip(0x50_0010, &long);
+        assert_eq!(scan.tnt_raw(2), None);
+        assert_eq!(scan.tnt_vec(2), long);
     }
 
     #[test]
@@ -234,7 +611,7 @@ mod tests {
         let scan = scan(&bytes).unwrap();
         let last3 = scan.last_tips(3);
         assert_eq!(last3.len(), 3);
-        assert_eq!(last3[0].ip, 0x50_0038);
+        assert_eq!(last3[0], 0x50_0038);
         assert_eq!(scan.last_tips(99).len(), 10);
     }
 
@@ -268,7 +645,7 @@ mod tests {
         let bytes = enc.into_sink();
         let scan = scan(&bytes).unwrap();
         assert_eq!(scan.boundaries, vec![(0, Boundary::Overflow)]);
-        assert!(scan.tips[0].tnt_before.is_empty(), "pre-OVF TNT dropped");
+        assert!(scan.tnt_vec(0).is_empty(), "pre-OVF TNT dropped");
     }
 
     #[test]
@@ -288,5 +665,129 @@ mod tests {
         // Scanning segments individually finds the same number of TIPs.
         let n: usize = segs.iter().map(|&(o, l)| scan(&bytes[o..o + l]).unwrap().tip_count()).sum();
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn append_segment_stitches_cut_run() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tip(0x40_0000);
+        enc.tnt_bit(true);
+        let head = enc.into_sink();
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tnt_bit(false);
+        enc.tip(0x40_0008);
+        enc.tnt_bit(true);
+        let tail = enc.into_sink();
+
+        let mut merged = scan(&head).unwrap();
+        merged.append_segment(&scan(&tail).unwrap());
+        assert_eq!(merged.tip_count(), 2);
+        assert_eq!(merged.tnt_vec(1), vec![true, false], "seam-cut run stitched");
+        assert_eq!(merged.trailing_tnt(), vec![true]);
+
+        // Equal to a cold scan of the concatenation.
+        let mut whole = head.clone();
+        whole.extend_from_slice(&tail);
+        let cold = scan(&whole).unwrap();
+        assert_eq!(cold.tip_events(), merged.tip_events());
+        assert_eq!(cold.trailing_tnt(), merged.trailing_tnt());
+    }
+
+    #[test]
+    fn merge_segments_equals_cold_scan() {
+        // Three PSB segments, TNT runs cut across both seams.
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tip(0x40_0000);
+        enc.tnt_bit(true);
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tnt_bit(false);
+        enc.tip(0x40_0008);
+        enc.psb_plus(Some(0x40_0010), None);
+        enc.tnt_bit(true);
+        enc.tip(0x40_0010);
+        enc.tnt_bit(false);
+        let bytes = enc.into_sink();
+        let parts: Vec<(usize, FastScan)> = segments(&bytes)
+            .into_iter()
+            .map(|(off, len)| (off, scan(&bytes[off..off + len]).unwrap()))
+            .collect();
+        assert!(parts.len() > 1);
+        let merged = merge_segments(parts);
+        let cold = scan(&bytes).unwrap();
+        assert_eq!(merged, cold);
+    }
+
+    #[test]
+    fn merge_segments_resolves_mid_damage_at_next_psb() {
+        // Segment 1 ends in garbage (mid damage); segment 2 starts at a PSB.
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tip(0x40_0000);
+        enc.tnt_bit(true);
+        let mut seg1 = enc.into_sink();
+        seg1.extend_from_slice(&[0x47, 0x13]); // damage, no PSB after
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x40_0008);
+        let seg2 = enc.into_sink();
+
+        let s1 = scan(&seg1).unwrap();
+        let s2 = scan(&seg2).unwrap();
+        let merged = merge_segments([(0, s1), (seg1.len(), s2)]);
+
+        let mut whole = seg1.clone();
+        whole.extend_from_slice(&seg2);
+        let cold = scan(&whole).unwrap();
+        assert_eq!(merged, cold);
+        assert_eq!(merged.boundaries, vec![(1, Boundary::Resync)]);
+        assert_eq!(merged.sync_offset, Some(seg1.len()));
+    }
+
+    #[test]
+    fn merge_segments_head_damage_syncs_silently() {
+        let garbage = vec![0x47u8, 0x13];
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x40_0008);
+        let seg2 = enc.into_sink();
+
+        let s1 = scan(&garbage).unwrap();
+        assert!(s1.truncated && s1.damage_at_head);
+        let s2 = scan(&seg2).unwrap();
+        let merged = merge_segments([(0, s1), (garbage.len(), s2)]);
+
+        let mut whole = garbage.clone();
+        whole.extend_from_slice(&seg2);
+        let cold = scan(&whole).unwrap();
+        assert_eq!(merged, cold);
+        assert!(merged.boundaries.is_empty(), "head damage is not a resync");
+        assert_eq!(merged.sync_offset, Some(garbage.len()));
+    }
+
+    #[test]
+    fn truncate_front_rebases() {
+        let mut s = FastScan::default();
+        s.push_tip(0x10, &[true]);
+        s.push_tip(0x20, &[false, true]);
+        s.push_tip(0x30, &[true, true]);
+        s.boundaries.push((1, Boundary::Overflow));
+        s.boundaries.push((2, Boundary::Resync));
+        s.set_trailing_tnt(&[false]);
+        s.truncate_front(1);
+        assert_eq!(s.tip_count(), 2);
+        assert_eq!(s.tip_ip(0), 0x20);
+        assert_eq!(s.tnt_vec(0), vec![false, true]);
+        assert_eq!(s.boundaries, vec![(0, Boundary::Overflow), (1, Boundary::Resync)]);
+        assert_eq!(s.trailing_tnt(), vec![false]);
+    }
+
+    #[test]
+    fn semantic_equality_ignores_orphaned_bits() {
+        let mut a = FastScan::default();
+        a.push_tip(0x10, &[true, false]);
+        let mut b = FastScan::default();
+        b.push_tip(0x10, &[false, false]);
+        b.set_tip_tnt(0, &[true, false]); // orphans the old run
+        assert_eq!(a, b);
     }
 }

@@ -16,6 +16,8 @@
 //! * [`msr`] — the `IA32_RTIT_*` MSR model with CPL and CR3 filtering;
 //! * [`fast`] — packet-level TIP/TNT extraction (FlowGuard's fast-path
 //!   primitive, no binary needed);
+//! * [`incremental`] — the checkpointed [`incremental::IncrementalScanner`]
+//!   that scans only bytes appended since the previous endpoint check;
 //! * [`flow`] — the instruction-flow layer ([`flow::FlowDecoder`]): the full,
 //!   slow decoder that walks the binary to reconstruct complete flow.
 //!
@@ -28,14 +30,16 @@ pub mod decode;
 pub mod encode;
 pub mod fast;
 pub mod flow;
+pub mod incremental;
 pub mod msr;
 pub mod packet;
 pub mod topa;
 
 pub use decode::{PacketAt, PacketError, PacketParser};
 pub use encode::{PacketEncoder, TraceSink};
-pub use fast::{FastScan, TipEvent};
+pub use fast::{Boundary, FastScan, TipEvent};
 pub use flow::{BranchEvent, FlowDecoder, FlowError, FlowTrace};
+pub use incremental::{AppendInfo, IncrementalScanner};
 pub use msr::{IptMsrs, RtitCtl};
 pub use packet::{Packet, TntSeq};
 pub use topa::{Topa, TopaFlags, TopaRegion};

@@ -49,13 +49,13 @@ fn itc_soundness_on_real_workloads() {
         m.trace.as_ipt_mut().expect("ipt").flush();
         let bytes = m.trace.as_ipt().expect("ipt").trace_bytes();
         let scan = fg_ipt::fast::scan(&bytes).expect("scan");
-        for pair in scan.tips.windows(2) {
+        for pair in scan.tip_ips().windows(2) {
             assert!(
-                itc.edge(pair[0].ip, pair[1].ip).is_some(),
+                itc.edge(pair[0], pair[1]).is_some(),
                 "{}: TIP pair {:#x} → {:#x} must be an ITC edge",
                 w.name,
-                pair[0].ip,
-                pair[1].ip
+                pair[0],
+                pair[1]
             );
         }
     }

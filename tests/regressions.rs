@@ -84,7 +84,7 @@ fn vdso_calls_appear_in_trace() {
     let bytes = m.trace.as_ipt().expect("ipt").trace_bytes();
     let scan = fg_ipt::fast::scan(&bytes).expect("scan");
     assert!(
-        scan.tips.iter().any(|t| vdso.contains_code(t.ip)),
+        scan.tip_ips().iter().any(|&ip| vdso.contains_code(ip)),
         "the PLT jump for gettimeofday must land in the VDSO"
     );
 }

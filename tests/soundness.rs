@@ -139,12 +139,12 @@ proptest! {
         let itc = fg_cfg::ItcCfg::build(&ocfg);
         let (_, bytes) = traced_run(&image, &input);
         let scan = fg_ipt::fast::scan(&bytes).expect("scan");
-        for pair in scan.tips.windows(2) {
+        for pair in scan.tip_ips().windows(2) {
             prop_assert!(
-                itc.edge(pair[0].ip, pair[1].ip).is_some(),
+                itc.edge(pair[0], pair[1]).is_some(),
                 "TIP pair {:#x} → {:#x} off the ITC-CFG",
-                pair[0].ip,
-                pair[1].ip
+                pair[0],
+                pair[1]
             );
         }
     }
