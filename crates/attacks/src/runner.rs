@@ -51,7 +51,7 @@ pub fn run_protected(deployment: &Deployment, input: &[u8], cfg: FlowGuardConfig
     let mut p = deployment.launch(input, cfg);
     let stop = p.run(50_000_000);
     let endpoints: Vec<&'static str> =
-        p.stats.lock().violations.iter().map(|v| v.endpoint).collect();
+        p.stats.snapshot().violations.iter().map(|v| v.endpoint).collect();
     AttackResult {
         stop,
         detected: p.kernel.violated(),
@@ -278,6 +278,35 @@ mod tests {
         let cm = run_cfimon(&w.image, &w.default_input);
         assert!(!cm.detected, "CFIMon: no false positives: {:?}", cm.endpoints);
         assert_eq!(cm.stop, StopReason::Exited(0));
+    }
+
+    #[test]
+    fn flight_recorder_snapshots_the_rop_detection() {
+        // The forensic contract behind §7.1.2's attack reporting: a caught
+        // hijack leaves a serialisable record of the failing edge, the raw
+        // ToPA bytes around it, and the decoded packet run.
+        let (w, d) = trained_vulnerable_nginx();
+        let g = gadgets::find(&w.image);
+        let attack = payloads::rop_write(&w.image, &g);
+        let mut p = d.launch(&attack, FlowGuardConfig::default());
+        let stop = p.run(50_000_000);
+        assert_eq!(stop, StopReason::Killed(SIGKILL));
+        let records = p.stats.flight_records();
+        assert!(!records.is_empty(), "a detection must capture a flight record");
+        let r = &records[0];
+        assert!(r.edge.is_some(), "the violating edge is recorded: {}", r.detail);
+        assert!(!r.topa_window.is_empty(), "ToPA window bytes are captured");
+        assert!(!r.packets.is_empty(), "the decoded packet run is captured");
+        assert!(
+            r.packets.iter().any(|pkt| pkt.starts_with("TIP")),
+            "the window decodes to real TIP packets: {:?}",
+            &r.packets[..r.packets.len().min(4)]
+        );
+
+        // The record survives a JSON round-trip byte-for-byte.
+        let json = serde_json::to_string(r).expect("serialise");
+        let back: fg_trace::FlightRecord = serde_json::from_str(&json).expect("parse");
+        assert_eq!(&back, r);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! flowguard_cli verify   <artifact.json>                   # static artifact checks
 //! flowguard_cli info     <artifact.json>                   # inspect an artifact
 //! flowguard_cli run      <artifact.json> [--input FILE]    # ③–⑤ protected run
+//! flowguard_cli stats    <artifact.json> [--input FILE] [--prom]
+//! flowguard_cli events   <artifact.json> [--input FILE] [--last N]
 //! flowguard_cli attack   <artifact.json> <rop|srop|ret2lib|flush|kbouncer>
 //! flowguard_cli workloads                                  # list bundled targets
 //! ```
@@ -14,6 +16,11 @@
 //! `vsftpd`, `openssh`, `exim`, `tar`, `dd`, `make`, `scp`, or any SPEC
 //! profile name). Artifacts are the JSON files produced by
 //! [`flowguard::Deployment::save`].
+//!
+//! Machine-readable output (the `stats` JSON / Prometheus dump, the `events`
+//! listing, tables) goes to stdout; progress and error diagnostics go to
+//! stderr. Every failure path exits nonzero (2 for usage errors, 1 for
+//! everything else, including an undetected `attack`).
 
 use flowguard::{Deployment, FlowGuardConfig};
 use std::process::ExitCode;
@@ -46,9 +53,60 @@ fn usage() -> ExitCode {
          flowguard_cli train <artifact.json> [--fuzz N]\n  \
          flowguard_cli verify <artifact.json>\n  flowguard_cli info <artifact.json>\n  \
          flowguard_cli run <artifact.json> [--input FILE]\n  \
+         flowguard_cli stats <artifact.json> [--input FILE] [--prom]\n  \
+         flowguard_cli events <artifact.json> [--input FILE] [--last N]\n  \
          flowguard_cli attack <artifact.json> <rop|srop|ret2lib|flush|kbouncer>"
     );
     ExitCode::from(2)
+}
+
+fn load_artifact(path: &str) -> Result<Deployment, ExitCode> {
+    Deployment::load(path).map_err(|e| {
+        eprintln!("cannot load artifact: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// Runs the protected workload behind `stats` / `events` and returns the
+/// engine telemetry handle.
+fn protected_run(
+    d: &Deployment,
+    input: &[u8],
+) -> (fg_cpu::StopReason, std::sync::Arc<flowguard::EngineTelemetry>) {
+    let mut p = d.launch(input, FlowGuardConfig::default());
+    let stop = p.run(2_000_000_000);
+    (stop, p.stats)
+}
+
+/// Parses `[--input FILE]` returning the workload input, or an exit code on
+/// a bad flag / unreadable file.
+fn parse_input_flag<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<(Vec<u8>, Option<&'a str>), ExitCode> {
+    match it.next() {
+        Some("--input") => {
+            let Some(f) = it.next() else { return Err(usage()) };
+            match std::fs::read(f) {
+                Ok(b) => Ok((b, it.next())),
+                Err(e) => {
+                    eprintln!("cannot read input: {e}");
+                    Err(ExitCode::FAILURE)
+                }
+            }
+        }
+        other => Ok((Vec::new(), other)),
+    }
+}
+
+fn sysno_label(nr: u64) -> String {
+    if nr == flowguard::telemetry::PMI_SYSNO {
+        "pmi".to_string()
+    } else {
+        match fg_kernel::Sysno::from_u64(nr) {
+            Some(s) => s.name().to_string(),
+            None => format!("sys#{nr}"),
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -73,7 +131,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             let d = Deployment::analyze(&w.image);
-            println!(
+            eprintln!(
                 "analyzed {wname}: {} modules, {} instructions, ITC |V|={} |E|={}",
                 w.image.modules().len(),
                 w.image.total_insns(),
@@ -84,7 +142,7 @@ fn main() -> ExitCode {
                 eprintln!("cannot write artifact: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("artifact written to {out}");
+            eprintln!("artifact written to {out}");
             ExitCode::SUCCESS
         }
         Some("train") => {
@@ -94,19 +152,16 @@ fn main() -> ExitCode {
                 (None, _) => None,
                 _ => return usage(),
             };
-            let mut d = match Deployment::load(path) {
+            let mut d = match load_artifact(path) {
                 Ok(d) => d,
-                Err(e) => {
-                    eprintln!("cannot load artifact: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(code) => return code,
             };
             let stats = if let Some(execs) = fuzz_execs {
                 let seeds =
                     vec![fg_workloads::request(0, b"seed"), fg_workloads::request(1, b"s2")];
                 let (stats, history) = d.fuzz_train(seeds, execs, fg_fuzz::FuzzConfig::default());
                 if let Some(last) = history.last() {
-                    println!(
+                    eprintln!(
                         "fuzzer: {} execs, {} paths, {} crashes",
                         last.execs, last.paths, last.crashes
                     );
@@ -115,7 +170,7 @@ fn main() -> ExitCode {
             } else {
                 d.train(&[default_input_for(&d)])
             };
-            println!(
+            eprintln!(
                 "trained: {} inputs, {} TIP pairs, {} edges high-credit, cred fraction {:.1}%",
                 stats.inputs,
                 stats.pairs,
@@ -160,7 +215,7 @@ fn main() -> ExitCode {
         }
         Some("info") => {
             let Some(path) = it.next() else { return usage() };
-            match Deployment::load(path) {
+            match load_artifact(path) {
                 Ok(d) => {
                     println!("modules:       {}", d.image.modules().len());
                     for m in d.image.modules() {
@@ -176,36 +231,26 @@ fn main() -> ExitCode {
                     }
                     ExitCode::SUCCESS
                 }
-                Err(e) => {
-                    eprintln!("cannot load artifact: {e}");
-                    ExitCode::FAILURE
-                }
+                Err(code) => code,
             }
         }
         Some("run") => {
             let Some(path) = it.next() else { return usage() };
-            let input = match (it.next(), it.next()) {
-                (Some("--input"), Some(f)) => match std::fs::read(f) {
-                    Ok(b) => b,
-                    Err(e) => {
-                        eprintln!("cannot read input: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                },
-                (None, _) => Vec::new(),
-                _ => return usage(),
+            let (input, trailing) = match parse_input_flag(&mut it) {
+                Ok(v) => v,
+                Err(code) => return code,
             };
-            let d = match Deployment::load(path) {
+            if trailing.is_some() {
+                return usage();
+            }
+            let d = match load_artifact(path) {
                 Ok(d) => d,
-                Err(e) => {
-                    eprintln!("cannot load artifact: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(code) => return code,
             };
             let input = if input.is_empty() { default_input_for(&d) } else { input };
             let mut p = d.launch(&input, FlowGuardConfig::default());
             let stop = p.run(2_000_000_000);
-            let s = p.stats.lock();
+            let s = p.stats.snapshot();
             println!("stop:            {stop}");
             println!("endpoint checks: {}", s.checks);
             println!("fast clean:      {}", s.fast_clean);
@@ -224,14 +269,81 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("stats") => {
+            let Some(path) = it.next() else { return usage() };
+            let (input, trailing) = match parse_input_flag(&mut it) {
+                Ok(v) => v,
+                Err(code) => return code,
+            };
+            let prom = match trailing {
+                Some("--prom") => true,
+                None => false,
+                _ => return usage(),
+            };
+            let d = match load_artifact(path) {
+                Ok(d) => d,
+                Err(code) => return code,
+            };
+            let input = if input.is_empty() { default_input_for(&d) } else { input };
+            let (stop, stats) = protected_run(&d, &input);
+            eprintln!("stop: {stop}");
+            if prom {
+                print!("{}", stats.prometheus_text());
+            } else {
+                match serde_json::to_string(&stats.telemetry_snapshot()) {
+                    Ok(json) => println!("{json}"),
+                    Err(e) => {
+                        eprintln!("cannot serialise telemetry: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("events") => {
+            let Some(path) = it.next() else { return usage() };
+            let (input, trailing) = match parse_input_flag(&mut it) {
+                Ok(v) => v,
+                Err(code) => return code,
+            };
+            let last = match trailing {
+                Some("--last") => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) => n,
+                    None => return usage(),
+                },
+                None => 32,
+                _ => return usage(),
+            };
+            let d = match load_artifact(path) {
+                Ok(d) => d,
+                Err(code) => return code,
+            };
+            let input = if input.is_empty() { default_input_for(&d) } else { input };
+            let (stop, stats) = protected_run(&d, &input);
+            eprintln!("stop: {stop}");
+            println!(
+                "{:>8}  {:<14} {:<12} {:>10} {:>8} {:>12}",
+                "seq", "endpoint", "verdict", "delta", "pairs", "cycles"
+            );
+            for (seq, ev) in stats.recent_events(last) {
+                println!(
+                    "{:>8}  {:<14} {:<12} {:>10} {:>8} {:>12.0}",
+                    seq,
+                    sysno_label(ev.sysno),
+                    ev.verdict.label(),
+                    ev.delta_bytes,
+                    ev.pairs_checked,
+                    ev.total_cycles()
+                );
+            }
+            eprintln!("{} events recorded in total", stats.events_recorded());
+            ExitCode::SUCCESS
+        }
         Some("attack") => {
             let (Some(path), Some(kind)) = (it.next(), it.next()) else { return usage() };
-            let d = match Deployment::load(path) {
+            let d = match load_artifact(path) {
                 Ok(d) => d,
-                Err(e) => {
-                    eprintln!("cannot load artifact: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(code) => return code,
             };
             let g = fg_attacks::find_gadgets(&d.image);
             let payload = match kind {
@@ -262,7 +374,12 @@ fn main() -> ExitCode {
                     "not detected".to_string()
                 }
             );
-            ExitCode::SUCCESS
+            if guarded.detected {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("attack was NOT detected");
+                ExitCode::FAILURE
+            }
         }
         _ => usage(),
     }

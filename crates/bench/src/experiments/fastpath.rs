@@ -14,6 +14,7 @@ use fg_cpu::CostModel;
 use fg_cpu::{IptUnit, Machine, TraceUnit};
 use fg_ipt::topa::Topa;
 use fg_ipt::{fast, IncrementalScanner};
+use fg_trace::HistogramSnapshot;
 use flowguard::{fastpath, scan_parallel, CheckScratch, FlowGuardConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
@@ -23,7 +24,7 @@ use std::time::Instant;
 pub const JSON_PATH: &str = "BENCH_fastpath.json";
 
 /// One full measurement, serialised as `BENCH_fastpath.json`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FastpathBench {
     /// Serial packet-scan throughput, MiB of trace per second.
     pub scan_mib_per_sec: f64,
@@ -50,6 +51,17 @@ pub struct FastpathBench {
     pub bytes_per_check_ratio: f64,
     /// Direct-mapped edge-cache hit rate over the protected run.
     pub edge_cache_hit_rate: f64,
+    /// Distribution of simulated per-check latency (cycles) over the
+    /// protected run, from the engine telemetry. `#[serde(default)]` so
+    /// baselines written before these columns existed still parse.
+    #[serde(default)]
+    pub check_cycles_dist: HistogramSnapshot,
+    /// Distribution of simulated fast-path scan cycles per check.
+    #[serde(default)]
+    pub scan_cycles_dist: HistogramSnapshot,
+    /// Distribution of trace bytes scanned per check (incremental mode).
+    #[serde(default)]
+    pub bytes_per_check_dist: HistogramSnapshot,
 }
 
 struct Setup {
@@ -96,19 +108,22 @@ fn time_per_iter<O>(iters: usize, mut f: impl FnMut() -> O) -> f64 {
     best
 }
 
-/// A protected nginx run's `(bytes_scanned / checks, cache hit rate)`.
-fn protected_bytes_per_check(incremental: bool) -> (f64, f64) {
+/// A protected nginx run's full telemetry snapshot (drives bytes-per-check,
+/// cache hit rate, and the latency-distribution columns).
+fn protected_telemetry(incremental: bool) -> flowguard::TelemetrySnapshot {
     let w = fg_workloads::nginx_patched();
     let d = crate::measure::trained_deployment(&w);
     let cfg = FlowGuardConfig { incremental_scan: incremental, ..Default::default() };
     let mut p = d.launch(&w.default_input, cfg);
     let stop = p.run(crate::measure::BUDGET);
     assert!(matches!(stop, fg_cpu::StopReason::Exited(0)), "benign run must exit: {stop:?}");
-    let s = p.stats.lock();
-    assert!(s.checks > 0, "protected run must hit endpoints");
-    let lookups = s.edge_cache_hits + s.edge_cache_misses;
-    let hit_rate = if lookups == 0 { 0.0 } else { s.edge_cache_hits as f64 / lookups as f64 };
-    (s.bytes_scanned as f64 / s.checks as f64, hit_rate)
+    let t = p.stats.telemetry_snapshot();
+    assert!(t.checks > 0, "protected run must hit endpoints");
+    t
+}
+
+fn bytes_per_check(t: &flowguard::TelemetrySnapshot) -> f64 {
+    t.bytes_scanned as f64 / t.checks as f64
 }
 
 /// Runs the whole measurement.
@@ -152,8 +167,11 @@ pub fn run() -> FastpathBench {
     });
 
     // Deterministic bytes-per-check comparison on a protected run.
-    let (bpc_inc, hit_rate) = protected_bytes_per_check(true);
-    let (bpc_cold, _) = protected_bytes_per_check(false);
+    let t_inc = protected_telemetry(true);
+    let t_cold = protected_telemetry(false);
+    let (bpc_inc, bpc_cold) = (bytes_per_check(&t_inc), bytes_per_check(&t_cold));
+    let lookups = t_inc.edge_cache_hits + t_inc.edge_cache_misses;
+    let hit_rate = if lookups == 0 { 0.0 } else { t_inc.edge_cache_hits as f64 / lookups as f64 };
 
     // One sanity pass of the incremental scanner over the bench trace, so a
     // broken checkpoint path fails the bench loudly rather than silently
@@ -174,6 +192,9 @@ pub fn run() -> FastpathBench {
         bytes_per_check_cold: bpc_cold,
         bytes_per_check_ratio: bpc_inc / bpc_cold,
         edge_cache_hit_rate: hit_rate,
+        check_cycles_dist: t_inc.check_latency,
+        scan_cycles_dist: t_inc.fastpath_scan_cycles,
+        bytes_per_check_dist: t_inc.bytes_per_check,
     }
 }
 
@@ -192,6 +213,10 @@ pub fn print() {
     t.row(vec!["bytes/check cold rescan".into(), fmt(b.bytes_per_check_cold, 1)]);
     t.row(vec!["bytes/check ratio".into(), fmt(b.bytes_per_check_ratio, 4)]);
     t.row(vec!["edge-cache hit rate".into(), fmt(b.edge_cache_hit_rate, 3)]);
+    let d = &b.check_cycles_dist;
+    t.row(vec!["check cycles p50/p90/p99".into(), format!("{}/{}/{}", d.p50, d.p90, d.p99)]);
+    let d = &b.bytes_per_check_dist;
+    t.row(vec!["bytes/check p50/p90/p99".into(), format!("{}/{}/{}", d.p50, d.p90, d.p99)]);
     t.print("Fast-path micro-benchmarks (BENCH_fastpath.json)");
     match write_json(&b, JSON_PATH) {
         Ok(()) => println!("\nwrote {JSON_PATH}"),
@@ -252,11 +277,25 @@ mod tests {
             bytes_per_check_cold: 40_000.0,
             bytes_per_check_ratio: 0.003,
             edge_cache_hit_rate: 0.9,
+            ..Default::default()
         };
         let s = serde_json::to_string(&b).unwrap();
         let r: FastpathBench = serde_json::from_str(&s).unwrap();
         assert!((r.bytes_per_check_ratio - b.bytes_per_check_ratio).abs() < 1e-12);
         assert!(regressions(&b, &b, 2.0).is_empty());
+    }
+
+    #[test]
+    fn baselines_without_distribution_columns_still_parse() {
+        // The checked-in baseline may predate the telemetry columns.
+        let old = r#"{"scan_mib_per_sec":1.0,"parallel_scan_mib_per_sec":1.0,
+            "pairs_per_sec":1.0,"edge_lookup_ns":1.0,"edge_lookup_ns_btreemap":4.0,
+            "edge_lookup_speedup":4.0,"endpoint_check_ns":1.0,
+            "bytes_per_check_incremental":1.0,"bytes_per_check_cold":100.0,
+            "bytes_per_check_ratio":0.01,"edge_cache_hit_rate":0.8}"#;
+        let b: FastpathBench = serde_json::from_str(old).unwrap();
+        assert_eq!(b.check_cycles_dist.count, 0);
+        assert_eq!(b.bytes_per_check_dist, HistogramSnapshot::default());
     }
 
     #[test]
@@ -273,6 +312,7 @@ mod tests {
             bytes_per_check_cold: 100.0,
             bytes_per_check_ratio: 0.01,
             edge_cache_hit_rate: 0.8,
+            ..Default::default()
         };
         let mut bad = base.clone();
         bad.bytes_per_check_ratio = 0.05;

@@ -164,7 +164,7 @@ pub fn run_protected(
     let mut p = d.launch_with_cost(&w.default_input, cfg, cost);
     let stop = p.run(BUDGET);
     let trace_bytes = p.machine.trace.as_ipt().map(|u| u.bytes_emitted()).unwrap_or(0);
-    let s = p.stats.lock();
+    let s = p.stats.snapshot();
     ProtectedMetrics {
         run: RunMetrics {
             name: w.name.clone(),

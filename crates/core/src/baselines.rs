@@ -17,10 +17,11 @@ use fg_cpu::trace::{BtsRecord, TraceUnit};
 use fg_isa::image::Image;
 use fg_isa::insn::{Insn, INSN_SIZE};
 use fg_kernel::{InterceptVerdict, SensitiveSet, SyscallInterceptor, Sysno, SIGKILL};
+use fg_trace::ShardedU64;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// Shared detection statistics for the baselines.
+/// Detection statistics snapshot for the baselines.
 #[derive(Debug, Clone, Default)]
 pub struct BaselineStats {
     /// Endpoint checks performed.
@@ -29,6 +30,46 @@ pub struct BaselineStats {
     pub detections: u64,
     /// Description of the first detection.
     pub first_detail: Option<String>,
+}
+
+/// Shared lock-free recorder behind both baseline detectors — the same
+/// sharded-counter discipline as the engine's
+/// [`EngineTelemetry`](crate::telemetry::EngineTelemetry), deduplicating
+/// the two per-detector `Mutex<BaselineStats>` copies that used to hold a
+/// lock across every check.
+#[derive(Debug, Default)]
+pub struct BaselineTelemetry {
+    checks: ShardedU64,
+    detections: ShardedU64,
+    first_detail: Mutex<Option<String>>,
+}
+
+impl BaselineTelemetry {
+    /// A zeroed recorder.
+    pub fn new() -> BaselineTelemetry {
+        BaselineTelemetry::default()
+    }
+
+    /// Counts one endpoint check.
+    #[inline]
+    pub fn record_check(&self) {
+        self.checks.incr();
+    }
+
+    /// Counts a detection, keeping the first description.
+    pub fn record_detection(&self, detail: String) {
+        self.detections.incr();
+        self.first_detail.lock().get_or_insert(detail);
+    }
+
+    /// Assembles the [`BaselineStats`] snapshot.
+    pub fn snapshot(&self) -> BaselineStats {
+        BaselineStats {
+            checks: self.checks.get(),
+            detections: self.detections.get(),
+            first_detail: self.first_detail.lock().clone(),
+        }
+    }
 }
 
 /// kBouncer/ROPecker-style LBR heuristics.
@@ -40,7 +81,7 @@ pub struct KBouncerLike {
     pub chain_min: usize,
     /// Gadget length (instructions) below which a snippet is "short".
     pub gadget_max_insns: u64,
-    stats: Arc<Mutex<BaselineStats>>,
+    stats: Arc<BaselineTelemetry>,
 }
 
 impl KBouncerLike {
@@ -53,12 +94,12 @@ impl KBouncerLike {
             cr3,
             chain_min: 8,
             gadget_max_insns: 20,
-            stats: Arc::new(Mutex::new(BaselineStats::default())),
+            stats: Arc::new(BaselineTelemetry::new()),
         }
     }
 
     /// Shared statistics handle.
-    pub fn stats_handle(&self) -> Arc<Mutex<BaselineStats>> {
+    pub fn stats_handle(&self) -> Arc<BaselineTelemetry> {
         Arc::clone(&self.stats)
     }
 
@@ -110,14 +151,12 @@ impl SyscallInterceptor for KBouncerLike {
     }
 
     fn check(&mut self, _nr: Sysno, ctx: &mut SyscallCtx<'_>) -> InterceptVerdict {
-        let mut stats = self.stats.lock();
-        stats.checks += 1;
+        self.stats.record_check();
         let TraceUnit::Lbr(lbr) = &*ctx.trace else {
             return InterceptVerdict::Allow; // needs an LBR-configured core
         };
         if let Some(detail) = self.inspect(lbr.stack()) {
-            stats.detections += 1;
-            stats.first_detail.get_or_insert(detail);
+            self.stats.record_detection(detail);
             return InterceptVerdict::Kill(SIGKILL);
         }
         InterceptVerdict::Allow
@@ -129,7 +168,7 @@ pub struct CfimonLike {
     ocfg: Arc<OCfg>,
     endpoints: SensitiveSet,
     cr3: u64,
-    stats: Arc<Mutex<BaselineStats>>,
+    stats: Arc<BaselineTelemetry>,
 }
 
 impl CfimonLike {
@@ -139,12 +178,12 @@ impl CfimonLike {
             ocfg,
             endpoints: SensitiveSet::patharmor_default(),
             cr3,
-            stats: Arc::new(Mutex::new(BaselineStats::default())),
+            stats: Arc::new(BaselineTelemetry::new()),
         }
     }
 
     /// Shared statistics handle.
-    pub fn stats_handle(&self) -> Arc<Mutex<BaselineStats>> {
+    pub fn stats_handle(&self) -> Arc<BaselineTelemetry> {
         Arc::clone(&self.stats)
     }
 
@@ -181,14 +220,12 @@ impl SyscallInterceptor for CfimonLike {
     }
 
     fn check(&mut self, _nr: Sysno, ctx: &mut SyscallCtx<'_>) -> InterceptVerdict {
-        let mut stats = self.stats.lock();
-        stats.checks += 1;
+        self.stats.record_check();
         let TraceUnit::Bts(bts) = &*ctx.trace else {
             return InterceptVerdict::Allow;
         };
         if let Some(detail) = self.inspect(bts.records()) {
-            stats.detections += 1;
-            stats.first_detail.get_or_insert(detail);
+            self.stats.record_detection(detail);
             return InterceptVerdict::Kill(SIGKILL);
         }
         InterceptVerdict::Allow

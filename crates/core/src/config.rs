@@ -37,6 +37,12 @@ pub struct FlowGuardConfig {
     /// trained high-credit path gram — the paper's §7.1.2 future-work
     /// extension ("may introduce larger number of slow path checking").
     pub path_matching: bool,
+    /// Record runtime telemetry (counters, latency histograms, the check
+    /// event ring). Off, every hot-path record collapses to one
+    /// predictable-not-taken branch; violations and flight records are
+    /// still captured.
+    #[serde(default = "default_telemetry")]
+    pub telemetry: bool,
     /// The sensitive-syscall endpoint set.
     #[serde(skip, default = "SensitiveSet::patharmor_default")]
     pub endpoints: SensitiveSet,
@@ -46,6 +52,10 @@ pub struct FlowGuardConfig {
 }
 
 fn default_incremental_scan() -> bool {
+    true
+}
+
+fn default_telemetry() -> bool {
     true
 }
 
@@ -60,6 +70,7 @@ impl Default for FlowGuardConfig {
             incremental_scan: true,
             pmi_endpoints: false,
             path_matching: false,
+            telemetry: true,
             endpoints: SensitiveSet::patharmor_default(),
             topa_region_bytes: 8192,
         }

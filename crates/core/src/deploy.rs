@@ -7,7 +7,8 @@
 //! ```
 
 use crate::config::FlowGuardConfig;
-use crate::engine::{EngineStats, FlowGuardEngine};
+use crate::engine::FlowGuardEngine;
+use crate::telemetry::EngineTelemetry;
 use fg_cfg::{ItcCfg, OCfg};
 use fg_cpu::machine::{Machine, StopReason};
 use fg_cpu::trace::{IptUnit, TraceUnit};
@@ -15,7 +16,6 @@ use fg_fuzz::{train, FuzzConfig, Fuzzer, TrainConfig, TrainStats};
 use fg_ipt::topa::Topa;
 use fg_isa::image::Image;
 use fg_kernel::Kernel;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Default CR3 assigned to protected processes.
@@ -190,7 +190,7 @@ impl Deployment {
         &self,
         cfg: FlowGuardConfig,
         cr3: u64,
-    ) -> (FlowGuardEngine, Arc<Mutex<EngineStats>>) {
+    ) -> (FlowGuardEngine, Arc<EngineTelemetry>) {
         let engine = FlowGuardEngine::new(
             self.image.clone(),
             Arc::clone(&self.ocfg),
@@ -229,7 +229,11 @@ impl Deployment {
         machine.trace = TraceUnit::Ipt(unit);
         let mut kernel = Kernel::with_input(input);
         kernel.install_interceptor(Box::new(engine));
-        ProtectedProcess { machine, kernel, stats }
+        let intercept_latency = Arc::new(fg_trace::Histogram::new());
+        if cfg.telemetry {
+            kernel.set_intercept_probe(Arc::clone(&intercept_latency));
+        }
+        ProtectedProcess { machine, kernel, stats, intercept_latency }
     }
 }
 
@@ -240,8 +244,12 @@ pub struct ProtectedProcess {
     pub machine: Machine,
     /// The kernel with the FlowGuard module installed.
     pub kernel: Kernel,
-    /// Shared engine statistics.
-    pub stats: Arc<Mutex<EngineStats>>,
+    /// Shared engine telemetry (snapshot via
+    /// [`EngineTelemetry::snapshot`]).
+    pub stats: Arc<EngineTelemetry>,
+    /// Wall-clock nanoseconds per interceptor invocation, recorded by the
+    /// kernel's dispatch-path probe (empty when telemetry is disabled).
+    pub intercept_latency: Arc<fg_trace::Histogram>,
 }
 
 impl ProtectedProcess {
@@ -269,7 +277,7 @@ mod tests {
         let mut p = d.launch(&w.default_input, FlowGuardConfig::default());
         assert_eq!(p.run(50_000_000), StopReason::Exited(0));
         assert!(!p.violated());
-        assert!(p.stats.lock().checks > 0);
+        assert!(p.stats.snapshot().checks > 0);
     }
 
     #[test]

@@ -5,18 +5,24 @@
 //! syscall, runs the fast path, escalates suspicious windows to the slow
 //! path (the "upcall to the waiting user-level process"), caches negative
 //! slow-path results, and kills the process on violation.
+//!
+//! Statistics flow through the lock-free [`EngineTelemetry`] aggregate (one
+//! [`CheckEvent`](crate::telemetry::CheckEvent) per endpoint check); the
+//! [`EngineStats`] struct survives as its on-demand snapshot form.
 
 use crate::config::FlowGuardConfig;
-use crate::fastpath::{self, CheckScratch, FastVerdict};
+use crate::fastpath::{self, CheckScratch, FastVerdict, Violation};
 use crate::parallel::scan_parallel;
-use crate::slowpath::{self, SlowVerdict};
+use crate::slowpath::{self, SlowVerdict, SlowViolation};
+use crate::telemetry::{
+    render_packets, CheckEvent, CheckVerdict, EngineTelemetry, FLIGHT_WINDOW_BYTES, PMI_SYSNO,
+};
 use fg_cfg::{EdgeIdx, ItcCfg, OCfg};
 use fg_cpu::cost::CostModel;
 use fg_cpu::machine::SyscallCtx;
 use fg_ipt::{fast, IncrementalScanner};
 use fg_isa::image::Image;
 use fg_kernel::{InterceptVerdict, SyscallInterceptor, Sysno, SIGKILL};
-use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -31,8 +37,8 @@ pub struct ViolationRecord {
     pub fast_path: bool,
 }
 
-/// Aggregated engine statistics (shared handle survives the engine's move
-/// into the kernel).
+/// Aggregated engine statistics — the snapshot form of [`EngineTelemetry`]
+/// (obtain one via [`EngineTelemetry::snapshot`]).
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
     /// Endpoint checks performed.
@@ -70,7 +76,10 @@ pub struct EngineStats {
     pub check_cycles: f64,
     /// Interception overhead cycles.
     pub other_cycles: f64,
-    /// Violations recorded.
+    /// Violations whose records were dropped by the bounded log (the log
+    /// keeps the first and last windows verbatim).
+    pub violations_dropped: u64,
+    /// Retained violation records.
     pub violations: Vec<ViolationRecord>,
 }
 
@@ -104,7 +113,7 @@ pub struct FlowGuardEngine {
     cache: HashSet<EdgeIdx>,
     scanner: IncrementalScanner,
     scratch: CheckScratch,
-    stats: Arc<Mutex<EngineStats>>,
+    stats: Arc<EngineTelemetry>,
 }
 
 impl std::fmt::Debug for FlowGuardEngine {
@@ -129,6 +138,7 @@ impl FlowGuardEngine {
         cfg.validate();
         FlowGuardEngine {
             scratch: CheckScratch::new(&image),
+            stats: Arc::new(EngineTelemetry::new(cfg.telemetry)),
             image,
             ocfg,
             itc,
@@ -137,7 +147,6 @@ impl FlowGuardEngine {
             cr3,
             cache: HashSet::new(),
             scanner: IncrementalScanner::new(),
-            stats: Arc::new(Mutex::new(EngineStats::default())),
         }
     }
 
@@ -146,14 +155,45 @@ impl FlowGuardEngine {
         self.cost = cost;
     }
 
-    /// A shared handle to the statistics, usable after the engine is moved
+    /// A shared handle to the telemetry, usable after the engine is moved
     /// into the kernel.
-    pub fn stats_handle(&self) -> Arc<Mutex<EngineStats>> {
+    pub fn stats_handle(&self) -> Arc<EngineTelemetry> {
         Arc::clone(&self.stats)
     }
 
-    fn record_violation(&self, endpoint: &'static str, detail: String, fast_path: bool) {
-        self.stats.lock().violations.push(ViolationRecord { endpoint, detail, fast_path });
+    /// Records a violation into the bounded log and captures a flight
+    /// record with the offending ToPA window and its decoded packet run.
+    fn record_violation(
+        &self,
+        endpoint: &'static str,
+        detail: String,
+        fast_path: bool,
+        edge: Option<(u64, u64)>,
+        bytes: &[u8],
+    ) {
+        let window = tail_window(bytes, FLIGHT_WINDOW_BYTES);
+        let packets = render_packets(window, 64);
+        self.stats.capture_flight(endpoint, &detail, fast_path, edge, window, packets);
+        self.stats.record_violation(ViolationRecord { endpoint, detail, fast_path });
+    }
+}
+
+/// The violating `(from, to)` edge of a fast-path verdict, when one was
+/// isolated.
+fn fast_violation_edge(v: &Violation) -> Option<(u64, u64)> {
+    match *v {
+        Violation::NoEdge { from, to } => Some((from, to)),
+        Violation::UnknownTarget { from, ip } => Some((from, ip)),
+    }
+}
+
+/// The violating `(from, went)` edge of a slow-path verdict.
+fn slow_violation_edge(v: &SlowViolation) -> Option<(u64, u64)> {
+    match *v {
+        SlowViolation::ForwardEdge { from, to } => Some((from, to)),
+        SlowViolation::ReturnEdge { from, went, .. } => Some((from, went)),
+        SlowViolation::ReturnOffCfg { from, to } => Some((from, to)),
+        _ => None,
     }
 }
 
@@ -167,7 +207,7 @@ impl SyscallInterceptor for FlowGuardEngine {
     }
 
     fn check(&mut self, nr: Sysno, ctx: &mut SyscallCtx<'_>) -> InterceptVerdict {
-        self.flow_check(nr.name(), ctx, false)
+        self.flow_check(nr.name(), nr as u64, ctx, false)
     }
 
     fn on_pmi(&mut self, ctx: &mut SyscallCtx<'_>) -> InterceptVerdict {
@@ -178,7 +218,7 @@ impl SyscallInterceptor for FlowGuardEngine {
         // interrupted region … ensures all of the execution flow of the
         // protected process being checked" (§5.2/§7.1.2) — the full-buffer
         // variant of the flow check.
-        self.flow_check("pmi", ctx, true)
+        self.flow_check("pmi", PMI_SYSNO, ctx, true)
     }
 }
 
@@ -186,17 +226,38 @@ impl FlowGuardEngine {
     fn flow_check(
         &mut self,
         endpoint: &'static str,
+        sysno: u64,
         ctx: &mut SyscallCtx<'_>,
         full_buffer: bool,
     ) -> InterceptVerdict {
-        let mut stats = self.stats.lock();
-        stats.checks += 1;
-        stats.other_cycles += self.cost.intercept_cycles;
+        let mut ev = CheckEvent { sysno, ..Default::default() };
+        let hits_before = self.scratch.edge_cache_hits;
+        let misses_before = self.scratch.edge_cache_misses;
+        let verdict = self.flow_check_inner(endpoint, ctx, full_buffer, &mut ev);
+        ev.edge_cache_hits = self.scratch.edge_cache_hits - hits_before;
+        ev.edge_cache_misses = self.scratch.edge_cache_misses - misses_before;
+        self.stats.sample_caches(
+            self.cache.len() as u64,
+            self.scratch.edge_cache_hits,
+            self.scratch.edge_cache_misses,
+        );
+        self.stats.record_check(&ev);
+        verdict
+    }
+
+    fn flow_check_inner(
+        &mut self,
+        endpoint: &'static str,
+        ctx: &mut SyscallCtx<'_>,
+        full_buffer: bool,
+        ev: &mut CheckEvent,
+    ) -> InterceptVerdict {
+        ev.other_cycles = self.cost.intercept_cycles;
         ctx.extra_cycles.other += self.cost.intercept_cycles;
 
         let Some(ipt) = ctx.trace.as_ipt() else {
             // Not traced (misconfiguration): nothing to check.
-            stats.insufficient += 1;
+            ev.verdict = CheckVerdict::Insufficient;
             return InterceptVerdict::Allow;
         };
         let bytes = ipt.trace_bytes();
@@ -224,18 +285,16 @@ impl FlowGuardEngine {
             }
             match self.scanner.advance(&bytes, total_written, window_budget) {
                 Ok(info) => {
-                    if info.cold_restart {
-                        stats.cold_restarts += 1;
-                    }
-                    stats.bytes_scanned += info.new_bytes;
+                    ev.cold_restart = info.cold_restart;
+                    ev.delta_bytes += info.new_bytes;
                     let scan_cycles = info.new_bytes as f64 * self.cost.packet_scan_byte_cycles;
-                    stats.decode_cycles += scan_cycles;
+                    ev.scan_cycles += scan_cycles;
                     ctx.extra_cycles.decode += scan_cycles;
                 }
                 Err(_) => {
                     // Corrupt PSB+ bundle: skip past it, stay conservative.
                     self.scanner.skip_to(total_written);
-                    stats.insufficient += 1;
+                    ev.verdict = CheckVerdict::Insufficient;
                     return InterceptVerdict::Allow;
                 }
             }
@@ -256,7 +315,7 @@ impl FlowGuardEngine {
                     Ok(s) => s,
                     Err(_) => {
                         // Unparseable buffer: be conservative and escalate.
-                        stats.insufficient += 1;
+                        ev.verdict = CheckVerdict::Insufficient;
                         return InterceptVerdict::Allow;
                     }
                 };
@@ -266,9 +325,9 @@ impl FlowGuardEngine {
                 budget *= 2;
             };
             scan_owned = cold;
-            stats.bytes_scanned += scanned_len as u64;
+            ev.delta_bytes += scanned_len as u64;
             let scan_cycles = scanned_len as f64 * self.cost.packet_scan_byte_cycles;
-            stats.decode_cycles += scan_cycles;
+            ev.scan_cycles += scan_cycles;
             ctx.extra_cycles.decode += scan_cycles;
             (&scan_owned, false)
         };
@@ -298,49 +357,58 @@ impl FlowGuardEngine {
             // widest window the checker reaches back (pkt_count * 4).
             self.scanner.compact(self.cfg.pkt_count.saturating_mul(8).max(256));
         }
-        stats.edge_cache_hits = self.scratch.edge_cache_hits;
-        stats.edge_cache_misses = self.scratch.edge_cache_misses;
-        stats.pairs_checked += fast.pairs_checked as u64;
-        stats.credited_pairs += fast.credited_pairs as u64;
-        stats.check_cycles += fast.check_cycles;
+        ev.pairs_checked = fast.pairs_checked as u64;
+        ev.credited_pairs = fast.credited_pairs as u64;
+        ev.check_cycles = fast.check_cycles;
         ctx.extra_cycles.check += fast.check_cycles;
 
         let uncredited = match fast.verdict {
             FastVerdict::Clean => {
-                stats.fast_clean += 1;
+                ev.verdict = CheckVerdict::FastClean;
                 return InterceptVerdict::Allow;
             }
             FastVerdict::InsufficientTrace => {
-                stats.insufficient += 1;
+                ev.verdict = CheckVerdict::Insufficient;
                 return InterceptVerdict::Allow;
             }
             FastVerdict::Malicious(v) => {
-                stats.fast_malicious += 1;
-                drop(stats);
-                self.record_violation(endpoint, format!("{v:?}"), true);
+                ev.verdict = CheckVerdict::FastMalicious;
+                self.record_violation(
+                    endpoint,
+                    format!("{v:?}"),
+                    true,
+                    fast_violation_edge(&v),
+                    &bytes,
+                );
                 return InterceptVerdict::Kill(SIGKILL);
             }
             FastVerdict::Suspicious { uncredited } => uncredited,
         };
+        ev.uncredited = uncredited.len() as u64;
 
         // --- slow path (the user-level decoder upcall) ----------------------
-        stats.slow_invocations += 1;
         // The slow path analyses a bounded recent region (the paper's §7.2.2
         // micro-benchmark measures it on "ranges of memory containing 100
         // TIP packets"), not the whole buffer.
         let slow_window = tail_window(&bytes, (self.cfg.pkt_count * 110).max(2048));
         let slow = slowpath::check(&self.image, &self.ocfg, slow_window, &self.cost);
-        stats.decode_cycles += slow.decode_cycles;
+        ev.slow_cycles = slow.decode_cycles;
         ctx.extra_cycles.decode += slow.decode_cycles;
 
         match slow.verdict {
             SlowVerdict::Attack(v) => {
-                stats.slow_attacks += 1;
-                drop(stats);
-                self.record_violation(endpoint, format!("{v:?}"), false);
+                ev.verdict = CheckVerdict::SlowAttack;
+                self.record_violation(
+                    endpoint,
+                    format!("{v:?}"),
+                    false,
+                    slow_violation_edge(&v),
+                    &bytes,
+                );
                 InterceptVerdict::Kill(SIGKILL)
             }
             SlowVerdict::Clean { validated_pairs } => {
+                ev.verdict = CheckVerdict::SlowClean;
                 if self.cfg.cache_slow_path_results {
                     // Cache both the window's uncredited edges and every
                     // validated pair (§7.1.1: negative results are cached).
@@ -350,7 +418,6 @@ impl FlowGuardEngine {
                             self.cache.insert(e);
                         }
                     }
-                    stats.cache_size = self.cache.len();
                 }
                 InterceptVerdict::Allow
             }
@@ -382,7 +449,7 @@ mod tests {
         ocfg: Arc<OCfg>,
         input: &[u8],
         cfg: FlowGuardConfig,
-    ) -> (StopReason, Arc<Mutex<EngineStats>>, fg_kernel::Kernel) {
+    ) -> (StopReason, Arc<EngineTelemetry>, fg_kernel::Kernel) {
         let cr3 = 0x4000;
         let engine = FlowGuardEngine::new(w.image.clone(), ocfg, itc, cfg.clone(), cr3);
         let stats = engine.stats_handle();
@@ -416,7 +483,7 @@ mod tests {
             protected_run(&w, itc, ocfg, &w.default_input, FlowGuardConfig::default());
         assert_eq!(stop, StopReason::Exited(0), "no false positives");
         assert!(!k.violated());
-        let s = stats.lock();
+        let s = stats.snapshot();
         assert!(s.checks > 10, "every write is an endpoint");
         assert_eq!(s.fast_malicious + s.slow_attacks, 0);
         assert!(
@@ -437,7 +504,7 @@ mod tests {
                 protected_run(&w, itc.clone(), Arc::clone(&ocfg), &w.default_input, cfg);
             assert_eq!(stop, StopReason::Exited(0));
             assert!(!k.violated());
-            let s = stats.lock();
+            let s = stats.snapshot();
             let verdicts = (
                 s.checks,
                 s.fast_clean,
@@ -465,7 +532,7 @@ mod tests {
         let (stop, stats, _) =
             protected_run(&w, itc, ocfg, &w.default_input, FlowGuardConfig::default());
         assert_eq!(stop, StopReason::Exited(0), "still no false positives");
-        let s = stats.lock();
+        let s = stats.snapshot();
         assert!(s.slow_invocations > 0, "untrained edges escalate");
         assert!(s.cache_size > 0, "negative results cached");
         assert!(
@@ -481,10 +548,46 @@ mod tests {
         let (itc, ocfg) = trained_deployment(&w);
         let (_, stats, _) =
             protected_run(&w, itc, ocfg, &w.default_input, FlowGuardConfig::default());
-        let s = stats.lock();
+        let s = stats.snapshot();
         assert!(s.decode_cycles > 0.0);
         assert!(s.check_cycles > 0.0);
         assert!(s.other_cycles > 0.0);
+    }
+
+    #[test]
+    fn telemetry_events_mirror_check_counters() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let (_, stats, _) =
+            protected_run(&w, itc, ocfg, &w.default_input, FlowGuardConfig::default());
+        let s = stats.snapshot();
+        let ts = stats.telemetry_snapshot();
+        assert_eq!(ts.events_recorded, s.checks, "one event per check");
+        assert_eq!(ts.check_latency.count, s.checks);
+        let events = stats.recent_events(usize::MAX);
+        assert!(!events.is_empty());
+        let clean = events
+            .iter()
+            .filter(|(_, e)| e.verdict == crate::telemetry::CheckVerdict::FastClean)
+            .count() as u64;
+        // The ring may have wrapped, so retained events are a suffix; on
+        // this short run it holds everything.
+        assert_eq!(clean, s.fast_clean);
+        let total_scanned: u64 = events.iter().map(|(_, e)| e.delta_bytes).sum();
+        assert_eq!(total_scanned, s.bytes_scanned);
+    }
+
+    #[test]
+    fn disabled_telemetry_still_enforces() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let cfg = FlowGuardConfig { telemetry: false, ..Default::default() };
+        let (stop, stats, k) = protected_run(&w, itc, ocfg, &w.default_input, cfg);
+        assert_eq!(stop, StopReason::Exited(0));
+        assert!(!k.violated());
+        let s = stats.snapshot();
+        assert_eq!(s.checks, 0, "disabled telemetry records no counters");
+        assert!(stats.recent_events(10).is_empty());
     }
 
     #[test]

@@ -99,8 +99,8 @@ impl CheckScratch {
 /// Why the fast path flagged the flow as malicious.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Violation {
-    /// A TIP target is not an IT-BB at all.
-    UnknownTarget { ip: u64 },
+    /// A TIP target is not an IT-BB at all; `from` is the transfer source.
+    UnknownTarget { from: u64, ip: u64 },
     /// Two consecutive TIPs are not an ITC-CFG edge.
     NoEdge { from: u64, to: u64 },
 }
@@ -235,7 +235,7 @@ pub fn check_windowed(
         let tnt_truncated = first_tnt_truncated && start + wi == 0;
         if !itc.is_node(to) {
             return FastPathResult {
-                verdict: FastVerdict::Malicious(Violation::UnknownTarget { ip: to }),
+                verdict: FastVerdict::Malicious(Violation::UnknownTarget { from, ip: to }),
                 pairs_checked: pairs,
                 credited_pairs: credited,
                 check_cycles: pairs as f64 * edge_check_cycles,

@@ -23,7 +23,9 @@
 //!   caching (§5.2, §7.1.1);
 //! * [`deploy`] — the end-to-end pipeline (Figure 1's steps ①–⑤);
 //! * [`baselines`] — kBouncer-style (LBR) and CFIMon-style (BTS) baseline
-//!   detectors from the related-work lineage (§8.2).
+//!   detectors from the related-work lineage (§8.2);
+//! * [`telemetry`] — lock-free runtime telemetry (sharded counters, latency
+//!   histograms, a per-check event ring) and the violation flight recorder.
 //!
 //! # Examples
 //!
@@ -50,8 +52,9 @@ pub mod parallel;
 pub mod pool;
 pub mod shadow;
 pub mod slowpath;
+pub mod telemetry;
 
-pub use baselines::{BaselineStats, CfimonLike, KBouncerLike};
+pub use baselines::{BaselineStats, BaselineTelemetry, CfimonLike, KBouncerLike};
 pub use config::FlowGuardConfig;
 pub use deploy::{ArtifactError, Deployment, ProtectedProcess, DEFAULT_CR3};
 pub use engine::{EngineStats, FlowGuardEngine, ViolationRecord};
@@ -60,3 +63,4 @@ pub use parallel::scan_parallel;
 pub use pool::WorkerPool;
 pub use shadow::{ShadowOutcome, ShadowStack};
 pub use slowpath::{SlowPathResult, SlowVerdict, SlowViolation};
+pub use telemetry::{CheckEvent, CheckVerdict, EngineTelemetry, TelemetrySnapshot};

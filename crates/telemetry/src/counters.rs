@@ -1,0 +1,185 @@
+//! Sharded atomic counters — the lock-free replacement for the engine's old
+//! `Mutex<EngineStats>` aggregate.
+//!
+//! A [`ShardedU64`] spreads increments over a small set of cache-line-padded
+//! atomic cells so concurrent recorders (worker pools, multi-process
+//! filtering) never contend on one line; a read sums the shards. The
+//! companion [`CycleCounter`] accumulates `f64` cycle totals through the
+//! same CAS-free single-writer-per-shard discipline, and [`Gauge`] holds a
+//! last-write-wins sample (cache sizes, high-water marks).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shard count. Eight covers every pool width the harness uses while keeping
+/// a counter read (8 relaxed loads) trivially cheap.
+pub const SHARDS: usize = 8;
+
+/// One cache line worth of atomic counter, padded so neighbouring shards
+/// never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedAtomicU64(AtomicU64);
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread gets a stable shard index on first use, round-robin over
+    /// the shard space — cheaper and better-distributed than hashing
+    /// `ThreadId` on every increment.
+    static THREAD_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's shard index.
+#[inline]
+pub fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        s.set(v);
+        v
+    })
+}
+
+/// A monotone event counter sharded over [`SHARDS`] padded atomics.
+#[derive(Default)]
+pub struct ShardedU64 {
+    shards: [PaddedAtomicU64; SHARDS],
+}
+
+impl ShardedU64 {
+    /// A zeroed counter.
+    pub fn new() -> ShardedU64 {
+        ShardedU64::default()
+    }
+
+    /// Adds `n` on the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[thread_shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The summed value (relaxed: a concurrent snapshot may miss in-flight
+    /// increments, never double-counts settled ones).
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for ShardedU64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardedU64({})", self.get())
+    }
+}
+
+/// An `f64` accumulator sharded like [`ShardedU64`]; each shard stores the
+/// running sum as bits and updates it with a CAS loop (uncontended in
+/// practice because shards are per-thread).
+#[derive(Default)]
+pub struct CycleCounter {
+    shards: [PaddedAtomicU64; SHARDS],
+}
+
+impl CycleCounter {
+    /// A zeroed accumulator.
+    pub fn new() -> CycleCounter {
+        CycleCounter::default()
+    }
+
+    /// Adds `x` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, x: f64) {
+        let cell = &self.shards[thread_shard()].0;
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + x).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The summed total.
+    pub fn get(&self) -> f64 {
+        self.shards.iter().map(|s| f64::from_bits(s.0.load(Ordering::Relaxed))).sum()
+    }
+}
+
+impl std::fmt::Debug for CycleCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CycleCounter({})", self.get())
+    }
+}
+
+/// A last-write-wins sampled value (cache sizes, ring occupancy).
+#[derive(Default, Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Stores a sample.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The most recent sample.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(ShardedU64::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.incr();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn cycle_counter_accumulates() {
+        let c = CycleCounter::new();
+        for _ in 0..1000 {
+            c.add(1.5);
+        }
+        assert!((c.get() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = Gauge::new();
+        g.set(3);
+        g.set(17);
+        assert_eq!(g.get(), 17);
+    }
+}

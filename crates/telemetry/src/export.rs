@@ -1,0 +1,82 @@
+//! Exporters: a Prometheus-style text dump builder.
+//!
+//! JSON export happens via `serde` on the snapshot structs that the runtime
+//! crates assemble (e.g. `fg-core`'s `TelemetrySnapshot`); this module only
+//! owns the Prometheus text rendering, which is format glue rather than
+//! data.
+
+use crate::hist::HistogramSnapshot;
+
+/// Accumulates a Prometheus text-format exposition.
+#[derive(Default, Debug)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Appends one counter metric with a `# TYPE` header.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.header(name, help, "counter");
+        self.out.push_str(&format!("{name} {value}\n"));
+        self
+    }
+
+    /// Appends one gauge metric.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        self.header(name, help, "gauge");
+        self.out.push_str(&format!("{name} {value}\n"));
+        self
+    }
+
+    /// Appends a histogram snapshot as a Prometheus `summary` (quantile
+    /// series plus `_sum`-free `_count`; the snapshot keeps mean/max as
+    /// separate gauges would, so we emit them as labelled quantiles and a
+    /// count).
+    pub fn summary(&mut self, name: &str, help: &str, s: &HistogramSnapshot) -> &mut Self {
+        self.header(name, help, "summary");
+        self.out.push_str(&format!("{name}{{quantile=\"0.5\"}} {}\n", s.p50));
+        self.out.push_str(&format!("{name}{{quantile=\"0.9\"}} {}\n", s.p90));
+        self.out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", s.p99));
+        self.out.push_str(&format!("{name}{{quantile=\"1\"}} {}\n", s.max));
+        self.out.push_str(&format!("{name}_count {}\n", s.count));
+        self.out.push_str(&format!("{name}_mean {}\n", s.mean));
+        self
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    /// The rendered exposition.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_summaries() {
+        let mut p = PromText::new();
+        p.counter("fg_checks_total", "Endpoint checks performed", 42)
+            .gauge("fg_cache_size", "Edge-cache entries", 7.0)
+            .summary(
+                "fg_check_cycles",
+                "Per-check cycles",
+                &HistogramSnapshot { count: 3, mean: 10.0, p50: 9, p90: 12, p99: 14, max: 14 },
+            );
+        let text = p.finish();
+        assert!(text.contains("# TYPE fg_checks_total counter"));
+        assert!(text.contains("fg_checks_total 42"));
+        assert!(text.contains("fg_cache_size 7"));
+        assert!(text.contains("fg_check_cycles{quantile=\"0.99\"} 14"));
+        assert!(text.contains("fg_check_cycles_count 3"));
+    }
+}

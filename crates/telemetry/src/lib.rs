@@ -1,0 +1,31 @@
+//! `fg-trace` — structured runtime telemetry for the FlowGuard suite.
+//!
+//! The runtime's hot path (one endpoint check per intercepted syscall) used
+//! to funnel every statistic through a single `Mutex<EngineStats>`; this
+//! crate replaces that with lock-free primitives sized for the check loop:
+//!
+//! * [`ShardedU64`] / [`CycleCounter`] / [`Gauge`] — cache-line-sharded
+//!   counters ([`counters`]).
+//! * [`Histogram`] — fixed-size log-linear latency histograms with bounded
+//!   quantile error and exact bucket-wise merge ([`hist`]).
+//! * [`EventRing`] — a bounded lock-free ring of [`PodEvent`]s with
+//!   overwrite-oldest semantics ([`ring`]).
+//! * [`FlightRecorder`] — serialisable forensic capture of CFI violations
+//!   ([`flight`]).
+//! * [`PromText`] — Prometheus text-format rendering ([`export`]).
+//!
+//! The crate is deliberately engine-agnostic: `fg-core` defines what an
+//! event *is* and assembles snapshots; `fg-trace` defines how recording
+//! stays off the hot path.
+
+pub mod counters;
+pub mod export;
+pub mod flight;
+pub mod hist;
+pub mod ring;
+
+pub use counters::{CycleCounter, Gauge, ShardedU64, SHARDS};
+pub use export::PromText;
+pub use flight::{FlightRecord, FlightRecorder};
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS, SUB_BUCKETS};
+pub use ring::{EventRing, PodEvent, EVENT_WORDS};

@@ -116,7 +116,7 @@ fn slow_path_cache_warms_within_a_run() {
     let mut p = d.launch(&doubled, FlowGuardConfig::default());
     let stop = p.run(500_000_000);
     assert!(matches!(stop, StopReason::Exited(0)), "{stop:?}");
-    let s = p.stats.lock();
+    let s = p.stats.snapshot();
     assert!(s.slow_invocations > 0, "untrained run must escalate at least once");
     assert!(
         s.fast_clean > s.slow_invocations,
@@ -136,14 +136,14 @@ fn parallel_decode_config_is_equivalent() {
     let serial = {
         let mut p = d.launch(&w.default_input, FlowGuardConfig::default());
         p.run(500_000_000);
-        let s = p.stats.lock();
+        let s = p.stats.snapshot();
         (s.checks, s.fast_clean, s.pairs_checked)
     };
     let parallel = {
         let cfg = FlowGuardConfig { parallel_decode: true, ..Default::default() };
         let mut p = d.launch(&w.default_input, cfg);
         p.run(500_000_000);
-        let s = p.stats.lock();
+        let s = p.stats.snapshot();
         (s.checks, s.fast_clean, s.pairs_checked)
     };
     assert_eq!(serial, parallel);

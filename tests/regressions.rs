@@ -45,7 +45,7 @@ fn custom_endpoint_set() {
     let mut p = d.launch(&w.default_input, cfg.clone());
     assert_eq!(p.run(500_000_000), StopReason::Exited(0));
     assert!(!p.violated());
-    assert!(p.stats.lock().checks > 0, "reads must have triggered checks");
+    assert!(p.stats.snapshot().checks > 0, "reads must have triggered checks");
 
     // The ROP chain reads nothing after the hijack, but its *next* request
     // read (from the event loop it never returns to) is unreachable — so
