@@ -23,5 +23,6 @@ fn main() {
     e::multiproc::print();
     e::cache::print();
     e::fastpath::print();
+    e::slowpath::print();
     println!("\nAll experiments completed.");
 }

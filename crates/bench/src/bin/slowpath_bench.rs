@@ -1,0 +1,61 @@
+//! Standalone slow-path benchmark runner.
+//!
+//! Prints the slow-path metric table (PSB-sharded decode speedup,
+//! checkpoint re-decode avoidance), writes `BENCH_slowpath.json` to the
+//! working directory, and — with `--check-baseline <path>` — exits non-zero
+//! if any hardware-independent ratio regressed by more than 2x against the
+//! checked-in baseline. CI runs this as the smoke-bench gate.
+
+use fg_bench::experiments::slowpath;
+
+const REGRESSION_FACTOR: f64 = 2.0;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check-baseline" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--check-baseline requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: slowpath_bench [--check-baseline <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let current = slowpath::run();
+    slowpath::print_table(&current);
+
+    if let Err(e) = slowpath::write_json(&current, slowpath::JSON_PATH) {
+        eprintln!("failed to write {}: {e}", slowpath::JSON_PATH);
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", slowpath::JSON_PATH);
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline: slowpath::SlowpathBench = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let regressions = slowpath::regressions(&current, &baseline, REGRESSION_FACTOR);
+        if regressions.is_empty() {
+            println!("baseline check passed ({path}, tolerance {REGRESSION_FACTOR}x)");
+        } else {
+            eprintln!("\nbaseline check FAILED ({path}, tolerance {REGRESSION_FACTOR}x):");
+            for r in &regressions {
+                eprintln!("  - {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

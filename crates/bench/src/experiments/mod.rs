@@ -13,6 +13,7 @@ pub mod params;
 pub mod pathmatch;
 pub mod retc;
 pub mod sec2;
+pub mod slowpath;
 pub mod table1;
 pub mod table2;
 pub mod table4;

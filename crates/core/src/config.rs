@@ -30,6 +30,19 @@ pub struct FlowGuardConfig {
     /// the incremental scanner is validated against.
     #[serde(default = "default_incremental_scan")]
     pub incremental_scan: bool,
+    /// Fan the slow path's PSB-delimited shard decodes out on the shared
+    /// worker pool (§5.3: "with the help of packet stream boundary (PSB)
+    /// packets … this process can be done in parallel"). The sequential
+    /// stitch pass keeps the result bit-identical to a serial decode.
+    #[serde(default = "default_parallel_slow_path")]
+    pub parallel_slow_path: bool,
+    /// Checkpoint the slow path's flow decode between escalations: when the
+    /// next slow window extends the previous one, only the appended bytes
+    /// are decoded (the flow machine and shadow stack park between checks,
+    /// guarded by state hashes). Off, every escalation decodes its window
+    /// cold — the reference mode the checkpoint is validated against.
+    #[serde(default = "default_slow_checkpoint")]
+    pub slow_checkpoint: bool,
     /// Also run a full-buffer check at every trace-buffer PMI — the paper's
     /// worst-case fallback against endpoint-pruning attacks (§7.1.2).
     pub pmi_endpoints: bool,
@@ -55,6 +68,14 @@ fn default_incremental_scan() -> bool {
     true
 }
 
+fn default_parallel_slow_path() -> bool {
+    true
+}
+
+fn default_slow_checkpoint() -> bool {
+    true
+}
+
 fn default_telemetry() -> bool {
     true
 }
@@ -68,6 +89,8 @@ impl Default for FlowGuardConfig {
             cache_slow_path_results: true,
             parallel_decode: false,
             incremental_scan: true,
+            parallel_slow_path: true,
+            slow_checkpoint: true,
             pmi_endpoints: false,
             path_matching: false,
             telemetry: true,
@@ -101,6 +124,8 @@ mod tests {
         assert!(c.require_module_stride);
         assert!(c.cache_slow_path_results);
         assert!(c.incremental_scan);
+        assert!(c.parallel_slow_path);
+        assert!(c.slow_checkpoint);
         c.validate();
     }
 

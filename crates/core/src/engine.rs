@@ -113,6 +113,7 @@ pub struct FlowGuardEngine {
     cache: HashSet<EdgeIdx>,
     scanner: IncrementalScanner,
     scratch: CheckScratch,
+    slow_scratch: slowpath::SlowScratch,
     stats: Arc<EngineTelemetry>,
 }
 
@@ -147,6 +148,7 @@ impl FlowGuardEngine {
             cr3,
             cache: HashSet::new(),
             scanner: IncrementalScanner::new(),
+            slow_scratch: slowpath::SlowScratch::new(),
         }
     }
 
@@ -390,10 +392,46 @@ impl FlowGuardEngine {
         // The slow path analyses a bounded recent region (the paper's §7.2.2
         // micro-benchmark measures it on "ranges of memory containing 100
         // TIP packets"), not the whole buffer.
-        let slow_window = tail_window(&bytes, (self.cfg.pkt_count * 110).max(2048));
-        let slow = slowpath::check(&self.image, &self.ocfg, slow_window, &self.cost);
+        let budget = (self.cfg.pkt_count * 110).max(2048);
+        let (_, win_off) = tail_window_at(&bytes, budget);
+        // Absolute stream offset of the window's first byte: the ToPA keeps
+        // the most recent `bytes.len()` of `total_written` stream bytes.
+        let buf_start = total_written.saturating_sub(bytes.len() as u64);
+        let mut window_start = buf_start + win_off as u64;
+        if !self.cfg.slow_checkpoint {
+            self.slow_scratch.invalidate();
+        } else if let Some((start, consumed)) = self.slow_scratch.lineage() {
+            // Extend the parked lineage instead of sliding the window: a
+            // slid start cannot resume warm (the shadow stack's windowed
+            // context would change), so as long as the lineage's first byte
+            // is still retained in the ToPA — and the lineage hasn't grown
+            // past a few windows, bounding the validated-pair replay — keep
+            // decoding on top of it. Strictly more context than the slid
+            // window, and only the appended bytes are decoded.
+            if start >= buf_start
+                && start <= window_start
+                && consumed.saturating_sub(start) <= 4 * budget as u64
+            {
+                window_start = start;
+            }
+        }
+        let slow_window = &bytes[(window_start - buf_start) as usize..];
+        let pool = self.cfg.parallel_slow_path.then(crate::pool::WorkerPool::global);
+        let slow = slowpath::check_incremental(
+            &self.image,
+            &self.ocfg,
+            slow_window,
+            window_start,
+            &self.cost,
+            pool,
+            &mut self.slow_scratch,
+        );
         ev.slow_cycles = slow.decode_cycles;
-        ctx.extra_cycles.decode += slow.decode_cycles;
+        ev.stitch_cycles = slow.stitch_cycles;
+        ev.slow_shards = slow.shards;
+        ev.slow_insns_decoded = slow.insns_decoded;
+        ev.checkpoint_hit = slow.checkpoint_hit;
+        ctx.extra_cycles.decode += slow.decode_cycles + slow.stitch_cycles;
 
         match slow.verdict {
             SlowVerdict::Attack(v) => {
@@ -427,13 +465,19 @@ impl FlowGuardEngine {
 
 /// Picks a PSB-synchronised tail window of roughly `budget` bytes.
 fn tail_window(bytes: &[u8], budget: usize) -> &[u8] {
+    tail_window_at(bytes, budget).0
+}
+
+/// [`tail_window`], also returning the window's offset into `bytes` — the
+/// slow-path checkpoint keys on the window's absolute stream position.
+fn tail_window_at(bytes: &[u8], budget: usize) -> (&[u8], usize) {
     if bytes.len() <= budget {
-        return bytes;
+        return (bytes, 0);
     }
     let mut p = fg_ipt::PacketParser::at(bytes, bytes.len() - budget);
     match p.sync_forward() {
-        Some(off) => &bytes[off..],
-        None => bytes, // no sync point in the tail: fall back to everything
+        Some(off) => (&bytes[off..], off),
+        None => (bytes, 0), // no sync point in the tail: fall back to everything
     }
 }
 

@@ -62,5 +62,5 @@ pub use fastpath::{CheckScratch, FastPathResult, FastVerdict, Violation};
 pub use parallel::scan_parallel;
 pub use pool::WorkerPool;
 pub use shadow::{ShadowOutcome, ShadowStack};
-pub use slowpath::{SlowPathResult, SlowVerdict, SlowViolation};
+pub use slowpath::{SlowPathResult, SlowScratch, SlowVerdict, SlowViolation};
 pub use telemetry::{CheckEvent, CheckVerdict, EngineTelemetry, TelemetrySnapshot};

@@ -73,8 +73,10 @@ impl WorkerPool {
         })
     }
 
-    /// Builds a pool with `workers` threads (at least one).
-    fn with_size(workers: usize) -> WorkerPool {
+    /// Builds a pool with `workers` threads (at least one). The threads
+    /// live for the process — use [`WorkerPool::global`] unless a specific
+    /// width is required (benchmarks model fixed-width decode fleets).
+    pub fn with_size(workers: usize) -> WorkerPool {
         let workers = workers.max(1);
         let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
             state: Mutex::new(PoolState { queue: VecDeque::new(), shutdown: false }),

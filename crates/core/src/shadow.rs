@@ -56,6 +56,36 @@ impl ShadowStack {
         self.frames.len()
     }
 
+    /// Clears the stack and counters, keeping the frame allocation — the
+    /// slow-path checkpoint reuses one stack across checks.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.matched = 0;
+        self.unverifiable = 0;
+    }
+
+    /// FNV-1a hash over the frame contents and counters: together with the
+    /// flow machine's state hash this keys the slow-path decode checkpoint,
+    /// so a warm re-check only continues from state it can prove unchanged.
+    pub fn state_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.frames.len() as u64);
+        for &f in &self.frames {
+            mix(f);
+        }
+        mix(self.matched);
+        mix(self.unverifiable);
+        h
+    }
+
     /// Feeds one reconstructed branch event.
     pub fn feed(&mut self, ev: &BranchEvent) -> ShadowOutcome {
         match ev.kind {

@@ -111,6 +111,17 @@ pub struct CheckEvent {
     pub slow_cycles: f64,
     /// Interception-overhead cycles.
     pub other_cycles: f64,
+    /// Whether the slow path resumed from its decode checkpoint (warm)
+    /// instead of decoding the window cold.
+    pub checkpoint_hit: bool,
+    /// PSB shards the slow-path decode split into (zero when not
+    /// escalated).
+    pub slow_shards: u64,
+    /// Instructions the slow-path decoders actually walked this check (the
+    /// appended delta on warm checks; the whole window cold).
+    pub slow_insns_decoded: u64,
+    /// Sequential stitch/replay cycles spent by the slow path.
+    pub stitch_cycles: f64,
 }
 
 impl Default for CheckEvent {
@@ -129,6 +140,10 @@ impl Default for CheckEvent {
             check_cycles: 0.0,
             slow_cycles: 0.0,
             other_cycles: 0.0,
+            checkpoint_hit: false,
+            slow_shards: 0,
+            slow_insns_decoded: 0,
+            stitch_cycles: 0.0,
         }
     }
 }
@@ -136,7 +151,11 @@ impl Default for CheckEvent {
 impl CheckEvent {
     /// Total cycles attributable to this check.
     pub fn total_cycles(&self) -> f64 {
-        self.scan_cycles + self.check_cycles + self.slow_cycles + self.other_cycles
+        self.scan_cycles
+            + self.check_cycles
+            + self.slow_cycles
+            + self.stitch_cycles
+            + self.other_cycles
     }
 }
 
@@ -144,7 +163,9 @@ impl PodEvent for CheckEvent {
     fn encode(&self) -> [u64; EVENT_WORDS] {
         [
             self.sysno,
-            self.verdict.to_u64() | u64::from(self.cold_restart) << 8,
+            self.verdict.to_u64()
+                | u64::from(self.cold_restart) << 8
+                | u64::from(self.checkpoint_hit) << 9,
             self.delta_bytes,
             self.pairs_checked,
             self.credited_pairs,
@@ -155,6 +176,10 @@ impl PodEvent for CheckEvent {
             self.check_cycles.to_bits(),
             self.slow_cycles.to_bits(),
             self.other_cycles.to_bits(),
+            self.slow_shards,
+            self.slow_insns_decoded,
+            self.stitch_cycles.to_bits(),
+            0,
         ]
     }
 
@@ -163,6 +188,7 @@ impl PodEvent for CheckEvent {
             sysno: w[0],
             verdict: CheckVerdict::from_u64(w[1] & 0xff),
             cold_restart: w[1] & 0x100 != 0,
+            checkpoint_hit: w[1] & 0x200 != 0,
             delta_bytes: w[2],
             pairs_checked: w[3],
             credited_pairs: w[4],
@@ -173,6 +199,9 @@ impl PodEvent for CheckEvent {
             check_cycles: f64::from_bits(w[9]),
             slow_cycles: f64::from_bits(w[10]),
             other_cycles: f64::from_bits(w[11]),
+            slow_shards: w[12],
+            slow_insns_decoded: w[13],
+            stitch_cycles: f64::from_bits(w[14]),
         }
     }
 }
@@ -224,6 +253,8 @@ pub struct EngineTelemetry {
     credited_pairs: ShardedU64,
     bytes_scanned: ShardedU64,
     cold_restarts: ShardedU64,
+    slow_checkpoint_hits: ShardedU64,
+    slow_checkpoint_misses: ShardedU64,
     cache_size: Gauge,
     edge_cache_hits: Gauge,
     edge_cache_misses: Gauge,
@@ -236,6 +267,10 @@ pub struct EngineTelemetry {
     fastpath_scan_cycles: Histogram,
     /// Slow-path decode cycles per escalation.
     slowpath_decode_cycles: Histogram,
+    /// Slow-path sequential stitch/replay cycles per escalation.
+    slowpath_stitch_cycles: Histogram,
+    /// PSB shards per slow-path decode.
+    slowpath_shards: Histogram,
     /// Trace bytes consumed per check.
     bytes_per_check: Histogram,
     events: EventRing<CheckEvent>,
@@ -261,6 +296,8 @@ impl EngineTelemetry {
             credited_pairs: ShardedU64::new(),
             bytes_scanned: ShardedU64::new(),
             cold_restarts: ShardedU64::new(),
+            slow_checkpoint_hits: ShardedU64::new(),
+            slow_checkpoint_misses: ShardedU64::new(),
             cache_size: Gauge::new(),
             edge_cache_hits: Gauge::new(),
             edge_cache_misses: Gauge::new(),
@@ -270,6 +307,8 @@ impl EngineTelemetry {
             check_latency: Histogram::new(),
             fastpath_scan_cycles: Histogram::new(),
             slowpath_decode_cycles: Histogram::new(),
+            slowpath_stitch_cycles: Histogram::new(),
+            slowpath_shards: Histogram::new(),
             bytes_per_check: Histogram::new(),
             events: EventRing::new(EVENT_RING_CAPACITY),
             violations: Mutex::new(ViolationLog::default()),
@@ -313,6 +352,13 @@ impl EngineTelemetry {
         self.fastpath_scan_cycles.record_f64(ev.scan_cycles);
         if matches!(ev.verdict, CheckVerdict::SlowClean | CheckVerdict::SlowAttack) {
             self.slowpath_decode_cycles.record_f64(ev.slow_cycles);
+            self.slowpath_stitch_cycles.record_f64(ev.stitch_cycles);
+            self.slowpath_shards.record(ev.slow_shards);
+            if ev.checkpoint_hit {
+                self.slow_checkpoint_hits.incr();
+            } else {
+                self.slow_checkpoint_misses.incr();
+            }
         }
         self.bytes_per_check.record(ev.delta_bytes);
         self.events.push(ev);
@@ -418,6 +464,8 @@ impl EngineTelemetry {
             cache_size: self.cache_size.get(),
             bytes_scanned: self.bytes_scanned.get(),
             cold_restarts: self.cold_restarts.get(),
+            slow_checkpoint_hits: self.slow_checkpoint_hits.get(),
+            slow_checkpoint_misses: self.slow_checkpoint_misses.get(),
             edge_cache_hits: self.edge_cache_hits.get(),
             edge_cache_misses: self.edge_cache_misses.get(),
             decode_cycles: self.decode_cycles.get(),
@@ -426,6 +474,8 @@ impl EngineTelemetry {
             check_latency: self.check_latency.snapshot(),
             fastpath_scan_cycles: self.fastpath_scan_cycles.snapshot(),
             slowpath_decode_cycles: self.slowpath_decode_cycles.snapshot(),
+            slowpath_stitch_cycles: self.slowpath_stitch_cycles.snapshot(),
+            slowpath_shards: self.slowpath_shards.snapshot(),
             bytes_per_check: self.bytes_per_check.snapshot(),
             events_recorded: self.events.pushed(),
             violations_total: v.total(),
@@ -472,6 +522,16 @@ impl EngineTelemetry {
             .counter("fg_credited_pairs_total", "High-credit pairs", self.credited_pairs.get())
             .counter("fg_bytes_scanned_total", "Trace bytes scanned", self.bytes_scanned.get())
             .counter("fg_cold_restarts_total", "Cold PSB re-syncs", self.cold_restarts.get())
+            .counter(
+                "fg_slow_checkpoint_hits_total",
+                "Slow-path checks resumed from the decode checkpoint",
+                self.slow_checkpoint_hits.get(),
+            )
+            .counter(
+                "fg_slow_checkpoint_misses_total",
+                "Slow-path checks decoded cold",
+                self.slow_checkpoint_misses.get(),
+            )
             .counter("fg_violations_total", "CFI violations", self.violations_total())
             .gauge("fg_cache_size", "Slow-path result cache entries", self.cache_size.get() as f64)
             .gauge("fg_edge_cache_hits", "Edge-cache hits", self.edge_cache_hits.get() as f64)
@@ -493,6 +553,16 @@ impl EngineTelemetry {
                 "fg_slowpath_decode_cycles",
                 "Per-escalation slow-path cycles",
                 &self.slowpath_decode_cycles.snapshot(),
+            )
+            .summary(
+                "fg_slowpath_stitch_cycles",
+                "Per-escalation sequential stitch/replay cycles",
+                &self.slowpath_stitch_cycles.snapshot(),
+            )
+            .summary(
+                "fg_slowpath_shards",
+                "PSB shards per slow-path decode",
+                &self.slowpath_shards.snapshot(),
             )
             .summary(
                 "fg_bytes_per_check",
@@ -541,6 +611,12 @@ pub struct TelemetrySnapshot {
     pub bytes_scanned: u64,
     /// Cold PSB re-synchronisations.
     pub cold_restarts: u64,
+    /// Slow-path checks resumed from the decode checkpoint.
+    #[serde(default)]
+    pub slow_checkpoint_hits: u64,
+    /// Slow-path checks that decoded their window cold.
+    #[serde(default)]
+    pub slow_checkpoint_misses: u64,
     /// Edge-cache hits (cumulative).
     pub edge_cache_hits: u64,
     /// Edge-cache misses (cumulative).
@@ -557,6 +633,12 @@ pub struct TelemetrySnapshot {
     pub fastpath_scan_cycles: HistogramSnapshot,
     /// Distribution of per-escalation slow-path decode cycles.
     pub slowpath_decode_cycles: HistogramSnapshot,
+    /// Distribution of per-escalation sequential stitch/replay cycles.
+    #[serde(default)]
+    pub slowpath_stitch_cycles: HistogramSnapshot,
+    /// Distribution of PSB shards per slow-path decode.
+    #[serde(default)]
+    pub slowpath_shards: HistogramSnapshot,
     /// Distribution of trace bytes consumed per check.
     pub bytes_per_check: HistogramSnapshot,
     /// Events ever pushed to the ring (≥ retained).
@@ -609,6 +691,10 @@ mod tests {
             check_cycles: 60.25,
             slow_cycles: 900.0,
             other_cycles: 200.0,
+            checkpoint_hit: true,
+            slow_shards: 5,
+            slow_insns_decoded: 777,
+            stitch_cycles: 44.0,
         };
         assert_eq!(CheckEvent::decode(&ev.encode()), ev);
     }

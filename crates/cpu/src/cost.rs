@@ -41,6 +41,12 @@ pub struct CostModel {
     /// (target association dominates the software decoder's cost; this is
     /// what makes TIP-dense programs like h264ref decode far slower).
     pub flow_decode_tip_cycles: f64,
+    /// Cycles per reconstructed branch event replayed by the slow path's
+    /// sequential stitch pass (seam validation plus the shadow-stack feed).
+    /// Orders of magnitude below `flow_decode_insn_cycles` — the stitch is
+    /// what stays serial when the PSB-sharded decode fans out.
+    #[serde(default = "default_stitch_cycles")]
+    pub flow_stitch_event_cycles: f64,
     /// Cycles per ITC-CFG edge lookup in the fast path (binary search + the
     /// high-credit cache probe).
     pub edge_check_cycles: f64,
@@ -63,6 +69,7 @@ impl CostModel {
             packet_scan_byte_cycles: 3.0,
             flow_decode_insn_cycles: 50.0,
             flow_decode_tip_cycles: 10_000.0,
+            flow_stitch_event_cycles: default_stitch_cycles(),
             edge_check_cycles: 100.0,
             intercept_cycles: 120.0,
             trace_reconfig_cycles: 3000.0,
@@ -77,6 +84,10 @@ impl CostModel {
         self.packet_scan_byte_cycles = 0.0;
         self
     }
+}
+
+fn default_stitch_cycles() -> f64 {
+    20.0
 }
 
 impl Default for CostModel {

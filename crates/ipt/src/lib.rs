@@ -18,8 +18,12 @@
 //!   primitive, no binary needed);
 //! * [`incremental`] — the checkpointed [`incremental::IncrementalScanner`]
 //!   that scans only bytes appended since the previous endpoint check;
-//! * [`flow`] — the instruction-flow layer ([`flow::FlowDecoder`]): the full,
-//!   slow decoder that walks the binary to reconstruct complete flow.
+//! * [`flow`] — the instruction-flow layer ([`flow::FlowDecoder`] over the
+//!   resumable [`flow::FlowMachine`]): the full, slow decoder that walks the
+//!   binary to reconstruct complete flow;
+//! * [`shard`] — PSB-sharded flow decode: each PSB-delimited shard decodes
+//!   independently and a sequential [`shard::Stitcher`] pass validates the
+//!   seams, making the slow path parallel without losing precision.
 //!
 //! The asymmetry between [`fast::scan`] (cost ∝ trace bytes) and
 //! [`flow::FlowDecoder::decode`] (cost ∝ instructions executed) is the
@@ -33,13 +37,15 @@ pub mod flow;
 pub mod incremental;
 pub mod msr;
 pub mod packet;
+pub mod shard;
 pub mod topa;
 
 pub use decode::{PacketAt, PacketError, PacketParser};
 pub use encode::{PacketEncoder, TraceSink};
 pub use fast::{Boundary, FastScan, TipEvent};
-pub use flow::{BranchEvent, FlowDecoder, FlowError, FlowTrace};
+pub use flow::{BranchEvent, FlowDecoder, FlowError, FlowMachine, FlowTrace};
 pub use incremental::{AppendInfo, IncrementalScanner};
 pub use msr::{IptMsrs, RtitCtl};
 pub use packet::{Packet, TntSeq};
+pub use shard::{decode_shard, shard_spans, ShardDecode, StitchOutcome, Stitcher};
 pub use topa::{Topa, TopaFlags, TopaRegion};

@@ -1,0 +1,437 @@
+//! PSB-sharded slow-path decoding: the flow-level analogue of the
+//! packet-level parallel scan.
+//!
+//! "With the help of packet stream boundary (PSB) packets, which are served
+//! as sync points for the decoder, this process can be done in parallel"
+//! (§5.3). Each PSB+ bundle carries a FUP with the exact IP the walk
+//! resumes at, so the window splits into self-synchronizing shards: every
+//! shard decodes independently from its own PSB ([`decode_shard`]), and a
+//! cheap sequential [`Stitcher`] pass validates the seams.
+//!
+//! A seam is valid when the accumulated walk parked at a CoFI awaiting its
+//! outcome packet, and the next shard's *first consumed outcome* sits at
+//! exactly that CoFI — then the shard's walk after that point is what the
+//! serial decoder would have produced, and its seam-overlap prefix (the
+//! duplicate re-walk from the FUP IP to the parked CoFI, direct branches
+//! only by construction) is dropped. Any other seam falls back to feeding
+//! the shard's bytes through the accumulator serially, which *is* the
+//! serial algorithm — so the stitched result is bit-identical to serial
+//! decode by case analysis, never by luck.
+//!
+//! Damage policy matches a real PT decoder: a packet error after sync
+//! discards the accumulated flow and re-synchronises at the next PSB
+//! (the [`StitchOutcome::Restarted`] case; [`feed_resilient`] is the serial
+//! equivalent).
+
+use crate::decode::PacketParser;
+use crate::flow::{FlowError, FlowMachine};
+use fg_isa::image::Image;
+
+/// Splits a trace buffer into PSB-delimited shard spans `[start, end)`.
+///
+/// Bytes before the first PSB are not covered (the serial decoder only
+/// seeks over them); an empty result means the buffer holds no sync point.
+pub fn shard_spans(buf: &[u8]) -> Vec<(usize, usize)> {
+    let offsets = PacketParser::psb_offsets(buf);
+    offsets
+        .iter()
+        .enumerate()
+        .map(|(i, &start)| (start, offsets.get(i + 1).copied().unwrap_or(buf.len())))
+        .collect()
+}
+
+/// One shard's independent decode: the machine synced at the shard's own
+/// PSB and walked as far as the shard's packets allow.
+#[derive(Debug)]
+pub struct ShardDecode {
+    /// The shard's decoder, holding its [`crate::flow::FlowTrace`] and seam
+    /// metadata (first consumed outcome, overlap prefix).
+    pub machine: FlowMachine,
+    /// The error the shard's walk ended with, if any.
+    pub error: Option<FlowError>,
+}
+
+/// Decodes one PSB-delimited shard from scratch.
+pub fn decode_shard(image: &Image, bytes: &[u8]) -> ShardDecode {
+    let mut machine = FlowMachine::new(false);
+    machine.reserve_for(bytes.len());
+    let error = machine.feed(image, bytes).err();
+    ShardDecode { machine, error }
+}
+
+/// Drives `m` over `chunk` with the real-decoder damage policy: a packet
+/// error after sync discards the accumulated flow and re-synchronises at
+/// the next PSB (jumping directly — no byte-stepping through garbage).
+///
+/// Returns whether any restart occurred (the caller's window-level state,
+/// e.g. a shadow stack, must be discarded too).
+///
+/// # Errors
+///
+/// Only flow-level walk errors ([`FlowError::BadIp`],
+/// [`FlowError::TraceMismatch`], [`FlowError::Overflow`]) propagate.
+pub fn feed_resilient(m: &mut FlowMachine, image: &Image, chunk: &[u8]) -> Result<bool, FlowError> {
+    let mut cursor = 0usize;
+    let mut restarted = false;
+    loop {
+        match m.feed(image, &chunk[cursor..]) {
+            Ok(()) => return Ok(restarted),
+            Err(FlowError::Packet(e)) => {
+                restarted = true;
+                m.reset();
+                // Re-enter at the damaged byte: the unsynced machine's sync
+                // seek swallows the damage and lands on the next PSB.
+                cursor += e.offset;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// What [`Stitcher::push`] did with a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StitchOutcome {
+    /// Seam validated: the shard's post-prefix flow was appended to the
+    /// accumulator starting at branch index `base`.
+    Adopted {
+        /// `acc.trace().branches.len()` before the append.
+        base: usize,
+    },
+    /// Seam not provable: the shard's bytes were re-fed serially; any new
+    /// events were appended starting at branch index `base`.
+    Fallback {
+        /// `acc.trace().branches.len()` before the serial feed.
+        base: usize,
+    },
+    /// Packet damage: the accumulated flow (all previously appended
+    /// events) was discarded and decoding restarts at the next shard.
+    Restarted,
+    /// Nothing to do: the accumulator already halted, or neither side has
+    /// a sync point.
+    Skipped,
+}
+
+/// Sequential seam-validating stitcher over independently decoded shards.
+///
+/// Feed shards in stream order via [`Stitcher::push`]; the borrowed
+/// accumulator machine ends in exactly the state a serial decode of the
+/// concatenated bytes would produce.
+#[derive(Debug)]
+pub struct Stitcher<'a> {
+    image: &'a Image,
+    acc: &'a mut FlowMachine,
+}
+
+impl<'a> Stitcher<'a> {
+    /// Wraps an accumulator machine (typically fresh; a parked checkpoint
+    /// machine also works — the first seam is validated against it).
+    pub fn new(image: &'a Image, acc: &'a mut FlowMachine) -> Stitcher<'a> {
+        Stitcher { image, acc }
+    }
+
+    /// The accumulator.
+    pub fn acc(&self) -> &FlowMachine {
+        self.acc
+    }
+
+    /// Feeds raw bytes (no independent shard decode) through the
+    /// accumulator — used for the sub-window before the first PSB.
+    ///
+    /// # Errors
+    ///
+    /// Walk errors propagate; packet damage restarts (see
+    /// [`StitchOutcome::Restarted`]).
+    pub fn feed_serial(&mut self, bytes: &[u8]) -> Result<StitchOutcome, FlowError> {
+        if self.acc.halted() || bytes.is_empty() {
+            return Ok(StitchOutcome::Skipped);
+        }
+        let base = self.acc.trace().branches.len();
+        match feed_resilient(self.acc, self.image, bytes)? {
+            true => Ok(StitchOutcome::Restarted),
+            false => Ok(StitchOutcome::Fallback { base }),
+        }
+    }
+
+    /// Stitches one independently decoded shard onto the accumulator.
+    ///
+    /// `bytes` must be the exact span `shard` was decoded from, in stream
+    /// order directly after every previously pushed span.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's (or the serial fallback's) walk error — the
+    /// same error the serial decoder would hit at the same point.
+    pub fn push(
+        &mut self,
+        bytes: &[u8],
+        shard: &mut ShardDecode,
+    ) -> Result<StitchOutcome, FlowError> {
+        if self.acc.halted() {
+            // The serial decoder stops consuming packets at a halt.
+            return Ok(StitchOutcome::Skipped);
+        }
+
+        // Accumulator still seeking sync: the shard's own sync is genuine,
+        // its decode IS the serial decode of this span.
+        if !self.acc.synced() {
+            if !shard.machine.synced() {
+                // No usable sync in the shard either (damaged or FUP-less
+                // PSB+): serial seeking would scan past it identically.
+                return Ok(StitchOutcome::Skipped);
+            }
+            return match shard.error.take() {
+                None => {
+                    let base = self.acc.trace().branches.len();
+                    self.acc.absorb_full(&mut shard.machine);
+                    Ok(StitchOutcome::Adopted { base })
+                }
+                Some(FlowError::Packet(_)) => {
+                    // Serial: sync here, walk, hit the damage, discard and
+                    // re-seek — the next PSB is the next shard.
+                    self.acc.reset();
+                    Ok(StitchOutcome::Restarted)
+                }
+                Some(e) => Err(e),
+            };
+        }
+
+        // Accumulator parked at a CoFI: adopt the shard iff its first
+        // consumed outcome is at exactly that CoFI, with no skipped damage
+        // and no partially consumed TNT/syscall state at the seam.
+        let seam_ok = self.acc.park_ip().is_some()
+            && !self.acc.mid_syscall_group()
+            && self.acc.pending_tnt_empty()
+            && shard.machine.synced()
+            && !shard.machine.seek_skipped_damage()
+            && shard.machine.first_outcome_from().is_some()
+            && shard.machine.first_outcome_from() == self.acc.park_ip();
+        if seam_ok {
+            return match shard.error.take() {
+                None => {
+                    let base = self.acc.trace().branches.len();
+                    self.acc.absorb_tail(&mut shard.machine);
+                    Ok(StitchOutcome::Adopted { base })
+                }
+                Some(FlowError::Packet(_)) => {
+                    self.acc.reset();
+                    Ok(StitchOutcome::Restarted)
+                }
+                // The serial walk follows the identical post-seam path and
+                // hits the identical flow-level error.
+                Some(e) => Err(e),
+            };
+        }
+
+        // Unprovable seam (mid-syscall-group PSB, outcome-less shard,
+        // damaged bundle…): run this span serially — the ground truth.
+        self.feed_serial(bytes)
+    }
+}
+
+/// One-shot serial reference: decodes `buf` on a fresh machine with the
+/// window damage policy.
+///
+/// # Errors
+///
+/// Walk errors only; damage restarts internally.
+pub fn decode_serial(image: &Image, buf: &[u8]) -> Result<FlowMachine, FlowError> {
+    let mut m = FlowMachine::new(false);
+    m.reserve_for(buf.len());
+    feed_resilient(&mut m, image, buf)?;
+    Ok(m)
+}
+
+/// One-shot sharded decode: splits at PSBs, decodes each shard
+/// independently (serially here — fan the [`decode_shard`] calls out on a
+/// worker pool for actual parallelism), and stitches.
+///
+/// Produces a machine whose trace, walk state and sync state are
+/// bit-identical to [`decode_serial`] on the same buffer.
+///
+/// # Errors
+///
+/// Walk errors only; damage restarts internally.
+pub fn decode_sharded(image: &Image, buf: &[u8]) -> Result<FlowMachine, FlowError> {
+    let spans = shard_spans(buf);
+    let mut acc = FlowMachine::new(false);
+    let mut st = Stitcher::new(image, &mut acc);
+    let head_end = spans.first().map_or(buf.len(), |&(s, _)| s);
+    st.feed_serial(&buf[..head_end])?;
+    for &(s, e) in &spans {
+        let mut shard = decode_shard(image, &buf[s..e]);
+        st.push(&buf[s..e], &mut shard)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::PacketEncoder;
+    use fg_isa::asm::Asm;
+    use fg_isa::image::{Image, Linker};
+    use fg_isa::insn::regs::*;
+    use fg_isa::insn::Cond;
+
+    /// A looping program: main dispatches an indirect call per input byte,
+    /// giving the trace plenty of TIPs for PSBs to land between.
+    fn loopy_image() -> Image {
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.movi(R4, 6);
+        a.label("loop");
+        a.lea(R1, "table");
+        a.ld(R2, R1, 0);
+        a.calli(R2);
+        a.addi(R4, -1);
+        a.cmpi(R4, 0);
+        a.jcc(Cond::Gt, "loop");
+        a.halt();
+        a.label("helper");
+        a.movi(R3, 7);
+        a.ret();
+        a.data_ptrs("table", &["helper"]);
+        Linker::new(a.finish().unwrap()).link().unwrap()
+    }
+
+    /// Instruction offset helpers for [`loopy_image`]: the entry block is
+    /// 8 instructions (movi, lea, ld, calli, addi, cmpi, jcc, halt).
+    const HELPER_IDX: u64 = 8;
+    const RET_TO_IDX: u64 = 4; // addi, right after the calli
+    const LOOP_IDX: u64 = 1; // lea, the jcc back-edge target
+
+    /// Encodes the loop's trace with a periodic PSB+ every `period` CoFIs.
+    fn loopy_trace(img: &Image, period: usize) -> Vec<u8> {
+        let base = img.entry();
+        let helper = base + HELPER_IDX * 8;
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(base), Some(0x1000));
+        let mut cofis = 0usize;
+        fn bump(enc: &mut PacketEncoder<Vec<u8>>, cofis: &mut usize, period: usize, to: u64) {
+            *cofis += 1;
+            if (*cofis).is_multiple_of(period) {
+                enc.psb_plus(Some(to), Some(0x1000));
+            }
+        }
+        for i in 0..6u64 {
+            enc.tip(helper); // calli
+            bump(&mut enc, &mut cofis, period, helper);
+            let ret_to = base + RET_TO_IDX * 8;
+            enc.tip(ret_to); // ret
+            bump(&mut enc, &mut cofis, period, ret_to);
+            let taken = i != 5;
+            let jcc_to = if taken { base + LOOP_IDX * 8 } else { base + 7 * 8 };
+            enc.tnt_bit(taken); // jcc
+            bump(&mut enc, &mut cofis, period, jcc_to);
+        }
+        enc.into_sink()
+    }
+
+    #[test]
+    fn spans_cover_from_first_psb_to_end() {
+        let img = loopy_image();
+        let bytes = loopy_trace(&img, 2);
+        let spans = shard_spans(&bytes);
+        assert!(spans.len() >= 4, "periodic PSBs make multiple shards: {spans:?}");
+        assert_eq!(spans[0].0, 0, "trace starts with a PSB");
+        assert_eq!(spans.last().unwrap().1, bytes.len());
+        for w in spans.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "spans tile the buffer");
+        }
+    }
+
+    #[test]
+    fn sharded_equals_serial_on_clean_trace() {
+        let img = loopy_image();
+        for period in 1..=4 {
+            let bytes = loopy_trace(&img, period);
+            let serial = decode_serial(&img, &bytes).unwrap();
+            let sharded = decode_sharded(&img, &bytes).unwrap();
+            assert_eq!(sharded.trace(), serial.trace(), "period {period}");
+            assert_eq!(sharded.synced(), serial.synced());
+            assert_eq!(sharded.park_ip(), serial.park_ip());
+        }
+    }
+
+    #[test]
+    fn sharded_equals_serial_with_mid_buffer_damage() {
+        let img = loopy_image();
+        let bytes = loopy_trace(&img, 2);
+        let spans = shard_spans(&bytes);
+        assert!(spans.len() >= 3);
+        // Clobber the first byte after the second shard's PSB+ bundle
+        // (inside the bundle the damage would just abort the sync).
+        let mut parser = crate::decode::PacketParser::at(&bytes, spans[1].0);
+        let mut dmg = None;
+        while let Some(Ok(pa)) = parser.next_packet() {
+            if pa.packet == crate::packet::Packet::Psbend {
+                dmg = Some(parser.position());
+                break;
+            }
+        }
+        let dmg = dmg.expect("shard has a PSBEND");
+        assert!(dmg < spans[1].1, "damage lands inside the shard");
+        let mut damaged = bytes.clone();
+        damaged[dmg] = 0x05; // unknown opcode
+        let serial = decode_serial(&img, &damaged).unwrap();
+        let sharded = decode_sharded(&img, &damaged).unwrap();
+        assert_eq!(sharded.trace(), serial.trace());
+        assert_eq!(sharded.synced(), serial.synced());
+    }
+
+    #[test]
+    fn sharded_propagates_walk_errors_like_serial() {
+        let img = loopy_image();
+        let base = img.entry();
+        let helper = base + HELPER_IDX * 8;
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(base), None);
+        enc.tip(helper); // calli → helper (fine)
+        enc.psb_plus(Some(helper), None);
+        enc.tip(0x0bad_0000); // ret → unmapped
+        let bytes = enc.into_sink();
+        let serial = decode_serial(&img, &bytes).unwrap_err();
+        let sharded = decode_sharded(&img, &bytes).unwrap_err();
+        assert_eq!(serial, sharded);
+        assert_eq!(serial, FlowError::BadIp { ip: 0x0bad_0000 });
+    }
+
+    #[test]
+    fn adoption_drops_the_seam_prefix() {
+        // Two shards where the second's PSB lands right after a taken
+        // branch: its re-walk up to the next outcome is prefix, dropped on
+        // adoption, so insns are not double counted.
+        let img = loopy_image();
+        let bytes = loopy_trace(&img, 1); // PSB after every CoFI
+        let spans = shard_spans(&bytes);
+        let serial = decode_serial(&img, &bytes).unwrap();
+        let mut acc = FlowMachine::new(false);
+        let mut st = Stitcher::new(&img, &mut acc);
+        let mut adopted = 0;
+        for &(s, e) in &spans {
+            let mut shard = decode_shard(&img, &bytes[s..e]);
+            if matches!(st.push(&bytes[s..e], &mut shard).unwrap(), StitchOutcome::Adopted { .. }) {
+                adopted += 1;
+            }
+        }
+        assert!(adopted >= 2, "clean periodic PSBs stitch by adoption");
+        assert_eq!(acc.trace().insns_walked, serial.trace().insns_walked);
+        assert_eq!(acc.trace(), serial.trace());
+    }
+
+    #[test]
+    fn no_sync_window_decodes_empty_on_both_paths() {
+        let img = loopy_image();
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.tip(0x40_0000);
+        enc.tnt_bit(true);
+        let bytes = enc.into_sink();
+        assert!(shard_spans(&bytes).is_empty());
+        let serial = decode_serial(&img, &bytes).unwrap();
+        let sharded = decode_sharded(&img, &bytes).unwrap();
+        assert!(!serial.synced() && !sharded.synced());
+        assert_eq!(serial.trace(), sharded.trace());
+        assert_eq!(serial.trace().insns_walked, 0);
+    }
+}

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Fixed word budget per event. Generous enough for the engine's check
 /// events; encoders must zero-fill unused words.
-pub const EVENT_WORDS: usize = 12;
+pub const EVENT_WORDS: usize = 16;
 
 /// An event storable in the ring: a plain-old-data encoding into
 /// [`EVENT_WORDS`] `u64` words.

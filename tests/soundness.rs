@@ -191,6 +191,132 @@ proptest! {
         }
     }
 
+    /// Slow-path equivalence: the PSB-sharded pool decode and the serial
+    /// decode return identical verdicts, identical cumulative walk counts,
+    /// and identical validated TIP pairs — on clean traces and on traces
+    /// with a random byte of packet damage (both sides must resynchronise
+    /// at the same PSB).
+    #[test]
+    fn slowpath_sharded_equals_serial(
+        seed in any::<u64>(),
+        n_funcs in 2usize..10,
+        input in proptest::collection::vec(any::<u8>(), 1..16),
+        damage in (any::<bool>(), any::<usize>(), 1u8..=255),
+    ) {
+        let image = random_image(seed, n_funcs);
+        let ocfg = fg_cfg::OCfg::build(&image);
+        let (_, mut bytes) = traced_run(&image, &input);
+        let (do_damage, at, xor) = damage;
+        if do_damage {
+            let psbs = fg_ipt::PacketParser::psb_offsets(&bytes);
+            // Damage strictly inside the synced region so both decoders
+            // face it (bytes before the first PSB are seek-only).
+            if psbs.len() >= 2 && bytes.len() > psbs[0] + 1 {
+                let off = psbs[0] + 1 + at % (bytes.len() - psbs[0] - 1);
+                bytes[off] ^= xor;
+            }
+        }
+        let cost = fg_cpu::CostModel::calibrated();
+        let serial = flowguard::slowpath::check(&image, &ocfg, &bytes, &cost);
+        let mut scratch = flowguard::slowpath::SlowScratch::new();
+        let sharded = flowguard::slowpath::check_incremental(
+            &image, &ocfg, &bytes, 0, &cost, Some(flowguard::WorkerPool::global()), &mut scratch,
+        );
+        prop_assert_eq!(&serial.verdict, &sharded.verdict);
+        prop_assert_eq!(serial.insns_walked, sharded.insns_walked);
+    }
+
+    /// A retargeted TIP (control-flow hijack as the trace records it) is
+    /// detected, and the serial and sharded checkers agree on the verdict.
+    /// XOR-ing bit 0 of the payload misaligns the target (`INSN_SIZE` = 8),
+    /// so the reconstruction walk cannot silently absorb it.
+    #[test]
+    fn slowpath_detects_retargeted_tip_identically(
+        seed in any::<u64>(),
+        n_funcs in 2usize..10,
+        input in proptest::collection::vec(any::<u8>(), 1..16),
+        which in any::<usize>(),
+    ) {
+        let image = random_image(seed, n_funcs);
+        let ocfg = fg_cfg::OCfg::build(&image);
+        let (_, mut bytes) = traced_run(&image, &input);
+        let psbs = fg_ipt::PacketParser::psb_offsets(&bytes);
+        if psbs.is_empty() {
+            return Ok(());
+        }
+        let tips: Vec<usize> = fg_ipt::PacketParser::new(&bytes)
+            .filter_map(|p| p.ok())
+            .filter(|p| {
+                p.offset >= psbs[0] && p.len >= 2 && matches!(p.packet, fg_ipt::Packet::Tip { .. })
+            })
+            .map(|p| p.offset)
+            .collect();
+        if tips.is_empty() {
+            return Ok(());
+        }
+        bytes[tips[which % tips.len()] + 1] ^= 0x01;
+        let cost = fg_cpu::CostModel::calibrated();
+        let serial = flowguard::slowpath::check(&image, &ocfg, &bytes, &cost);
+        prop_assert!(
+            matches!(serial.verdict, flowguard::slowpath::SlowVerdict::Attack(_)),
+            "retargeted TIP must be detected: {:?}", serial.verdict
+        );
+        let mut scratch = flowguard::slowpath::SlowScratch::new();
+        let sharded = flowguard::slowpath::check_incremental(
+            &image, &ocfg, &bytes, 0, &cost, Some(flowguard::WorkerPool::global()), &mut scratch,
+        );
+        prop_assert_eq!(&serial.verdict, &sharded.verdict);
+        prop_assert_eq!(serial.insns_walked, sharded.insns_walked);
+    }
+
+    /// Checkpointed re-checking over growing windows returns exactly what a
+    /// cold check of each window returns, while decoding strictly fewer
+    /// instructions in total (the warm scratch only walks appended bytes).
+    #[test]
+    fn slowpath_checkpoint_equals_cold(
+        seed in any::<u64>(),
+        n_funcs in 2usize..10,
+        input in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let image = random_image(seed, n_funcs);
+        let ocfg = fg_cfg::OCfg::build(&image);
+        let (_, bytes) = traced_run(&image, &input);
+        let cost = fg_cpu::CostModel::calibrated();
+        // Windows cut at PSB boundaries (packet-aligned), growing by append.
+        let mut cuts: Vec<usize> = fg_ipt::PacketParser::psb_offsets(&bytes)
+            .into_iter()
+            .skip(1)
+            .take(3)
+            .collect();
+        if cuts.last() != Some(&bytes.len()) {
+            cuts.push(bytes.len());
+        }
+        let mut warm = flowguard::slowpath::SlowScratch::new();
+        let (mut warm_total, mut cold_total) = (0u64, 0u64);
+        for &cut in &cuts {
+            let mut cold = flowguard::slowpath::SlowScratch::new();
+            let w = flowguard::slowpath::check_incremental(
+                &image, &ocfg, &bytes[..cut], 0, &cost, None, &mut warm,
+            );
+            let c = flowguard::slowpath::check_incremental(
+                &image, &ocfg, &bytes[..cut], 0, &cost, None, &mut cold,
+            );
+            prop_assert_eq!(&w.verdict, &c.verdict);
+            prop_assert_eq!(w.insns_walked, c.insns_walked);
+            warm_total += w.insns_decoded;
+            cold_total += c.insns_decoded;
+        }
+        if cuts.len() > 1 {
+            prop_assert!(
+                warm_total < cold_total,
+                "warm lineage must decode strictly less: {} vs {}",
+                warm_total,
+                cold_total
+            );
+            prop_assert!(warm.checkpoint_hits >= 1);
+        }
+    }
+
     /// Trained-on-same-input fast path returns Clean for that input.
     #[test]
     fn trained_fast_path_is_clean(
