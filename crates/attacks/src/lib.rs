@@ -11,6 +11,8 @@
 //! * [`runner`] — executes payloads unprotected (attack must succeed) and
 //!   under FlowGuard (attack must be killed at the endpoint).
 
+#![deny(unsafe_code)]
+
 pub mod gadgets;
 pub mod payloads;
 pub mod runner;

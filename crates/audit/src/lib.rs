@@ -1,0 +1,177 @@
+//! # fg-audit — whole-artifact static audit for FlowGuard deployments
+//!
+//! The build-time pipeline (`fg-cfg`) answers *what policy do we ship?*;
+//! the artifact verifier (`fg-verify`) answers *is the shipped policy
+//! internally consistent?*. This crate answers the quality questions in
+//! between: **how much of the artifact is live, how precise is the policy,
+//! and what coarse pre-checks can be extracted from it** — over a complete
+//! [`Deployment`], in one pass, as one machine-readable [`AuditReport`].
+//!
+//! Three pillars:
+//!
+//! 1. **Reachability & dead edges** ([`reach`]) — interprocedural call
+//!    graph and block-level closure from the entry point; ITC-CFG nodes the
+//!    entry cannot reach are flagged, their edges counted as dead, and a
+//!    pruned graph variant is emitted (a sound subset — rule `FG-X03`).
+//! 2. **Precision metrics** ([`metrics`]) — target-set size distributions
+//!    per policy tier (conservative / TypeArmor / VSA / ITC / pruned ITC):
+//!    AIA, median and maximum equivalence class, distinct-class counts.
+//! 3. **Tier-0 policy** — the dense valid-entry-point bitset
+//!    ([`fg_cfg::EntryBitset`]) is extracted (or the shipped one audited),
+//!    its density reported, and its coverage of the ITC node set checked —
+//!    the invariant that makes the fast path's bitset probe sound.
+//!
+//! Soundness findings (mid-instruction targets, tier-0 gaps, verifier
+//! errors) carry [`Severity::Error`]; the audit CLI exits nonzero when any
+//! are present. Everything aggregate in the report is a count or a ratio,
+//! never an address, so reports are deterministic and invariant under
+//! module reordering (property-tested in `tests/properties.rs`).
+
+#![deny(unsafe_code)]
+
+pub mod metrics;
+pub mod reach;
+pub mod report;
+
+pub use reach::ReachAnalysis;
+pub use report::{AuditReport, Finding, FindingKind, ReachStats, Severity, Tier0Stats, TierMetrics};
+
+use fg_cfg::EntryBitset;
+use flowguard::Deployment;
+
+/// The audit report plus the derived artifacts a deployment can ship.
+#[derive(Debug, Clone)]
+pub struct AuditArtifacts {
+    /// The machine-readable report.
+    pub report: AuditReport,
+    /// The reachability-pruned ITC-CFG.
+    pub pruned_itc: fg_cfg::ItcCfg,
+    /// The tier-0 entry bitset (the deployment's own when it ships one,
+    /// freshly extracted otherwise).
+    pub entry_bitset: EntryBitset,
+}
+
+/// Audits a deployment and returns the report alone. See
+/// [`audit_artifacts`] when the derived artifacts themselves are needed.
+pub fn audit(d: &Deployment) -> AuditReport {
+    audit_artifacts(d).report
+}
+
+/// Audits a deployment, returning the report together with the derived
+/// artifacts (pruned graph, tier-0 bitset) so callers can attach them to
+/// the deployment or serialize them separately.
+pub fn audit_artifacts(d: &Deployment) -> AuditArtifacts {
+    let ra = reach::analyze(&d.image, &d.ocfg, &d.itc);
+    let precision = metrics::precision_tiers(&d.image, &d.ocfg, &d.itc, &ra.pruned);
+
+    // Tier-0: audit the shipped bitset when there is one — that is the
+    // policy the fast path will actually probe — else extract it here.
+    let bits = match &d.entry_bitset {
+        Some(b) => b.clone(),
+        None => EntryBitset::from_itc(&d.image, &d.itc),
+    };
+    let mut findings = ra.findings;
+    let v = d.itc.raw_view();
+    let mut covers = true;
+    for &n in v.node_addrs {
+        if !bits.contains(n) {
+            covers = false;
+            findings.push(Finding {
+                kind: FindingKind::Tier0Gap,
+                addr: Some(n),
+                detail: "tier-0 bitset misses an ITC node: the fast-path probe would kill a \
+                         benign transfer to it"
+                    .into(),
+            });
+        }
+    }
+    let tier0 = Tier0Stats {
+        set_bits: bits.set_bits(),
+        slots: bits.slots(),
+        density: bits.density(),
+        memory_bytes: bits.memory_bytes(),
+        covers_itc_nodes: covers,
+    };
+
+    // Fold the verifier's error-severity diagnostics in: the audit verdict
+    // subsumes a `Deployment::verify` run (shipped pruned graph preferred,
+    // freshly derived one otherwise).
+    let vreport = fg_verify::verify_deployment(
+        &d.image,
+        &d.ocfg,
+        &d.itc,
+        Some(&bits),
+        Some(d.pruned_itc.as_ref().unwrap_or(&ra.pruned)),
+    );
+    for diag in &vreport.diagnostics {
+        if diag.severity == fg_verify::Severity::Error {
+            findings.push(Finding {
+                kind: FindingKind::VerifierError,
+                addr: None,
+                detail: diag.to_string(),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.kind, a.addr, &a.detail).cmp(&(b.kind, b.addr, &b.detail)));
+    let report = AuditReport {
+        program: d.image.executable().name.clone(),
+        modules: d.image.modules().len(),
+        reach: ra.stats,
+        precision,
+        tier0,
+        findings,
+    };
+    AuditArtifacts { report, pruned_itc: ra.pruned, entry_bitset: bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_deployment_audits_clean() {
+        let w = fg_workloads::nginx_patched();
+        let d = Deployment::analyze(&w.image);
+        let a = audit_artifacts(&d);
+        assert!(!a.report.has_soundness_findings(), "{}", a.report);
+        assert_eq!(a.report.precision.len(), 5);
+        assert!(a.report.tier0.covers_itc_nodes);
+        assert!(a.report.tier0.set_bits > 0);
+        assert_eq!(a.report.reach.pruned_nodes, a.pruned_itc.node_count());
+        // The emitted pruned graph passes the FG-X03 subset rule when
+        // attached to the deployment.
+        let mut d2 = d;
+        d2.pruned_itc = Some(a.pruned_itc);
+        d2.entry_bitset = Some(a.entry_bitset);
+        assert!(!d2.verify().has_errors());
+    }
+
+    #[test]
+    fn bitset_gap_is_a_soundness_finding() {
+        let w = fg_workloads::vsftpd();
+        let mut d = Deployment::analyze(&w.image);
+        let node = d.itc.raw_view().node_addrs[0];
+        let bits = d.entry_bitset.as_mut().expect("analyze extracts a bitset");
+        assert!(bits.remove(node));
+        let r = audit(&d);
+        assert!(r.has_soundness_findings());
+        assert!(r.findings.iter().any(|f| f.kind == FindingKind::Tier0Gap
+            && f.addr == Some(node)));
+        assert!(!r.tier0.covers_itc_nodes);
+        // The same defect also trips the verifier (FG-X01), folded in.
+        assert!(r.findings.iter().any(|f| f.kind == FindingKind::VerifierError));
+    }
+
+    #[test]
+    fn report_serializes_and_roundtrips() {
+        let w = fg_workloads::nginx_patched();
+        let d = Deployment::analyze(&w.image);
+        let r = audit(&d);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"precision\""));
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(r.to_string().contains("tier0:"));
+    }
+}

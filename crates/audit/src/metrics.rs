@@ -1,0 +1,188 @@
+//! Quantitative precision metrics — the Table-4-style tier comparison.
+//!
+//! Each tier is a policy over the same program, ordered from coarsest to
+//! finest:
+//!
+//! | tier           | indirect target set |
+//! |----------------|---------------------|
+//! | `conservative` | the raw address-taken universe (calls/jumps) and every call-return site (returns) — no TypeArmor, no PLT resolution |
+//! | `typearmor`    | the deployed O-CFG: arity-restricted calls, resolved PLT jumps, call/return matching |
+//! | `vsa`          | the value-set-analysis refinement ([`OCfg::build_refined`]) |
+//! | `itc`          | out-degrees of the full ITC-CFG (the fast path's real resolution — the Figure 4 derogation) |
+//! | `itc-pruned`   | out-degrees after reachability pruning |
+//!
+//! Per tier the report carries the AIA (mean target-set size, §4.3), the
+//! median and maximum set sizes — the attacker's typical and best
+//! equivalence class — and the number of *distinct* sets, i.e. how many
+//! genuinely different answers the policy can give.
+
+use crate::report::TierMetrics;
+use fg_cfg::{BlockEnd, ItcCfg, OCfg};
+use fg_isa::image::Image;
+use fg_isa::insn::{Insn, INSN_SIZE};
+use std::collections::BTreeSet;
+
+/// Computes the full tier table for one deployment. `refined` is built on
+/// demand (VSA is not part of the deployment artifact).
+pub fn precision_tiers(
+    image: &Image,
+    ocfg: &OCfg,
+    itc: &ItcCfg,
+    pruned: &ItcCfg,
+) -> Vec<TierMetrics> {
+    let refined = OCfg::build_refined(image);
+    vec![
+        tier_from_sets("conservative", conservative_sets(ocfg)),
+        tier_from_sets("typearmor", indirect_sets(ocfg)),
+        tier_from_sets("vsa", indirect_sets(&refined)),
+        tier_from_sets("itc", itc_sets(itc)),
+        tier_from_sets("itc-pruned", itc_sets(pruned)),
+    ]
+}
+
+/// Aggregates one tier's per-site target sets into its metrics row. Sets
+/// are compared as sorted sequences, so sites sharing an identical target
+/// set collapse into one equivalence class.
+pub fn tier_from_sets(tier: &str, mut sets: Vec<Vec<u64>>) -> TierMetrics {
+    for s in &mut sets {
+        s.sort_unstable();
+        s.dedup();
+    }
+    let mut sizes: Vec<usize> = sets.iter().map(Vec::len).collect();
+    sizes.sort_unstable();
+    let total_edges: usize = sizes.iter().sum();
+    let sites = sizes.len();
+    let aia = if sites == 0 { 0.0 } else { total_edges as f64 / sites as f64 };
+    let median_targets = match sites {
+        0 => 0.0,
+        n if n.is_multiple_of(2) => (sizes[n / 2 - 1] + sizes[n / 2]) as f64 / 2.0,
+        n => sizes[n / 2] as f64,
+    };
+    let max_targets = sizes.last().copied().unwrap_or(0);
+    let distinct_classes = sets.iter().collect::<BTreeSet<_>>().len();
+    TierMetrics {
+        tier: tier.to_string(),
+        sites,
+        total_edges,
+        aia,
+        median_targets,
+        max_targets,
+        distinct_classes,
+    }
+}
+
+/// The deployed O-CFG's indirect target sets (one per indirect site).
+fn indirect_sets(ocfg: &OCfg) -> Vec<Vec<u64>> {
+    ocfg.succs
+        .iter()
+        .filter(|s| s.is_indirect())
+        .map(|s| s.targets().to_vec())
+        .collect()
+}
+
+/// The coarsest baseline: no TypeArmor arity filter, no PLT resolution, no
+/// call/return matching. Indirect calls and jumps may land on any
+/// address-taken code address; returns may land after any call site.
+fn conservative_sets(ocfg: &OCfg) -> Vec<Vec<u64>> {
+    let universe: Vec<u64> = ocfg.disasm.address_taken.iter().copied().collect();
+    let mut ret_sites: Vec<u64> = ocfg
+        .disasm
+        .blocks
+        .iter()
+        .filter_map(|b| match b.term {
+            BlockEnd::Terminator(Insn::Call { .. } | Insn::CallInd { .. }) => {
+                Some(b.last_insn() + INSN_SIZE)
+            }
+            _ => None,
+        })
+        .collect();
+    ret_sites.sort_unstable();
+    ret_sites.dedup();
+
+    ocfg.disasm
+        .blocks
+        .iter()
+        .filter_map(|b| match b.term {
+            BlockEnd::Terminator(Insn::CallInd { .. } | Insn::JmpInd { .. }) => {
+                Some(universe.clone())
+            }
+            BlockEnd::Terminator(Insn::Ret) => Some(ret_sites.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Per-node out-target sets of an ITC-CFG (nodes with at least one edge,
+/// matching [`fg_cfg::aia_itc`]).
+fn itc_sets(itc: &ItcCfg) -> Vec<Vec<u64>> {
+    let v = itc.raw_view();
+    v.node_addrs
+        .iter()
+        .zip(v.ranges)
+        .filter(|&(_, &(_, len))| len > 0)
+        .map(|(_, &(start, len))| v.targets[start as usize..(start + len) as usize].to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiers_for(w: &fg_workloads::Workload) -> (OCfg, ItcCfg, Vec<TierMetrics>) {
+        let ocfg = OCfg::build(&w.image);
+        let itc = ItcCfg::build(&ocfg);
+        let t = precision_tiers(&w.image, &ocfg, &itc, &itc);
+        (ocfg, itc, t)
+    }
+
+    #[test]
+    fn tier_aia_matches_fg_cfg_reference_metrics() {
+        let w = fg_workloads::nginx_patched();
+        let (ocfg, itc, tiers) = tiers_for(&w);
+        let ta = tiers.iter().find(|t| t.tier == "typearmor").unwrap();
+        assert!((ta.aia - fg_cfg::aia_ocfg(&ocfg)).abs() < 1e-9);
+        let it = tiers.iter().find(|t| t.tier == "itc").unwrap();
+        assert!((it.aia - fg_cfg::aia_itc(&itc)).abs() < 1e-9);
+        let refined = OCfg::build_refined(&w.image);
+        let vs = tiers.iter().find(|t| t.tier == "vsa").unwrap();
+        assert!((vs.aia - fg_cfg::aia_vsa(&refined)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refinement_only_tightens() {
+        let w = fg_workloads::vsftpd();
+        let (_, _, tiers) = tiers_for(&w);
+        let by = |n: &str| tiers.iter().find(|t| t.tier == n).unwrap();
+        // Each refinement step can only remove targets per site.
+        assert!(by("conservative").aia >= by("typearmor").aia);
+        assert!(by("typearmor").aia >= by("vsa").aia);
+        assert!(by("conservative").max_targets >= by("typearmor").max_targets);
+        // The ITC collapse goes the other way (Figure 4's derogation).
+        assert!(by("itc").aia >= by("typearmor").aia);
+    }
+
+    #[test]
+    fn tier_aggregation_handles_edge_cases() {
+        let empty = tier_from_sets("e", vec![]);
+        assert_eq!(empty.sites, 0);
+        assert_eq!(empty.aia, 0.0);
+        assert_eq!(empty.median_targets, 0.0);
+        let t = tier_from_sets(
+            "t",
+            vec![vec![8, 16], vec![16, 8, 8], vec![24], vec![32, 40, 48, 56]],
+        );
+        // Second set dedups to {8,16} == first set: 3 distinct classes.
+        assert_eq!(t.sites, 4);
+        assert_eq!(t.distinct_classes, 3);
+        assert_eq!(t.total_edges, 2 + 2 + 1 + 4);
+        assert_eq!(t.max_targets, 4);
+        assert_eq!(t.median_targets, 2.0);
+    }
+
+    #[test]
+    fn median_of_odd_count_is_middle_size() {
+        let t = tier_from_sets("t", vec![vec![1], vec![1, 2, 3], vec![1, 2]]);
+        assert_eq!(t.median_targets, 2.0);
+        assert_eq!(t.aia, 2.0);
+    }
+}

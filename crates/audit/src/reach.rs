@@ -1,0 +1,253 @@
+//! Reachability analysis and ITC-CFG pruning.
+//!
+//! A protected process has exactly one way in — the image entry point — so
+//! the closure of the (conservative) O-CFG successor relation from the
+//! entry block over-approximates everything a benign execution can touch.
+//! Any ITC-CFG node outside that closure is dead weight: its outgoing edges
+//! are policy an attacker could exploit but no benign run needs. Pruning
+//! removes exactly those nodes and their edges, which is why the pruned
+//! graph is a sound *subset* of the full one (rule `FG-X03`).
+
+use crate::report::{Finding, FindingKind, ReachStats};
+use fg_cfg::{block_dominators, reachable_blocks, CallGraph, ItcCfg, OCfg};
+use fg_isa::image::Image;
+use std::collections::BTreeSet;
+
+/// The output of the reachability pass.
+#[derive(Debug, Clone)]
+pub struct ReachAnalysis {
+    /// Aggregate statistics.
+    pub stats: ReachStats,
+    /// The reachability-pruned ITC-CFG.
+    pub pruned: ItcCfg,
+    /// Dead-edge and soundness findings (unsorted; the caller sorts the
+    /// combined report).
+    pub findings: Vec<Finding>,
+}
+
+/// Runs the reachability pass: call-graph and block-level reachability,
+/// dominator statistics, dead-edge findings, and the pruned graph.
+pub fn analyze(image: &Image, ocfg: &OCfg, itc: &ItcCfg) -> ReachAnalysis {
+    let cg = CallGraph::build(image, ocfg);
+    let freach = cg.reachable();
+    let blocks = reachable_blocks(image, ocfg);
+    let dom = block_dominators(image, ocfg);
+
+    let mut findings = Vec::new();
+    let v = itc.raw_view();
+
+    // A node is *live* when it sits on an instruction boundary inside a
+    // block the entry point reaches.
+    let node_live = |va: u64| -> bool {
+        image.is_insn_addr(va)
+            && ocfg.disasm.block_at(va).is_some_and(|bi| blocks.get(bi).copied().unwrap_or(false))
+    };
+
+    let mut kept: BTreeSet<u64> = BTreeSet::new();
+    for (ni, &addr) in v.node_addrs.iter().enumerate() {
+        if !image.is_insn_addr(addr) {
+            findings.push(Finding {
+                kind: FindingKind::MidInstructionNode,
+                addr: Some(addr),
+                detail: "ITC node is not an instruction boundary of the image".into(),
+            });
+            continue;
+        }
+        if node_live(addr) {
+            kept.insert(addr);
+        } else {
+            let out = v.ranges.get(ni).map_or(0, |&(_, len)| len);
+            findings.push(Finding {
+                kind: FindingKind::UnreachableSource,
+                addr: Some(addr),
+                detail: format!(
+                    "ITC node unreachable from the entry point; its {out} outgoing edge(s) \
+                     widen the fast-path policy for no benign execution"
+                ),
+            });
+        }
+    }
+
+    // Mid-instruction edge targets are soundness findings regardless of
+    // where the source sits: the runtime policy would admit a transfer into
+    // the middle of an instruction.
+    for (from, to, _) in itc.iter_edges() {
+        if !image.is_insn_addr(to) {
+            findings.push(Finding {
+                kind: FindingKind::MidInstructionTarget,
+                addr: Some(to),
+                detail: format!("edge {from:#x} -> {to:#x} targets a non-instruction address"),
+            });
+        }
+    }
+
+    // --- pruned graph -------------------------------------------------
+    // Keep exactly the live nodes; keep an edge when both endpoints
+    // survive. Reachability is a closure, so a live source's targets are
+    // live too — a dropped target is therefore itself a finding, not a
+    // silent deletion (unless it was already flagged mid-instruction).
+    let mut node_addrs = Vec::with_capacity(kept.len());
+    let mut ranges = Vec::with_capacity(kept.len());
+    let mut targets = Vec::new();
+    let mut credits = Vec::new();
+    let mut tnt = Vec::new();
+    for (ni, &addr) in v.node_addrs.iter().enumerate() {
+        if !kept.contains(&addr) {
+            continue;
+        }
+        let start = targets.len() as u32;
+        if let Some(&(tstart, tlen)) = v.ranges.get(ni) {
+            for e in tstart as usize..(tstart + tlen) as usize {
+                let Some(&to) = v.targets.get(e) else { break };
+                if kept.contains(&to) {
+                    targets.push(to);
+                    credits.push(v.credits.get(e).copied().unwrap_or_default());
+                    tnt.push(v.tnt.get(e).cloned().unwrap_or_default());
+                } else if image.is_insn_addr(to) {
+                    findings.push(Finding {
+                        kind: FindingKind::PrunedTargetDropped,
+                        addr: Some(to),
+                        detail: format!(
+                            "edge {addr:#x} -> {to:#x} has a live source but a pruned target \
+                             (reachability closure violated)"
+                        ),
+                    });
+                }
+            }
+        }
+        node_addrs.push(addr);
+        ranges.push((start, targets.len() as u32 - start));
+    }
+    let pruned = ItcCfg::from_raw_parts(node_addrs, ranges, targets, credits, tnt);
+
+    let stats = ReachStats {
+        functions: cg.function_count(),
+        reachable_functions: freach.iter().filter(|&&r| r).count(),
+        call_edges: cg.edge_count(),
+        blocks: blocks.len(),
+        reachable_blocks: blocks.iter().filter(|&&r| r).count(),
+        dominated_blocks: dom.as_ref().map_or(0, fg_cfg::DomTree::reachable_count),
+        dominator_depth: dom.as_ref().map_or(0, fg_cfg::DomTree::max_depth),
+        itc_nodes: itc.node_count(),
+        itc_edges: itc.edge_count(),
+        pruned_nodes: pruned.node_count(),
+        pruned_edges: pruned.edge_count(),
+    };
+    ReachAnalysis { stats, pruned, findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_isa::asm::Asm;
+    use fg_isa::image::Linker;
+    use fg_isa::insn::regs::{R1, R2};
+    use fg_isa::insn::INSN_SIZE;
+
+    /// main dispatches through a table to `handler` and halts. `cold` is
+    /// referenced by nothing (not called, not address-taken): the return
+    /// sites of its two `call deadcallee` sites become ITC nodes — they are
+    /// targets of `deadcallee`'s return set — but live in blocks the entry
+    /// point can never reach.
+    ///
+    /// Layout (instruction index from `main`): 0 lea, 1 ld, 2 calli,
+    /// 3 halt, 4 handler ret, 5/6 cold calls, 7 cold ret, 8 deadcallee ret.
+    fn image_with_dead_node() -> Image {
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.lea(R1, "table");
+        a.ld(R2, R1, 0);
+        a.calli(R2);
+        a.halt();
+        a.label("handler");
+        a.ret();
+        a.label("cold");
+        a.call("deadcallee");
+        a.call("deadcallee");
+        a.ret();
+        a.label("deadcallee");
+        a.ret();
+        a.data_ptrs("table", &["handler"]);
+        Linker::new(a.finish().unwrap()).link().unwrap()
+    }
+
+    #[test]
+    fn clean_workload_prunes_nothing_sound() {
+        let w = fg_workloads::nginx_patched();
+        let ocfg = OCfg::build(&w.image);
+        let itc = ItcCfg::build(&ocfg);
+        let ra = analyze(&w.image, &ocfg, &itc);
+        // A benign artifact has no soundness findings, and pruning only
+        // ever shrinks the graph.
+        assert!(ra
+            .findings
+            .iter()
+            .all(|f| f.severity() != crate::report::Severity::Error));
+        assert!(ra.stats.pruned_nodes <= ra.stats.itc_nodes);
+        assert!(ra.stats.pruned_edges <= ra.stats.itc_edges);
+        assert!(ra.stats.reachable_blocks > 0);
+        assert_eq!(ra.stats.dominated_blocks, ra.stats.reachable_blocks);
+    }
+
+    #[test]
+    fn dead_dispatch_cluster_is_flagged_and_pruned() {
+        let img = image_with_dead_node();
+        let ocfg = OCfg::build(&img);
+        let itc = ItcCfg::build(&ocfg);
+        let ra = analyze(&img, &ocfg, &itc);
+        let main = img.symbol("main").unwrap();
+        let dead: Vec<_> = ra
+            .findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::UnreachableSource)
+            .collect();
+        assert_eq!(dead.len(), 2, "both cold return sites flagged: {:?}", ra.findings);
+        assert!(dead.iter().any(|f| f.addr == Some(main + 6 * INSN_SIZE)));
+        assert!(ra.stats.pruned_nodes < ra.stats.itc_nodes);
+        assert!(ra.stats.dead_edges() > 0, "the cold return sites' edges are dead");
+        // The reachable handler and its return path survive.
+        assert!(ra.pruned.is_node(main + 4 * INSN_SIZE), "handler survives");
+        assert!(ra.pruned.is_node(main + 3 * INSN_SIZE), "handler's return site survives");
+    }
+
+    #[test]
+    fn pruned_graph_is_edge_subset_with_preserved_labels() {
+        let img = image_with_dead_node();
+        let ocfg = OCfg::build(&img);
+        let mut itc = ItcCfg::build(&ocfg);
+        // Label one surviving edge high-credit and check it carries over.
+        let handler = img.symbol("main").unwrap() + 4 * INSN_SIZE;
+        let (f0, t0, e0) = itc
+            .iter_edges()
+            .find(|&(f, _, _)| f == handler)
+            .expect("handler has a return edge");
+        itc.set_high(e0);
+        let ra = analyze(&img, &ocfg, &itc);
+        for (from, to, pe) in ra.pruned.iter_edges() {
+            let fe = itc.edge(from, to).expect("pruned edge exists in full graph");
+            assert_eq!(ra.pruned.credit(pe), itc.credit(fe), "credit preserved");
+        }
+        let pe = ra.pruned.edge(f0, t0).expect("high-credit edge survives");
+        assert_eq!(ra.pruned.credit(pe), fg_cfg::Credit::High);
+    }
+
+    #[test]
+    fn mid_instruction_target_is_a_soundness_finding() {
+        let img = image_with_dead_node();
+        let ocfg = OCfg::build(&img);
+        let itc = ItcCfg::build(&ocfg);
+        let v = itc.raw_view();
+        let mut targets = v.targets.to_vec();
+        targets[0] += INSN_SIZE / 2; // knock a target off the grid
+        let bad = ItcCfg::from_raw_parts(
+            v.node_addrs.to_vec(),
+            v.ranges.to_vec(),
+            targets,
+            v.credits.to_vec(),
+            v.tnt.to_vec(),
+        );
+        let ra = analyze(&img, &ocfg, &bad);
+        assert!(ra.findings.iter().any(|f| f.kind == FindingKind::MidInstructionTarget));
+    }
+}

@@ -1,0 +1,309 @@
+//! The machine-readable audit report.
+//!
+//! Everything in here is plain data: counts, metric values and findings.
+//! Addresses appear only inside individual findings (to make them
+//! actionable); every aggregate is a count or a ratio, so two audits of the
+//! same program linked with its modules in a different order produce
+//! identical aggregates — the invariance the property tests pin down.
+
+use serde::{Deserialize, Serialize};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: worth knowing, nothing to act on.
+    Info,
+    /// Precision or size waste — a prune candidate, not a policy hole.
+    Warning,
+    /// Soundness finding: the artifact admits flows it should not, or its
+    /// derived policies disagree with each other. The audit CLI exits
+    /// nonzero when any of these are present.
+    Error,
+}
+
+/// What kind of defect a finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FindingKind {
+    /// An ITC-CFG node whose basic block the entry point cannot reach; its
+    /// outgoing edges widen the fast-path policy for no benign execution's
+    /// benefit (prune candidates).
+    UnreachableSource,
+    /// An ITC-CFG edge target that is not an instruction boundary of the
+    /// image — the policy admits a transfer into the middle of an
+    /// instruction (or outside code entirely).
+    MidInstructionTarget,
+    /// An ITC-CFG node address that is not an instruction boundary.
+    MidInstructionNode,
+    /// A pruned edge whose target did not survive pruning — should be
+    /// impossible when reachability is a closure; reported rather than
+    /// silently dropped.
+    PrunedTargetDropped,
+    /// The tier-0 entry bitset fails to cover an ITC node (rule `FG-X01`
+    /// would fire at load time; the probe would kill a benign transfer).
+    Tier0Gap,
+    /// An error-severity diagnostic from the `fg-verify` rule catalogue,
+    /// folded into the audit verdict.
+    VerifierError,
+}
+
+impl FindingKind {
+    /// The severity class of this kind of finding.
+    pub fn severity(self) -> Severity {
+        match self {
+            FindingKind::UnreachableSource => Severity::Warning,
+            FindingKind::MidInstructionTarget
+            | FindingKind::MidInstructionNode
+            | FindingKind::PrunedTargetDropped
+            | FindingKind::Tier0Gap
+            | FindingKind::VerifierError => Severity::Error,
+        }
+    }
+
+    /// Stable short name, used in the rendered report.
+    pub fn name(self) -> &'static str {
+        match self {
+            FindingKind::UnreachableSource => "unreachable-source",
+            FindingKind::MidInstructionTarget => "mid-instruction-target",
+            FindingKind::MidInstructionNode => "mid-instruction-node",
+            FindingKind::PrunedTargetDropped => "pruned-target-dropped",
+            FindingKind::Tier0Gap => "tier0-gap",
+            FindingKind::VerifierError => "verifier-error",
+        }
+    }
+}
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// What kind of defect this is.
+    pub kind: FindingKind,
+    /// The address the finding is anchored at, when it has one.
+    pub addr: Option<u64>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Finding {
+    /// Severity of this finding (derived from its kind).
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+/// Reachability and dead-code statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReachStats {
+    /// TypeArmor-discovered functions.
+    pub functions: usize,
+    /// Functions the interprocedural call graph reaches from the entry.
+    pub reachable_functions: usize,
+    /// Call-graph edges.
+    pub call_edges: usize,
+    /// Basic blocks in the disassembly.
+    pub blocks: usize,
+    /// Blocks reachable from the entry block over O-CFG successor sets.
+    pub reachable_blocks: usize,
+    /// Blocks in the entry block's dominator tree (equals
+    /// `reachable_blocks` for a well-formed image).
+    pub dominated_blocks: usize,
+    /// Height of the dominator tree.
+    pub dominator_depth: u32,
+    /// ITC-CFG nodes in the full graph.
+    pub itc_nodes: usize,
+    /// ITC-CFG edges in the full graph.
+    pub itc_edges: usize,
+    /// Nodes surviving reachability pruning.
+    pub pruned_nodes: usize,
+    /// Edges surviving reachability pruning.
+    pub pruned_edges: usize,
+}
+
+impl ReachStats {
+    /// Edges removed by pruning.
+    pub fn dead_edges(&self) -> usize {
+        self.itc_edges - self.pruned_edges
+    }
+}
+
+/// Quantitative precision of one policy tier — one row of the Table-4-style
+/// comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierMetrics {
+    /// Tier name (`conservative`, `typearmor`, `vsa`, `itc`, `itc-pruned`).
+    pub tier: String,
+    /// Number of indirect sites (O-CFG tiers) or out-degree-positive nodes
+    /// (ITC tiers) the metric averages over.
+    pub sites: usize,
+    /// Total admitted edges across all sites.
+    pub total_edges: usize,
+    /// Average Indirect targets Allowed: mean target-set size (§4.3).
+    pub aia: f64,
+    /// Median target-set size.
+    pub median_targets: f64,
+    /// Largest target set — the attacker's best equivalence class.
+    pub max_targets: usize,
+    /// Number of *distinct* target sets: sites sharing an identical set are
+    /// indistinguishable to the policy, so this counts its real resolution.
+    pub distinct_classes: usize,
+}
+
+/// Tier-0 entry-point policy statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Tier0Stats {
+    /// Valid-entry bits set.
+    pub set_bits: usize,
+    /// Total instruction slots covered.
+    pub slots: usize,
+    /// `set_bits / slots`.
+    pub density: f64,
+    /// Resident bytes of the bitset.
+    pub memory_bytes: usize,
+    /// Whether the bitset covers every ITC node (`FG-X01` clean).
+    pub covers_itc_nodes: bool,
+}
+
+/// The full audit report over one deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Name of the audited executable module.
+    pub program: String,
+    /// Modules in the image.
+    pub modules: usize,
+    /// Reachability / dead-code statistics.
+    pub reach: ReachStats,
+    /// Precision metrics, one row per policy tier.
+    pub precision: Vec<TierMetrics>,
+    /// Tier-0 bitset statistics.
+    pub tier0: Tier0Stats,
+    /// All findings, sorted by (kind, address).
+    pub findings: Vec<Finding>,
+}
+
+impl AuditReport {
+    /// Whether any error-severity (soundness) finding is present. This is
+    /// the bit the audit CLI turns into a nonzero exit status.
+    pub fn has_soundness_findings(&self) -> bool {
+        self.findings.iter().any(|f| f.severity() == Severity::Error)
+    }
+
+    /// Findings of one severity.
+    pub fn count_by_severity(&self, sev: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity() == sev).count()
+    }
+
+    /// The metrics row for a tier, if present.
+    pub fn tier(&self, name: &str) -> Option<&TierMetrics> {
+        self.precision.iter().find(|t| t.tier == name)
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "audit: {} ({} modules)", self.program, self.modules)?;
+        writeln!(
+            f,
+            "  reachability: {}/{} functions, {}/{} blocks ({} call edges, dom depth {})",
+            self.reach.reachable_functions,
+            self.reach.functions,
+            self.reach.reachable_blocks,
+            self.reach.blocks,
+            self.reach.call_edges,
+            self.reach.dominator_depth,
+        )?;
+        writeln!(
+            f,
+            "  itc: {} nodes / {} edges -> pruned {} nodes / {} edges ({} dead edges)",
+            self.reach.itc_nodes,
+            self.reach.itc_edges,
+            self.reach.pruned_nodes,
+            self.reach.pruned_edges,
+            self.reach.dead_edges(),
+        )?;
+        writeln!(
+            f,
+            "  tier0: {}/{} bits set ({:.4} dense, {} bytes, covers nodes: {})",
+            self.tier0.set_bits,
+            self.tier0.slots,
+            self.tier0.density,
+            self.tier0.memory_bytes,
+            self.tier0.covers_itc_nodes,
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:>7} {:>8} {:>9} {:>8} {:>6} {:>8}",
+            "tier", "sites", "edges", "AIA", "median", "max", "classes"
+        )?;
+        for t in &self.precision {
+            writeln!(
+                f,
+                "  {:<12} {:>7} {:>8} {:>9.3} {:>8.1} {:>6} {:>8}",
+                t.tier, t.sites, t.total_edges, t.aia, t.median_targets, t.max_targets,
+                t.distinct_classes,
+            )?;
+        }
+        let (e, w) =
+            (self.count_by_severity(Severity::Error), self.count_by_severity(Severity::Warning));
+        writeln!(f, "  findings: {e} error(s), {w} warning(s)")?;
+        for x in &self.findings {
+            match x.addr {
+                Some(a) => writeln!(f, "    [{}] {:#x}: {}", x.kind.name(), a, x.detail)?,
+                None => writeln!(f, "    [{}] {}", x.kind.name(), x.detail)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(kind: FindingKind) -> AuditReport {
+        AuditReport {
+            program: "t".into(),
+            modules: 1,
+            reach: ReachStats::default(),
+            precision: vec![TierMetrics {
+                tier: "typearmor".into(),
+                sites: 2,
+                total_edges: 4,
+                aia: 2.0,
+                median_targets: 2.0,
+                max_targets: 3,
+                distinct_classes: 2,
+            }],
+            tier0: Tier0Stats::default(),
+            findings: vec![Finding { kind, addr: Some(0x40_0000), detail: "x".into() }],
+        }
+    }
+
+    #[test]
+    fn severity_classes_partition_kinds() {
+        assert_eq!(FindingKind::UnreachableSource.severity(), Severity::Warning);
+        for k in [
+            FindingKind::MidInstructionTarget,
+            FindingKind::MidInstructionNode,
+            FindingKind::PrunedTargetDropped,
+            FindingKind::Tier0Gap,
+            FindingKind::VerifierError,
+        ] {
+            assert_eq!(k.severity(), Severity::Error, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn soundness_flag_tracks_error_findings() {
+        assert!(!report_with(FindingKind::UnreachableSource).has_soundness_findings());
+        assert!(report_with(FindingKind::Tier0Gap).has_soundness_findings());
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let r = report_with(FindingKind::MidInstructionTarget);
+        let s = r.to_string();
+        assert!(s.contains("reachability:"));
+        assert!(s.contains("typearmor"));
+        assert!(s.contains("mid-instruction-target"));
+        assert!(s.contains("1 error(s)"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the audit pass.
+//!
+//! Two invariants the report's consumers (CI gates, checked-in
+//! `AUDIT_cfg.json` baselines) rely on:
+//!
+//! 1. **Determinism** — auditing the same deployment twice yields the
+//!    byte-identical serialized report.
+//! 2. **Module-order invariance** — relinking the same program with its
+//!    libraries in a different order shifts every address, but every
+//!    aggregate in the report (reachability counts, precision rows, tier-0
+//!    stats, finding counts per kind) is unchanged.
+
+use fg_audit::{audit, FindingKind};
+use fg_isa::asm::Asm;
+use fg_isa::image::{Image, Linker};
+use fg_isa::insn::regs::{R1, R6, R7};
+use fg_isa::Module;
+use flowguard::Deployment;
+use proptest::prelude::*;
+
+/// One library exporting a callable plus a local indirect dispatch, so the
+/// ITC-CFG has nodes inside library modules too.
+fn lib(i: usize) -> Module {
+    let name = format!("lib{i}");
+    let f = format!("lib{i}_fn");
+    let mut l = Asm::new(&name);
+    l.export(&f);
+    l.label(&f);
+    l.lea(R6, "ltable");
+    l.ld(R7, R6, 0);
+    l.calli(R7);
+    l.ret();
+    l.label("lhandler");
+    l.movi(R1, i as i32);
+    l.ret();
+    l.data_ptrs("ltable", &["lhandler"]);
+    l.finish().unwrap()
+}
+
+/// The app imports every library, dispatches through a table, and calls
+/// each import directly.
+fn app(nlibs: usize, handlers: usize) -> Module {
+    let mut a = Asm::new("app");
+    for i in 0..nlibs {
+        a.import(format!("lib{i}_fn")).needs(format!("lib{i}"));
+    }
+    a.export("main");
+    a.label("main");
+    a.lea(R6, "table");
+    a.ld(R7, R6, 0);
+    a.calli(R7);
+    for i in 0..nlibs {
+        a.call(format!("lib{i}_fn"));
+    }
+    a.halt();
+    let names: Vec<String> = (0..handlers).map(|h| format!("h{h}")).collect();
+    for n in &names {
+        a.label(n);
+        a.ret();
+    }
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    a.data_ptrs("table", &refs);
+    a.finish().unwrap()
+}
+
+/// Links the app against `nlibs` libraries in the given order (a
+/// permutation of `0..nlibs`), which assigns different base addresses to
+/// every library.
+fn image(nlibs: usize, handlers: usize, order: &[usize]) -> Image {
+    let mut linker = Linker::new(app(nlibs, handlers));
+    for &i in order {
+        linker = linker.library(lib(i));
+    }
+    linker.link().unwrap()
+}
+
+/// The k-th permutation of `0..n` (Lehmer decode of `k`).
+fn permutation(n: usize, mut k: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n);
+    for i in (1..=n).rev() {
+        let fact: usize = (1..i).product();
+        out.push(pool.remove((k / fact) % i));
+        k %= fact.max(1);
+    }
+    out
+}
+
+fn finding_counts(r: &fg_audit::AuditReport) -> Vec<(FindingKind, usize)> {
+    let kinds = [
+        FindingKind::UnreachableSource,
+        FindingKind::MidInstructionTarget,
+        FindingKind::MidInstructionNode,
+        FindingKind::PrunedTargetDropped,
+        FindingKind::Tier0Gap,
+        FindingKind::VerifierError,
+    ];
+    kinds
+        .into_iter()
+        .map(|k| (k, r.findings.iter().filter(|f| f.kind == k).count()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn audit_is_deterministic(nlibs in 1usize..4, handlers in 1usize..4) {
+        let order: Vec<usize> = (0..nlibs).collect();
+        let img = image(nlibs, handlers, &order);
+        let d = Deployment::analyze(&img);
+        let a = serde_json::to_string(&audit(&d)).unwrap();
+        let b = serde_json::to_string(&audit(&d)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_aggregates_invariant_under_module_reordering(
+        handlers in 1usize..4,
+        k in 0usize..6,
+    ) {
+        let nlibs = 3;
+        let base: Vec<usize> = (0..nlibs).collect();
+        let perm = permutation(nlibs, k);
+        let r1 = audit(&Deployment::analyze(&image(nlibs, handlers, &base)));
+        let r2 = audit(&Deployment::analyze(&image(nlibs, handlers, &perm)));
+        prop_assert_eq!(&r1.reach, &r2.reach);
+        prop_assert_eq!(&r1.precision, &r2.precision);
+        prop_assert_eq!(&r1.tier0, &r2.tier0);
+        prop_assert_eq!(finding_counts(&r1), finding_counts(&r2));
+        prop_assert_eq!(r1.modules, r2.modules);
+    }
+}
+
+#[test]
+fn permutation_decoder_is_a_bijection() {
+    let mut seen = std::collections::BTreeSet::new();
+    for k in 0..6 {
+        let p = permutation(3, k);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        seen.insert(p);
+    }
+    assert_eq!(seen.len(), 6, "all 3! orderings produced");
+}

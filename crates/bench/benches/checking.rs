@@ -52,7 +52,7 @@ fn bench_edge_lookup(c: &mut Criterion) {
                 }
             }
             hits
-        })
+        });
     });
 }
 
@@ -71,10 +71,10 @@ fn bench_paths(c: &mut Criterion) {
                 &cfg,
                 cost.edge_check_cycles,
             )
-        })
+        });
     });
     c.bench_function("slow_path_full", |b| {
-        b.iter(|| flowguard::slowpath::check(&s.w.image, &s.ocfg, &s.trace, &cost))
+        b.iter(|| flowguard::slowpath::check(&s.w.image, &s.ocfg, &s.trace, &cost));
     });
 }
 

@@ -35,7 +35,7 @@ fn bench_encode(c: &mut Criterion) {
                 }
             }
             enc.into_sink()
-        })
+        });
     });
     g.finish();
 }
@@ -46,7 +46,7 @@ fn bench_scan_vs_flow_decode(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(bytes.len() as u64));
     g.bench_function("packet_scan", |b| b.iter(|| fg_ipt::fast::scan(&bytes).expect("scan")));
     g.bench_function("instruction_flow", |b| {
-        b.iter(|| fg_ipt::flow::FlowDecoder::new(&w.image).decode(&bytes).expect("decodes"))
+        b.iter(|| fg_ipt::flow::FlowDecoder::new(&w.image).decode(&bytes).expect("decodes"));
     });
     g.finish();
 }
@@ -57,7 +57,7 @@ fn bench_parallel_scan(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(bytes.len() as u64));
     g.bench_function("serial", |b| b.iter(|| fg_ipt::fast::scan(&bytes).expect("scan")));
     g.bench_function("psb_parallel", |b| {
-        b.iter(|| flowguard::scan_parallel(&bytes).expect("scan"))
+        b.iter(|| flowguard::scan_parallel(&bytes).expect("scan"));
     });
     g.finish();
 }

@@ -56,7 +56,7 @@ fn bench_scan(c: &mut Criterion) {
                 inc.advance(&s.trace[..end], end as u64, end).expect("advance");
             }
             inc.scan().tip_count()
-        })
+        });
     });
     g.finish();
 }
@@ -69,10 +69,10 @@ fn bench_edge_lookup(c: &mut Criterion) {
         s.itc.iter_edges().map(|(f, t, e)| ((f, t), e)).collect();
     let mut g = c.benchmark_group("edge_lookup_1k");
     g.bench_function("csr", |b| {
-        b.iter(|| pairs.iter().filter(|&&(f, t)| s.itc.edge(f, t).is_some()).count())
+        b.iter(|| pairs.iter().filter(|&&(f, t)| s.itc.edge(f, t).is_some()).count());
     });
     g.bench_function("btreemap", |b| {
-        b.iter(|| pairs.iter().filter(|&&(f, t)| map.contains_key(&(f, t))).count())
+        b.iter(|| pairs.iter().filter(|&&(f, t)| map.contains_key(&(f, t))).count());
     });
     g.finish();
 }
@@ -93,8 +93,9 @@ fn bench_check(c: &mut Criterion) {
                 &cfg,
                 cost.edge_check_cycles,
                 false,
+                None,
             )
-        })
+        });
     });
 }
 

@@ -11,10 +11,10 @@ fn bench_mutations(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
     g.bench_function("havoc_64b", |b| {
         let mut rng = StdRng::seed_from_u64(7);
-        b.iter(|| fg_fuzz::mutate::havoc(&mut rng, &input, 256))
+        b.iter(|| fg_fuzz::mutate::havoc(&mut rng, &input, 256));
     });
     g.bench_function("deterministic_16b", |b| {
-        b.iter(|| fg_fuzz::mutate::deterministic(&input[..16]))
+        b.iter(|| fg_fuzz::mutate::deterministic(&input[..16]));
     });
     g.finish();
 }
@@ -28,7 +28,7 @@ fn bench_emulated_exec(c: &mut Criterion) {
             m.enable_coverage();
             let mut k = fg_kernel::Kernel::with_input(&input);
             m.run(&mut k, 2_000_000)
-        })
+        });
     });
 }
 
@@ -40,7 +40,7 @@ fn bench_training_replay(c: &mut Criterion) {
         b.iter(|| {
             let mut itc = fg_cfg::ItcCfg::build(&ocfg);
             fg_fuzz::train(&mut itc, &w.image, &corpus, fg_fuzz::TrainConfig::default())
-        })
+        });
     });
 }
 

@@ -35,7 +35,7 @@ fn bench_decode(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(s.trace.len() as u64));
     g.bench_function("serial", |b| b.iter(|| decode_serial_ref(&s.image, &s.trace)));
     g.bench_function("sharded_pool4", |b| {
-        b.iter(|| decode_sharded_pool(&s.image, &s.trace, &pool))
+        b.iter(|| decode_sharded_pool(&s.image, &s.trace, &pool));
     });
     g.finish();
 }
@@ -46,7 +46,7 @@ fn bench_check(c: &mut Criterion) {
     let pool = WorkerPool::with_size(4);
     let mut g = c.benchmark_group("slow_check");
     g.bench_function("cold_serial", |b| {
-        b.iter(|| slowpath::check(&s.image, &s.ocfg, &s.trace, &cost))
+        b.iter(|| slowpath::check(&s.image, &s.ocfg, &s.trace, &cost));
     });
     g.bench_function("cold_sharded_pool4", |b| {
         b.iter(|| {
@@ -60,7 +60,7 @@ fn bench_check(c: &mut Criterion) {
                 Some(&pool),
                 &mut scratch,
             )
-        })
+        });
     });
     // Checkpointed replay: the trace fed as 8 growing windows, one warm
     // scratch — the engine's overlapping-tail-window pattern.
@@ -85,7 +85,7 @@ fn bench_check(c: &mut Criterion) {
                 decoded += r.insns_decoded;
             }
             decoded
-        })
+        });
     });
     g.finish();
 }

@@ -4,6 +4,7 @@
 //! flowguard_cli analyze  <workload> <artifact.json>        # ① static analysis
 //! flowguard_cli train    <artifact.json> [--fuzz N]        # ② credit labeling
 //! flowguard_cli verify   <artifact.json>                   # static artifact checks
+//! flowguard_cli audit    <workload|artifact.json> [--json FILE]
 //! flowguard_cli info     <artifact.json>                   # inspect an artifact
 //! flowguard_cli run      <artifact.json> [--input FILE]    # ③–⑤ protected run
 //! flowguard_cli stats    <artifact.json> [--input FILE] [--prom]
@@ -51,7 +52,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  flowguard_cli workloads\n  flowguard_cli analyze <workload> <artifact.json>\n  \
          flowguard_cli train <artifact.json> [--fuzz N]\n  \
-         flowguard_cli verify <artifact.json>\n  flowguard_cli info <artifact.json>\n  \
+         flowguard_cli verify <artifact.json>\n  \
+         flowguard_cli audit <workload|artifact.json> [--json FILE]\n  \
+         flowguard_cli info <artifact.json>\n  \
          flowguard_cli run <artifact.json> [--input FILE]\n  \
          flowguard_cli stats <artifact.json> [--input FILE] [--prom]\n  \
          flowguard_cli events <artifact.json> [--input FILE] [--last N]\n  \
@@ -210,6 +213,52 @@ fn main() -> ExitCode {
                     "OK: artifact passes verification ({} warning(s))",
                     report.warning_count()
                 );
+                ExitCode::SUCCESS
+            }
+        }
+        Some("audit") => {
+            let Some(target) = it.next() else { return usage() };
+            let json_out = match (it.next(), it.next()) {
+                (Some("--json"), Some(f)) => Some(f),
+                (None, _) => None,
+                _ => return usage(),
+            };
+            // A bundled workload name audits a fresh analysis; anything
+            // else is an artifact path (loaded unchecked so a broken
+            // artifact gets the full finding list instead of a load error).
+            let d = match pick_workload(target) {
+                Some(w) => Deployment::analyze(&w.image),
+                None => match Deployment::load_unchecked(target) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("`{target}` is neither a workload nor a loadable artifact: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let report = fg_audit::audit(&d);
+            print!("{report}");
+            if let Some(f) = json_out {
+                let json = match serde_json::to_string(&report) {
+                    Ok(j) => j,
+                    Err(e) => {
+                        eprintln!("cannot serialise report: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = std::fs::write(f, json + "\n") {
+                    eprintln!("cannot write report: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("report written to {f}");
+            }
+            if report.has_soundness_findings() {
+                eprintln!(
+                    "FAIL: {} soundness finding(s)",
+                    report.count_by_severity(fg_audit::Severity::Error)
+                );
+                ExitCode::FAILURE
+            } else {
                 ExitCode::SUCCESS
             }
         }

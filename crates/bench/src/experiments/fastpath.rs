@@ -161,6 +161,7 @@ pub fn run() -> FastpathBench {
             &cfg,
             cost.edge_check_cycles,
             false,
+            None,
         );
         pairs_checked = r.pairs_checked;
         r

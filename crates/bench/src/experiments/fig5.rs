@@ -74,7 +74,7 @@ pub fn training_curve(points: &[u64]) -> Vec<TrainingPoint> {
             execs,
             fg_fuzz::FuzzConfig { havoc_per_entry: 24, ..Default::default() },
         );
-        let paths = history.last().map(|s| s.paths).unwrap_or(0);
+        let paths = history.last().map_or(0, |s| s.paths);
         // Serve the ab-style benign load and observe the credit ratio.
         let mut p = d.launch(&w.default_input, FlowGuardConfig::default());
         p.run(crate::measure::BUDGET);

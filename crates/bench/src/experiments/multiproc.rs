@@ -74,9 +74,8 @@ fn run_two_workers(multi_cr3: bool) -> Row {
             m.trace = TraceUnit::Ipt(unit);
             let stop = m.run(&mut kernels[i], SLICE);
             // Reclaim the unit from the machine.
-            let unit = match std::mem::take(&mut m.trace) {
-                TraceUnit::Ipt(u) => u,
-                _ => unreachable!("unit was installed above"),
+            let TraceUnit::Ipt(unit) = std::mem::take(&mut m.trace) else {
+                unreachable!("unit was installed above")
             };
             core_unit = Some(unit);
             match stop {

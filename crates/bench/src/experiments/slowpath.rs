@@ -204,7 +204,7 @@ pub fn modeled_speedup(
         load[i % workers.max(1)] += c;
         stitch += sd.machine.trace().branches.len() as f64 * cost.flow_stitch_event_cycles;
     }
-    let critical = load.iter().cloned().fold(0.0f64, f64::max) + stitch;
+    let critical = load.iter().copied().fold(0.0f64, f64::max) + stitch;
     if critical == 0.0 {
         return 1.0;
     }

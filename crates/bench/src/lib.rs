@@ -6,6 +6,8 @@
 //! FlowGuard paper; `run_all` chains them and is what `EXPERIMENTS.md`
 //! records.
 
+#![deny(unsafe_code)]
+
 pub mod experiments;
 pub mod measure;
 pub mod table;

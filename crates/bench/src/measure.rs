@@ -54,7 +54,7 @@ impl RunMetrics {
 fn count_tips(m: &Machine) -> u64 {
     m.branch_log
         .as_ref()
-        .map(|log| {
+        .map_or(0, |log| {
             log.iter()
                 .filter(|b| {
                     use fg_isa::insn::CofiKind::*;
@@ -62,7 +62,6 @@ fn count_tips(m: &Machine) -> u64 {
                 })
                 .count() as u64
         })
-        .unwrap_or(0)
 }
 
 /// Runs a workload with no tracing (the baseline).
@@ -90,7 +89,7 @@ pub fn run_traced(w: &Workload, mech: Mechanism) -> RunMetrics {
     if let Some(u) = m.trace.as_ipt_mut() {
         u.flush();
     }
-    let trace_bytes = m.trace.as_ipt().map(|u| u.bytes_emitted()).unwrap_or(0);
+    let trace_bytes = m.trace.as_ipt().map_or(0, fg_cpu::IptUnit::bytes_emitted);
     let tips = count_tips(&m);
     RunMetrics {
         name: w.name.clone(),
@@ -163,7 +162,7 @@ pub fn run_protected(
 ) -> ProtectedMetrics {
     let mut p = d.launch_with_cost(&w.default_input, cfg, cost);
     let stop = p.run(BUDGET);
-    let trace_bytes = p.machine.trace.as_ipt().map(|u| u.bytes_emitted()).unwrap_or(0);
+    let trace_bytes = p.machine.trace.as_ipt().map_or(0, fg_cpu::IptUnit::bytes_emitted);
     let s = p.stats.snapshot();
     ProtectedMetrics {
         run: RunMetrics {

@@ -12,7 +12,7 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table { headers: headers.iter().map(std::string::ToString::to_string).collect(), rows: Vec::new() }
     }
 
     /// Appends a row.
@@ -28,7 +28,7 @@ impl Table {
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(std::string::String::len).collect();
         for r in &self.rows {
             for (i, c) in r.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

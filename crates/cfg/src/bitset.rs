@@ -1,0 +1,214 @@
+//! Tier-0 policy: a dense bitset of valid indirect-transfer entry points.
+//!
+//! FineIBT-style coarse CFI reduces "is this target plausible at all?" to a
+//! single bit probe: one bit per instruction slot, set exactly where an
+//! indirect transfer may legitimately land. FlowGuard extracts this set
+//! statically from the ITC-CFG node set — every ITC node is by construction
+//! an indirect target the O-CFG admits — and ships it as its own deployment
+//! artifact. The runtime fast path probes it *before* the ITC edge lookup:
+//! a clear bit proves the target is outside every ITC target set, so the
+//! transfer is malicious without touching the edge arrays, while a set bit
+//! simply falls through to the precise per-edge check. Because the bitset is
+//! a superset of the ITC node set (fg-verify rule `FG-X01` enforces it), the
+//! probe can never reject a transfer the precise check would admit: zero
+//! false escalations on benign runs.
+//!
+//! Layout: one shard per module code range, one bit per [`INSN_SIZE`] slot,
+//! packed into `u64` words. Lookup is a binary search over the (sorted,
+//! disjoint) shards plus a shift/mask — no hashing, no per-node search.
+
+use crate::itc::ItcCfg;
+use fg_isa::image::Image;
+use fg_isa::insn::INSN_SIZE;
+use serde::{Deserialize, Serialize};
+
+/// One module's slice of the bitset: the code range `[base, limit)` with one
+/// bit per instruction slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitShard {
+    /// First code address covered (module base).
+    pub base: u64,
+    /// One past the last code address covered (module `exec_end`).
+    pub limit: u64,
+    /// The bits, slot `i` covering `base + i * INSN_SIZE`.
+    pub words: Vec<u64>,
+}
+
+impl BitShard {
+    fn slot(&self, va: u64) -> Option<usize> {
+        if va < self.base || va >= self.limit || !va.is_multiple_of(INSN_SIZE) {
+            return None;
+        }
+        Some(((va - self.base) / INSN_SIZE) as usize)
+    }
+}
+
+/// The dense valid-entry-point bitset over an image's code ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntryBitset {
+    /// Shards sorted by `base`, ranges disjoint.
+    pub shards: Vec<BitShard>,
+}
+
+impl EntryBitset {
+    /// An all-clear bitset covering every module code range of `image`.
+    pub fn for_image(image: &Image) -> EntryBitset {
+        let mut shards: Vec<BitShard> = image
+            .modules()
+            .iter()
+            .filter(|m| m.exec_end > m.base)
+            .map(|m| {
+                let slots = ((m.exec_end - m.base) / INSN_SIZE) as usize;
+                BitShard { base: m.base, limit: m.exec_end, words: vec![0; slots.div_ceil(64)] }
+            })
+            .collect();
+        shards.sort_by_key(|s| s.base);
+        EntryBitset { shards }
+    }
+
+    /// The tier-0 policy for a deployment: every ITC node address set.
+    pub fn from_itc(image: &Image, itc: &ItcCfg) -> EntryBitset {
+        let mut bits = EntryBitset::for_image(image);
+        for &n in itc.raw_view().node_addrs {
+            bits.insert(n);
+        }
+        bits
+    }
+
+    /// Sets the bit for `va`. Returns `false` (and does nothing) when `va`
+    /// falls outside every shard or off the instruction grid.
+    pub fn insert(&mut self, va: u64) -> bool {
+        let Some(si) = self.shard_of(va) else { return false };
+        let Some(slot) = self.shards[si].slot(va) else { return false };
+        self.shards[si].words[slot / 64] |= 1u64 << (slot % 64);
+        true
+    }
+
+    /// Clears the bit for `va` (testing aid — a sound policy never needs
+    /// this). Returns whether the bit was previously set.
+    pub fn remove(&mut self, va: u64) -> bool {
+        let Some(si) = self.shard_of(va) else { return false };
+        let Some(slot) = self.shards[si].slot(va) else { return false };
+        let mask = 1u64 << (slot % 64);
+        let was = self.shards[si].words[slot / 64] & mask != 0;
+        self.shards[si].words[slot / 64] &= !mask;
+        was
+    }
+
+    /// Whether `va` is a valid tier-0 entry point.
+    #[inline]
+    pub fn contains(&self, va: u64) -> bool {
+        let Some(si) = self.shard_of(va) else { return false };
+        let Some(slot) = self.shards[si].slot(va) else { return false };
+        self.shards[si].words[slot / 64] & (1u64 << (slot % 64)) != 0
+    }
+
+    #[inline]
+    fn shard_of(&self, va: u64) -> Option<usize> {
+        let i = self.shards.partition_point(|s| s.limit <= va);
+        (i < self.shards.len() && va >= self.shards[i].base).then_some(i)
+    }
+
+    /// Number of set bits (valid entry points).
+    pub fn set_bits(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.words.iter().map(|w| w.count_ones() as usize).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of instruction slots covered.
+    pub fn slots(&self) -> usize {
+        self.shards.iter().map(|s| ((s.limit - s.base) / INSN_SIZE) as usize).sum()
+    }
+
+    /// Fraction of covered slots that are valid entry points.
+    pub fn density(&self) -> f64 {
+        let slots = self.slots();
+        if slots == 0 {
+            0.0
+        } else {
+            self.set_bits() as f64 / slots as f64
+        }
+    }
+
+    /// Approximate resident size of the bit storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.words.len() * 8 + 16).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ocfg::OCfg;
+
+    fn deployed() -> (Image, ItcCfg, EntryBitset) {
+        let w = fg_workloads::nginx_patched();
+        let ocfg = OCfg::build(&w.image);
+        let itc = ItcCfg::build(&ocfg);
+        let bits = EntryBitset::from_itc(&w.image, &itc);
+        (w.image, itc, bits)
+    }
+
+    #[test]
+    fn covers_every_itc_node() {
+        let (_, itc, bits) = deployed();
+        for &n in itc.raw_view().node_addrs {
+            assert!(bits.contains(n), "node {n:#x} missing from the tier-0 bitset");
+        }
+        assert_eq!(bits.set_bits(), itc.node_count());
+    }
+
+    #[test]
+    fn rejects_non_nodes_and_off_grid_addresses() {
+        let (image, itc, bits) = deployed();
+        let v = itc.raw_view();
+        assert!(!bits.contains(v.node_addrs[0] + 1), "mid-instruction address");
+        assert!(!bits.contains(0), "address outside every module");
+        // Some on-grid code address that is not an ITC node must be clear.
+        let m = &image.modules()[0];
+        let clear = (m.base..m.exec_end)
+            .step_by(INSN_SIZE as usize)
+            .find(|va| !v.node_addrs.contains(va))
+            .expect("module has non-node slots");
+        assert!(!bits.contains(clear));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let (image, _, mut bits) = deployed();
+        let m = &image.modules()[0];
+        let va = m.base + 3 * INSN_SIZE;
+        let before = bits.contains(va);
+        bits.insert(va);
+        assert!(bits.contains(va));
+        assert!(bits.remove(va));
+        assert!(!bits.contains(va));
+        assert!(!bits.insert(va + 1), "off-grid insert refused");
+        assert!(!bits.insert(u64::MAX - 7), "out-of-range insert refused");
+        if before {
+            bits.insert(va);
+        }
+    }
+
+    #[test]
+    fn density_and_size_are_sane() {
+        let (image, _, bits) = deployed();
+        assert_eq!(bits.slots() as u64, image.total_insns());
+        assert!(bits.density() > 0.0 && bits.density() < 1.0);
+        assert!(bits.memory_bytes() >= bits.slots() / 8);
+        assert!(
+            bits.memory_bytes() < bits.slots() * 2,
+            "dense bitset stays near one bit per slot"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (_, _, bits) = deployed();
+        let json = serde_json::to_string(&bits).unwrap();
+        let back: EntryBitset = serde_json::from_str(&json).unwrap();
+        assert_eq!(bits, back);
+    }
+}

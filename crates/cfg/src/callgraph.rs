@@ -1,0 +1,213 @@
+//! The interprocedural call graph and whole-image reachability.
+//!
+//! The audit pass (see the `fg-audit` crate) needs to answer one question
+//! the per-block O-CFG cannot answer directly: *which code can a deployed
+//! process ever execute?* A protected process has exactly one way in — the
+//! image entry point — so anything the call graph cannot reach from there is
+//! dead weight: its basic blocks inflate the artifact, and any ITC-CFG edge
+//! rooted in it widens the attack surface for no benign execution's benefit.
+//!
+//! Two granularities are provided:
+//!
+//! * [`CallGraph`] — functions (from the TypeArmor function discovery) as
+//!   nodes, with direct calls, indirect calls, and cross-function tail jumps
+//!   as edges; reachability is a BFS from the function containing the entry
+//!   point.
+//! * [`reachable_blocks`] — basic-block-level closure over the O-CFG
+//!   successor sets from the entry block. This is the *over*-approximation
+//!   the pruning pass relies on: every successor set in the O-CFG is
+//!   conservative, so a block this BFS cannot reach is genuinely
+//!   unreachable in any benign execution.
+
+use crate::ocfg::OCfg;
+use fg_isa::image::Image;
+use std::collections::{BTreeSet, VecDeque};
+
+/// The function-level interprocedural call graph.
+///
+/// Nodes are the TypeArmor-discovered functions; edges are call-site
+/// relations: direct calls, every target of an indirect call site, and tail
+/// jumps that cross a function boundary (the callee inherits the caller's
+/// continuation, exactly as the O-CFG's call/return matching models it).
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Function entry addresses, sorted (parallel to the TypeArmor function
+    /// table the graph was built from).
+    pub entries: Vec<u64>,
+    /// Per-function callee indices, sorted and deduplicated.
+    pub callees: Vec<Vec<usize>>,
+    /// Root functions: the one containing the image entry point.
+    pub roots: Vec<usize>,
+}
+
+impl CallGraph {
+    /// Builds the call graph for a linked image from its O-CFG.
+    pub fn build(image: &Image, ocfg: &OCfg) -> CallGraph {
+        let funcs = &ocfg.typearmor.functions;
+        let entries: Vec<u64> = funcs.iter().map(|f| f.entry).collect();
+        let mut callees: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); funcs.len()];
+
+        for (bi, block) in ocfg.disasm.blocks.iter().enumerate() {
+            let Some(caller) = ocfg.typearmor.function_of(block.start) else {
+                continue;
+            };
+            for &target in ocfg.succs[bi].targets() {
+                let Some(callee) = ocfg.typearmor.function_of(target) else {
+                    continue;
+                };
+                // Intra-function direct flow is not a call-graph edge; a
+                // cross-function successor — direct call, indirect call,
+                // resolved PLT jump, or tail jump — is.
+                if callee != caller {
+                    callees[caller].insert(callee);
+                }
+            }
+        }
+
+        let roots = ocfg.typearmor.function_of(image.entry()).into_iter().collect();
+        CallGraph { entries, callees: callees.into_iter().map(Vec::from_iter).collect(), roots }
+    }
+
+    /// Number of functions.
+    pub fn function_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of call edges.
+    pub fn edge_count(&self) -> usize {
+        self.callees.iter().map(Vec::len).sum()
+    }
+
+    /// Per-function reachability from the roots (BFS).
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.entries.len()];
+        let mut queue: VecDeque<usize> = self.roots.iter().copied().collect();
+        for &r in &self.roots {
+            seen[r] = true;
+        }
+        while let Some(f) = queue.pop_front() {
+            for &c in &self.callees[f] {
+                if !seen[c] {
+                    seen[c] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Basic-block-level reachability: the closure of the O-CFG successor
+/// relation from the entry block.
+///
+/// The successor sets are conservative (indirect sets cover the full
+/// address-taken universe the site could reach), so the result
+/// over-approximates every benign execution: a `false` entry is proof the
+/// block never runs. Continuations after calls are reached through the
+/// callee's return-successor set, so code after a call into a non-returning
+/// function is correctly classified unreachable.
+pub fn reachable_blocks(image: &Image, ocfg: &OCfg) -> Vec<bool> {
+    let mut seen = vec![false; ocfg.disasm.blocks.len()];
+    let Some(entry) = ocfg.disasm.block_at(image.entry()) else {
+        return seen;
+    };
+    let mut queue = VecDeque::from([entry]);
+    seen[entry] = true;
+    while let Some(bi) = queue.pop_front() {
+        for &t in ocfg.succs[bi].targets() {
+            if let Some(ti) = ocfg.disasm.block_at(t) {
+                if !seen[ti] {
+                    seen[ti] = true;
+                    queue.push_back(ti);
+                }
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_isa::asm::Asm;
+    use fg_isa::image::Linker;
+    use fg_isa::insn::regs::{R1, R2};
+
+    /// An executable with a dispatched handler, a directly-called helper,
+    /// and a function no path references at all.
+    fn image_with_dead_code() -> Image {
+        let mut a = Asm::new("app");
+        a.export("main");
+        a.label("main");
+        a.call("helper");
+        a.lea(R1, "table");
+        a.ld(R2, R1, 0);
+        a.calli(R2);
+        a.halt();
+        a.label("helper");
+        a.ret();
+        a.label("handler");
+        a.ret();
+        a.label("orphan");
+        a.movi(R1, 9);
+        a.ret();
+        a.data_ptrs("table", &["handler"]);
+        Linker::new(a.finish().unwrap()).link().unwrap()
+    }
+
+    #[test]
+    fn call_graph_reaches_called_and_dispatched_code() {
+        let image = image_with_dead_code();
+        let ocfg = OCfg::build(&image);
+        let cg = CallGraph::build(&image, &ocfg);
+        assert!(cg.function_count() >= 3, "main, helper, handler discovered");
+        assert_eq!(cg.roots.len(), 1);
+        let reach = cg.reachable();
+        let reachable_entries: Vec<u64> = cg
+            .entries
+            .iter()
+            .zip(&reach)
+            .filter(|&(_, &r)| r)
+            .map(|(&e, _)| e)
+            .collect();
+        let main_entry = image.symbol("main").unwrap();
+        assert!(reachable_entries.contains(&main_entry));
+        assert!(reach.iter().filter(|&&r| r).count() >= 3, "main, helper, handler reachable");
+    }
+
+    #[test]
+    fn unreferenced_function_is_unreachable() {
+        let image = image_with_dead_code();
+        let ocfg = OCfg::build(&image);
+        let blocks = reachable_blocks(&image, &ocfg);
+        assert!(blocks.iter().any(|&r| r), "entry reachable");
+        assert!(
+            blocks.iter().any(|&r| !r),
+            "the orphan function must be unreachable from the entry point"
+        );
+        // The handler (only reachable through the dispatch table) IS
+        // reachable: indirect successor sets are part of the closure.
+        let handler_block = ocfg
+            .disasm
+            .blocks
+            .iter()
+            .position(|b| {
+                ocfg.disasm.address_taken.contains(&b.start) && blocks[ocfg.disasm.block_at(b.start).unwrap()]
+            });
+        assert!(handler_block.is_some(), "address-taken handler reachable via dispatch");
+    }
+
+    #[test]
+    fn whole_workload_mostly_reachable() {
+        let w = fg_workloads::nginx_patched();
+        let ocfg = OCfg::build(&w.image);
+        let blocks = reachable_blocks(&w.image, &ocfg);
+        let frac =
+            blocks.iter().filter(|&&r| r).count() as f64 / blocks.len().max(1) as f64;
+        assert!(frac > 0.5, "most of a real workload is live ({frac:.2})");
+        let cg = CallGraph::build(&w.image, &ocfg);
+        assert!(cg.edge_count() > 0);
+        let freach = cg.reachable();
+        assert!(freach.iter().any(|&r| r));
+    }
+}

@@ -629,7 +629,7 @@ mod tests {
         assert!(info.admits(&[false]));
         // Sig-count overflow path.
         let mut info2 = TntInfo::default();
-        for i in 0..(TntInfo::MAX_SIGS + 1) {
+        for i in 0..=TntInfo::MAX_SIGS {
             let mut run = vec![false; 10];
             run[i % 10] = i % 2 == 0;
             run.push(i % 3 == 0);

@@ -49,8 +49,13 @@
 //! # }
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod aia;
 pub mod bb;
+pub mod bitset;
+pub mod callgraph;
+pub mod dominator;
 pub mod itc;
 pub mod ocfg;
 pub mod typearmor;
@@ -58,6 +63,9 @@ pub mod vsa;
 
 pub use aia::{aia_fine, aia_flowguard, aia_itc, aia_itc_with_tnt, aia_ocfg, aia_vsa};
 pub use bb::{BasicBlock, BlockEnd, Disassembly};
+pub use bitset::{BitShard, EntryBitset};
+pub use callgraph::{reachable_blocks, CallGraph};
+pub use dominator::{block_dominators, DomTree};
 pub use itc::{Credit, EdgeIdx, ItcCfg, ItcRawView, TntInfo, TntSig};
 pub use ocfg::{OCfg, SuccSet};
 pub use typearmor::{Function, TypeArmor};

@@ -88,7 +88,7 @@ fn arg_reads_writes(insn: &Insn) -> (Vec<Reg>, Option<Reg>) {
             reads.push(rs);
             write = Some(rd);
         }
-        Insn::MovImm { rd, .. } => write = Some(rd),
+        Insn::MovImm { rd, .. } | Insn::Pop { rd } => write = Some(rd),
         Insn::Alu { rd, rs, .. } => {
             reads.push(rd);
             reads.push(rs);
@@ -102,7 +102,10 @@ fn arg_reads_writes(insn: &Insn) -> (Vec<Reg>, Option<Reg>) {
             reads.push(rs1);
             reads.push(rs2);
         }
-        Insn::CmpImm { rs, .. } => reads.push(rs),
+        Insn::CmpImm { rs, .. }
+        | Insn::Push { rs }
+        | Insn::JmpInd { rs }
+        | Insn::CallInd { rs } => reads.push(rs),
         Insn::Load { rd, base, .. } => {
             reads.push(base);
             write = Some(rd);
@@ -111,9 +114,6 @@ fn arg_reads_writes(insn: &Insn) -> (Vec<Reg>, Option<Reg>) {
             reads.push(rs);
             reads.push(base);
         }
-        Insn::Push { rs } => reads.push(rs),
-        Insn::Pop { rd } => write = Some(rd),
-        Insn::JmpInd { rs } | Insn::CallInd { rs } => reads.push(rs),
         _ => {}
     }
     (reads, write)
@@ -157,8 +157,7 @@ pub fn analyze(image: &Image, disasm: &Disassembly) -> TypeArmor {
         let end = entries
             .get(i + 1)
             .filter(|&&(_, nmi)| nmi == mi)
-            .map(|&(e, _)| e)
-            .unwrap_or(module_end);
+            .map_or(module_end, |&(e, _)| e);
         functions.push(Function { entry, end, module: mi, consumed_args: 0 });
     }
 
@@ -198,7 +197,7 @@ pub fn analyze(image: &Image, disasm: &Disassembly) -> TypeArmor {
         let crate::bb::BlockEnd::Terminator(Insn::CallInd { .. }) = b.term else { continue };
         let callsite = b.last_insn();
         let scan_start =
-            ta_probe.function_of(callsite).map(|i| ta_probe.functions[i].entry).unwrap_or(b.start);
+            ta_probe.function_of(callsite).map_or(b.start, |i| ta_probe.functions[i].entry);
         let mut written = [false; ARG_REGS as usize];
         let mut va = scan_start;
         while va < callsite {

@@ -557,8 +557,7 @@ fn clobber_masks(image: &Image, disasm: &Disassembly, ta: &TypeArmor) -> Vec<u16
         // Control can leave the extent by falling (or returning from a call
         // at the last slot) into the next function's entry.
         let leaks_into_next = match last {
-            None => false,
-            Some(Insn::Halt | Insn::Ret | Insn::Jmp { .. } | Insn::JmpInd { .. }) => false,
+            None | Some(Insn::Halt | Insn::Ret | Insn::Jmp { .. } | Insn::JmpInd { .. }) => false,
             Some(_) => true,
         };
         if leaks_into_next {
@@ -693,7 +692,6 @@ impl FnAnalysis<'_> {
                 BlockEnd::Terminator(term) => {
                     let site = b.last_insn();
                     match term {
-                        Insn::Halt | Insn::Ret => {}
                         Insn::Jmp { target } => self.propagate(target, st, f, &mut work),
                         Insn::Jcc { cc, target } => {
                             let mut taken = st.clone();
@@ -712,8 +710,7 @@ impl FnAnalysis<'_> {
                         }
                         Insn::Call { target } => {
                             let mask = resolve_fn(self.ta, self.disasm, target)
-                                .map(|ci| self.masks[ci])
-                                .unwrap_or(ALL_REGS);
+                                .map_or(ALL_REGS, |ci| self.masks[ci]);
                             st.clobber_mask(mask);
                             self.propagate(b.end, st, f, &mut work);
                         }
@@ -730,6 +727,7 @@ impl FnAnalysis<'_> {
                             st.clobber_mask(syscall_mask());
                             self.propagate(b.end, st, f, &mut work);
                         }
+                        // Halt/Ret end the flow; nothing to propagate.
                         _ => {}
                     }
                 }
@@ -794,8 +792,8 @@ fn step(st: &mut State, insn: &Insn, image: &Image) {
             st.set(rd, v);
         }
         Insn::Pop { rd } => st.set(rd, AbsVal::Top),
-        Insn::Store { .. } | Insn::Push { .. } | Insn::Nop => {}
-        // Terminators are handled at block edges.
+        // Stores, pushes and nops leave the register state untouched;
+        // terminators are handled at block edges.
         _ => {}
     }
 }
@@ -1096,7 +1094,7 @@ mod tests {
         let t = AbsVal::Top.join(&AbsVal::constant(1));
         assert_eq!(t, AbsVal::Top);
         // Widening an oversized set to its strided hull.
-        let big: BTreeSet<u64> = (0..(MAX_SET as u64 + 1)).map(|i| i * 4).collect();
+        let big: BTreeSet<u64> = (0..=(MAX_SET as u64)).map(|i| i * 4).collect();
         let h = AbsVal::Set(big).canon();
         assert_eq!(h, AbsVal::Interval { lo: 0, hi: MAX_SET as u64 * 4, stride: 4 });
     }

@@ -56,6 +56,13 @@ pub struct FlowGuardConfig {
     /// still captured.
     #[serde(default = "default_telemetry")]
     pub telemetry: bool,
+    /// Probe the tier-0 entry-point bitset ahead of every ITC edge lookup
+    /// (FineIBT-style coarse pre-check). Only takes effect when the
+    /// deployment actually ships a bitset; sound either way — the bitset is
+    /// verified to cover every ITC node (rule `FG-X01`), so the probe can
+    /// only short-circuit detections, never reject a benign transfer.
+    #[serde(default = "default_tier0_bitset")]
+    pub tier0_bitset: bool,
     /// The sensitive-syscall endpoint set.
     #[serde(skip, default = "SensitiveSet::patharmor_default")]
     pub endpoints: SensitiveSet,
@@ -80,6 +87,10 @@ fn default_telemetry() -> bool {
     true
 }
 
+fn default_tier0_bitset() -> bool {
+    true
+}
+
 impl Default for FlowGuardConfig {
     fn default() -> FlowGuardConfig {
         FlowGuardConfig {
@@ -94,6 +105,7 @@ impl Default for FlowGuardConfig {
             pmi_endpoints: false,
             path_matching: false,
             telemetry: true,
+            tier0_bitset: true,
             endpoints: SensitiveSet::patharmor_default(),
             topa_region_bytes: 8192,
         }
@@ -126,6 +138,7 @@ mod tests {
         assert!(c.incremental_scan);
         assert!(c.parallel_slow_path);
         assert!(c.slow_checkpoint);
+        assert!(c.tier0_bitset);
         c.validate();
     }
 

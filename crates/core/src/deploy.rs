@@ -9,7 +9,7 @@
 use crate::config::FlowGuardConfig;
 use crate::engine::FlowGuardEngine;
 use crate::telemetry::EngineTelemetry;
-use fg_cfg::{ItcCfg, OCfg};
+use fg_cfg::{EntryBitset, ItcCfg, OCfg};
 use fg_cpu::machine::{Machine, StopReason};
 use fg_cpu::trace::{IptUnit, TraceUnit};
 use fg_fuzz::{train, FuzzConfig, Fuzzer, TrainConfig, TrainStats};
@@ -74,6 +74,10 @@ struct Artifact {
     ocfg: OCfg,
     itc: ItcCfg,
     train_stats: Option<TrainStats>,
+    #[serde(default)]
+    entry_bitset: Option<EntryBitset>,
+    #[serde(default)]
+    pruned_itc: Option<ItcCfg>,
 }
 
 /// An analysed (and optionally trained) protection artifact for one binary.
@@ -87,6 +91,13 @@ pub struct Deployment {
     pub itc: ItcCfg,
     /// Statistics of the last training run.
     pub train_stats: Option<TrainStats>,
+    /// Tier-0 policy: the dense valid-entry-point bitset extracted from the
+    /// ITC node set (probed by the fast path ahead of the edge lookup).
+    pub entry_bitset: Option<EntryBitset>,
+    /// Reachability-pruned ITC-CFG variant emitted by the audit pass
+    /// (`fg-audit`), when one was attached. Carried for cross-artifact
+    /// verification; the engine enforces the full graph.
+    pub pruned_itc: Option<ItcCfg>,
 }
 
 impl Deployment {
@@ -95,7 +106,15 @@ impl Deployment {
     pub fn analyze(image: &Image) -> Deployment {
         let ocfg = OCfg::build(image);
         let itc = ItcCfg::build(&ocfg);
-        Deployment { image: image.clone(), ocfg: Arc::new(ocfg), itc, train_stats: None }
+        let entry_bitset = Some(EntryBitset::from_itc(image, &itc));
+        Deployment {
+            image: image.clone(),
+            ocfg: Arc::new(ocfg),
+            itc,
+            train_stats: None,
+            entry_bitset,
+            pruned_itc: None,
+        }
     }
 
     /// Step ② — labels ITC edges from a replay corpus (see
@@ -139,6 +158,8 @@ impl Deployment {
             ocfg: (*self.ocfg).clone(),
             itc: self.itc.clone(),
             train_stats: self.train_stats,
+            entry_bitset: self.entry_bitset.clone(),
+            pruned_itc: self.pruned_itc.clone(),
         };
         let file = std::fs::File::create(path)?;
         serde_json::to_writer(std::io::BufWriter::new(file), &artifact)?;
@@ -177,12 +198,22 @@ impl Deployment {
             ocfg: Arc::new(artifact.ocfg),
             itc: artifact.itc,
             train_stats: artifact.train_stats,
+            entry_bitset: artifact.entry_bitset,
+            pruned_itc: artifact.pruned_itc,
         })
     }
 
-    /// Runs the `fg-verify` rule catalogue over this deployment.
+    /// Runs the `fg-verify` rule catalogue over this deployment, including
+    /// the `FG-X*` cross-artifact rules for whichever derived artifacts
+    /// (tier-0 bitset, pruned graph) it ships.
     pub fn verify(&self) -> fg_verify::Report {
-        fg_verify::verify(&self.image, &self.ocfg, &self.itc)
+        fg_verify::verify_deployment(
+            &self.image,
+            &self.ocfg,
+            &self.itc,
+            self.entry_bitset.as_ref(),
+            self.pruned_itc.as_ref(),
+        )
     }
 
     /// Builds the runtime engine for a process with the given CR3.
@@ -191,13 +222,14 @@ impl Deployment {
         cfg: FlowGuardConfig,
         cr3: u64,
     ) -> (FlowGuardEngine, Arc<EngineTelemetry>) {
-        let engine = FlowGuardEngine::new(
+        let mut engine = FlowGuardEngine::new(
             self.image.clone(),
             Arc::clone(&self.ocfg),
             self.itc.clone(),
             cfg,
             cr3,
         );
+        engine.set_tier0(self.entry_bitset.clone());
         let stats = engine.stats_handle();
         (engine, stats)
     }

@@ -17,7 +17,7 @@ use crate::slowpath::{self, SlowVerdict, SlowViolation};
 use crate::telemetry::{
     render_packets, CheckEvent, CheckVerdict, EngineTelemetry, FLIGHT_WINDOW_BYTES, PMI_SYSNO,
 };
-use fg_cfg::{EdgeIdx, ItcCfg, OCfg};
+use fg_cfg::{EdgeIdx, EntryBitset, ItcCfg, OCfg};
 use fg_cpu::cost::CostModel;
 use fg_cpu::machine::SyscallCtx;
 use fg_ipt::{fast, IncrementalScanner};
@@ -70,6 +70,11 @@ pub struct EngineStats {
     pub edge_cache_hits: u64,
     /// Fast-path edge-cache misses.
     pub edge_cache_misses: u64,
+    /// Tier-0 bitset probes that passed and fell through to the edge check.
+    pub tier0_hits: u64,
+    /// Tier-0 probes that failed (violations caught before any edge
+    /// lookup).
+    pub tier0_misses: u64,
     /// Cycles spent decoding (packet scans + instruction-flow decodes).
     pub decode_cycles: f64,
     /// Cycles spent matching against the ITC-CFG.
@@ -115,6 +120,9 @@ pub struct FlowGuardEngine {
     scratch: CheckScratch,
     slow_scratch: slowpath::SlowScratch,
     stats: Arc<EngineTelemetry>,
+    /// Tier-0 entry-point bitset, probed ahead of the ITC edge lookup when
+    /// [`FlowGuardConfig::tier0_bitset`] is on and the deployment ships one.
+    tier0: Option<EntryBitset>,
 }
 
 impl std::fmt::Debug for FlowGuardEngine {
@@ -149,12 +157,19 @@ impl FlowGuardEngine {
             cache: HashSet::new(),
             scanner: IncrementalScanner::new(),
             slow_scratch: slowpath::SlowScratch::new(),
+            tier0: None,
         }
     }
 
     /// Overrides the cost model (hardware-extension ablations, §7.2.4).
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = cost;
+    }
+
+    /// Installs the deployment's tier-0 entry-point bitset. The fast path
+    /// probes it only while [`FlowGuardConfig::tier0_bitset`] is on.
+    pub fn set_tier0(&mut self, bits: Option<EntryBitset>) {
+        self.tier0 = bits;
     }
 
     /// A shared handle to the telemetry, usable after the engine is moved
@@ -192,9 +207,10 @@ fn fast_violation_edge(v: &Violation) -> Option<(u64, u64)> {
 /// The violating `(from, went)` edge of a slow-path verdict.
 fn slow_violation_edge(v: &SlowViolation) -> Option<(u64, u64)> {
     match *v {
-        SlowViolation::ForwardEdge { from, to } => Some((from, to)),
+        SlowViolation::ForwardEdge { from, to } | SlowViolation::ReturnOffCfg { from, to } => {
+            Some((from, to))
+        }
         SlowViolation::ReturnEdge { from, went, .. } => Some((from, went)),
-        SlowViolation::ReturnOffCfg { from, to } => Some((from, to)),
         _ => None,
     }
 }
@@ -313,13 +329,10 @@ impl FlowGuardEngine {
                 } else {
                     fast::scan(window)
                 };
-                let scan = match scan {
-                    Ok(s) => s,
-                    Err(_) => {
-                        // Unparseable buffer: be conservative and escalate.
-                        ev.verdict = CheckVerdict::Insufficient;
-                        return InterceptVerdict::Allow;
-                    }
+                let Ok(scan) = scan else {
+                    // Unparseable buffer: be conservative and escalate.
+                    ev.verdict = CheckVerdict::Insufficient;
+                    return InterceptVerdict::Allow;
                 };
                 if scan.tip_count() > self.cfg.pkt_count || window.len() == bytes.len() {
                     break (scan, window.len());
@@ -345,6 +358,7 @@ impl FlowGuardEngine {
         } else {
             self.cfg.clone()
         };
+        let tier0 = if self.cfg.tier0_bitset { self.tier0.as_ref() } else { None };
         let fast = fastpath::check_windowed(
             &self.itc,
             &self.cache,
@@ -353,6 +367,7 @@ impl FlowGuardEngine {
             &check_cfg,
             self.cost.edge_check_cycles,
             first_tnt_truncated,
+            tier0,
         );
         if self.cfg.incremental_scan {
             // Bound the accumulated scan: keep comfortably more than the
@@ -361,6 +376,8 @@ impl FlowGuardEngine {
         }
         ev.pairs_checked = fast.pairs_checked as u64;
         ev.credited_pairs = fast.credited_pairs as u64;
+        ev.tier0_hits = fast.tier0_hits;
+        ev.tier0_misses = fast.tier0_misses;
         ev.check_cycles = fast.check_cycles;
         ctx.extra_cycles.check += fast.check_cycles;
 

@@ -8,7 +8,7 @@
 //! the slow path), or **clean** (every edge high-credit with matching TNT).
 
 use crate::config::FlowGuardConfig;
-use fg_cfg::{Credit, EdgeIdx, ItcCfg};
+use fg_cfg::{Credit, EdgeIdx, EntryBitset, ItcCfg};
 use fg_ipt::fast::{Boundary, FastScan};
 use fg_isa::image::{Image, ModuleKind};
 use std::collections::HashSet;
@@ -131,6 +131,12 @@ pub struct FastPathResult {
     pub credited_pairs: usize,
     /// Simulated checking cycles (edge lookups).
     pub check_cycles: f64,
+    /// Tier-0 bitset probes that passed (target bit set, fell through to
+    /// the precise edge check). Zero when no bitset was supplied.
+    pub tier0_hits: u64,
+    /// Tier-0 probes that failed — each is a definitive violation caught
+    /// before any edge lookup.
+    pub tier0_misses: u64,
 }
 
 /// Runs the fast path over a packet-level scan.
@@ -151,13 +157,20 @@ pub fn check(
     edge_check_cycles: f64,
 ) -> FastPathResult {
     let mut scratch = CheckScratch::new(image);
-    check_windowed(itc, cache, &mut scratch, scan, cfg, edge_check_cycles, false)
+    check_windowed(itc, cache, &mut scratch, scan, cfg, edge_check_cycles, false, None)
 }
 
 /// [`check`] with reusable scratch state, over a scan that may have started
 /// at a mid-trace sync point: when `first_tnt_truncated` is set, the TNT
 /// run preceding the scan's very first TIP is truncated at the window edge
 /// and must not be compared against trained signatures.
+///
+/// When `tier0` carries the deployment's entry-point bitset, every pair's
+/// target is probed against it *before* any ITC lookup: a clear bit proves
+/// the target is outside every ITC target set (the bitset is verified to
+/// cover all nodes, rule `FG-X01`), so the transfer is malicious without
+/// touching the edge arrays. A set bit falls through to the precise check —
+/// the probe can only short-circuit detections, never admit anything.
 #[allow(clippy::too_many_arguments)]
 pub fn check_windowed(
     itc: &ItcCfg,
@@ -167,7 +180,10 @@ pub fn check_windowed(
     cfg: &FlowGuardConfig,
     edge_check_cycles: f64,
     first_tnt_truncated: bool,
+    tier0: Option<&EntryBitset>,
 ) -> FastPathResult {
+    let mut tier0_hits = 0u64;
+    let mut tier0_misses = 0u64;
     let tips = scan.tip_ips();
     if tips.len() < 2 {
         return FastPathResult {
@@ -175,6 +191,8 @@ pub fn check_windowed(
             pairs_checked: 0,
             credited_pairs: 0,
             check_cycles: 0.0,
+            tier0_hits,
+            tier0_misses,
         };
     }
 
@@ -233,12 +251,31 @@ pub fn check_windowed(
         // Is this pair's second TIP the scan's second TIP overall (i.e. its
         // TNT run may begin before the window)?
         let tnt_truncated = first_tnt_truncated && start + wi == 0;
+        // Tier-0 probe: one bit read settles "could this target ever be
+        // valid?" before the node binary search and edge resolution.
+        if let Some(bits) = tier0 {
+            if bits.contains(to) {
+                tier0_hits += 1;
+            } else {
+                tier0_misses += 1;
+                return FastPathResult {
+                    verdict: FastVerdict::Malicious(Violation::UnknownTarget { from, ip: to }),
+                    pairs_checked: pairs,
+                    credited_pairs: credited,
+                    check_cycles: pairs as f64 * edge_check_cycles,
+                    tier0_hits,
+                    tier0_misses,
+                };
+            }
+        }
         if !itc.is_node(to) {
             return FastPathResult {
                 verdict: FastVerdict::Malicious(Violation::UnknownTarget { from, ip: to }),
                 pairs_checked: pairs,
                 credited_pairs: credited,
                 check_cycles: pairs as f64 * edge_check_cycles,
+                tier0_hits,
+                tier0_misses,
             };
         }
         let Some(e) = scratch.edge(itc, from, to) else {
@@ -247,6 +284,8 @@ pub fn check_windowed(
                 pairs_checked: pairs,
                 credited_pairs: credited,
                 check_cycles: pairs as f64 * edge_check_cycles,
+                tier0_hits,
+                tier0_misses,
             };
         };
         let cached = cfg.cache_slow_path_results && cache.contains(&e);
@@ -278,7 +317,14 @@ pub fn check_windowed(
     } else {
         FastVerdict::Suspicious { uncredited }
     };
-    FastPathResult { verdict, pairs_checked: pairs, credited_pairs: credited, check_cycles }
+    FastPathResult {
+        verdict,
+        pairs_checked: pairs,
+        credited_pairs: credited,
+        check_cycles,
+        tier0_hits,
+        tier0_misses,
+    }
 }
 
 #[cfg(test)]
@@ -474,13 +520,59 @@ mod tests {
         let cfg = FlowGuardConfig::default();
         let mut scratch = CheckScratch::new(&s.image);
         let empty = HashSet::new();
-        let r1 = check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false);
-        let r2 = check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false);
+        let r1 = check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false, None);
+        let r2 = check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false, None);
         assert_eq!(r1, r2, "scratch reuse must not change verdicts");
         assert!(scratch.edge_cache_hits > 0, "repeat checks hit the edge cache");
         scratch.invalidate_edges();
-        let r3 = check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false);
+        let r3 = check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false, None);
         assert_eq!(r1, r3);
+    }
+
+    #[test]
+    fn tier0_probe_is_transparent_on_benign_flow() {
+        // Benign + trained: the probe must hit on every pair and change
+        // nothing — zero false escalations is the bitset's design guarantee.
+        let s = trained_setup();
+        let cfg = FlowGuardConfig::default();
+        let bits = EntryBitset::from_itc(&s.image, &s.itc);
+        let mut scratch = CheckScratch::new(&s.image);
+        let empty = HashSet::new();
+        let with =
+            check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false, Some(&bits));
+        assert_eq!(with.verdict, FastVerdict::Clean, "probe must not reject benign flow");
+        assert_eq!(with.tier0_misses, 0, "zero false escalations");
+        assert_eq!(with.tier0_hits as usize, with.pairs_checked, "every pair probed");
+        let without = check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false, None);
+        assert_eq!(without.verdict, FastVerdict::Clean);
+        assert_eq!(without.tier0_hits, 0, "no probes without a bitset");
+    }
+
+    #[test]
+    fn tier0_probe_catches_off_bitset_attack() {
+        let s = trained_setup();
+        let cfg = FlowGuardConfig::default();
+        let bits = EntryBitset::from_itc(&s.image, &s.itc);
+        let mut scan = s.scan.clone();
+        let exec_base = s.image.executable().base;
+        scan.set_tip_ip(scan.tip_count() - 1, exec_base + 8); // mid-entry block
+        let mut scratch = CheckScratch::new(&s.image);
+        let r = check_windowed(
+            &s.itc,
+            &HashSet::new(),
+            &mut scratch,
+            &scan,
+            &cfg,
+            18.0,
+            false,
+            Some(&bits),
+        );
+        assert!(
+            matches!(r.verdict, FastVerdict::Malicious(Violation::UnknownTarget { .. })),
+            "probe miss is a definitive violation, got {:?}",
+            r.verdict
+        );
+        assert_eq!(r.tier0_misses, 1, "the attack target missed the bitset");
     }
 
     #[test]

@@ -43,6 +43,8 @@
 //! # let _ = stop;
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod baselines;
 pub mod config;
 pub mod deploy;

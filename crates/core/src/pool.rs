@@ -69,7 +69,7 @@ impl WorkerPool {
     /// The shared process-wide pool, sized from available parallelism.
     pub fn global() -> &'static WorkerPool {
         GLOBAL.get_or_init(|| {
-            WorkerPool::with_size(thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+            WorkerPool::with_size(thread::available_parallelism().map_or(4, std::num::NonZero::get))
         })
     }
 
@@ -99,6 +99,9 @@ impl WorkerPool {
     /// Runs every task on the pool and returns their results in task order.
     /// Blocks until all tasks finish; a panicking task is re-raised here
     /// (after the remaining tasks complete), never on a worker.
+    // The crate denies `unsafe_code`; this is its single exception — the
+    // scoped-lifetime transmute below, justified at the site.
+    #[allow(unsafe_code)]
     pub fn run<'env, T, F>(&self, tasks: Vec<F>) -> Vec<T>
     where
         T: Send + 'env,

@@ -122,6 +122,10 @@ pub struct CheckEvent {
     pub slow_insns_decoded: u64,
     /// Sequential stitch/replay cycles spent by the slow path.
     pub stitch_cycles: f64,
+    /// Tier-0 bitset probes that passed during this check.
+    pub tier0_hits: u64,
+    /// Tier-0 probes that failed (pre-edge-lookup violations).
+    pub tier0_misses: u64,
 }
 
 impl Default for CheckEvent {
@@ -144,6 +148,8 @@ impl Default for CheckEvent {
             slow_shards: 0,
             slow_insns_decoded: 0,
             stitch_cycles: 0.0,
+            tier0_hits: 0,
+            tier0_misses: 0,
         }
     }
 }
@@ -179,7 +185,9 @@ impl PodEvent for CheckEvent {
             self.slow_shards,
             self.slow_insns_decoded,
             self.stitch_cycles.to_bits(),
-            0,
+            // Per-check probe counts are bounded by the window's pair count,
+            // so 32 bits each is ample.
+            (self.tier0_hits & 0xffff_ffff) | (self.tier0_misses << 32),
         ]
     }
 
@@ -202,6 +210,8 @@ impl PodEvent for CheckEvent {
             slow_shards: w[12],
             slow_insns_decoded: w[13],
             stitch_cycles: f64::from_bits(w[14]),
+            tier0_hits: w[15] & 0xffff_ffff,
+            tier0_misses: w[15] >> 32,
         }
     }
 }
@@ -255,6 +265,8 @@ pub struct EngineTelemetry {
     cold_restarts: ShardedU64,
     slow_checkpoint_hits: ShardedU64,
     slow_checkpoint_misses: ShardedU64,
+    tier0_hits: ShardedU64,
+    tier0_misses: ShardedU64,
     cache_size: Gauge,
     edge_cache_hits: Gauge,
     edge_cache_misses: Gauge,
@@ -298,6 +310,8 @@ impl EngineTelemetry {
             cold_restarts: ShardedU64::new(),
             slow_checkpoint_hits: ShardedU64::new(),
             slow_checkpoint_misses: ShardedU64::new(),
+            tier0_hits: ShardedU64::new(),
+            tier0_misses: ShardedU64::new(),
             cache_size: Gauge::new(),
             edge_cache_hits: Gauge::new(),
             edge_cache_misses: Gauge::new(),
@@ -341,6 +355,8 @@ impl EngineTelemetry {
         }
         self.pairs_checked.add(ev.pairs_checked);
         self.credited_pairs.add(ev.credited_pairs);
+        self.tier0_hits.add(ev.tier0_hits);
+        self.tier0_misses.add(ev.tier0_misses);
         self.bytes_scanned.add(ev.delta_bytes);
         if ev.cold_restart {
             self.cold_restarts.incr();
@@ -438,6 +454,8 @@ impl EngineTelemetry {
             cold_restarts: self.cold_restarts.get(),
             edge_cache_hits: self.edge_cache_hits.get(),
             edge_cache_misses: self.edge_cache_misses.get(),
+            tier0_hits: self.tier0_hits.get(),
+            tier0_misses: self.tier0_misses.get(),
             decode_cycles: self.decode_cycles.get(),
             check_cycles: self.check_cycles.get(),
             other_cycles: self.other_cycles.get(),
@@ -466,6 +484,8 @@ impl EngineTelemetry {
             cold_restarts: self.cold_restarts.get(),
             slow_checkpoint_hits: self.slow_checkpoint_hits.get(),
             slow_checkpoint_misses: self.slow_checkpoint_misses.get(),
+            tier0_hits: self.tier0_hits.get(),
+            tier0_misses: self.tier0_misses.get(),
             edge_cache_hits: self.edge_cache_hits.get(),
             edge_cache_misses: self.edge_cache_misses.get(),
             decode_cycles: self.decode_cycles.get(),
@@ -531,6 +551,16 @@ impl EngineTelemetry {
                 "fg_slow_checkpoint_misses_total",
                 "Slow-path checks decoded cold",
                 self.slow_checkpoint_misses.get(),
+            )
+            .counter(
+                "fg_tier0_hits_total",
+                "Tier-0 bitset probes that passed",
+                self.tier0_hits.get(),
+            )
+            .counter(
+                "fg_tier0_misses_total",
+                "Tier-0 bitset probes that failed (pre-edge violations)",
+                self.tier0_misses.get(),
             )
             .counter("fg_violations_total", "CFI violations", self.violations_total())
             .gauge("fg_cache_size", "Slow-path result cache entries", self.cache_size.get() as f64)
@@ -617,6 +647,12 @@ pub struct TelemetrySnapshot {
     /// Slow-path checks that decoded their window cold.
     #[serde(default)]
     pub slow_checkpoint_misses: u64,
+    /// Tier-0 bitset probes that passed.
+    #[serde(default)]
+    pub tier0_hits: u64,
+    /// Tier-0 bitset probes that failed (pre-edge-lookup violations).
+    #[serde(default)]
+    pub tier0_misses: u64,
     /// Edge-cache hits (cumulative).
     pub edge_cache_hits: u64,
     /// Edge-cache misses (cumulative).
@@ -695,6 +731,8 @@ mod tests {
             slow_shards: 5,
             slow_insns_decoded: 777,
             stitch_cycles: 44.0,
+            tier0_hits: 29,
+            tier0_misses: 1,
         };
         assert_eq!(CheckEvent::decode(&ev.encode()), ev);
     }

@@ -14,6 +14,8 @@
 //! calibrated [`cost::CostModel`] that converts hardware events into
 //! simulated cycles so the paper's overhead tables can be regenerated.
 
+#![deny(unsafe_code)]
+
 pub mod cost;
 pub mod coverage;
 pub mod machine;

@@ -274,9 +274,8 @@ impl Machine {
     ) -> Result<Option<StopReason>, MemFault> {
         let pc = self.cpu.pc;
         let bytes = self.mem.fetch(pc)?;
-        let insn = match Insn::decode(bytes, pc) {
-            Ok(i) => i,
-            Err(_) => return Ok(Some(StopReason::BadInsn { pc })),
+        let Ok(insn) = Insn::decode(bytes, pc) else {
+            return Ok(Some(StopReason::BadInsn { pc }));
         };
         self.insns_retired += 1;
         self.account.exec += self.cost.insn_cycles;

@@ -249,7 +249,6 @@ impl TraceUnit {
                 let retc = !u.msrs.ctl.dis_retc();
                 match kind {
                     CofiKind::CondBranch => u.enc.tnt_bit(taken),
-                    CofiKind::IndJmp => u.enc.tip(to),
                     CofiKind::IndCall | CofiKind::DirectCall if retc => {
                         // Track the call for RET compression.
                         if u.ret_stack.len() == RET_STACK_DEPTH {
@@ -260,7 +259,6 @@ impl TraceUnit {
                             u.enc.tip(to);
                         }
                     }
-                    CofiKind::IndCall => u.enc.tip(to),
                     CofiKind::Ret if retc => {
                         // Compressed return: a matching target is one taken
                         // TNT bit; a mismatch emits a full TIP.
@@ -272,7 +270,7 @@ impl TraceUnit {
                             u.enc.tip(to);
                         }
                     }
-                    CofiKind::Ret => u.enc.tip(to),
+                    CofiKind::IndJmp | CofiKind::IndCall | CofiKind::Ret => u.enc.tip(to),
                     CofiKind::FarTransfer => {
                         u.enc.fup(from);
                         u.enc.tip_pgd(None);

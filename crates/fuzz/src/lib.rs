@@ -14,6 +14,8 @@
 //! raises credits; unlabeled edges stay low-credit and route to the slow
 //! path.
 
+#![deny(unsafe_code)]
+
 pub mod fuzzer;
 pub mod mutate;
 pub mod train;

@@ -135,7 +135,7 @@ impl<S: TraceSink> PacketEncoder<S> {
         let mut buf = [0u8; 9];
         buf[0] = (comp.field() << 5) | opcode5;
         let n = comp.payload_len();
-        buf[1..1 + n].copy_from_slice(&ip.to_le_bytes()[..n]);
+        buf[1..=n].copy_from_slice(&ip.to_le_bytes()[..n]);
         let len = 1 + n;
         self.emit(&buf[..len]);
         self.last_ip = ip;

@@ -440,9 +440,8 @@ impl FlowMachine {
                 }
                 continue;
             }
-            let insn = match image.insn_at(self.ip) {
-                Some(i) => i,
-                None => return Err(FlowError::BadIp { ip: self.ip }),
+            let Some(insn) = image.insn_at(self.ip) else {
+                return Err(FlowError::BadIp { ip: self.ip });
             };
             if !self.parked {
                 self.trace.insns_walked += 1;

@@ -30,6 +30,8 @@
 //! paper's central performance tension, and what the ITC-CFG is designed to
 //! exploit.
 
+#![deny(unsafe_code)]
+
 pub mod decode;
 pub mod encode;
 pub mod fast;

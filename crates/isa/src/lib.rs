@@ -46,6 +46,8 @@
 //! # }
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod asm;
 pub mod image;
 pub mod insn;

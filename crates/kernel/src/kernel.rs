@@ -245,7 +245,7 @@ impl SyscallHandler for Kernel {
                 };
                 ctx.cpu.regs[0] = fd;
             }
-            Sysno::Close => ctx.cpu.regs[0] = 0,
+            Sysno::Close | Sysno::Mprotect => ctx.cpu.regs[0] = 0,
             Sysno::Mmap => {
                 let len = (a2.max(1) + 0xfff) & !0xfff;
                 let va = self.next_mmap;
@@ -253,7 +253,6 @@ impl SyscallHandler for Kernel {
                 ctx.mem.map_anon(va, len as usize);
                 ctx.cpu.regs[0] = va;
             }
-            Sysno::Mprotect => ctx.cpu.regs[0] = 0,
             Sysno::Execve => {
                 if let Some(path) = Kernel::read_str(ctx, a1, a2) {
                     self.execve_log.push(path);

@@ -219,6 +219,10 @@ mod tests {
         }
     }
 
+    // Miri skip-list: 10k samples make this minutes-long under the
+    // interpreter; the histogram is atomics-only and the remaining unit
+    // tests cover the same code paths at small scale.
+    #[cfg_attr(miri, ignore)]
     #[test]
     fn quantile_error_is_bounded() {
         let h = Histogram::new();

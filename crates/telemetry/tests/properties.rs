@@ -24,6 +24,10 @@ fn random_samples(seed: u64, n: usize) -> Vec<u64> {
 proptest! {
     /// Every reported quantile lies between the true order statistic and
     /// that statistic inflated by one sub-bucket of relative error.
+    // Miri skip-list: multi-thousand-sample proptest cases are far too slow
+    // under the interpreter and exercise no unsafe code paths beyond what
+    // the unit tests already cover.
+    #[cfg_attr(miri, ignore)]
     #[test]
     fn quantiles_bracket_truth(seed in any::<u64>(), n in 1usize..4000) {
         let mut vals = random_samples(seed, n);
@@ -46,6 +50,8 @@ proptest! {
 
     /// `merge(a, b)` is bucket-exactly `record(a ∪ b)`: identical bucket
     /// vectors, counts, sums, maxima, and therefore identical snapshots.
+    // Miri skip-list: same reasoning as `quantiles_bracket_truth`.
+    #[cfg_attr(miri, ignore)]
     #[test]
     fn merge_equals_union(seed_a in any::<u64>(), seed_b in any::<u64>(),
                           na in 0usize..1500, nb in 0usize..1500) {
@@ -109,7 +115,7 @@ proptest! {
         }
         // last(n) is always the suffix of the snapshot.
         let last3 = ring.last(3);
-        let tail: Vec<_> = snap.iter().rev().take(3).rev().cloned().collect();
+        let tail: Vec<_> = snap.iter().rev().take(3).rev().copied().collect();
         prop_assert_eq!(last3, tail);
     }
 }
@@ -122,6 +128,10 @@ fn ring_concurrent_reads_see_consistent_events() {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
+    // Miri executes this race-heavy loop ~1000x slower; a much shorter
+    // writer run still crosses the wraparound boundary many times, which is
+    // all the seqlock torn-read check needs.
+    let writes: u64 = if cfg!(miri) { 2_000 } else { 200_000 };
     let ring: Arc<EventRing<Marker>> = Arc::new(EventRing::new(32));
     let stop = Arc::new(AtomicBool::new(false));
     let mut readers = Vec::new();
@@ -140,14 +150,14 @@ fn ring_concurrent_reads_see_consistent_events() {
             }
         }));
     }
-    for i in 0..200_000u64 {
+    for i in 0..writes {
         ring.push(&Marker(i));
     }
     stop.store(true, Ordering::Relaxed);
     for r in readers {
         r.join().unwrap();
     }
-    assert_eq!(ring.pushed(), 200_000);
+    assert_eq!(ring.pushed(), writes);
 }
 
 #[test]

@@ -21,8 +21,8 @@ impl fmt::Display for Severity {
 }
 
 /// The rule catalogue. Each rule has a stable ID (`FG-W*` well-formedness,
-/// `FG-S*` soundness, `FG-P*` policy, `FG-N*` notes) used by tests and
-/// tooling.
+/// `FG-S*` soundness, `FG-P*` policy, `FG-N*` notes, `FG-X*` cross-artifact
+/// consistency) used by tests and tooling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// `FG-W01` — ITC node addresses strictly increasing (sorted, deduped).
@@ -59,11 +59,21 @@ pub enum Rule {
     TntEdgeKind,
     /// `FG-N01` — the artifact is untrained (all credits low).
     Untrained,
+    /// `FG-X01` — the tier-0 entry-point bitset covers every ITC node
+    /// (bitset ⊇ union of ITC-CFG target sets); a clear bit on a real node
+    /// would make the cheap probe reject benign transfers.
+    Tier0Coverage,
+    /// `FG-X02` — the credit map keys into the edge array (one label per
+    /// edge, no truncation, no orphan labels).
+    CreditKeys,
+    /// `FG-X03` — the pruned ITC-CFG is a subgraph of the full one (pruned
+    /// ⊆ full: nodes, edges, and credits all consistent).
+    PrunedSubset,
 }
 
 impl Rule {
     /// All rules, in catalogue order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 16] = [
         Rule::NodeOrder,
         Rule::RangeBounds,
         Rule::TargetOrder,
@@ -77,6 +87,9 @@ impl Rule {
         Rule::InstructionTarget,
         Rule::TntEdgeKind,
         Rule::Untrained,
+        Rule::Tier0Coverage,
+        Rule::CreditKeys,
+        Rule::PrunedSubset,
     ];
 
     /// The stable rule ID.
@@ -95,6 +108,9 @@ impl Rule {
             Rule::InstructionTarget => "FG-P01",
             Rule::TntEdgeKind => "FG-P02",
             Rule::Untrained => "FG-N01",
+            Rule::Tier0Coverage => "FG-X01",
+            Rule::CreditKeys => "FG-X02",
+            Rule::PrunedSubset => "FG-X03",
         }
     }
 
@@ -114,6 +130,9 @@ impl Rule {
             Rule::InstructionTarget => "instruction-target",
             Rule::TntEdgeKind => "tnt-edge-kind",
             Rule::Untrained => "untrained",
+            Rule::Tier0Coverage => "tier0-coverage",
+            Rule::CreditKeys => "credit-keys",
+            Rule::PrunedSubset => "pruned-subset",
         }
     }
 
@@ -251,6 +270,9 @@ mod tests {
         assert_eq!(Rule::DanglingEdge.id(), "FG-W05");
         assert_eq!(Rule::EdgeDerivable.id(), "FG-S01");
         assert_eq!(Rule::TntEdgeKind.id(), "FG-P02");
+        assert_eq!(Rule::Tier0Coverage.id(), "FG-X01");
+        assert_eq!(Rule::CreditKeys.id(), "FG-X02");
+        assert_eq!(Rule::PrunedSubset.id(), "FG-X03");
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! * **Policy** (`FG-P*`) — every indirect target is a decodable
 //!   instruction address, and TNT signatures are only attached to edges
 //!   whose direct region actually contains conditional branches.
+//! * **Cross-artifact** (`FG-X*`, via [`verify_deployment`]) — derived
+//!   deployment artifacts agree with the ITC-CFG they were extracted from:
+//!   the tier-0 entry-point bitset covers every node, the credit map keys
+//!   1:1 into the edge array, and a pruned graph is a true subgraph.
 //!
 //! Verification runs in two phases: if any well-formedness rule fails, the
 //! soundness and policy phases are skipped (their traversals assume a
@@ -56,11 +60,14 @@
 //! # }
 //! ```
 
-use fg_cfg::{ItcCfg, OCfg};
+#![deny(unsafe_code)]
+
+use fg_cfg::{EntryBitset, ItcCfg, OCfg};
 use fg_isa::image::Image;
 
 mod diag;
 mod rules;
+mod xartifact;
 
 pub use diag::{Diagnostic, Location, Report, Rule, Severity};
 
@@ -84,6 +91,32 @@ pub fn verify(image: &Image, ocfg: &OCfg, itc: &ItcCfg) -> Report {
              escalated to the slow path"
                 .to_string(),
         );
+    }
+    report
+}
+
+/// Runs the full catalogue plus the `FG-X*` cross-artifact rules over a
+/// deployment that ships the optional derived artifacts: the tier-0
+/// entry-point bitset and/or a reachability-pruned ITC-CFG.
+///
+/// The cross-artifact phase runs even when the core triple is malformed —
+/// its checks index defensively, and a truncated credit map should surface
+/// as the `FG-X02` finding the operator can act on, never as a panic.
+pub fn verify_deployment(
+    image: &Image,
+    ocfg: &OCfg,
+    itc: &ItcCfg,
+    tier0: Option<&EntryBitset>,
+    pruned: Option<&ItcCfg>,
+) -> Report {
+    let mut report = verify(image, ocfg, itc);
+    xartifact::credit_keys(itc, &mut report);
+    if let Some(bits) = tier0 {
+        xartifact::tier0_coverage(itc, bits, &mut report);
+    }
+    if let Some(p) = pruned {
+        xartifact::pruned_subset(itc, p, &mut report);
+        xartifact::credit_keys(p, &mut report);
     }
     report
 }

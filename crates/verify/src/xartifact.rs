@@ -1,0 +1,117 @@
+//! `FG-X*` — cross-artifact consistency.
+//!
+//! A deployment may carry more than the core triple: the tier-0
+//! entry-point bitset extracted by the audit pass and a reachability-pruned
+//! ITC-CFG variant. These artifacts are *derived* from the ITC-CFG, so the
+//! checker re-establishes the derivation invariants rather than trusting
+//! them:
+//!
+//! * `FG-X01` — the bitset covers every ITC node (probe misses imply
+//!   not-a-node, so a covered node can never be falsely escalated);
+//! * `FG-X02` — the credit map keys into the edge array (truncated or
+//!   oversized label tables would make the runtime read a neighbouring
+//!   edge's credit);
+//! * `FG-X03` — the pruned graph is a true subgraph of the full one with
+//!   credits no higher than the full graph assigns (pruning may only
+//!   *remove* authority, never mint it).
+//!
+//! Unlike the soundness phase these checks never assume a well-formed
+//! artifact: they index defensively so a truncated credit map is reported
+//! as a finding, not a panic.
+
+use crate::diag::{Location, Report, Rule};
+use fg_cfg::{EntryBitset, ItcCfg};
+
+/// `FG-X01` — every ITC node must have its tier-0 bit set.
+pub(crate) fn tier0_coverage(itc: &ItcCfg, bits: &EntryBitset, r: &mut Report) {
+    for &n in itc.raw_view().node_addrs {
+        if !bits.contains(n) {
+            r.push(
+                Rule::Tier0Coverage,
+                Location::Node(n),
+                "ITC node is missing from the tier-0 entry-point bitset — the fast-path \
+                 probe would reject benign transfers to it"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// `FG-X02` — the credit (and TNT) label tables key 1:1 into the edge
+/// array.
+pub(crate) fn credit_keys(itc: &ItcCfg, r: &mut Report) {
+    let v = itc.raw_view();
+    let edges = v.targets.len();
+    if v.credits.len() < edges {
+        r.push(
+            Rule::CreditKeys,
+            Location::Artifact,
+            format!(
+                "credit map truncated: {} labels for {} edges — edges {}.. have no credit",
+                v.credits.len(),
+                edges,
+                v.credits.len()
+            ),
+        );
+    } else if v.credits.len() > edges {
+        r.push(
+            Rule::CreditKeys,
+            Location::Artifact,
+            format!(
+                "{} orphan credit labels beyond the {} edges they could key",
+                v.credits.len() - edges,
+                edges
+            ),
+        );
+    }
+    if v.tnt.len() != edges {
+        r.push(
+            Rule::CreditKeys,
+            Location::Artifact,
+            format!("TNT label table has {} entries for {} edges", v.tnt.len(), edges),
+        );
+    }
+}
+
+/// `FG-X03` — the pruned ITC-CFG is a subgraph of the full one.
+pub(crate) fn pruned_subset(full: &ItcCfg, pruned: &ItcCfg, r: &mut Report) {
+    let pv = pruned.raw_view();
+    let fv = full.raw_view();
+    for &n in pv.node_addrs {
+        if !full.is_node(n) {
+            r.push(
+                Rule::PrunedSubset,
+                Location::Node(n),
+                "pruned graph contains a node the full graph does not".to_string(),
+            );
+        }
+    }
+    for (i, &from) in pv.node_addrs.iter().enumerate() {
+        let Some(&(start, len)) = pv.ranges.get(i) else {
+            break; // malformed shape is FG-W territory; stop quietly
+        };
+        for e in start as usize..(start as usize).saturating_add(len as usize) {
+            let Some(&to) = pv.targets.get(e) else { break };
+            let Some(full_edge) = full.edge(from, to) else {
+                r.push(
+                    Rule::PrunedSubset,
+                    Location::Edge { from, to },
+                    "pruned graph contains an edge the full graph does not".to_string(),
+                );
+                continue;
+            };
+            let (Some(&pc), Some(&fc)) = (pv.credits.get(e), fv.credits.get(full_edge)) else {
+                continue; // label-table truncation is FG-X02's finding
+            };
+            if pc == fg_cfg::Credit::High && fc == fg_cfg::Credit::Low {
+                r.push(
+                    Rule::PrunedSubset,
+                    Location::Edge { from, to },
+                    "pruned edge carries high credit where the full graph assigns low — \
+                     pruning may only remove authority"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}

@@ -282,3 +282,66 @@ fn every_block_end_variant_is_handled() {
         assert!(kinds.contains(k), "fixture lost its {k} block");
     }
 }
+
+// ---------------------------------------------------------------------------
+// FG-X* cross-artifact rules (verify_deployment).
+
+#[test]
+fn clean_deployment_with_derived_artifacts_passes() {
+    let (img, ocfg, itc) = artifact();
+    let bits = fg_cfg::EntryBitset::from_itc(&img, &itc);
+    let report = fg_verify::verify_deployment(&img, &ocfg, &itc, Some(&bits), Some(&itc));
+    assert!(!report.has_errors(), "honest derived artifacts must pass:\n{report}");
+}
+
+#[test]
+fn truncated_credit_map_is_rejected_by_credit_keys() {
+    // The FG-X02 regression the issue calls out: a credit map shorter than
+    // the edge array must be reported, not panicked on, even though the
+    // well-formedness phase (FG-W04) also fires and short-circuits the
+    // soundness phase.
+    let (img, ocfg, itc) = artifact();
+    let (nodes, ranges, targets, mut credits, tnt) = parts(&itc);
+    credits.pop().expect("artifact has edges");
+    let bad = ItcCfg::from_raw_parts(nodes, ranges, targets, credits, tnt);
+    let report = fg_verify::verify_deployment(&img, &ocfg, &bad, None, None);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::CreditKeys), "expected FG-X02:\n{report}");
+    assert!(report.contains(Rule::LabelArity), "FG-W04 fires alongside FG-X02:\n{report}");
+}
+
+#[test]
+fn bitset_missing_a_known_target_is_rejected() {
+    let (img, ocfg, itc) = artifact();
+    let mut bits = fg_cfg::EntryBitset::from_itc(&img, &itc);
+    let victim = itc.raw_view().node_addrs[0];
+    assert!(bits.remove(victim), "node bit was set");
+    let report = fg_verify::verify_deployment(&img, &ocfg, &itc, Some(&bits), None);
+    assert!(report.has_errors());
+    assert!(report.contains(Rule::Tier0Coverage), "expected FG-X01:\n{report}");
+}
+
+#[test]
+fn pruned_graph_minting_authority_is_rejected() {
+    // A "pruned" graph with an edge (or a credit upgrade) the full graph
+    // does not carry is not a pruning at all.
+    let (img, ocfg, itc) = artifact();
+
+    // Credit upgrade: full graph all-low, pruned copy marks an edge high.
+    let mut upgraded = itc.clone();
+    let (_, _, e) = upgraded.iter_edges().next().expect("edges exist");
+    upgraded.set_high(e);
+    let report = fg_verify::verify_deployment(&img, &ocfg, &itc, None, Some(&upgraded));
+    assert!(report.contains(Rule::PrunedSubset), "expected FG-X03 on credit mint:\n{report}");
+
+    // Node injection: the pruned variant knows a node the full graph lacks.
+    let (mut nodes, mut ranges, targets, credits, tnt) = parts(&itc);
+    let main = img.symbol("main").unwrap();
+    assert!(!nodes.contains(&main));
+    let slot = nodes.partition_point(|&n| n < main);
+    nodes.insert(slot, main);
+    ranges.insert(slot, (ranges.get(slot).map_or(targets.len() as u32, |r| r.0), 0));
+    let fat = ItcCfg::from_raw_parts(nodes, ranges, targets, credits, tnt);
+    let report = fg_verify::verify_deployment(&img, &ocfg, &itc, None, Some(&fat));
+    assert!(report.contains(Rule::PrunedSubset), "expected FG-X03 on node injection:\n{report}");
+}

@@ -12,6 +12,8 @@
 //! * [`libc`] — the shared library (with the `pop rN; ret` gadget material
 //!   real libcs provide) and the VDSO module.
 
+#![deny(unsafe_code)]
+
 pub mod libc;
 pub mod servers;
 pub mod spec;

@@ -32,6 +32,8 @@
 //! assert!(!process.violated());
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use fg_attacks as attacks;
 pub use fg_cfg as cfg;
 pub use fg_cpu as cpu;

@@ -245,7 +245,7 @@ proptest! {
             return Ok(());
         }
         let tips: Vec<usize> = fg_ipt::PacketParser::new(&bytes)
-            .filter_map(|p| p.ok())
+            .filter_map(std::result::Result::ok)
             .filter(|p| {
                 p.offset >= psbs[0] && p.len >= 2 && matches!(p.packet, fg_ipt::Packet::Tip { .. })
             })
