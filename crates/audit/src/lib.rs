@@ -34,7 +34,9 @@ pub mod reach;
 pub mod report;
 
 pub use reach::ReachAnalysis;
-pub use report::{AuditReport, Finding, FindingKind, ReachStats, Severity, Tier0Stats, TierMetrics};
+pub use report::{
+    AuditReport, Finding, FindingKind, ReachStats, Severity, Tier0Stats, TierMetrics,
+};
 
 use fg_cfg::EntryBitset;
 use flowguard::Deployment;
@@ -156,8 +158,7 @@ mod tests {
         assert!(bits.remove(node));
         let r = audit(&d);
         assert!(r.has_soundness_findings());
-        assert!(r.findings.iter().any(|f| f.kind == FindingKind::Tier0Gap
-            && f.addr == Some(node)));
+        assert!(r.findings.iter().any(|f| f.kind == FindingKind::Tier0Gap && f.addr == Some(node)));
         assert!(!r.tier0.covers_itc_nodes);
         // The same defect also trips the verifier (FG-X01), folded in.
         assert!(r.findings.iter().any(|f| f.kind == FindingKind::VerifierError));

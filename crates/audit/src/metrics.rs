@@ -73,11 +73,7 @@ pub fn tier_from_sets(tier: &str, mut sets: Vec<Vec<u64>>) -> TierMetrics {
 
 /// The deployed O-CFG's indirect target sets (one per indirect site).
 fn indirect_sets(ocfg: &OCfg) -> Vec<Vec<u64>> {
-    ocfg.succs
-        .iter()
-        .filter(|s| s.is_indirect())
-        .map(|s| s.targets().to_vec())
-        .collect()
+    ocfg.succs.iter().filter(|s| s.is_indirect()).map(|s| s.targets().to_vec()).collect()
 }
 
 /// The coarsest baseline: no TypeArmor arity filter, no PLT resolution, no
@@ -167,10 +163,8 @@ mod tests {
         assert_eq!(empty.sites, 0);
         assert_eq!(empty.aia, 0.0);
         assert_eq!(empty.median_targets, 0.0);
-        let t = tier_from_sets(
-            "t",
-            vec![vec![8, 16], vec![16, 8, 8], vec![24], vec![32, 40, 48, 56]],
-        );
+        let t =
+            tier_from_sets("t", vec![vec![8, 16], vec![16, 8, 8], vec![24], vec![32, 40, 48, 56]]);
         // Second set dedups to {8,16} == first set: 3 distinct classes.
         assert_eq!(t.sites, 4);
         assert_eq!(t.distinct_classes, 3);

@@ -180,10 +180,7 @@ mod tests {
         let ra = analyze(&w.image, &ocfg, &itc);
         // A benign artifact has no soundness findings, and pruning only
         // ever shrinks the graph.
-        assert!(ra
-            .findings
-            .iter()
-            .all(|f| f.severity() != crate::report::Severity::Error));
+        assert!(ra.findings.iter().all(|f| f.severity() != crate::report::Severity::Error));
         assert!(ra.stats.pruned_nodes <= ra.stats.itc_nodes);
         assert!(ra.stats.pruned_edges <= ra.stats.itc_edges);
         assert!(ra.stats.reachable_blocks > 0);
@@ -197,11 +194,8 @@ mod tests {
         let itc = ItcCfg::build(&ocfg);
         let ra = analyze(&img, &ocfg, &itc);
         let main = img.symbol("main").unwrap();
-        let dead: Vec<_> = ra
-            .findings
-            .iter()
-            .filter(|f| f.kind == FindingKind::UnreachableSource)
-            .collect();
+        let dead: Vec<_> =
+            ra.findings.iter().filter(|f| f.kind == FindingKind::UnreachableSource).collect();
         assert_eq!(dead.len(), 2, "both cold return sites flagged: {:?}", ra.findings);
         assert!(dead.iter().any(|f| f.addr == Some(main + 6 * INSN_SIZE)));
         assert!(ra.stats.pruned_nodes < ra.stats.itc_nodes);
@@ -218,10 +212,8 @@ mod tests {
         let mut itc = ItcCfg::build(&ocfg);
         // Label one surviving edge high-credit and check it carries over.
         let handler = img.symbol("main").unwrap() + 4 * INSN_SIZE;
-        let (f0, t0, e0) = itc
-            .iter_edges()
-            .find(|&(f, _, _)| f == handler)
-            .expect("handler has a return edge");
+        let (f0, t0, e0) =
+            itc.iter_edges().find(|&(f, _, _)| f == handler).expect("handler has a return edge");
         itc.set_high(e0);
         let ra = analyze(&img, &ocfg, &itc);
         for (from, to, pe) in ra.pruned.iter_edges() {

@@ -237,7 +237,12 @@ impl std::fmt::Display for AuditReport {
             writeln!(
                 f,
                 "  {:<12} {:>7} {:>8} {:>9.3} {:>8.1} {:>6} {:>8}",
-                t.tier, t.sites, t.total_edges, t.aia, t.median_targets, t.max_targets,
+                t.tier,
+                t.sites,
+                t.total_edges,
+                t.aia,
+                t.median_targets,
+                t.max_targets,
                 t.distinct_classes,
             )?;
         }

@@ -95,10 +95,7 @@ fn finding_counts(r: &fg_audit::AuditReport) -> Vec<(FindingKind, usize)> {
         FindingKind::Tier0Gap,
         FindingKind::VerifierError,
     ];
-    kinds
-        .into_iter()
-        .map(|k| (k, r.findings.iter().filter(|f| f.kind == k).count()))
-        .collect()
+    kinds.into_iter().map(|k| (k, r.findings.iter().filter(|f| f.kind == k).count())).collect()
 }
 
 proptest! {

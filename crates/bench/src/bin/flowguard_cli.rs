@@ -7,7 +7,7 @@
 //! flowguard_cli audit    <workload|artifact.json> [--json FILE]
 //! flowguard_cli info     <artifact.json>                   # inspect an artifact
 //! flowguard_cli run      <artifact.json> [--input FILE]    # ③–⑤ protected run
-//! flowguard_cli stats    <artifact.json> [--input FILE] [--prom]
+//! flowguard_cli stats    <artifact.json> [--input FILE] [--prom] [--streaming]
 //! flowguard_cli events   <artifact.json> [--input FILE] [--last N]
 //! flowguard_cli attack   <artifact.json> <rop|srop|ret2lib|flush|kbouncer>
 //! flowguard_cli workloads                                  # list bundled targets
@@ -56,7 +56,7 @@ fn usage() -> ExitCode {
          flowguard_cli audit <workload|artifact.json> [--json FILE]\n  \
          flowguard_cli info <artifact.json>\n  \
          flowguard_cli run <artifact.json> [--input FILE]\n  \
-         flowguard_cli stats <artifact.json> [--input FILE] [--prom]\n  \
+         flowguard_cli stats <artifact.json> [--input FILE] [--prom] [--streaming]\n  \
          flowguard_cli events <artifact.json> [--input FILE] [--last N]\n  \
          flowguard_cli attack <artifact.json> <rop|srop|ret2lib|flush|kbouncer>"
     );
@@ -320,21 +320,35 @@ fn main() -> ExitCode {
         }
         Some("stats") => {
             let Some(path) = it.next() else { return usage() };
-            let (input, trailing) = match parse_input_flag(&mut it) {
-                Ok(v) => v,
-                Err(code) => return code,
-            };
-            let prom = match trailing {
-                Some("--prom") => true,
-                None => false,
-                _ => return usage(),
-            };
+            let mut input = Vec::new();
+            let mut prom = false;
+            let mut streaming = false;
+            while let Some(a) = it.next() {
+                match a {
+                    "--input" => {
+                        let Some(f) = it.next() else { return usage() };
+                        match std::fs::read(f) {
+                            Ok(b) => input = b,
+                            Err(e) => {
+                                eprintln!("cannot read input: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    "--prom" => prom = true,
+                    "--streaming" => streaming = true,
+                    _ => return usage(),
+                }
+            }
             let d = match load_artifact(path) {
                 Ok(d) => d,
                 Err(code) => return code,
             };
             let input = if input.is_empty() { default_input_for(&d) } else { input };
-            let (stop, stats) = protected_run(&d, &input);
+            let cfg = FlowGuardConfig { streaming, ..Default::default() };
+            let mut p = d.launch(&input, cfg);
+            let stop = p.run(2_000_000_000);
+            let stats = p.stats;
             eprintln!("stop: {stop}");
             if prom {
                 print!("{}", stats.prometheus_text());

@@ -24,5 +24,6 @@ fn main() {
     e::cache::print();
     e::fastpath::print();
     e::slowpath::print();
+    e::streaming::print();
     println!("\nAll experiments completed.");
 }

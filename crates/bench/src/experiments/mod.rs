@@ -14,6 +14,7 @@ pub mod pathmatch;
 pub mod retc;
 pub mod sec2;
 pub mod slowpath;
+pub mod streaming;
 pub mod table1;
 pub mod table2;
 pub mod table4;

@@ -52,16 +52,14 @@ impl RunMetrics {
 }
 
 fn count_tips(m: &Machine) -> u64 {
-    m.branch_log
-        .as_ref()
-        .map_or(0, |log| {
-            log.iter()
-                .filter(|b| {
-                    use fg_isa::insn::CofiKind::*;
-                    matches!(b.kind, IndCall | IndJmp | Ret)
-                })
-                .count() as u64
-        })
+    m.branch_log.as_ref().map_or(0, |log| {
+        log.iter()
+            .filter(|b| {
+                use fg_isa::insn::CofiKind::*;
+                matches!(b.kind, IndCall | IndJmp | Ret)
+            })
+            .count() as u64
+    })
 }
 
 /// Runs a workload with no tracing (the baseline).

@@ -12,7 +12,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(std::string::ToString::to_string).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(std::string::ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -198,10 +198,7 @@ mod tests {
         assert_eq!(bits.slots() as u64, image.total_insns());
         assert!(bits.density() > 0.0 && bits.density() < 1.0);
         assert!(bits.memory_bytes() >= bits.slots() / 8);
-        assert!(
-            bits.memory_bytes() < bits.slots() * 2,
-            "dense bitset stays near one bit per slot"
-        );
+        assert!(bits.memory_bytes() < bits.slots() * 2, "dense bitset stays near one bit per slot");
     }
 
     #[test]

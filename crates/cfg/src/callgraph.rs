@@ -163,13 +163,8 @@ mod tests {
         assert!(cg.function_count() >= 3, "main, helper, handler discovered");
         assert_eq!(cg.roots.len(), 1);
         let reach = cg.reachable();
-        let reachable_entries: Vec<u64> = cg
-            .entries
-            .iter()
-            .zip(&reach)
-            .filter(|&(_, &r)| r)
-            .map(|(&e, _)| e)
-            .collect();
+        let reachable_entries: Vec<u64> =
+            cg.entries.iter().zip(&reach).filter(|&(_, &r)| r).map(|(&e, _)| e).collect();
         let main_entry = image.symbol("main").unwrap();
         assert!(reachable_entries.contains(&main_entry));
         assert!(reach.iter().filter(|&&r| r).count() >= 3, "main, helper, handler reachable");
@@ -187,13 +182,10 @@ mod tests {
         );
         // The handler (only reachable through the dispatch table) IS
         // reachable: indirect successor sets are part of the closure.
-        let handler_block = ocfg
-            .disasm
-            .blocks
-            .iter()
-            .position(|b| {
-                ocfg.disasm.address_taken.contains(&b.start) && blocks[ocfg.disasm.block_at(b.start).unwrap()]
-            });
+        let handler_block = ocfg.disasm.blocks.iter().position(|b| {
+            ocfg.disasm.address_taken.contains(&b.start)
+                && blocks[ocfg.disasm.block_at(b.start).unwrap()]
+        });
         assert!(handler_block.is_some(), "address-taken handler reachable via dispatch");
     }
 
@@ -202,8 +194,7 @@ mod tests {
         let w = fg_workloads::nginx_patched();
         let ocfg = OCfg::build(&w.image);
         let blocks = reachable_blocks(&w.image, &ocfg);
-        let frac =
-            blocks.iter().filter(|&&r| r).count() as f64 / blocks.len().max(1) as f64;
+        let frac = blocks.iter().filter(|&&r| r).count() as f64 / blocks.len().max(1) as f64;
         assert!(frac > 0.5, "most of a real workload is live ({frac:.2})");
         let cg = CallGraph::build(&w.image, &ocfg);
         assert!(cg.edge_count() > 0);

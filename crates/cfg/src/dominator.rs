@@ -119,8 +119,7 @@ impl DomTree {
                 depth[b] = depth[idom[b]] + 1;
             }
         }
-        let idom =
-            (0..n).map(|b| (b != root && idom[b] != usize::MAX).then(|| idom[b])).collect();
+        let idom = (0..n).map(|b| (b != root && idom[b] != usize::MAX).then(|| idom[b])).collect();
         DomTree { idom, depth, root }
     }
 

@@ -154,10 +154,7 @@ pub fn analyze(image: &Image, disasm: &Disassembly) -> TypeArmor {
     let mut functions = Vec::with_capacity(entries.len());
     for (i, &(entry, mi)) in entries.iter().enumerate() {
         let module_end = image.modules()[mi].exec_end;
-        let end = entries
-            .get(i + 1)
-            .filter(|&&(_, nmi)| nmi == mi)
-            .map_or(module_end, |&(e, _)| e);
+        let end = entries.get(i + 1).filter(|&&(_, nmi)| nmi == mi).map_or(module_end, |&(e, _)| e);
         functions.push(Function { entry, end, module: mi, consumed_args: 0 });
     }
 

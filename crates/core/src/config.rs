@@ -43,6 +43,15 @@ pub struct FlowGuardConfig {
     /// cold — the reference mode the checkpoint is validated against.
     #[serde(default = "default_slow_checkpoint")]
     pub slow_checkpoint: bool,
+    /// Stream-consume the ToPA concurrently with execution: a background
+    /// [`fg_ipt::StreamConsumer`] drains the buffer at the machine's
+    /// periodic trace-poll slots and at region-fill PMIs, so an endpoint
+    /// check degenerates to a frontier compare plus a scan of the few
+    /// residue bytes written since the last drain. Off, checks consume the
+    /// buffer via the incremental scanner (or cold scans) at endpoint time
+    /// only — the reference mode streaming is validated against.
+    #[serde(default = "default_streaming")]
+    pub streaming: bool,
     /// Also run a full-buffer check at every trace-buffer PMI — the paper's
     /// worst-case fallback against endpoint-pruning attacks (§7.1.2).
     pub pmi_endpoints: bool,
@@ -83,6 +92,10 @@ fn default_slow_checkpoint() -> bool {
     true
 }
 
+fn default_streaming() -> bool {
+    false
+}
+
 fn default_telemetry() -> bool {
     true
 }
@@ -102,6 +115,7 @@ impl Default for FlowGuardConfig {
             incremental_scan: true,
             parallel_slow_path: true,
             slow_checkpoint: true,
+            streaming: false,
             pmi_endpoints: false,
             path_matching: false,
             telemetry: true,
@@ -138,6 +152,7 @@ mod tests {
         assert!(c.incremental_scan);
         assert!(c.parallel_slow_path);
         assert!(c.slow_checkpoint);
+        assert!(!c.streaming, "streaming is opt-in; the paper's checks consume at endpoints");
         assert!(c.tier0_bitset);
         c.validate();
     }

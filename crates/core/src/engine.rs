@@ -20,7 +20,7 @@ use crate::telemetry::{
 use fg_cfg::{EdgeIdx, EntryBitset, ItcCfg, OCfg};
 use fg_cpu::cost::CostModel;
 use fg_cpu::machine::SyscallCtx;
-use fg_ipt::{fast, IncrementalScanner};
+use fg_ipt::{fast, IncrementalScanner, StreamConsumer};
 use fg_isa::image::Image;
 use fg_kernel::{InterceptVerdict, SyscallInterceptor, Sysno, SIGKILL};
 use std::collections::HashSet;
@@ -66,6 +66,11 @@ pub struct EngineStats {
     /// Checkpoint losses: the ToPA wrapped past the scanner's position and
     /// a cold PSB re-synchronisation was needed.
     pub cold_restarts: u64,
+    /// Background drains performed by the streaming consumer (trace-poll
+    /// slots and region-fill PMIs; zero when streaming is off).
+    pub stream_drains: u64,
+    /// Trace bytes drained in the background by the streaming consumer.
+    pub stream_drained_bytes: u64,
     /// Fast-path edge-cache hits (direct-mapped `(from, to)` cache).
     pub edge_cache_hits: u64,
     /// Fast-path edge-cache misses.
@@ -117,6 +122,15 @@ pub struct FlowGuardEngine {
     cr3: u64,
     cache: HashSet<EdgeIdx>,
     scanner: IncrementalScanner,
+    /// The streaming ToPA consumer ([`FlowGuardConfig::streaming`]): drains
+    /// the buffer at trace-poll slots and region-fill PMIs so checks find
+    /// only a small residue. `None` when streaming is off.
+    stream: Option<StreamConsumer>,
+    /// Reused residue read-out buffer for background drains.
+    drain_buf: Vec<u8>,
+    /// `stream.stats().drained_bytes` at the previous check — the baseline
+    /// for each [`CheckEvent::drained_bytes`] delta.
+    drained_at_last_check: u64,
     scratch: CheckScratch,
     slow_scratch: slowpath::SlowScratch,
     stats: Arc<EngineTelemetry>,
@@ -145,6 +159,7 @@ impl FlowGuardEngine {
         cr3: u64,
     ) -> FlowGuardEngine {
         cfg.validate();
+        let stream = cfg.streaming.then(StreamConsumer::new);
         FlowGuardEngine {
             scratch: CheckScratch::new(&image),
             stats: Arc::new(EngineTelemetry::new(cfg.telemetry)),
@@ -156,6 +171,9 @@ impl FlowGuardEngine {
             cr3,
             cache: HashSet::new(),
             scanner: IncrementalScanner::new(),
+            stream,
+            drain_buf: Vec::new(),
+            drained_at_last_check: 0,
             slow_scratch: slowpath::SlowScratch::new(),
             tier0: None,
         }
@@ -229,6 +247,13 @@ impl SyscallInterceptor for FlowGuardEngine {
     }
 
     fn on_pmi(&mut self, ctx: &mut SyscallCtx<'_>) -> InterceptVerdict {
+        // A region filled: a large chunk of trace is ready for the
+        // streaming consumer. Route this bulk drain through the shared
+        // worker pool — it is the consumer's slice of CPU, not the
+        // process's — so the poll-slot drains stay tiny.
+        if self.stream.is_some() {
+            self.background_drain(ctx, true);
+        }
         if !self.cfg.pmi_endpoints {
             return InterceptVerdict::Allow;
         }
@@ -238,9 +263,59 @@ impl SyscallInterceptor for FlowGuardEngine {
         // variant of the flow check.
         self.flow_check("pmi", PMI_SYSNO, ctx, true)
     }
+
+    fn on_trace_poll(&mut self, ctx: &mut SyscallCtx<'_>) {
+        // The periodic poll slot: drain whatever the producer wrote since
+        // the last drain (typically a handful of bytes). Runs inline —
+        // residues this small are cheaper to consume than to ship to a
+        // worker.
+        if self.stream.is_some() {
+            self.background_drain(ctx, false);
+        }
+    }
 }
 
 impl FlowGuardEngine {
+    /// One background drain of the ToPA residue into the streaming
+    /// consumer. `bulk` drains (region-fill PMIs) run on the shared worker
+    /// pool; poll-slot drains run inline. Drain cycles are not charged to
+    /// the process (`ctx.extra_cycles`): the consumer runs concurrently
+    /// with execution on its own slice of CPU — that concurrency is the
+    /// point of the streaming pipeline.
+    fn background_drain(&mut self, ctx: &mut SyscallCtx<'_>, bulk: bool) {
+        let Some(stream) = self.stream.as_mut() else { return };
+        let Some(ipt) = ctx.trace.as_ipt() else { return };
+        let topa = ipt.topa();
+        let total = topa.total_written();
+        let residue = stream.residue(total);
+        if residue == 0 {
+            return;
+        }
+        topa.tail_into(residue as usize, &mut self.drain_buf);
+        let buf = &self.drain_buf;
+        let result = if bulk {
+            crate::pool::WorkerPool::global()
+                .run(vec![move || stream.drain(buf, total)])
+                .pop()
+                .expect("one task, one result")
+        } else {
+            stream.drain(buf, total)
+        };
+        match result {
+            Ok(info) => {
+                if info.new_bytes > 0 || info.cold_restart {
+                    self.stats.record_stream_drain(info.new_bytes);
+                }
+            }
+            Err(_) => {
+                // Corrupt PSB+ bundle mid-stream: abandon it; the next
+                // drain re-synchronises. The same conservative recovery the
+                // check path uses.
+                self.stream.as_mut().expect("checked above").skip_to(total);
+            }
+        }
+    }
+
     fn flow_check(
         &mut self,
         endpoint: &'static str,
@@ -292,7 +367,37 @@ impl FlowGuardEngine {
         let window_budget =
             if full_buffer { bytes.len().max(1) } else { (self.cfg.pkt_count * 24).max(512) };
         let scan_owned;
-        let (scan, first_tnt_truncated) = if self.cfg.incremental_scan {
+        let (scan, first_tnt_truncated) = if let Some(stream) = self.stream.as_mut() {
+            // Streaming mode: the background consumer has already decoded
+            // (almost) everything. The check is a frontier compare plus a
+            // drain of the residue bytes written since the last poll slot.
+            ev.streaming = true;
+            ev.frontier_lag = stream.residue(total_written);
+            ev.drained_bytes =
+                stream.stats().drained_bytes.saturating_sub(self.drained_at_last_check);
+            if ev.frontier_lag > 0 {
+                match stream.drain(&bytes, total_written) {
+                    Ok(info) => {
+                        ev.cold_restart = info.cold_restart;
+                        ev.delta_bytes += info.new_bytes;
+                        let scan_cycles = info.new_bytes as f64 * self.cost.packet_scan_byte_cycles;
+                        ev.scan_cycles += scan_cycles;
+                        ctx.extra_cycles.decode += scan_cycles;
+                    }
+                    Err(_) => {
+                        // Corrupt PSB+ bundle: skip past it, stay
+                        // conservative (same recovery as the incremental
+                        // path).
+                        stream.skip_to(total_written);
+                        self.drained_at_last_check = stream.stats().drained_bytes;
+                        ev.verdict = CheckVerdict::Insufficient;
+                        return InterceptVerdict::Allow;
+                    }
+                }
+            }
+            self.drained_at_last_check = stream.stats().drained_bytes;
+            (stream.scan(), stream.first_tip_truncated())
+        } else if self.cfg.incremental_scan {
             let delta = total_written.saturating_sub(self.scanner.stream_pos());
             if delta > window_budget as u64 && delta <= bytes.len() as u64 {
                 // The accumulated flow already covers everything a previous
@@ -369,10 +474,13 @@ impl FlowGuardEngine {
             first_tnt_truncated,
             tier0,
         );
-        if self.cfg.incremental_scan {
+        let keep_tips = self.cfg.pkt_count.saturating_mul(8).max(256);
+        if let Some(stream) = self.stream.as_mut() {
             // Bound the accumulated scan: keep comfortably more than the
             // widest window the checker reaches back (pkt_count * 4).
-            self.scanner.compact(self.cfg.pkt_count.saturating_mul(8).max(256));
+            stream.compact(keep_tips);
+        } else if self.cfg.incremental_scan {
+            self.scanner.compact(keep_tips);
         }
         ev.pairs_checked = fast.pairs_checked as u64;
         ev.credited_pairs = fast.credited_pairs as u64;
@@ -582,6 +690,47 @@ mod tests {
         assert!(
             inc_bytes < cold_bytes,
             "checkpointing must scan strictly fewer bytes ({inc_bytes} vs {cold_bytes})"
+        );
+    }
+
+    #[test]
+    fn streaming_and_endpoint_consumption_agree_on_verdicts() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let run = |streaming: bool| {
+            let cfg = FlowGuardConfig { streaming, ..Default::default() };
+            let (stop, stats, k) =
+                protected_run(&w, itc.clone(), Arc::clone(&ocfg), &w.default_input, cfg);
+            assert_eq!(stop, StopReason::Exited(0));
+            assert!(!k.violated());
+            let s = stats.snapshot();
+            let verdicts = (
+                s.checks,
+                s.fast_clean,
+                s.fast_malicious,
+                s.slow_invocations,
+                s.slow_attacks,
+                s.insufficient,
+            );
+            (verdicts, s, stats.telemetry_snapshot())
+        };
+        let (stream_verdicts, stream_stats, stream_ts) = run(true);
+        let (endpoint_verdicts, endpoint_stats, _) = run(false);
+        assert_eq!(
+            stream_verdicts, endpoint_verdicts,
+            "streaming consumption must not change any verdict"
+        );
+        assert!(stream_stats.stream_drains > 0, "background drains happened");
+        assert!(stream_stats.stream_drained_bytes > 0, "background drains consumed bytes");
+        assert!(
+            stream_stats.bytes_scanned < endpoint_stats.bytes_scanned,
+            "check-time residue must be smaller than endpoint-time deltas ({} vs {})",
+            stream_stats.bytes_scanned,
+            endpoint_stats.bytes_scanned
+        );
+        assert_eq!(
+            stream_ts.frontier_lag.count, stream_stats.checks,
+            "every streaming check records its frontier lag"
         );
     }
 

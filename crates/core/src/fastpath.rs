@@ -543,7 +543,8 @@ mod tests {
         assert_eq!(with.verdict, FastVerdict::Clean, "probe must not reject benign flow");
         assert_eq!(with.tier0_misses, 0, "zero false escalations");
         assert_eq!(with.tier0_hits as usize, with.pairs_checked, "every pair probed");
-        let without = check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false, None);
+        let without =
+            check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false, None);
         assert_eq!(without.verdict, FastVerdict::Clean);
         assert_eq!(without.tier0_hits, 0, "no probes without a bitset");
     }

@@ -12,47 +12,67 @@ use crate::pool::WorkerPool;
 use fg_ipt::decode::PacketError;
 use fg_ipt::fast::{self, FastScan};
 
-/// Scans a trace buffer, fanning segments out across the worker pool when
-/// the buffer contains multiple PSB sync points.
+/// Below this many bytes a fan-out costs more than it saves (task dispatch,
+/// pool latching, merge) — the scan runs serially on the vectorized path
+/// instead.
+pub const PARALLEL_MIN_BYTES: usize = 64 * 1024;
+
+/// Scans a trace buffer, fanning PSB-delimited chunks out across the worker
+/// pool when the buffer is large enough to amortise the dispatch.
+///
+/// Segments are grouped into at most `pool.size()` *contiguous* chunks of
+/// roughly equal byte size, and each chunk is scanned with one
+/// [`fast::scan_vectorized`] call. One task per worker (instead of one scan
+/// call per segment) keeps the per-call setup cost independent of the PSB
+/// period, which is what let the old per-segment strided fan-out fall
+/// behind a serial scan on dense-PSB traces.
 ///
 /// Produces exactly the same [`FastScan`] as [`fast::scan`] on the whole
 /// buffer.
 ///
 /// # Errors
 ///
-/// Propagates the first failing segment's [`PacketError`] in stream order,
+/// Propagates the first failing chunk's [`PacketError`] in stream order,
 /// with its offset rebased to buffer coordinates — the same error a serial
 /// scan would report.
 pub fn scan_parallel(buf: &[u8]) -> Result<FastScan, PacketError> {
+    if buf.len() < PARALLEL_MIN_BYTES {
+        return fast::scan_vectorized(buf);
+    }
     let segs = fast::segments(buf);
     if segs.len() <= 1 {
-        return fast::scan(buf);
+        return fast::scan_vectorized(buf);
     }
 
     let pool = WorkerPool::global();
     let workers = segs.len().min(pool.size());
-    // Strided distribution: segment sizes vary wildly (PSB periods drift),
-    // striding balances the expected load without measuring.
-    let tasks: Vec<_> = (0..workers)
-        .map(|w| {
-            let segs = &segs;
+    // Chunk boundaries land on segment starts, so every chunk begins at a
+    // PSB sync point (or the buffer head) and the merge sees the same seam
+    // conditions a per-segment split would.
+    let target = buf.len().div_ceil(workers);
+    let mut chunks: Vec<(usize, usize)> = Vec::with_capacity(workers);
+    let mut start = segs[0].0;
+    let mut end = start;
+    for &(off, len) in &segs {
+        if end - start >= target {
+            chunks.push((start, end));
+            start = off;
+        }
+        end = off + len;
+    }
+    chunks.push((start, end));
+
+    let tasks: Vec<_> = chunks
+        .iter()
+        .map(|&(start, end)| {
             move || {
-                segs.iter()
-                    .copied()
-                    .skip(w)
-                    .step_by(workers)
-                    .map(|(off, len)| {
-                        let r = fast::scan(&buf[off..off + len])
-                            .map_err(|e| PacketError { offset: e.offset + off, kind: e.kind });
-                        (off, r)
-                    })
-                    .collect::<Vec<_>>()
+                let r = fast::scan_vectorized(&buf[start..end])
+                    .map_err(|e| PacketError { offset: e.offset + start, kind: e.kind });
+                (start, r)
             }
         })
         .collect();
-    let mut results: Vec<(usize, Result<FastScan, PacketError>)> =
-        pool.run(tasks).into_iter().flatten().collect();
-    results.sort_unstable_by_key(|&(off, _)| off);
+    let results = pool.run(tasks);
 
     let mut parts = Vec::with_capacity(results.len());
     for (off, r) in results {
@@ -160,6 +180,52 @@ mod tests {
         let parallel = scan_parallel(&bytes).unwrap();
         assert_eq!(parallel, serial);
         assert_eq!(parallel.sync_offset, Some(seg1.len() + seg2.len()));
+    }
+
+    #[test]
+    fn chunked_fanout_equals_serial_on_large_trace() {
+        // Dense PSB period over a trace comfortably above the fan-out
+        // threshold: the grouping must coalesce the many small segments
+        // into a handful of contiguous chunks and still match serial.
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), Some(0x1000));
+        for i in 0..40_000u64 {
+            enc.tnt_bit(i % 3 == 0);
+            enc.tip(0x40_0000 + (i % 7) * 64);
+            if i % 100 == 99 {
+                enc.psb_plus(Some(0x40_0000), Some(0x1000));
+            }
+        }
+        let bytes = enc.into_sink();
+        assert!(bytes.len() >= PARALLEL_MIN_BYTES, "trace must engage the fan-out");
+        let serial = fast::scan(&bytes).unwrap();
+        let parallel = scan_parallel(&bytes).unwrap();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn damage_at_chunk_seam_matches_serial() {
+        // Equal-sized segments so chunk seams land on segment boundaries;
+        // damaged bytes at one segment's tail must resync on the next
+        // chunk's PSB exactly as a serial scan would.
+        let mut bytes = Vec::new();
+        for s in 0..8u64 {
+            let mut enc = PacketEncoder::new(Vec::new());
+            enc.psb_plus(Some(0x40_0000), Some(0x1000));
+            for i in 0..4_000u64 {
+                enc.tnt_bit(i % 2 == 0);
+                enc.tip(0x40_0000 + (i % 5) * 64);
+            }
+            let mut seg = enc.into_sink();
+            if s == 3 {
+                seg.extend_from_slice(&[0x47, 0x13, 0x47]); // trailing damage
+            }
+            bytes.extend_from_slice(&seg);
+        }
+        assert!(bytes.len() >= PARALLEL_MIN_BYTES);
+        let serial = fast::scan(&bytes).unwrap();
+        let parallel = scan_parallel(&bytes).unwrap();
+        assert_eq!(parallel, serial);
     }
 
     #[test]

@@ -126,6 +126,16 @@ pub struct CheckEvent {
     pub tier0_hits: u64,
     /// Tier-0 probes that failed (pre-edge-lookup violations).
     pub tier0_misses: u64,
+    /// Whether the streaming consumer served this check (frontier compare +
+    /// residue scan instead of an endpoint-time buffer consume).
+    pub streaming: bool,
+    /// Streaming mode: residue bytes the background consumer had NOT yet
+    /// drained when this check arrived (the frontier lag — the bytes the
+    /// check itself had to scan). Zero when streaming is off.
+    pub frontier_lag: u64,
+    /// Streaming mode: bytes drained by the background consumer (poll slots
+    /// and PMI drains) since the previous check. Zero when streaming is off.
+    pub drained_bytes: u64,
 }
 
 impl Default for CheckEvent {
@@ -150,6 +160,9 @@ impl Default for CheckEvent {
             stitch_cycles: 0.0,
             tier0_hits: 0,
             tier0_misses: 0,
+            streaming: false,
+            frontier_lag: 0,
+            drained_bytes: 0,
         }
     }
 }
@@ -171,7 +184,8 @@ impl PodEvent for CheckEvent {
             self.sysno,
             self.verdict.to_u64()
                 | u64::from(self.cold_restart) << 8
-                | u64::from(self.checkpoint_hit) << 9,
+                | u64::from(self.checkpoint_hit) << 9
+                | u64::from(self.streaming) << 10,
             self.delta_bytes,
             self.pairs_checked,
             self.credited_pairs,
@@ -188,6 +202,8 @@ impl PodEvent for CheckEvent {
             // Per-check probe counts are bounded by the window's pair count,
             // so 32 bits each is ample.
             (self.tier0_hits & 0xffff_ffff) | (self.tier0_misses << 32),
+            self.frontier_lag,
+            self.drained_bytes,
         ]
     }
 
@@ -197,6 +213,7 @@ impl PodEvent for CheckEvent {
             verdict: CheckVerdict::from_u64(w[1] & 0xff),
             cold_restart: w[1] & 0x100 != 0,
             checkpoint_hit: w[1] & 0x200 != 0,
+            streaming: w[1] & 0x400 != 0,
             delta_bytes: w[2],
             pairs_checked: w[3],
             credited_pairs: w[4],
@@ -212,6 +229,8 @@ impl PodEvent for CheckEvent {
             stitch_cycles: f64::from_bits(w[14]),
             tier0_hits: w[15] & 0xffff_ffff,
             tier0_misses: w[15] >> 32,
+            frontier_lag: w[16],
+            drained_bytes: w[17],
         }
     }
 }
@@ -267,6 +286,8 @@ pub struct EngineTelemetry {
     slow_checkpoint_misses: ShardedU64,
     tier0_hits: ShardedU64,
     tier0_misses: ShardedU64,
+    stream_drains: ShardedU64,
+    stream_drained_bytes: ShardedU64,
     cache_size: Gauge,
     edge_cache_hits: Gauge,
     edge_cache_misses: Gauge,
@@ -285,6 +306,8 @@ pub struct EngineTelemetry {
     slowpath_shards: Histogram,
     /// Trace bytes consumed per check.
     bytes_per_check: Histogram,
+    /// Streaming mode: residue bytes not yet drained at check entry.
+    frontier_lag: Histogram,
     events: EventRing<CheckEvent>,
     violations: Mutex<ViolationLog>,
     flight: FlightRecorder,
@@ -312,6 +335,8 @@ impl EngineTelemetry {
             slow_checkpoint_misses: ShardedU64::new(),
             tier0_hits: ShardedU64::new(),
             tier0_misses: ShardedU64::new(),
+            stream_drains: ShardedU64::new(),
+            stream_drained_bytes: ShardedU64::new(),
             cache_size: Gauge::new(),
             edge_cache_hits: Gauge::new(),
             edge_cache_misses: Gauge::new(),
@@ -324,6 +349,7 @@ impl EngineTelemetry {
             slowpath_stitch_cycles: Histogram::new(),
             slowpath_shards: Histogram::new(),
             bytes_per_check: Histogram::new(),
+            frontier_lag: Histogram::new(),
             events: EventRing::new(EVENT_RING_CAPACITY),
             violations: Mutex::new(ViolationLog::default()),
             flight: FlightRecorder::new(FLIGHT_CAPACITY, FLIGHT_WINDOW_BYTES),
@@ -377,7 +403,22 @@ impl EngineTelemetry {
             }
         }
         self.bytes_per_check.record(ev.delta_bytes);
+        if ev.streaming {
+            self.frontier_lag.record(ev.frontier_lag);
+        }
         self.events.push(ev);
+    }
+
+    /// Records one background drain by the streaming consumer (trace-poll
+    /// slots and region-fill PMIs — not check-time residue scans, which are
+    /// accounted as `delta_bytes` on their [`CheckEvent`]).
+    #[inline]
+    pub fn record_stream_drain(&self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.stream_drains.incr();
+        self.stream_drained_bytes.add(bytes);
     }
 
     /// Samples the caches' current sizes (gauges, last-write-wins).
@@ -456,6 +497,8 @@ impl EngineTelemetry {
             edge_cache_misses: self.edge_cache_misses.get(),
             tier0_hits: self.tier0_hits.get(),
             tier0_misses: self.tier0_misses.get(),
+            stream_drains: self.stream_drains.get(),
+            stream_drained_bytes: self.stream_drained_bytes.get(),
             decode_cycles: self.decode_cycles.get(),
             check_cycles: self.check_cycles.get(),
             other_cycles: self.other_cycles.get(),
@@ -486,6 +529,8 @@ impl EngineTelemetry {
             slow_checkpoint_misses: self.slow_checkpoint_misses.get(),
             tier0_hits: self.tier0_hits.get(),
             tier0_misses: self.tier0_misses.get(),
+            stream_drains: self.stream_drains.get(),
+            stream_drained_bytes: self.stream_drained_bytes.get(),
             edge_cache_hits: self.edge_cache_hits.get(),
             edge_cache_misses: self.edge_cache_misses.get(),
             decode_cycles: self.decode_cycles.get(),
@@ -497,6 +542,7 @@ impl EngineTelemetry {
             slowpath_stitch_cycles: self.slowpath_stitch_cycles.snapshot(),
             slowpath_shards: self.slowpath_shards.snapshot(),
             bytes_per_check: self.bytes_per_check.snapshot(),
+            frontier_lag: self.frontier_lag.snapshot(),
             events_recorded: self.events.pushed(),
             violations_total: v.total(),
             violations_dropped: v.dropped,
@@ -562,6 +608,16 @@ impl EngineTelemetry {
                 "Tier-0 bitset probes that failed (pre-edge violations)",
                 self.tier0_misses.get(),
             )
+            .counter(
+                "fg_stream_drains_total",
+                "Background drains by the streaming consumer",
+                self.stream_drains.get(),
+            )
+            .counter(
+                "fg_stream_drained_bytes_total",
+                "Trace bytes drained in the background by the streaming consumer",
+                self.stream_drained_bytes.get(),
+            )
             .counter("fg_violations_total", "CFI violations", self.violations_total())
             .gauge("fg_cache_size", "Slow-path result cache entries", self.cache_size.get() as f64)
             .gauge("fg_edge_cache_hits", "Edge-cache hits", self.edge_cache_hits.get() as f64)
@@ -598,6 +654,11 @@ impl EngineTelemetry {
                 "fg_bytes_per_check",
                 "Trace bytes consumed per check",
                 &self.bytes_per_check.snapshot(),
+            )
+            .summary(
+                "fg_frontier_lag_bytes",
+                "Residue bytes not yet drained at check entry (streaming)",
+                &self.frontier_lag.snapshot(),
             );
         p.finish()
     }
@@ -653,6 +714,12 @@ pub struct TelemetrySnapshot {
     /// Tier-0 bitset probes that failed (pre-edge-lookup violations).
     #[serde(default)]
     pub tier0_misses: u64,
+    /// Background drains performed by the streaming consumer.
+    #[serde(default)]
+    pub stream_drains: u64,
+    /// Trace bytes drained in the background by the streaming consumer.
+    #[serde(default)]
+    pub stream_drained_bytes: u64,
     /// Edge-cache hits (cumulative).
     pub edge_cache_hits: u64,
     /// Edge-cache misses (cumulative).
@@ -677,6 +744,10 @@ pub struct TelemetrySnapshot {
     pub slowpath_shards: HistogramSnapshot,
     /// Distribution of trace bytes consumed per check.
     pub bytes_per_check: HistogramSnapshot,
+    /// Distribution of residue bytes not yet drained at check entry
+    /// (streaming mode only; empty otherwise).
+    #[serde(default)]
+    pub frontier_lag: HistogramSnapshot,
     /// Events ever pushed to the ring (≥ retained).
     pub events_recorded: u64,
     /// Violations recorded in total.
@@ -733,6 +804,9 @@ mod tests {
             stitch_cycles: 44.0,
             tier0_hits: 29,
             tier0_misses: 1,
+            streaming: true,
+            frontier_lag: 17,
+            drained_bytes: 4096,
         };
         assert_eq!(CheckEvent::decode(&ev.encode()), ev);
     }

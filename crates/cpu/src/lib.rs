@@ -24,6 +24,8 @@ pub mod trace;
 
 pub use cost::{CostModel, CycleAccount};
 pub use coverage::{CoverageMap, VirginMap};
-pub use machine::{Cpu, Machine, NullKernel, StopReason, SysOutcome, SyscallCtx, SyscallHandler};
+pub use machine::{
+    Cpu, Machine, NullKernel, StopReason, SysOutcome, SyscallCtx, SyscallHandler, TRACE_POLL_PERIOD,
+};
 pub use mem::{AddressSpace, MemFault};
 pub use trace::{BtsRecord, BtsUnit, IptUnit, LbrFilter, LbrUnit, TraceUnit};

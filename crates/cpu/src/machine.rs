@@ -88,6 +88,13 @@ pub struct SyscallCtx<'a> {
     pub extra_cycles: &'a mut CycleAccount,
 }
 
+/// How often [`Machine::run`] offers the kernel a trace-poll slot: once
+/// every this many retired instructions (when an IPT unit is attached).
+/// This stands in for the slice of CPU a background trace consumer gets on
+/// real hardware; FlowGuard's streaming mode drains the ToPA residue here
+/// so syscall-time checks find an almost fully consumed buffer.
+pub const TRACE_POLL_PERIOD: u64 = 64;
+
 /// The simulated kernel's syscall entry point.
 pub trait SyscallHandler {
     /// Handles the syscall whose number is in `r0` (arguments `r1`–`r5`),
@@ -103,6 +110,13 @@ pub trait SyscallHandler {
         }
         SysOutcome::Continue
     }
+
+    /// Periodic trace-poll slot, offered every [`TRACE_POLL_PERIOD`]
+    /// retired instructions while an IPT unit is attached. Unlike
+    /// [`SyscallHandler::pmi`] this cannot stop the process — it only lets
+    /// a streaming consumer drain the trace concurrently with execution.
+    /// The default does nothing.
+    fn trace_poll(&mut self, _ctx: &mut SyscallCtx<'_>) {}
 }
 
 /// A no-op kernel: every syscall returns 0 except `exit` (number 0).
@@ -259,6 +273,19 @@ impl Machine {
                     SysOutcome::Exit(code) => return StopReason::Exited(code),
                     SysOutcome::Kill(sig) => return StopReason::Killed(sig),
                 }
+            }
+            // Periodic trace-poll slot for the streaming consumer.
+            if self.insns_retired.is_multiple_of(TRACE_POLL_PERIOD) && self.trace.as_ipt().is_some() {
+                let mut extra = CycleAccount::default();
+                let mut ctx = SyscallCtx {
+                    cpu: &mut self.cpu,
+                    mem: &mut self.mem,
+                    trace: &mut self.trace,
+                    cr3: self.cr3,
+                    extra_cycles: &mut extra,
+                };
+                kernel.trace_poll(&mut ctx);
+                self.account.absorb(&extra);
             }
         }
     }

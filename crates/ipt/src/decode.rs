@@ -126,26 +126,19 @@ impl<'a> PacketParser<'a> {
     /// Returns the PSB offset, or `None` if no PSB remains. This is the
     /// decoder-sync operation enabling mid-buffer and parallel decoding.
     pub fn sync_forward(&mut self) -> Option<usize> {
-        let pat = [wire::EXT, wire::EXT_PSB];
-        let mut i = self.pos;
-        while i + wire::PSB_LEN <= self.buf.len() {
-            if self.buf[i..i + wire::PSB_LEN].chunks(2).all(|c| c == pat) {
-                self.pos = i;
-                self.last_ip = 0;
-                return Some(i);
-            }
-            i += 1;
-        }
-        None
+        let off = find_psb(self.buf, self.pos)?;
+        self.pos = off;
+        self.last_ip = 0;
+        Some(off)
     }
 
     /// Offsets of every PSB packet in `buf` (for fan-out across workers).
     pub fn psb_offsets(buf: &[u8]) -> Vec<usize> {
         let mut out = Vec::new();
-        let mut p = PacketParser::new(buf);
-        while let Some(off) = p.sync_forward() {
+        let mut from = 0;
+        while let Some(off) = find_psb(buf, from) {
             out.push(off);
-            p.pos = off + wire::PSB_LEN;
+            from = off + wire::PSB_LEN;
         }
         out
     }
@@ -309,6 +302,52 @@ impl<'a> PacketParser<'a> {
         };
         Ok((packet, len))
     }
+}
+
+/// SWAR search for the 16-byte PSB pattern (`02 82` × 8) at or after `from`.
+///
+/// The byte-at-a-time filter is replaced by a `memchr`-style scan: 8-byte
+/// words are tested for the presence of any `0x02` with the
+/// has-zero-byte trick, and candidates are verified with two unaligned
+/// 8-byte compares. This is the sync primitive behind [`PacketParser::
+/// sync_forward`], segment fan-out, and the streaming consumer's wrap
+/// recovery.
+pub fn find_psb(buf: &[u8], from: usize) -> Option<usize> {
+    const EXT8: u64 = 0x0202_0202_0202_0202;
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    const PSB_WORD: u64 = u64::from_le_bytes([
+        wire::EXT,
+        wire::EXT_PSB,
+        wire::EXT,
+        wire::EXT_PSB,
+        wire::EXT,
+        wire::EXT_PSB,
+        wire::EXT,
+        wire::EXT_PSB,
+    ]);
+    if buf.len() < wire::PSB_LEN || from > buf.len() - wire::PSB_LEN {
+        return None;
+    }
+    let limit = buf.len() - wire::PSB_LEN;
+    let load = |at: usize| u64::from_le_bytes(buf[at..at + 8].try_into().expect("8-byte load"));
+    let mut i = from;
+    while i <= limit {
+        if buf[i] != wire::EXT {
+            // No candidate here: jump to the next 0x02 byte in this 8-byte
+            // window (always in bounds: i + 8 <= limit + 8 <= buf.len()),
+            // or over the whole window if it holds none.
+            let x = load(i) ^ EXT8;
+            let zeros = x.wrapping_sub(LO) & !x & HI;
+            i += if zeros == 0 { 8 } else { zeros.trailing_zeros() as usize / 8 };
+            continue;
+        }
+        if load(i) == PSB_WORD && load(i + 8) == PSB_WORD {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
 }
 
 /// Rebuilds a [`TntSeq`] from a shift-register payload of `n` bits.
@@ -540,5 +579,36 @@ mod tests {
     fn error_display_mentions_offset() {
         let e = PacketError { offset: 42, kind: PacketErrorKind::Truncated };
         assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn find_psb_locates_pattern_at_any_alignment() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        let clean = enc.into_sink();
+        for pad in 0..9 {
+            let mut bytes = vec![0x47u8; pad];
+            bytes.extend_from_slice(&clean);
+            assert_eq!(find_psb(&bytes, 0), Some(pad), "pad {pad}");
+            assert_eq!(find_psb(&bytes, pad), Some(pad));
+            assert_eq!(find_psb(&bytes, pad + 1), None, "only one PSB present");
+        }
+    }
+
+    #[test]
+    fn find_psb_rejects_partial_and_broken_patterns() {
+        // 15 of the 16 pattern bytes: one short.
+        let mut bytes = [wire::EXT, wire::EXT_PSB].repeat(8);
+        bytes.pop();
+        assert_eq!(find_psb(&bytes, 0), None);
+        // A full pattern with one byte corrupted mid-way.
+        let mut bytes = [wire::EXT, wire::EXT_PSB].repeat(8);
+        bytes[9] = 0x00;
+        assert_eq!(find_psb(&bytes, 0), None);
+        // Lots of lone EXT bytes (SWAR candidates) but never the pattern.
+        let bytes = [wire::EXT, 0x00].repeat(40);
+        assert_eq!(find_psb(&bytes, 0), None);
+        // `from` past the end is not an error.
+        assert_eq!(find_psb(&bytes, 1000), None);
     }
 }

@@ -13,8 +13,9 @@
 //! performs no per-event heap allocation, and a TNT run is compared against
 //! trained signatures as a `(u64, u8)` word instead of a `Vec<bool>`.
 
-use crate::decode::{PacketError, PacketParser};
-use crate::packet::Packet;
+use crate::decode::{find_psb, PacketError, PacketErrorKind, PacketParser};
+use crate::encode::sext48;
+use crate::packet::{wire, Packet, LONG_TNT_MAX};
 use serde::{Deserialize, Serialize};
 
 /// A packed bit vector backing the TNT runs of a [`FastScan`].
@@ -52,6 +53,48 @@ impl BitVec {
         self.len += 1;
     }
 
+    /// Appends up to 64 bits in one word operation. Bit 0 of `bits` is the
+    /// *oldest* outcome (appended first), matching `push` order. This is the
+    /// primitive behind table-driven TNT expansion and word-level range
+    /// copies; bits of `bits` at or above `len` are ignored.
+    pub fn push_run(&mut self, bits: u64, len: usize) {
+        debug_assert!(len <= 64, "push_run takes at most one word");
+        if len == 0 {
+            return;
+        }
+        let bits = if len == 64 { bits } else { bits & ((1u64 << len) - 1) };
+        let off = self.len % 64;
+        if self.len / 64 == self.words.len() {
+            self.words.push(0);
+        }
+        let word = self.len / 64;
+        self.words[word] |= bits << off;
+        if off + len > 64 {
+            self.words.push(bits >> (64 - off));
+        }
+        self.len += len;
+    }
+
+    /// Reads up to 64 bits starting at `start`, bit 0 of the result being
+    /// the bit at `start` (the `push_run` convention).
+    fn read_bits(&self, start: usize, len: usize) -> u64 {
+        debug_assert!(len <= 64 && start + len <= self.len, "bit range out of range");
+        if len == 0 {
+            return 0;
+        }
+        let word = start / 64;
+        let off = start % 64;
+        let mut v = self.words[word] >> off;
+        if off + len > 64 {
+            v |= self.words[word + 1] << (64 - off);
+        }
+        if len == 64 {
+            v
+        } else {
+            v & ((1u64 << len) - 1)
+        }
+    }
+
     /// The `i`-th bit.
     ///
     /// # Panics
@@ -74,17 +117,22 @@ impl BitVec {
         if len > 64 {
             return None;
         }
-        let mut bits = 0u64;
-        for i in start..start + len {
-            bits = (bits << 1) | self.get(i) as u64;
+        if len == 0 {
+            return Some((0, 0));
         }
-        Some((bits, len as u8))
+        // `read_bits` yields oldest-first in bit 0; the signature encoding
+        // wants oldest in the highest populated position.
+        let r = self.read_bits(start, len);
+        Some((r.reverse_bits() >> (64 - len), len as u8))
     }
 
-    /// Appends a range of bits copied from `other`.
+    /// Appends a range of bits copied from `other`, a word at a time.
     pub fn extend_from_range(&mut self, other: &BitVec, start: usize, len: usize) {
-        for i in start..start + len {
-            self.push(other.get(i));
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(64);
+            self.push_run(other.read_bits(start + done, n), n);
+            done += n;
         }
     }
 }
@@ -410,6 +458,281 @@ impl ScanCore {
     }
 }
 
+/// Per-byte expansion of short TNT packets: `(bits, len)` with the oldest
+/// outcome in bit 0, ready for [`BitVec::push_run`]. Entries for bytes that
+/// are not short TNT packets (PAD, EXT, odd headers) have `len == 0` and
+/// are never consulted by the dispatch loop.
+static TNT_EXPAND: [(u8, u8); 256] = build_tnt_expand();
+
+const fn build_tnt_expand() -> [(u8, u8); 256] {
+    let mut t = [(0u8, 0u8); 256];
+    let mut b = 4usize;
+    while b < 256 {
+        if b & 1 == 0 {
+            let value = (b >> 1) as u8;
+            let stop = 7 - value.leading_zeros() as u8;
+            let payload = value & !(1 << stop);
+            // The wire payload holds the oldest outcome just below the stop
+            // bit; reverse it into push-order (oldest in bit 0).
+            t[b] = (payload.reverse_bits() >> (8 - stop), stop);
+        }
+        b += 2;
+    }
+    t
+}
+
+/// IP-packet payload length by `IPBytes` field, `-1` marking the reserved
+/// encodings ([`crate::packet::IpCompression::from_field`] returning `None`).
+pub(crate) static IP_PAYLOAD_LEN: [i8; 8] = [0, 2, 4, 6, 6, -1, 8, -1];
+
+/// Where one [`consume_vectorized`] run stopped.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct VecRun {
+    /// Byte offset reached: buffer end on success, the offending packet's
+    /// first byte on error (the resync start, like the scalar parser which
+    /// does not advance past an undecodable packet).
+    pub pos: usize,
+    /// Last-IP decompression register at `pos`.
+    pub last_ip: u64,
+    /// The decode error that stopped the run, if any.
+    pub error: Option<PacketError>,
+}
+
+fn load_le(buf: &[u8], at: usize, n: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes[..n].copy_from_slice(&buf[at..at + n]);
+    u64::from_le_bytes(bytes)
+}
+
+const PSB_WORD: u64 = u64::from_le_bytes([
+    wire::EXT,
+    wire::EXT_PSB,
+    wire::EXT,
+    wire::EXT_PSB,
+    wire::EXT,
+    wire::EXT_PSB,
+    wire::EXT,
+    wire::EXT_PSB,
+]);
+
+/// The vectorized packet loop: parses `buf[pos..]` straight into `out` and
+/// `core` without materialising [`Packet`] values — byte-class dispatch on
+/// the leading byte, table-driven TNT expansion, word-level run appends.
+/// Produces output bit-identical to feeding [`PacketParser`] packets through
+/// [`ScanCore::feed`]; the scalar path stays as the reference the
+/// differential tests compare against.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn consume_vectorized(
+    buf: &[u8],
+    mut pos: usize,
+    mut last_ip: u64,
+    core: &mut ScanCore,
+    out: &mut FastScan,
+) -> VecRun {
+    let len = buf.len();
+    let fail = |pos: usize, offset: usize, last_ip: u64, kind: PacketErrorKind| VecRun {
+        pos,
+        last_ip,
+        error: Some(PacketError { offset, kind }),
+    };
+    while pos < len {
+        let b0 = buf[pos];
+        if b0 & 1 == 0 {
+            if b0 > wire::EXT {
+                // Short TNT — the hot case: one table load, one run append.
+                let (bits, n) = TNT_EXPAND[b0 as usize];
+                out.bits.push_run(bits as u64, n as usize);
+                pos += 1;
+                continue;
+            }
+            if b0 == wire::PAD {
+                pos += 1;
+                continue;
+            }
+            // b0 == EXT: extended opcode.
+            if pos + 2 > len {
+                return fail(pos, pos, last_ip, PacketErrorKind::Truncated);
+            }
+            match buf[pos + 1] {
+                wire::EXT_PSB => {
+                    if pos + wire::PSB_LEN > len
+                        || load_le(buf, pos, 8) != PSB_WORD
+                        || load_le(buf, pos + 8, 8) != PSB_WORD
+                    {
+                        return fail(pos, pos, last_ip, PacketErrorKind::Truncated);
+                    }
+                    last_ip = 0;
+                    core.in_psb_plus = true;
+                    pos += wire::PSB_LEN;
+                }
+                wire::EXT_PSBEND => {
+                    core.in_psb_plus = false;
+                    pos += 2;
+                }
+                wire::EXT_OVF => {
+                    out.boundaries.push((out.tip_count(), Boundary::Overflow));
+                    core.run_start = out.bits.len();
+                    pos += 2;
+                }
+                wire::EXT_CBR => {
+                    if pos + 4 > len {
+                        return fail(pos, pos, last_ip, PacketErrorKind::Truncated);
+                    }
+                    pos += 4;
+                }
+                wire::EXT_PIP => {
+                    if pos + 8 > len {
+                        return fail(pos, pos, last_ip, PacketErrorKind::Truncated);
+                    }
+                    pos += 8;
+                }
+                wire::EXT_LONG_TNT => {
+                    if pos + 8 > len {
+                        return fail(pos, pos, last_ip, PacketErrorKind::Truncated);
+                    }
+                    let value = load_le(buf, pos + 2, 6);
+                    if value == 0 {
+                        return fail(pos, pos, last_ip, PacketErrorKind::EmptyTnt);
+                    }
+                    let stop = 63 - value.leading_zeros() as u8;
+                    if stop == 0 || stop > LONG_TNT_MAX {
+                        return fail(pos, pos, last_ip, PacketErrorKind::EmptyTnt);
+                    }
+                    let payload = value & !(1u64 << stop);
+                    out.bits
+                        .push_run(payload.reverse_bits() >> (64 - u32::from(stop)), stop as usize);
+                    pos += 8;
+                }
+                other => {
+                    return fail(pos, pos, last_ip, PacketErrorKind::UnknownExtOpcode(other));
+                }
+            }
+            continue;
+        }
+        // Odd leading byte: MODE or the IP-packet family.
+        if b0 == wire::MODE {
+            if pos + 2 > len {
+                return fail(pos, pos, last_ip, PacketErrorKind::Truncated);
+            }
+            pos += 2;
+            continue;
+        }
+        let op5 = b0 & 0x1f;
+        if !matches!(op5, wire::TIP_OP | wire::TIP_PGE_OP | wire::TIP_PGD_OP | wire::FUP_OP) {
+            return fail(pos, pos, last_ip, PacketErrorKind::UnknownOpcode(b0));
+        }
+        let ipbytes = b0 >> 5;
+        let n = IP_PAYLOAD_LEN[ipbytes as usize];
+        if n < 0 {
+            return fail(pos, pos, last_ip, PacketErrorKind::BadIpBytes(ipbytes));
+        }
+        let n = n as usize;
+        if pos + 1 + n > len {
+            // The scalar parser reports payload truncation at the payload
+            // offset, not the packet header.
+            return fail(pos, pos + 1, last_ip, PacketErrorKind::Truncated);
+        }
+        let ip = if n == 0 {
+            None
+        } else {
+            let raw = load_le(buf, pos + 1, n);
+            let ip = match ipbytes {
+                0b001 => (last_ip & !0xffff) | raw,
+                0b010 => (last_ip & !0xffff_ffff) | raw,
+                0b011 => sext48(raw),
+                0b100 => (last_ip & !0xffff_ffff_ffff) | raw,
+                _ => raw, // 0b110: full IP
+            };
+            last_ip = ip;
+            Some(ip)
+        };
+        match op5 {
+            wire::TIP_OP => {
+                let Some(ip) = ip else {
+                    return fail(pos, pos, last_ip, PacketErrorKind::SuppressedIp);
+                };
+                out.push_tip_with_run(ip, core.run_start);
+                core.run_start = out.bits.len();
+            }
+            wire::TIP_PGE_OP => {
+                let Some(ip) = ip else {
+                    return fail(pos, pos, last_ip, PacketErrorKind::SuppressedIp);
+                };
+                out.boundaries.push((out.tip_count(), Boundary::PauseEnd { ip }));
+            }
+            wire::TIP_PGD_OP => {
+                out.boundaries.push((out.tip_count(), Boundary::PauseBegin { ip }));
+            }
+            _ => {
+                // FUP
+                let Some(ip) = ip else {
+                    return fail(pos, pos, last_ip, PacketErrorKind::SuppressedIp);
+                };
+                if !core.in_psb_plus {
+                    out.boundaries.push((out.tip_count(), Boundary::Fup { ip }));
+                }
+            }
+        }
+        pos += 1 + n;
+    }
+    VecRun { pos, last_ip, error: None }
+}
+
+/// Vectorized cold scan: same contract and bit-identical output as [`scan`],
+/// built on byte-class dispatch and SWAR PSB search instead of the packet
+/// iterator. [`scan`] remains the scalar reference implementation.
+///
+/// # Errors
+///
+/// Returns a [`PacketError`] only if the buffer is malformed *after*
+/// synchronisation (a corrupt PSB+ bundle), exactly like [`scan`].
+pub fn scan_vectorized(buf: &[u8]) -> Result<FastScan, PacketError> {
+    let mut out = FastScan::default();
+    let mut core = ScanCore::default();
+    let mut pos = 0usize;
+    let mut last_ip = 0u64;
+
+    // Head probe, mirroring the scalar scanner: if the head doesn't parse
+    // (mid-packet seam after a wrap), re-sync on the first PSB.
+    if PacketParser::new(buf).next_packet().is_some_and(|r| r.is_err()) {
+        match find_psb(buf, 0) {
+            Some(off) => {
+                out.sync_offset = Some(off);
+                pos = off;
+            }
+            None => {
+                out.truncated = true;
+                out.damage_at_head = true;
+                out.bytes_scanned = buf.len() as u64;
+                return Ok(out);
+            }
+        }
+    }
+    loop {
+        let run = consume_vectorized(buf, pos, last_ip, &mut core, &mut out);
+        match run.error {
+            None => break,
+            Some(e) if core.in_psb_plus => return Err(e),
+            Some(_) => match find_psb(buf, run.pos) {
+                Some(off) => {
+                    out.sync_offset.get_or_insert(off);
+                    out.boundaries.push((out.tip_count(), Boundary::Resync));
+                    core.run_start = out.bits.len();
+                    last_ip = 0;
+                    pos = off;
+                }
+                None => {
+                    out.truncated = true;
+                    break;
+                }
+            },
+        }
+    }
+    core.finish(&mut out);
+    out.bytes_scanned = buf.len() as u64;
+    Ok(out)
+}
+
 /// Scans a trace buffer from its start.
 ///
 /// If the buffer does not begin at a packet boundary (a wrapped ToPA), the
@@ -568,6 +891,78 @@ mod tests {
         scan.push_tip(0x50_0010, &long);
         assert_eq!(scan.tnt_raw(2), None);
         assert_eq!(scan.tnt_vec(2), long);
+    }
+
+    #[test]
+    fn push_run_spans_word_boundaries() {
+        let mut bv = BitVec::default();
+        // 61 single pushes, then a 7-bit run straddling the first word.
+        for i in 0..61 {
+            bv.push(i % 3 == 0);
+        }
+        bv.push_run(0b101_1001, 7); // oldest outcome in bit 0
+        assert_eq!(bv.len(), 68);
+        let run: Vec<bool> = (61..68).map(|i| bv.get(i)).collect();
+        assert_eq!(run, vec![true, false, false, true, true, false, true]);
+        // range_raw packs oldest-first into the high bit of the value.
+        assert_eq!(bv.range_raw(61, 7), Some((0b100_1101, 7)));
+        // A full 64-bit run across the boundary survives the round trip.
+        bv.push_run(u64::MAX - 7, 64);
+        let mut copy = BitVec::default();
+        copy.extend_from_range(&bv, 68, 64);
+        assert_eq!(copy.range_raw(0, 64), bv.range_raw(68, 64));
+    }
+
+    #[test]
+    fn tnt_expand_table_agrees_with_parser() {
+        use crate::decode::PacketParser;
+        for b in (4u16..=255).step_by(2) {
+            let b = b as u8;
+            let bytes = [b];
+            let packet = PacketParser::new(&bytes).next_packet().unwrap().unwrap().packet;
+            let Packet::Tnt(seq) = packet else { panic!("short TNT expected for {b:#x}") };
+            let want: Vec<bool> = seq.iter().collect();
+            let (payload, len) = TNT_EXPAND[b as usize];
+            assert_eq!(usize::from(len), want.len(), "length for {b:#x}");
+            let got: Vec<bool> = (0..len).map(|i| payload >> i & 1 == 1).collect();
+            assert_eq!(got, want, "bit order for {b:#x} (oldest first)");
+        }
+    }
+
+    #[test]
+    fn scan_vectorized_matches_scalar_on_busy_stream() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), Some(0x1000));
+        for i in 0..80 {
+            enc.tnt_bit(i % 3 != 0); // long enough to force a long TNT
+        }
+        enc.tip(0x50_0000);
+        enc.fup(0x40_0010);
+        enc.tip_pgd(None);
+        enc.tip_pge(0x40_0018);
+        enc.ovf();
+        enc.mode_exec();
+        enc.cbr(32);
+        enc.pip(0x5000 << 5);
+        enc.psb_plus(Some(0x41_0000), None);
+        enc.tip(0x50_0200);
+        enc.tnt_bit(true);
+        let bytes = enc.into_sink();
+        assert_eq!(scan_vectorized(&bytes), scan(&bytes));
+    }
+
+    #[test]
+    fn scan_vectorized_resyncs_after_damage() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x50_0000);
+        let clean = enc.into_sink();
+        let mut bytes = vec![0x0f, 0x47]; // unknown opcode, then garbage
+        bytes.extend_from_slice(&clean);
+        let a = scan_vectorized(&bytes).unwrap();
+        let b = scan(&bytes).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.sync_offset, Some(2));
     }
 
     #[test]

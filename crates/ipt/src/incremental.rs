@@ -17,8 +17,8 @@
 //! a [`Boundary::Resync`]), and otherwise the resumed scan is bit-identical
 //! to a cold scan of the whole stream — the equivalence the tests assert.
 
-use crate::decode::{PacketError, PacketParser};
-use crate::fast::{Boundary, FastScan, ScanCore};
+use crate::decode::{find_psb, PacketError, PacketParser};
+use crate::fast::{consume_vectorized, Boundary, FastScan, ScanCore};
 use crate::packet::wire;
 
 /// Why the scanner is searching for a PSB instead of parsing packets.
@@ -102,6 +102,12 @@ impl IncrementalScanner {
     /// run (the scan synchronised mid-stream).
     pub fn first_tip_truncated(&self) -> bool {
         self.first_tip_truncated
+    }
+
+    /// Whether the scanner is synchronised at a packet boundary (as opposed
+    /// to seeking a PSB after a cold start or damage).
+    pub(crate) fn is_synced(&self) -> bool {
+        self.seek == Seek::Synced
     }
 
     /// Abandons everything up to stream position `total_written` without
@@ -259,33 +265,34 @@ impl IncrementalScanner {
             }
         }
 
-        let mut parser = PacketParser::resume(buf, pos, self.last_ip);
-        while let Some(item) = parser.next_packet() {
-            match item {
-                Ok(p) => self.core.feed(&mut self.acc, &p.packet),
-                Err(_) if !self.core.in_psb_plus => {
-                    // Damage mid-chunk: resync within the remaining bytes,
-                    // spilling into the next chunk if no PSB remains here.
-                    match parser.sync_forward() {
-                        Some(_) => {
-                            self.acc.boundaries.push((self.acc.tip_count(), Boundary::Resync));
-                            self.core.run_start = self.acc.bits_len();
-                        }
-                        None => {
-                            self.seek = Seek::Damage;
-                            let rest = parser.remaining();
-                            let keep = rest.min(wire::PSB_LEN - 1);
-                            self.seek_carry = buf[buf.len() - keep..].to_vec();
-                            self.last_ip = parser.last_ip();
-                            self.core.finish(&mut self.acc);
-                            return Ok(());
-                        }
+        // The vectorized packet loop (shared with `fast::scan_vectorized`);
+        // error recovery here spills the seek into the next chunk instead of
+        // truncating, because more bytes are still coming.
+        let mut run = consume_vectorized(buf, pos, self.last_ip, &mut self.core, &mut self.acc);
+        loop {
+            match run.error {
+                None => break,
+                Some(e) if self.core.in_psb_plus => return Err(e),
+                Some(_) => match find_psb(buf, run.pos) {
+                    Some(off) => {
+                        // Damage mid-chunk with a PSB further on: resync.
+                        self.acc.boundaries.push((self.acc.tip_count(), Boundary::Resync));
+                        self.core.run_start = self.acc.bits_len();
+                        run = consume_vectorized(buf, off, 0, &mut self.core, &mut self.acc);
                     }
-                }
-                Err(e) => return Err(e),
+                    None => {
+                        self.seek = Seek::Damage;
+                        let rest = buf.len() - run.pos;
+                        let keep = rest.min(wire::PSB_LEN - 1);
+                        self.seek_carry = buf[buf.len() - keep..].to_vec();
+                        self.last_ip = run.last_ip;
+                        self.core.finish(&mut self.acc);
+                        return Ok(());
+                    }
+                },
             }
         }
-        self.last_ip = parser.last_ip();
+        self.last_ip = run.last_ip;
         self.core.finish(&mut self.acc);
         Ok(())
     }

@@ -18,6 +18,9 @@
 //!   primitive, no binary needed);
 //! * [`incremental`] — the checkpointed [`incremental::IncrementalScanner`]
 //!   that scans only bytes appended since the previous endpoint check;
+//! * [`stream`] — the continuous [`stream::StreamConsumer`] draining the
+//!   ToPA concurrently with execution, with frontier/residue tracking so a
+//!   syscall-time check is a frontier compare plus a residue scan;
 //! * [`flow`] — the instruction-flow layer ([`flow::FlowDecoder`] over the
 //!   resumable [`flow::FlowMachine`]): the full, slow decoder that walks the
 //!   binary to reconstruct complete flow;
@@ -40,14 +43,16 @@ pub mod incremental;
 pub mod msr;
 pub mod packet;
 pub mod shard;
+pub mod stream;
 pub mod topa;
 
-pub use decode::{PacketAt, PacketError, PacketParser};
+pub use decode::{find_psb, PacketAt, PacketError, PacketParser};
 pub use encode::{PacketEncoder, TraceSink};
-pub use fast::{Boundary, FastScan, TipEvent};
+pub use fast::{scan_vectorized, Boundary, FastScan, TipEvent};
 pub use flow::{BranchEvent, FlowDecoder, FlowError, FlowMachine, FlowTrace};
 pub use incremental::{AppendInfo, IncrementalScanner};
 pub use msr::{IptMsrs, RtitCtl};
 pub use packet::{Packet, TntSeq};
 pub use shard::{decode_shard, shard_spans, ShardDecode, StitchOutcome, Stitcher};
+pub use stream::{DrainStats, StreamConsumer};
 pub use topa::{Topa, TopaFlags, TopaRegion};

@@ -1,0 +1,313 @@
+//! Streaming ToPA consumption — the continuous trace consumer.
+//!
+//! FlowGuard's premise is that PT-based CFI stays cheap only when trace
+//! consumption keeps up with the hardware: the trace is drained
+//! *concurrently with execution*, so a syscall-time check finds an almost
+//! fully consumed buffer. [`StreamConsumer`] is that consumer: it tracks a
+//! **frontier** (the monotone stream position, in the ToPA's
+//! `total_written` coordinates, up to which packets have been decoded) and
+//! drains the **residue** — the bytes the producer has written past the
+//! frontier — in chunks, whenever the host gives it a slice of CPU
+//! (periodic drain polls and region-full PMIs in the engine).
+//!
+//! A check then degenerates to a frontier compare (`residue == 0`?) plus a
+//! scan of only the not-yet-drained residue, which is typically a handful
+//! of bytes. Wrap and OVF handling reuse [`IncrementalScanner`]'s
+//! checkpoint seams: a wrap past the frontier triggers one cold PSB
+//! re-synchronisation and is reported as a cold restart in [`DrainStats`].
+
+use crate::decode::PacketError;
+use crate::fast::{FastScan, IP_PAYLOAD_LEN};
+use crate::incremental::{AppendInfo, IncrementalScanner};
+use crate::packet::wire;
+
+/// Length of the complete-packet prefix of `buf`, which must start at a
+/// packet boundary. Walks header-indicated lengths only (no payload
+/// decode): a packet cut short at the end of `buf` is *withheld* from the
+/// scanner until its remaining bytes arrive, which is what makes mid-packet
+/// frontier splits bit-identical to a cold scan. An undecodable header is
+/// genuine damage — everything is fed through so the scanner's resync
+/// behaves exactly like the cold scanner's.
+fn complete_prefix_len(buf: &[u8]) -> usize {
+    let mut pos = 0;
+    while pos < buf.len() {
+        let b0 = buf[pos];
+        let need = if b0 & 1 == 0 {
+            if b0 == wire::EXT {
+                let Some(&b1) = buf.get(pos + 1) else { break };
+                match b1 {
+                    wire::EXT_PSB => wire::PSB_LEN,
+                    wire::EXT_PSBEND | wire::EXT_OVF => 2,
+                    wire::EXT_CBR => 4,
+                    wire::EXT_PIP | wire::EXT_LONG_TNT => 8,
+                    _ => return buf.len(),
+                }
+            } else {
+                1 // PAD or short TNT
+            }
+        } else if b0 == wire::MODE {
+            2
+        } else if matches!(
+            b0 & 0x1f,
+            wire::TIP_OP | wire::TIP_PGE_OP | wire::TIP_PGD_OP | wire::FUP_OP
+        ) {
+            match IP_PAYLOAD_LEN[(b0 >> 5) as usize] {
+                n if n >= 0 => 1 + n as usize,
+                _ => return buf.len(),
+            }
+        } else {
+            return buf.len();
+        };
+        if pos + need > buf.len() {
+            break;
+        }
+        pos += need;
+    }
+    pos
+}
+
+/// Cumulative accounting of a [`StreamConsumer`]'s background work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Drain calls that consumed at least one byte.
+    pub drains: u64,
+    /// Total bytes drained.
+    pub drained_bytes: u64,
+    /// Wraps past the frontier (cold PSB re-synchronisations).
+    pub cold_restarts: u64,
+}
+
+/// A continuous ToPA consumer over a checkpointed [`IncrementalScanner`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamConsumer {
+    scanner: IncrementalScanner,
+    /// Bytes of a packet cut by the frontier: accepted from the producer
+    /// (part of the frontier) but withheld from the scanner until the rest
+    /// of the packet arrives.
+    pending: Vec<u8>,
+    stats: DrainStats,
+}
+
+impl StreamConsumer {
+    /// A fresh consumer with an empty accumulated scan.
+    pub fn new() -> StreamConsumer {
+        StreamConsumer::default()
+    }
+
+    /// The frontier: stream position (monotone `total_written` coordinates)
+    /// consumed so far, including a withheld partial trailing packet.
+    pub fn frontier(&self) -> u64 {
+        self.scanner.stream_pos() + self.pending.len() as u64
+    }
+
+    /// The residue: bytes written past the frontier and not yet drained.
+    pub fn residue(&self, total_written: u64) -> u64 {
+        total_written.saturating_sub(self.frontier())
+    }
+
+    /// The frontier compare — the whole fast-path cost when the consumer
+    /// has kept up.
+    pub fn is_drained(&self, total_written: u64) -> bool {
+        self.residue(total_written) == 0
+    }
+
+    /// Drains the residue from `chronological` (the most recent bytes of
+    /// the stream; the last `residue` bytes suffice) up to `total_written`.
+    ///
+    /// Reuses the incremental checkpoint seams: mid-packet frontier splits
+    /// are carried across calls, and a wrap past the frontier performs one
+    /// cold PSB re-synchronisation over the retained window.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] when a PSB+ bundle itself is corrupt;
+    /// callers typically [`StreamConsumer::skip_to`] past the damage.
+    pub fn drain(
+        &mut self,
+        chronological: &[u8],
+        total_written: u64,
+    ) -> Result<AppendInfo, PacketError> {
+        let delta = self.residue(total_written);
+        if delta == 0 {
+            // The frontier compare: a withheld partial packet cannot
+            // complete without new bytes either.
+            return Ok(AppendInfo::default());
+        }
+        if delta > chronological.len() as u64 {
+            // Wrap past the frontier: the withheld bytes were overwritten
+            // along with everything else before the retained window; the
+            // scanner cold-restarts on a PSB inside it.
+            self.pending.clear();
+            let info = self.scanner.advance(chronological, total_written, chronological.len())?;
+            self.record(&info);
+            return Ok(info);
+        }
+        let chunk = &chronological[chronological.len() - delta as usize..];
+        let mut combined = std::mem::take(&mut self.pending);
+        let buf: &[u8] = if combined.is_empty() {
+            chunk
+        } else {
+            combined.extend_from_slice(chunk);
+            &combined
+        };
+        // While synced the scanner sits at a packet boundary, so the
+        // complete-packet prefix is well defined; while seeking, packet
+        // framing is moot (the scanner is searching for a PSB) and
+        // everything is fed through.
+        let safe = if self.scanner.is_synced() { complete_prefix_len(buf) } else { buf.len() };
+        self.pending = buf[safe..].to_vec();
+        if safe == 0 {
+            return Ok(AppendInfo::default());
+        }
+        let target = self.scanner.stream_pos() + safe as u64;
+        let info = self.scanner.advance(&buf[..safe], target, safe)?;
+        self.record(&info);
+        Ok(info)
+    }
+
+    fn record(&mut self, info: &AppendInfo) {
+        if info.new_bytes > 0 || info.cold_restart {
+            self.stats.drains += 1;
+            self.stats.drained_bytes += info.new_bytes;
+            self.stats.cold_restarts += u64::from(info.cold_restart);
+        }
+    }
+
+    /// The accumulated scan (everything drained so far, minus compaction).
+    pub fn scan(&self) -> &FastScan {
+        self.scanner.scan()
+    }
+
+    /// Cumulative drain accounting.
+    pub fn stats(&self) -> DrainStats {
+        self.stats
+    }
+
+    /// Whether the accumulated scan's first TIP has a window-truncated TNT
+    /// run (the scan synchronised mid-stream).
+    pub fn first_tip_truncated(&self) -> bool {
+        self.scanner.first_tip_truncated()
+    }
+
+    /// Number of cold restarts (frontier lost to a wrap) so far.
+    pub fn generation(&self) -> u64 {
+        self.scanner.generation()
+    }
+
+    /// Abandons everything up to `total_written` without scanning
+    /// (unparseable-buffer recovery), exactly like
+    /// [`IncrementalScanner::skip_to`].
+    pub fn skip_to(&mut self, total_written: u64) {
+        self.pending.clear();
+        self.scanner.skip_to(total_written);
+    }
+
+    /// Bounds the accumulated scan's memory: keep at most `keep_tips` TIPs.
+    pub fn compact(&mut self, keep_tips: usize) {
+        self.scanner.compact(keep_tips);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{PacketEncoder, TraceSink};
+    use crate::fast;
+    use crate::topa::Topa;
+
+    fn sample_stream() -> Vec<u8> {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tnt_bit(true);
+        enc.tip(0x50_0000);
+        enc.tnt_bit(false);
+        enc.tnt_bit(true);
+        enc.tip(0x50_0100);
+        enc.ovf();
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x50_0200);
+        enc.tnt_bit(true);
+        enc.into_sink()
+    }
+
+    #[test]
+    fn frontier_tracks_drained_bytes() {
+        let stream = sample_stream();
+        let mut c = StreamConsumer::new();
+        assert!(c.is_drained(0));
+        let info = c.drain(&stream, stream.len() as u64).unwrap();
+        assert_eq!(info.new_bytes, stream.len() as u64);
+        assert_eq!(c.frontier(), stream.len() as u64);
+        assert!(c.is_drained(stream.len() as u64));
+        assert_eq!(c.residue(stream.len() as u64 + 7), 7);
+        assert_eq!(c.stats().drains, 1);
+        assert_eq!(c.stats().drained_bytes, stream.len() as u64);
+    }
+
+    #[test]
+    fn drained_frontier_drain_is_free() {
+        let stream = sample_stream();
+        let mut c = StreamConsumer::new();
+        c.drain(&stream, stream.len() as u64).unwrap();
+        let info = c.drain(&stream, stream.len() as u64).unwrap();
+        assert_eq!(info, AppendInfo::default());
+        assert_eq!(c.stats().drains, 1, "frontier compare only, no drain accounted");
+    }
+
+    #[test]
+    fn chunked_drain_equals_cold_scan() {
+        let stream = sample_stream();
+        let mut c = StreamConsumer::new();
+        let mut end = 0usize;
+        while end < stream.len() {
+            end = (end + 5).min(stream.len());
+            c.drain(&stream[..end], end as u64).unwrap();
+        }
+        let cold = fast::scan(&stream).unwrap();
+        assert_eq!(c.scan().tip_events(), cold.tip_events());
+        assert_eq!(c.scan().boundaries, cold.boundaries);
+        assert_eq!(c.scan().trailing_tnt(), cold.trailing_tnt());
+    }
+
+    #[test]
+    fn residue_tail_drain_from_topa() {
+        // Drains driven from Topa::tail_into see exactly the residue bytes.
+        let mut topa = Topa::two_regions(4096).unwrap();
+        let mut c = StreamConsumer::new();
+        let mut tail = Vec::new();
+        let stream = sample_stream();
+        let mut written = 0usize;
+        for chunk in stream.chunks(3) {
+            topa.write_packet(chunk);
+            written += chunk.len();
+            let total = topa.total_written();
+            assert_eq!(total, written as u64);
+            topa.tail_into(c.residue(total) as usize, &mut tail);
+            c.drain(&tail, total).unwrap();
+            assert!(c.is_drained(total));
+        }
+        let cold = fast::scan(&stream).unwrap();
+        assert_eq!(c.scan().tip_events(), cold.tip_events());
+    }
+
+    #[test]
+    fn wrap_past_frontier_cold_restarts() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x50_0000);
+        let old = enc.into_sink();
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x50_0300);
+        let fresh = enc.into_sink();
+
+        let mut c = StreamConsumer::new();
+        c.drain(&old, old.len() as u64).unwrap();
+        let total = (old.len() + 10 * fresh.len()) as u64;
+        let info = c.drain(&fresh, total).unwrap();
+        assert!(info.cold_restart);
+        assert_eq!(c.stats().cold_restarts, 1);
+        assert_eq!(c.generation(), 1);
+        assert_eq!(c.frontier(), total);
+    }
+}

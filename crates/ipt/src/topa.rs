@@ -199,6 +199,53 @@ impl Topa {
         out
     }
 
+    /// Copies the most recent `n` chronological bytes into `out` (clearing
+    /// it first) — the tail of [`Topa::chronological`] without copying the
+    /// whole buffer. This is the streaming consumer's residue read: between
+    /// two drains only the bytes past the frontier need to be looked at.
+    pub fn tail_into(&self, n: usize, out: &mut Vec<u8>) {
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(self.regions.len());
+        if self.wrapped {
+            for i in 1..=self.regions.len() {
+                let idx = (self.cur + i) % self.regions.len();
+                if idx != self.cur {
+                    parts.push(&self.regions[idx].buf);
+                }
+            }
+        } else {
+            for (idx, r) in self.regions.iter().enumerate() {
+                if idx != self.cur {
+                    parts.push(&r.buf);
+                }
+            }
+        }
+        parts.push(&self.regions[self.cur].buf);
+        // Walk backwards from the newest part until `n` bytes are covered,
+        // then emit the covered suffix in chronological order.
+        let mut need = n;
+        let mut start = parts.len();
+        while start > 0 && need > 0 {
+            start -= 1;
+            let take = parts[start].len().min(need);
+            need -= take;
+            if need == 0 {
+                out.extend_from_slice(&parts[start][parts[start].len() - take..]);
+                for p in &parts[start + 1..] {
+                    out.extend_from_slice(p);
+                }
+                return;
+            }
+        }
+        // Fewer than `n` bytes retained: everything survives the cut.
+        for p in parts {
+            out.extend_from_slice(p);
+        }
+    }
+
     fn advance_region(&mut self) {
         let flags = self.regions[self.cur].flags;
         if flags.int {

@@ -1,0 +1,198 @@
+//! Soundness properties for the streaming pipeline: a [`StreamConsumer`]
+//! fed the producer's bytes in arbitrary chunks — including mid-packet
+//! frontier splits, OVF storms, and circular-buffer wraps — must be
+//! bit-identical to a cold [`fast::scan`] of the same stream; and the
+//! vectorized scanner must agree with the scalar parser on arbitrary byte
+//! soup (divergences are persisted as repro artifacts).
+
+use fg_ipt::encode::{PacketEncoder, TraceSink};
+use fg_ipt::fast::{self, FastScan};
+use fg_ipt::stream::StreamConsumer;
+use fg_ipt::topa::Topa;
+use fg_ipt::{scan_vectorized, PacketParser};
+use proptest::prelude::*;
+
+/// The fuzz alphabet for well-formed trace streams: a raw `(selector,
+/// value, flag)` tuple decoded into one encoder action. The selector is
+/// weighted (TNT and TIP dominate, as on real hardware); the value seeds
+/// IPs/CR3s into the module-ish range the decoder expects.
+type Op = (u8, u64, bool);
+
+/// Encodes an op sequence, always starting from a PSB+ so the stream has a
+/// synchronisation point (as real hardware guarantees periodically).
+fn encode(ops: &[Op]) -> Vec<u8> {
+    let mut enc = PacketEncoder::new(Vec::new());
+    enc.psb_plus(Some(0x40_0000), Some(0x1000));
+    for &(sel, value, flag) in ops {
+        let ip = 0x40_0000 + (value % 0x40_0000);
+        match sel % 16 {
+            0..=5 => enc.tnt_bit(flag),
+            6..=8 => enc.tip(ip),
+            9 => enc.fup(ip),
+            10 => enc.tip_pge(ip),
+            11 => enc.tip_pgd(None),
+            12 => enc.ovf(),
+            13 => enc.psb_plus(Some(ip), None),
+            14 => {
+                if flag {
+                    enc.mode_exec();
+                } else {
+                    enc.cbr((value & 0xff) as u8);
+                }
+            }
+            _ => enc.pip((value % (1 << 30)) << 5),
+        }
+    }
+    enc.into_sink()
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((any::<u8>(), any::<u64>(), any::<bool>()), 0..64)
+}
+
+/// The checker-visible stream: TIPs, boundaries, trailing TNT.
+fn assert_stream_eq(got: &FastScan, want: &FastScan) {
+    assert_eq!(got.tip_events(), want.tip_events());
+    assert_eq!(got.boundaries, want.boundaries);
+    assert_eq!(got.trailing_tnt(), want.trailing_tnt());
+}
+
+/// Persists a diverging input so the failure can be replayed outside
+/// proptest shrinking — the streaming analogue of the violation flight
+/// recorder's repro artifacts.
+fn dump_repro(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    let dir = std::env::temp_dir().join("fg-scan-divergence");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{tag}-{hash:016x}.bin"));
+    let _ = std::fs::write(&path, bytes);
+    path
+}
+
+proptest! {
+    /// Mid-packet frontier splits: drain arbitrary-sized chunks (1..=17
+    /// bytes, freely crossing packet boundaries) and compare against one
+    /// cold scan of the whole stream.
+    #[test]
+    fn chunked_streaming_equals_cold_scan(
+        stream_ops in ops(),
+        cuts in proptest::collection::vec(1usize..18, 1..128),
+    ) {
+        let stream = encode(&stream_ops);
+        let mut c = StreamConsumer::new();
+        let mut end = 0usize;
+        let mut cut = cuts.iter().cycle();
+        while end < stream.len() {
+            end = (end + cut.next().unwrap()).min(stream.len());
+            c.drain(&stream[..end], end as u64).unwrap();
+        }
+        let cold = fast::scan(&stream).unwrap();
+        assert_stream_eq(c.scan(), &cold);
+        prop_assert_eq!(c.frontier(), stream.len() as u64);
+        prop_assert_eq!(c.stats().drained_bytes, stream.len() as u64);
+    }
+
+    /// OVF storms: overflow packets clear TNT state and mark boundaries;
+    /// storms interleaved with splits must not desynchronise the frontier.
+    #[test]
+    fn ovf_storm_streaming_equals_cold_scan(
+        bursts in proptest::collection::vec((1usize..8, 0x40_0000u64..0x80_0000), 1..16),
+        cut in 1usize..6,
+    ) {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        for &(storm, ip) in &bursts {
+            for _ in 0..storm {
+                enc.ovf();
+            }
+            enc.tip(ip);
+            enc.tnt_bit(ip & 1 == 0);
+        }
+        let stream = enc.into_sink();
+        let mut c = StreamConsumer::new();
+        let mut end = 0usize;
+        while end < stream.len() {
+            end = (end + cut).min(stream.len());
+            c.drain(&stream[..end], end as u64).unwrap();
+        }
+        assert_stream_eq(c.scan(), &fast::scan(&stream).unwrap());
+    }
+
+    /// Wraps: a producer writing through a small circular ToPA while the
+    /// consumer drains at irregular intervals. While the consumer keeps up
+    /// (no wrap passes the frontier) the result matches the cold scan; if
+    /// it falls behind, it recovers with a cold restart and ends drained.
+    #[test]
+    fn topa_residue_draining_tracks_producer(
+        stream_ops in ops(),
+        period in 1usize..40,
+    ) {
+        let stream = encode(&stream_ops);
+        let mut topa = Topa::two_regions(4096).unwrap();
+        let mut c = StreamConsumer::new();
+        let mut tail = Vec::new();
+        for (i, byte) in stream.iter().enumerate() {
+            topa.write_packet(&[*byte]);
+            if i % period == period - 1 {
+                let total = topa.total_written();
+                topa.tail_into(c.residue(total) as usize, &mut tail);
+                c.drain(&tail, total).unwrap();
+                prop_assert!(c.is_drained(total));
+            }
+        }
+        let total = topa.total_written();
+        topa.tail_into(c.residue(total) as usize, &mut tail);
+        c.drain(&tail, total).unwrap();
+        prop_assert!(c.is_drained(total));
+        prop_assert_eq!(total, stream.len() as u64);
+        if c.generation() == 0 {
+            assert_stream_eq(c.scan(), &fast::scan(&stream).unwrap());
+        }
+    }
+
+    /// Differential: the vectorized scanner and the scalar parser-driven
+    /// scan agree on arbitrary byte soup — same scan or same error. A
+    /// divergence persists the input as a repro artifact before failing.
+    #[test]
+    fn vectorized_matches_scalar_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let scalar = fast::scan(&bytes);
+        let vector = scan_vectorized(&bytes);
+        if scalar != vector {
+            let path = dump_repro("garbage", &bytes);
+            prop_assert!(false, "scan divergence; repro at {}", path.display());
+        }
+    }
+
+    /// Differential on well-formed streams with a garbage head and tail —
+    /// the resync-heavy shape the fuzz corpus exercises most.
+    #[test]
+    fn vectorized_matches_scalar_on_framed_garbage(
+        head in proptest::collection::vec(any::<u8>(), 0..32),
+        stream_ops in ops(),
+        tail in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut bytes = head;
+        bytes.extend_from_slice(&encode(&stream_ops));
+        bytes.extend_from_slice(&tail);
+        let scalar = fast::scan(&bytes);
+        let vector = scan_vectorized(&bytes);
+        if scalar != vector {
+            let path = dump_repro("framed", &bytes);
+            prop_assert!(false, "scan divergence; repro at {}", path.display());
+        }
+    }
+
+    /// find_psb agrees with the scalar parser's sync_forward on garbage.
+    #[test]
+    fn find_psb_matches_parser_sync(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut p = PacketParser::new(&bytes);
+        prop_assert_eq!(p.sync_forward(), fg_ipt::find_psb(&bytes, 0));
+    }
+}

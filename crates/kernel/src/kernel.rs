@@ -47,6 +47,12 @@ pub trait SyscallInterceptor {
     fn on_pmi(&mut self, _ctx: &mut SyscallCtx<'_>) -> InterceptVerdict {
         InterceptVerdict::Allow
     }
+
+    /// Runs at the machine's periodic trace-poll slot (see
+    /// [`fg_cpu::machine::TRACE_POLL_PERIOD`]). The streaming consumer
+    /// drains the ToPA residue here, concurrently with execution; it cannot
+    /// render a verdict. Default: nothing.
+    fn on_trace_poll(&mut self, _ctx: &mut SyscallCtx<'_>) {}
 }
 
 /// Number of u64 words in a signal frame: `pc` plus 16 registers.
@@ -188,6 +194,18 @@ impl SyscallHandler for Kernel {
             }
         }
         SysOutcome::Continue
+    }
+
+    fn trace_poll(&mut self, ctx: &mut SyscallCtx<'_>) {
+        // Not a check: no verdict, no violation accounting, and (unlike
+        // syscall endpoints) no latency probe — this models the background
+        // consumer's slice of CPU, not interception work.
+        if let Some(mut module) = self.interceptor.take() {
+            if module.protects(ctx.cr3) {
+                module.on_trace_poll(ctx);
+            }
+            self.interceptor = Some(module);
+        }
     }
 
     fn syscall(&mut self, ctx: &mut SyscallCtx<'_>) -> SysOutcome {

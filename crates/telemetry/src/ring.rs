@@ -12,8 +12,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Fixed word budget per event. Generous enough for the engine's check
-/// events; encoders must zero-fill unused words.
-pub const EVENT_WORDS: usize = 16;
+/// events (including the streaming-pipeline words); encoders must zero-fill
+/// unused words.
+pub const EVENT_WORDS: usize = 18;
 
 /// An event storable in the ring: a plain-old-data encoding into
 /// [`EVENT_WORDS`] `u64` words.
