@@ -7,7 +7,10 @@
 //! flowguard_cli audit    <workload|artifact.json> [--json FILE]
 //! flowguard_cli info     <artifact.json>                   # inspect an artifact
 //! flowguard_cli run      <artifact.json> [--input FILE]    # ③–⑤ protected run
-//! flowguard_cli stats    <artifact.json> [--input FILE] [--prom] [--streaming]
+//! flowguard_cli stats    <artifact.json> [--input FILE] [--prom] [--prom-summaries]
+//!                        [--streaming] [--phases] [--save FILE] [--diff FILE]
+//! flowguard_cli health   <artifact.json> [--input FILE] [--streaming] [--slice N]
+//! flowguard_cli top      <artifact.json> [--input FILE] [--streaming] [--slice N]
 //! flowguard_cli events   <artifact.json> [--input FILE] [--last N]
 //! flowguard_cli attack   <artifact.json> <rop|srop|ret2lib|flush|kbouncer>
 //! flowguard_cli workloads                                  # list bundled targets
@@ -21,9 +24,10 @@
 //! Machine-readable output (the `stats` JSON / Prometheus dump, the `events`
 //! listing, tables) goes to stdout; progress and error diagnostics go to
 //! stderr. Every failure path exits nonzero (2 for usage errors, 1 for
-//! everything else, including an undetected `attack`).
+//! everything else, including an undetected `attack` and a `health` verdict
+//! of Degraded or Critical).
 
-use flowguard::{Deployment, FlowGuardConfig};
+use flowguard::{Deployment, FlowGuardConfig, HealthStatus, PhaseSpan, TelemetrySnapshot};
 use std::process::ExitCode;
 
 fn pick_workload(name: &str) -> Option<fg_workloads::Workload> {
@@ -56,7 +60,10 @@ fn usage() -> ExitCode {
          flowguard_cli audit <workload|artifact.json> [--json FILE]\n  \
          flowguard_cli info <artifact.json>\n  \
          flowguard_cli run <artifact.json> [--input FILE]\n  \
-         flowguard_cli stats <artifact.json> [--input FILE] [--prom] [--streaming]\n  \
+         flowguard_cli stats <artifact.json> [--input FILE] [--prom] [--prom-summaries] \
+         [--streaming] [--phases] [--save FILE] [--diff FILE]\n  \
+         flowguard_cli health <artifact.json> [--input FILE] [--streaming] [--slice N]\n  \
+         flowguard_cli top <artifact.json> [--input FILE] [--streaming] [--slice N]\n  \
          flowguard_cli events <artifact.json> [--input FILE] [--last N]\n  \
          flowguard_cli attack <artifact.json> <rop|srop|ret2lib|flush|kbouncer>"
     );
@@ -99,6 +106,98 @@ fn parse_input_flag<'a>(
         }
         other => Ok((Vec::new(), other)),
     }
+}
+
+/// Instruction budget of one live-view slice (`health` / `top` tick).
+const DEFAULT_SLICE_INSNS: u64 = 2_000_000;
+
+/// Overall instruction budget of a CLI-driven protected run.
+const RUN_BUDGET_INSNS: u64 = 2_000_000_000;
+
+/// Parses the live-view flags `[--input FILE] [--streaming] [--slice N]`
+/// shared by `health` and `top`; `N` is the per-slice instruction budget.
+fn parse_live_flags<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<(Vec<u8>, bool, u64), ExitCode> {
+    let mut input = Vec::new();
+    let mut streaming = false;
+    let mut slice: u64 = DEFAULT_SLICE_INSNS;
+    while let Some(a) = it.next() {
+        match a {
+            "--input" => {
+                let Some(f) = it.next() else { return Err(usage()) };
+                match std::fs::read(f) {
+                    Ok(b) => input = b,
+                    Err(e) => {
+                        eprintln!("cannot read input: {e}");
+                        return Err(ExitCode::FAILURE);
+                    }
+                }
+            }
+            "--streaming" => streaming = true,
+            "--slice" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n > 0 => slice = n,
+                _ => return Err(usage()),
+            },
+            _ => return Err(usage()),
+        }
+    }
+    Ok((input, streaming, slice))
+}
+
+/// Prints the per-phase cycle-attribution table from a telemetry snapshot:
+/// one row per phase, background phases marked, and the coverage line
+/// comparing the check-phase span total against the measured check-latency
+/// total (the ≥95% gate of `BENCH_observability.json`).
+fn print_phase_table(ts: &TelemetrySnapshot) {
+    println!("{:<14} {:>16} {:>10} {:>10}", "phase", "cycles", "spans", "% check");
+    let measured = ts.check_latency.mean * ts.check_latency.count as f64;
+    for p in &ts.spans.phases {
+        let is_check = PhaseSpan::ALL.iter().any(|&s| s.label() == p.phase && s.is_check_phase());
+        let share = if measured > 0.0 && is_check { p.cycles / measured * 100.0 } else { 0.0 };
+        let tag = if is_check { format!("{share:>9.1}%") } else { "     (bg)".to_string() };
+        println!("{:<14} {:>16.0} {:>10} {}", p.phase, p.cycles, p.spans, tag);
+    }
+    println!(
+        "check-phase total {:.0} of {:.0} measured check cycles ({:.1}% attributed)",
+        ts.spans.check_cycles,
+        measured,
+        if measured > 0.0 { ts.spans.check_cycles / measured * 100.0 } else { 0.0 }
+    );
+    let o = &ts.spans.overhead;
+    println!(
+        "profiler self-overhead: {:.0} ns/record over {} sampled records (~{:.0} ns total)",
+        o.mean_ns_per_record, o.sampled_records, o.estimated_total_ns
+    );
+}
+
+/// Prints the delta table between a saved snapshot and the current one.
+fn print_snapshot_diff(saved: &TelemetrySnapshot, now: &TelemetrySnapshot) {
+    println!("{:<26} {:>16} {:>16} {:>16}", "metric", "saved", "current", "delta");
+    let rows_u64: &[(&str, u64, u64)] = &[
+        ("checks", saved.checks, now.checks),
+        ("events_recorded", saved.events_recorded, now.events_recorded),
+        ("span_records", saved.spans.records, now.spans.records),
+        ("check_samples", saved.check_latency.count, now.check_latency.count),
+    ];
+    for (name, a, b) in rows_u64 {
+        println!("{name:<26} {a:>16} {b:>16} {:>+16}", *b as i64 - *a as i64);
+    }
+    let mut rows_f64 = vec![
+        ("span_check_cycles".to_string(), saved.spans.check_cycles, now.spans.check_cycles),
+        ("span_total_cycles".to_string(), saved.spans.total_cycles, now.spans.total_cycles),
+    ];
+    for phase in PhaseSpan::ALL {
+        rows_f64.push((
+            format!("phase_{}_cycles", phase.label()),
+            saved.spans.phase_cycles(phase),
+            now.spans.phase_cycles(phase),
+        ));
+    }
+    for (name, a, b) in rows_f64 {
+        println!("{name:<26} {a:>16.0} {b:>16.0} {:>+16.0}", b - a);
+    }
+    println!("health: {} -> {}", saved.health.status.label(), now.health.status.label());
 }
 
 fn sysno_label(nr: u64) -> String {
@@ -322,7 +421,11 @@ fn main() -> ExitCode {
             let Some(path) = it.next() else { return usage() };
             let mut input = Vec::new();
             let mut prom = false;
+            let mut prom_summaries = false;
             let mut streaming = false;
+            let mut phases = false;
+            let mut save: Option<&str> = None;
+            let mut diff: Option<&str> = None;
             while let Some(a) = it.next() {
                 match a {
                     "--input" => {
@@ -336,10 +439,34 @@ fn main() -> ExitCode {
                         }
                     }
                     "--prom" => prom = true,
+                    "--prom-summaries" => prom_summaries = true,
                     "--streaming" => streaming = true,
+                    "--phases" => phases = true,
+                    "--save" => {
+                        let Some(f) = it.next() else { return usage() };
+                        save = Some(f);
+                    }
+                    "--diff" => {
+                        let Some(f) = it.next() else { return usage() };
+                        diff = Some(f);
+                    }
                     _ => return usage(),
                 }
             }
+            // The baseline snapshot must parse before the (slow) run.
+            let saved: Option<TelemetrySnapshot> = match diff {
+                Some(f) => match std::fs::read_to_string(f)
+                    .map_err(|e| e.to_string())
+                    .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+                {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("cannot load snapshot {f}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
             let d = match load_artifact(path) {
                 Ok(d) => d,
                 Err(code) => return code,
@@ -350,15 +477,116 @@ fn main() -> ExitCode {
             let stop = p.run(2_000_000_000);
             let stats = p.stats;
             eprintln!("stop: {stop}");
-            if prom {
-                print!("{}", stats.prometheus_text());
-            } else {
-                match serde_json::to_string(&stats.telemetry_snapshot()) {
+            let ts = stats.telemetry_snapshot();
+            if let Some(f) = save {
+                match serde_json::to_string(&ts) {
+                    Ok(json) => {
+                        if let Err(e) = std::fs::write(f, json + "\n") {
+                            eprintln!("cannot write snapshot: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("snapshot written to {f}");
+                    }
+                    Err(e) => {
+                        eprintln!("cannot serialise telemetry: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if prom || prom_summaries {
+                print!("{}", stats.prometheus_text_opts(prom_summaries));
+            } else if phases {
+                print_phase_table(&ts);
+            } else if let Some(saved) = &saved {
+                print_snapshot_diff(saved, &ts);
+            } else if save.is_none() {
+                match serde_json::to_string(&ts) {
                     Ok(json) => println!("{json}"),
                     Err(e) => {
                         eprintln!("cannot serialise telemetry: {e}");
                         return ExitCode::FAILURE;
                     }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("health") => {
+            let Some(path) = it.next() else { return usage() };
+            let (input, streaming, slice) = match parse_live_flags(&mut it) {
+                Ok(v) => v,
+                Err(code) => return code,
+            };
+            let d = match load_artifact(path) {
+                Ok(d) => d,
+                Err(code) => return code,
+            };
+            let input = if input.is_empty() { default_input_for(&d) } else { input };
+            let cfg = FlowGuardConfig { streaming, ..Default::default() };
+            let mut p = d.launch(&input, cfg);
+            // Slice-driven run: each slice feeds the watchdog one rolling
+            // window sample (ProtectedProcess::run ticks on return).
+            let mut budget = RUN_BUDGET_INSNS;
+            let mut stop = p.run(slice.min(budget));
+            while stop == fg_cpu::StopReason::InsnLimit && budget > slice {
+                budget -= slice;
+                stop = p.run(slice.min(budget));
+            }
+            eprintln!("stop: {stop}");
+            let report = p.stats.health_report();
+            println!(
+                "health: {} ({} window samples, {} checks in window)",
+                report.status.label(),
+                report.samples,
+                report.window_checks
+            );
+            for f in &report.findings {
+                println!("  [{}] {}: {}", f.status.label(), f.rule, f.detail);
+            }
+            if report.status == HealthStatus::Healthy {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("health is {}", report.status.label());
+                ExitCode::FAILURE
+            }
+        }
+        Some("top") => {
+            let Some(path) = it.next() else { return usage() };
+            let (input, streaming, slice) = match parse_live_flags(&mut it) {
+                Ok(v) => v,
+                Err(code) => return code,
+            };
+            let d = match load_artifact(path) {
+                Ok(d) => d,
+                Err(code) => return code,
+            };
+            let input = if input.is_empty() { default_input_for(&d) } else { input };
+            let cfg = FlowGuardConfig { streaming, ..Default::default() };
+            let mut p = d.launch(&input, cfg);
+            println!(
+                "{:>6} {:>8} {:>8} {:>8} {:>14} {:>10} {:>9}",
+                "slice", "checks", "fast", "slow", "span_cycles", "lag", "health"
+            );
+            let mut prev = p.stats.telemetry_snapshot();
+            let mut prev_stats = p.stats.snapshot();
+            for i in 1..=RUN_BUDGET_INSNS / slice.max(1) {
+                let stop = p.run(slice);
+                let ts = p.stats.telemetry_snapshot();
+                let s = p.stats.snapshot();
+                println!(
+                    "{:>6} {:>8} {:>8} {:>8} {:>14.0} {:>10} {:>9}",
+                    i,
+                    ts.checks - prev.checks,
+                    s.fast_clean - prev_stats.fast_clean,
+                    s.slow_invocations - prev_stats.slow_invocations,
+                    ts.spans.total_cycles - prev.spans.total_cycles,
+                    ts.last_frontier_lag,
+                    ts.health.status.label()
+                );
+                prev = ts;
+                prev_stats = s;
+                if stop != fg_cpu::StopReason::InsnLimit {
+                    eprintln!("stop: {stop}");
+                    break;
                 }
             }
             ExitCode::SUCCESS

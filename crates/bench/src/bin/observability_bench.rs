@@ -1,0 +1,63 @@
+//! Standalone observability-plane benchmark runner.
+//!
+//! Prints the observability metric table, writes `BENCH_observability.json`
+//! to the working directory, and — with `--check-baseline <path>` — exits
+//! non-zero if any gated metric regressed: attribution coverage under 95%
+//! (default or streaming config), full-profiling wall-clock overhead above
+//! the ceiling, an empty span ring, or an unhealthy benign run. CI runs
+//! this as part of the smoke-bench gate.
+
+use fg_bench::experiments::observability;
+
+const REGRESSION_FACTOR: f64 = 2.0;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check-baseline" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--check-baseline requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: observability_bench [--check-baseline <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let current = observability::run();
+    observability::print_table(&current);
+
+    if let Err(e) = observability::write_json(&current, observability::JSON_PATH) {
+        eprintln!("failed to write {}: {e}", observability::JSON_PATH);
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", observability::JSON_PATH);
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline: observability::ObservabilityBench = serde_json::from_str(&text)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot parse baseline {path}: {e}");
+                std::process::exit(2);
+            });
+        let regressions = observability::regressions(&current, &baseline, REGRESSION_FACTOR);
+        if regressions.is_empty() {
+            println!("baseline check passed ({path}, tolerance {REGRESSION_FACTOR}x)");
+        } else {
+            eprintln!("\nbaseline check FAILED ({path}, tolerance {REGRESSION_FACTOR}x):");
+            for r in &regressions {
+                eprintln!("  - {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

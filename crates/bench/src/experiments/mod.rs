@@ -8,6 +8,7 @@ pub mod fig5;
 pub mod hw;
 pub mod micro;
 pub mod multiproc;
+pub mod observability;
 pub mod overhead;
 pub mod params;
 pub mod pathmatch;

@@ -65,6 +65,12 @@ pub struct FlowGuardConfig {
     /// still captured.
     #[serde(default = "default_telemetry")]
     pub telemetry: bool,
+    /// Record per-phase cycle-attribution spans (intercept, tier-0 probe,
+    /// edge probe, scans, slow decode, stitch, verdict) in the span
+    /// profiler. Only takes effect when `telemetry` is on; off, every span
+    /// record collapses to one predictable-not-taken branch.
+    #[serde(default = "default_profile_spans")]
+    pub profile_spans: bool,
     /// Probe the tier-0 entry-point bitset ahead of every ITC edge lookup
     /// (FineIBT-style coarse pre-check). Only takes effect when the
     /// deployment actually ships a bitset; sound either way — the bitset is
@@ -100,6 +106,10 @@ fn default_telemetry() -> bool {
     true
 }
 
+fn default_profile_spans() -> bool {
+    true
+}
+
 fn default_tier0_bitset() -> bool {
     true
 }
@@ -119,6 +129,7 @@ impl Default for FlowGuardConfig {
             pmi_endpoints: false,
             path_matching: false,
             telemetry: true,
+            profile_spans: true,
             tier0_bitset: true,
             endpoints: SensitiveSet::patharmor_default(),
             topa_region_bytes: 8192,
@@ -153,6 +164,8 @@ mod tests {
         assert!(c.parallel_slow_path);
         assert!(c.slow_checkpoint);
         assert!(!c.streaming, "streaming is opt-in; the paper's checks consume at endpoints");
+        assert!(c.telemetry);
+        assert!(c.profile_spans, "span attribution rides on telemetry by default");
         assert!(c.tier0_bitset);
         c.validate();
     }

@@ -23,6 +23,7 @@ use fg_cpu::machine::SyscallCtx;
 use fg_ipt::{fast, IncrementalScanner, StreamConsumer};
 use fg_isa::image::Image;
 use fg_kernel::{InterceptVerdict, SyscallInterceptor, Sysno, SIGKILL};
+use fg_trace::PhaseSpan;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -159,22 +160,35 @@ impl FlowGuardEngine {
         cr3: u64,
     ) -> FlowGuardEngine {
         cfg.validate();
-        let stream = cfg.streaming.then(StreamConsumer::new);
+        let cost = CostModel::calibrated();
+        let stats = Arc::new(EngineTelemetry::with_spans(
+            cfg.telemetry,
+            cfg.telemetry && cfg.profile_spans,
+        ));
+        let spans = stats.spans_handle();
+        let mut scratch = CheckScratch::new(&image);
+        scratch.set_profiler(Arc::clone(&spans));
+        let mut slow_scratch = slowpath::SlowScratch::new();
+        slow_scratch.set_profiler(Arc::clone(&spans));
+        let mut stream = cfg.streaming.then(StreamConsumer::new);
+        if let Some(s) = stream.as_mut() {
+            s.set_profiler(spans, cost.packet_scan_byte_cycles);
+        }
         FlowGuardEngine {
-            scratch: CheckScratch::new(&image),
-            stats: Arc::new(EngineTelemetry::new(cfg.telemetry)),
+            scratch,
+            stats,
             image,
             ocfg,
             itc,
             cfg,
-            cost: CostModel::calibrated(),
+            cost,
             cr3,
             cache: HashSet::new(),
             scanner: IncrementalScanner::new(),
             stream,
             drain_buf: Vec::new(),
             drained_at_last_check: 0,
-            slow_scratch: slowpath::SlowScratch::new(),
+            slow_scratch,
             tier0: None,
         }
     }
@@ -182,6 +196,12 @@ impl FlowGuardEngine {
     /// Overrides the cost model (hardware-extension ablations, §7.2.4).
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = cost;
+        // The streaming consumer carries its own per-byte span cost —
+        // re-wire it so drains recorded after the override use the new
+        // model, matching `ev.scan_cycles` accounting.
+        if let Some(s) = self.stream.as_mut() {
+            s.set_profiler(self.stats.spans_handle(), cost.packet_scan_byte_cycles);
+        }
     }
 
     /// Installs the deployment's tier-0 entry-point bitset. The fast path
@@ -295,11 +315,11 @@ impl FlowGuardEngine {
         let buf = &self.drain_buf;
         let result = if bulk {
             crate::pool::WorkerPool::global()
-                .run(vec![move || stream.drain(buf, total)])
+                .run(vec![move || stream.drain_profiled(buf, total, true)])
                 .pop()
                 .expect("one task, one result")
         } else {
-            stream.drain(buf, total)
+            stream.drain_profiled(buf, total, true)
         };
         match result {
             Ok(info) => {
@@ -347,6 +367,7 @@ impl FlowGuardEngine {
     ) -> InterceptVerdict {
         ev.other_cycles = self.cost.intercept_cycles;
         ctx.extra_cycles.other += self.cost.intercept_cycles;
+        self.stats.spans().record(PhaseSpan::Intercept, self.cost.intercept_cycles, 0);
 
         let Some(ipt) = ctx.trace.as_ipt() else {
             // Not traced (misconfiguration): nothing to check.
@@ -376,7 +397,10 @@ impl FlowGuardEngine {
             ev.drained_bytes =
                 stream.stats().drained_bytes.saturating_sub(self.drained_at_last_check);
             if ev.frontier_lag > 0 {
-                match stream.drain(&bytes, total_written) {
+                // Check-time residue drain: attributed to the residue-scan
+                // phase inside `drain_profiled` (background drains go to
+                // the stream-drain phase instead).
+                match stream.drain_profiled(&bytes, total_written, false) {
                     Ok(info) => {
                         ev.cold_restart = info.cold_restart;
                         ev.delta_bytes += info.new_bytes;
@@ -413,6 +437,7 @@ impl FlowGuardEngine {
                     let scan_cycles = info.new_bytes as f64 * self.cost.packet_scan_byte_cycles;
                     ev.scan_cycles += scan_cycles;
                     ctx.extra_cycles.decode += scan_cycles;
+                    self.stats.spans().record(PhaseSpan::FastScan, scan_cycles, info.new_bytes);
                 }
                 Err(_) => {
                     // Corrupt PSB+ bundle: skip past it, stay conservative.
@@ -449,6 +474,7 @@ impl FlowGuardEngine {
             let scan_cycles = scanned_len as f64 * self.cost.packet_scan_byte_cycles;
             ev.scan_cycles += scan_cycles;
             ctx.extra_cycles.decode += scan_cycles;
+            self.stats.spans().record(PhaseSpan::FastScan, scan_cycles, scanned_len as u64);
             (&scan_owned, false)
         };
 
@@ -798,6 +824,54 @@ mod tests {
         let s = stats.snapshot();
         assert_eq!(s.checks, 0, "disabled telemetry records no counters");
         assert!(stats.recent_events(10).is_empty());
+    }
+
+    #[test]
+    fn span_attribution_covers_check_cycles() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let (_, stats, _) =
+            protected_run(&w, itc, ocfg, &w.default_input, FlowGuardConfig::default());
+        let ts = stats.telemetry_snapshot();
+        assert!(ts.spans.records > 0, "spans were recorded");
+        let total = ts.check_latency.mean * ts.check_latency.count as f64;
+        assert!(total > 0.0);
+        let coverage = ts.spans.check_cycles / total;
+        assert!(
+            (0.95..=1.05).contains(&coverage),
+            "per-phase attribution must cover the measured check cycles, got {coverage}"
+        );
+    }
+
+    #[test]
+    fn streaming_span_attribution_separates_drain_phases() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let cfg = FlowGuardConfig { streaming: true, ..Default::default() };
+        let (_, stats, _) = protected_run(&w, itc, ocfg, &w.default_input, cfg);
+        let ts = stats.telemetry_snapshot();
+        let drain = ts.spans.phase_cycles(PhaseSpan::StreamDrain);
+        assert!(drain > 0.0, "background drains attribute to the stream-drain phase");
+        let total = ts.check_latency.mean * ts.check_latency.count as f64;
+        let coverage = ts.spans.check_cycles / total;
+        assert!(
+            (0.95..=1.05).contains(&coverage),
+            "check-phase spans exclude background drains yet still cover check cycles, \
+             got {coverage}"
+        );
+    }
+
+    #[test]
+    fn profile_spans_off_records_nothing_but_still_enforces() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let cfg = FlowGuardConfig { profile_spans: false, ..Default::default() };
+        let (stop, stats, k) = protected_run(&w, itc, ocfg, &w.default_input, cfg);
+        assert_eq!(stop, StopReason::Exited(0));
+        assert!(!k.violated());
+        let ts = stats.telemetry_snapshot();
+        assert!(ts.checks > 0, "telemetry itself stays on");
+        assert_eq!(ts.spans.records, 0, "no spans with profiling off");
     }
 
     #[test]

@@ -11,7 +11,9 @@ use crate::config::FlowGuardConfig;
 use fg_cfg::{Credit, EdgeIdx, EntryBitset, ItcCfg};
 use fg_ipt::fast::{Boundary, FastScan};
 use fg_isa::image::{Image, ModuleKind};
+use fg_trace::{PhaseSpan, SpanProfiler};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Direct-mapped cache slots for `(from, to) → edge` resolutions. Credited
 /// edges repeat heavily (the same handlers are dispatched over and over),
@@ -40,6 +42,9 @@ pub struct CheckScratch {
     pub edge_cache_hits: u64,
     /// Edge-cache misses.
     pub edge_cache_misses: u64,
+    /// Optional span profiler: when set, every check records
+    /// tier-0/edge/verdict phase spans with the modeled cycle split.
+    spans: Option<Arc<SpanProfiler>>,
 }
 
 impl CheckScratch {
@@ -59,7 +64,14 @@ impl CheckScratch {
             stamp_gen: 0,
             edge_cache_hits: 0,
             edge_cache_misses: 0,
+            spans: None,
         }
+    }
+
+    /// Attaches a span profiler: subsequent checks through this scratch
+    /// record tier-0-probe, edge-probe and verdict phase spans.
+    pub fn set_profiler(&mut self, spans: Arc<SpanProfiler>) {
+        self.spans = Some(spans);
     }
 
     /// The module containing `va` (id and is-executable flag), by binary
@@ -131,12 +143,64 @@ pub struct FastPathResult {
     pub credited_pairs: usize,
     /// Simulated checking cycles (edge lookups).
     pub check_cycles: f64,
+    /// Modeled cycles spent in tier-0 bitset probes. Together with
+    /// `edge_cycles` and `verdict_cycles` this partitions `check_cycles`
+    /// exactly — the split the span profiler attributes per phase.
+    pub tier0_cycles: f64,
+    /// Modeled cycles spent in precise edge/TNT/gram resolution.
+    pub edge_cycles: f64,
+    /// Modeled cycles spent folding per-pair outcomes into the verdict.
+    pub verdict_cycles: f64,
     /// Tier-0 bitset probes that passed (target bit set, fell through to
     /// the precise edge check). Zero when no bitset was supplied.
     pub tier0_hits: u64,
     /// Tier-0 probes that failed — each is a definitive violation caught
     /// before any edge lookup.
     pub tier0_misses: u64,
+}
+
+/// Builds a [`FastPathResult`], splitting `check_cycles` into the tier-0 /
+/// edge / verdict phases and recording the spans when a profiler is
+/// attached. Every `check_windowed` exit funnels through here so the three
+/// phase fields always partition `check_cycles` exactly.
+fn finish(
+    verdict: FastVerdict,
+    pairs: usize,
+    credited: usize,
+    tier0_hits: u64,
+    tier0_misses: u64,
+    edge_check_cycles: f64,
+    spans: Option<&SpanProfiler>,
+) -> FastPathResult {
+    let check_cycles = pairs as f64 * edge_check_cycles;
+    let probes = tier0_hits + tier0_misses;
+    // Cost split: a tier-0 bit probe is ~1/16 of a precise edge check, the
+    // verdict fold costs at most one edge check, and the precise
+    // edge/TNT/gram work takes the remainder.
+    let tier0_cycles = (probes as f64 * edge_check_cycles / 16.0).min(check_cycles);
+    let verdict_cycles =
+        if pairs == 0 { 0.0 } else { edge_check_cycles.min(check_cycles - tier0_cycles) };
+    let edge_cycles = (check_cycles - tier0_cycles - verdict_cycles).max(0.0);
+    if let Some(p) = spans {
+        if probes > 0 {
+            p.record(PhaseSpan::Tier0Probe, tier0_cycles, probes);
+        }
+        if pairs > 0 {
+            p.record(PhaseSpan::EdgeProbe, edge_cycles, pairs as u64);
+            p.record(PhaseSpan::Verdict, verdict_cycles, credited as u64);
+        }
+    }
+    FastPathResult {
+        verdict,
+        pairs_checked: pairs,
+        credited_pairs: credited,
+        check_cycles,
+        tier0_cycles,
+        edge_cycles,
+        verdict_cycles,
+        tier0_hits,
+        tier0_misses,
+    }
 }
 
 /// Runs the fast path over a packet-level scan.
@@ -182,18 +246,21 @@ pub fn check_windowed(
     first_tnt_truncated: bool,
     tier0: Option<&EntryBitset>,
 ) -> FastPathResult {
+    let spans = scratch.spans.clone();
+    let spans = spans.as_deref();
     let mut tier0_hits = 0u64;
     let mut tier0_misses = 0u64;
     let tips = scan.tip_ips();
     if tips.len() < 2 {
-        return FastPathResult {
-            verdict: FastVerdict::InsufficientTrace,
-            pairs_checked: 0,
-            credited_pairs: 0,
-            check_cycles: 0.0,
+        return finish(
+            FastVerdict::InsufficientTrace,
+            0,
+            0,
             tier0_hits,
             tier0_misses,
-        };
+            edge_check_cycles,
+            spans,
+        );
     }
 
     // --- window selection -------------------------------------------------
@@ -258,35 +325,38 @@ pub fn check_windowed(
                 tier0_hits += 1;
             } else {
                 tier0_misses += 1;
-                return FastPathResult {
-                    verdict: FastVerdict::Malicious(Violation::UnknownTarget { from, ip: to }),
-                    pairs_checked: pairs,
-                    credited_pairs: credited,
-                    check_cycles: pairs as f64 * edge_check_cycles,
+                return finish(
+                    FastVerdict::Malicious(Violation::UnknownTarget { from, ip: to }),
+                    pairs,
+                    credited,
                     tier0_hits,
                     tier0_misses,
-                };
+                    edge_check_cycles,
+                    spans,
+                );
             }
         }
         if !itc.is_node(to) {
-            return FastPathResult {
-                verdict: FastVerdict::Malicious(Violation::UnknownTarget { from, ip: to }),
-                pairs_checked: pairs,
-                credited_pairs: credited,
-                check_cycles: pairs as f64 * edge_check_cycles,
+            return finish(
+                FastVerdict::Malicious(Violation::UnknownTarget { from, ip: to }),
+                pairs,
+                credited,
                 tier0_hits,
                 tier0_misses,
-            };
+                edge_check_cycles,
+                spans,
+            );
         }
         let Some(e) = scratch.edge(itc, from, to) else {
-            return FastPathResult {
-                verdict: FastVerdict::Malicious(Violation::NoEdge { from, to }),
-                pairs_checked: pairs,
-                credited_pairs: credited,
-                check_cycles: pairs as f64 * edge_check_cycles,
+            return finish(
+                FastVerdict::Malicious(Violation::NoEdge { from, to }),
+                pairs,
+                credited,
                 tier0_hits,
                 tier0_misses,
-            };
+                edge_check_cycles,
+                spans,
+            );
         };
         let cached = cfg.cache_slow_path_results && cache.contains(&e);
         let high = itc.credit(e) == Credit::High || cached;
@@ -308,7 +378,6 @@ pub fn check_windowed(
         }
     }
 
-    let check_cycles = pairs as f64 * edge_check_cycles;
     let fraction = if pairs == 0 { 1.0 } else { credited as f64 / pairs as f64 };
     // With the default cred_ratio = 1.0 any uncredited edge escalates;
     // smaller thresholds tolerate a credited fraction above the threshold.
@@ -317,14 +386,7 @@ pub fn check_windowed(
     } else {
         FastVerdict::Suspicious { uncredited }
     };
-    FastPathResult {
-        verdict,
-        pairs_checked: pairs,
-        credited_pairs: credited,
-        check_cycles,
-        tier0_hits,
-        tier0_misses,
-    }
+    finish(verdict, pairs, credited, tier0_hits, tier0_misses, edge_check_cycles, spans)
 }
 
 #[cfg(test)]
@@ -574,6 +636,27 @@ mod tests {
             r.verdict
         );
         assert_eq!(r.tier0_misses, 1, "the attack target missed the bitset");
+    }
+
+    #[test]
+    fn phase_cycle_split_partitions_check_cycles() {
+        let s = trained_setup();
+        let cfg = FlowGuardConfig::default();
+        let bits = EntryBitset::from_itc(&s.image, &s.itc);
+        let mut scratch = CheckScratch::new(&s.image);
+        let prof = Arc::new(SpanProfiler::new(true));
+        scratch.set_profiler(Arc::clone(&prof));
+        let empty = HashSet::new();
+        let r =
+            check_windowed(&s.itc, &empty, &mut scratch, &s.scan, &cfg, 18.0, false, Some(&bits));
+        assert_eq!(r.verdict, FastVerdict::Clean);
+        let sum = r.tier0_cycles + r.edge_cycles + r.verdict_cycles;
+        assert!((sum - r.check_cycles).abs() < 1e-9, "phase split must partition check_cycles");
+        assert!(r.tier0_cycles > 0.0 && r.edge_cycles > 0.0 && r.verdict_cycles > 0.0);
+        assert!((prof.phase_cycles(PhaseSpan::Tier0Probe) - r.tier0_cycles).abs() < 1e-9);
+        assert!((prof.phase_cycles(PhaseSpan::EdgeProbe) - r.edge_cycles).abs() < 1e-9);
+        assert!((prof.phase_cycles(PhaseSpan::Verdict) - r.verdict_cycles).abs() < 1e-9);
+        assert_eq!(prof.phase_spans(PhaseSpan::Verdict), 1, "one verdict span per check");
     }
 
     #[test]

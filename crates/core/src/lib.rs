@@ -25,7 +25,8 @@
 //! * [`baselines`] — kBouncer-style (LBR) and CFIMon-style (BTS) baseline
 //!   detectors from the related-work lineage (§8.2);
 //! * [`telemetry`] — lock-free runtime telemetry (sharded counters, latency
-//!   histograms, a per-check event ring) and the violation flight recorder.
+//!   histograms, a per-check event ring), the per-phase span profiler, the
+//!   health watchdog, and the violation flight recorder.
 //!
 //! # Examples
 //!
@@ -66,3 +67,9 @@ pub use pool::WorkerPool;
 pub use shadow::{ShadowOutcome, ShadowStack};
 pub use slowpath::{SlowPathResult, SlowScratch, SlowVerdict, SlowViolation};
 pub use telemetry::{CheckEvent, CheckVerdict, EngineTelemetry, TelemetrySnapshot};
+
+// Observability-plane types shared with `fg-trace`.
+pub use fg_trace::{
+    HealthFinding, HealthReport, HealthSample, HealthStatus, PhaseSpan, SpanProfiler, SpanSnapshot,
+    Watchdog, WatchdogConfig,
+};

@@ -12,12 +12,14 @@
 use crate::engine::{EngineStats, ViolationRecord};
 use fg_trace::ring::{EventRing, PodEvent, EVENT_WORDS};
 use fg_trace::{
-    CycleCounter, FlightRecord, FlightRecorder, Gauge, Histogram, HistogramSnapshot, PromText,
-    ShardedU64,
+    CycleCounter, FlightRecord, FlightRecorder, Gauge, HealthReport, HealthSample, Histogram,
+    HistogramSnapshot, PhaseSpan, PromText, ShardedU64, SpanProfiler, SpanSnapshot, Watchdog,
+    WatchdogConfig,
 };
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Sysno value recorded for PMI-triggered (non-syscall) checks.
 pub const PMI_SYSNO: u64 = u64::MAX;
@@ -34,9 +36,10 @@ pub const FLIGHT_CAPACITY: usize = 16;
 pub const FLIGHT_WINDOW_BYTES: usize = 4096;
 
 /// The final disposition of one endpoint check.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CheckVerdict {
     /// Not enough trace to judge (untraced, unparseable, or too few TIPs).
+    #[default]
     Insufficient,
     /// Fast path passed the window fully credited.
     FastClean,
@@ -82,59 +85,87 @@ impl CheckVerdict {
 }
 
 /// One structured record per endpoint check — the event-ring payload.
+///
+/// The event has grown across releases (12 words → 16 words with the
+/// slow-path rework → 18 words with streaming); every field carries a
+/// serde default so JSON captured by any older release keeps
+/// deserialising. A back-compat test in `fg-bench` pins fixtures of each
+/// historical shape.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CheckEvent {
     /// The intercepted syscall number ([`PMI_SYSNO`] for PMI checks).
+    #[serde(default)]
     pub sysno: u64,
     /// The check's disposition.
+    #[serde(default)]
     pub verdict: CheckVerdict,
     /// Whether the checkpointed scanner needed a cold PSB restart.
+    #[serde(default)]
     pub cold_restart: bool,
     /// Trace bytes appended (and scanned) since the previous check.
+    #[serde(default)]
     pub delta_bytes: u64,
     /// TIP pairs checked in the window.
+    #[serde(default)]
     pub pairs_checked: u64,
     /// Checked pairs that were high-credit.
+    #[serde(default)]
     pub credited_pairs: u64,
     /// Escalation reason: low-credit edges that forced the slow path
     /// (zero for non-escalated checks).
+    #[serde(default)]
     pub uncredited: u64,
     /// Fast-path edge-cache hits during this check.
+    #[serde(default)]
     pub edge_cache_hits: u64,
     /// Fast-path edge-cache misses during this check.
+    #[serde(default)]
     pub edge_cache_misses: u64,
     /// Packet-scan cycles spent this check.
+    #[serde(default)]
     pub scan_cycles: f64,
     /// ITC-CFG matching cycles spent this check.
+    #[serde(default)]
     pub check_cycles: f64,
     /// Slow-path decode cycles (zero when not escalated).
+    #[serde(default)]
     pub slow_cycles: f64,
     /// Interception-overhead cycles.
+    #[serde(default)]
     pub other_cycles: f64,
     /// Whether the slow path resumed from its decode checkpoint (warm)
     /// instead of decoding the window cold.
+    #[serde(default)]
     pub checkpoint_hit: bool,
     /// PSB shards the slow-path decode split into (zero when not
     /// escalated).
+    #[serde(default)]
     pub slow_shards: u64,
     /// Instructions the slow-path decoders actually walked this check (the
     /// appended delta on warm checks; the whole window cold).
+    #[serde(default)]
     pub slow_insns_decoded: u64,
     /// Sequential stitch/replay cycles spent by the slow path.
+    #[serde(default)]
     pub stitch_cycles: f64,
     /// Tier-0 bitset probes that passed during this check.
+    #[serde(default)]
     pub tier0_hits: u64,
     /// Tier-0 probes that failed (pre-edge-lookup violations).
+    #[serde(default)]
     pub tier0_misses: u64,
     /// Whether the streaming consumer served this check (frontier compare +
     /// residue scan instead of an endpoint-time buffer consume).
+    #[serde(default)]
     pub streaming: bool,
     /// Streaming mode: residue bytes the background consumer had NOT yet
     /// drained when this check arrived (the frontier lag — the bytes the
     /// check itself had to scan). Zero when streaming is off.
+    #[serde(default)]
     pub frontier_lag: u64,
     /// Streaming mode: bytes drained by the background consumer (poll slots
     /// and PMI drains) since the previous check. Zero when streaming is off.
+    #[serde(default)]
     pub drained_bytes: u64,
 }
 
@@ -308,6 +339,16 @@ pub struct EngineTelemetry {
     bytes_per_check: Histogram,
     /// Streaming mode: residue bytes not yet drained at check entry.
     frontier_lag: Histogram,
+    /// The streaming frontier lag observed by the most recent check
+    /// (feeds the watchdog's lag-growth rule).
+    last_frontier_lag: Gauge,
+    /// 1 once a streaming-served check has been recorded (watchdog input).
+    streaming_mode: Gauge,
+    /// Per-phase cycle-attribution profiler (shared with the fast/slow
+    /// path scratch state and the streaming consumer).
+    spans: Arc<SpanProfiler>,
+    /// Rolling-window health evaluation over the counters above.
+    watchdog: Mutex<Watchdog>,
     events: EventRing<CheckEvent>,
     violations: Mutex<ViolationLog>,
     flight: FlightRecorder,
@@ -317,8 +358,15 @@ impl EngineTelemetry {
     /// Creates telemetry; with `enabled` false every hot-path record is a
     /// single branch and the rings/histograms stay empty (violations and
     /// flight records are still captured — they are rare and
-    /// security-critical).
+    /// security-critical). Span profiling follows `enabled`.
     pub fn new(enabled: bool) -> EngineTelemetry {
+        EngineTelemetry::with_spans(enabled, enabled)
+    }
+
+    /// Like [`EngineTelemetry::new`], but with span profiling controlled
+    /// independently (`profile_spans` config knob); spans can only be on
+    /// when telemetry itself is.
+    pub fn with_spans(enabled: bool, profile_spans: bool) -> EngineTelemetry {
         EngineTelemetry {
             enabled,
             checks: ShardedU64::new(),
@@ -350,6 +398,10 @@ impl EngineTelemetry {
             slowpath_shards: Histogram::new(),
             bytes_per_check: Histogram::new(),
             frontier_lag: Histogram::new(),
+            last_frontier_lag: Gauge::new(),
+            streaming_mode: Gauge::new(),
+            spans: Arc::new(SpanProfiler::new(enabled && profile_spans)),
+            watchdog: Mutex::new(Watchdog::default()),
             events: EventRing::new(EVENT_RING_CAPACITY),
             violations: Mutex::new(ViolationLog::default()),
             flight: FlightRecorder::new(FLIGHT_CAPACITY, FLIGHT_WINDOW_BYTES),
@@ -405,6 +457,8 @@ impl EngineTelemetry {
         self.bytes_per_check.record(ev.delta_bytes);
         if ev.streaming {
             self.frontier_lag.record(ev.frontier_lag);
+            self.last_frontier_lag.set(ev.frontier_lag);
+            self.streaming_mode.set(1);
         }
         self.events.push(ev);
     }
@@ -430,6 +484,50 @@ impl EngineTelemetry {
         self.cache_size.set(cache_size);
         self.edge_cache_hits.set(edge_hits);
         self.edge_cache_misses.set(edge_misses);
+    }
+
+    /// The span profiler (per-phase cycle attribution).
+    pub fn spans(&self) -> &SpanProfiler {
+        &self.spans
+    }
+
+    /// A shareable handle to the span profiler, for wiring into the
+    /// fast/slow-path scratch state and the streaming consumer.
+    pub fn spans_handle(&self) -> Arc<SpanProfiler> {
+        Arc::clone(&self.spans)
+    }
+
+    /// Replaces the watchdog's thresholds (the sample window is kept).
+    pub fn configure_watchdog(&self, cfg: WatchdogConfig) {
+        self.watchdog.lock().set_config(cfg);
+    }
+
+    /// The current vital signs as a cumulative [`HealthSample`].
+    pub fn health_sample(&self) -> HealthSample {
+        HealthSample {
+            checks: self.checks.get(),
+            slow_invocations: self.slow_invocations.get(),
+            edge_cache_hits: self.edge_cache_hits.get(),
+            edge_cache_misses: self.edge_cache_misses.get(),
+            checkpoint_hits: self.slow_checkpoint_hits.get(),
+            checkpoint_misses: self.slow_checkpoint_misses.get(),
+            stream_drains: self.stream_drains.get(),
+            frontier_lag: self.last_frontier_lag.get(),
+            streaming: self.streaming_mode.get() != 0,
+        }
+    }
+
+    /// Pushes the current vital signs into the watchdog's rolling window.
+    /// Call once per observation interval (the protected-process runner
+    /// ticks at the end of every run slice).
+    pub fn health_tick(&self) {
+        let sample = self.health_sample();
+        self.watchdog.lock().push(sample);
+    }
+
+    /// Evaluates the watchdog rules over the ticks accumulated so far.
+    pub fn health_report(&self) -> HealthReport {
+        self.watchdog.lock().report()
     }
 
     /// Appends to the bounded violation log (recorded even when disabled:
@@ -543,6 +641,9 @@ impl EngineTelemetry {
             slowpath_shards: self.slowpath_shards.snapshot(),
             bytes_per_check: self.bytes_per_check.snapshot(),
             frontier_lag: self.frontier_lag.snapshot(),
+            last_frontier_lag: self.last_frontier_lag.get(),
+            spans: self.spans.snapshot(),
+            health: self.health_report(),
             events_recorded: self.events.pushed(),
             violations_total: v.total(),
             violations_dropped: v.dropped,
@@ -559,8 +660,17 @@ impl EngineTelemetry {
         }
     }
 
-    /// Renders the Prometheus text-format exposition.
+    /// Renders the Prometheus/OpenMetrics text-format exposition with
+    /// *mergeable* cumulative-bucket histograms — the fleet-rollup format.
     pub fn prometheus_text(&self) -> String {
+        self.prometheus_text_opts(false)
+    }
+
+    /// Like [`EngineTelemetry::prometheus_text`], but with
+    /// `legacy_summaries` the latency distributions render as the old
+    /// quantile `summary` families (which cannot be aggregated across
+    /// processes) instead of cumulative histogram buckets.
+    pub fn prometheus_text_opts(&self, legacy_summaries: bool) -> String {
         let mut p = PromText::new();
         p.counter("fg_checks_total", "Endpoint checks performed", self.checks.get())
             .counter("fg_fast_clean_total", "Fast-path clean outcomes", self.fast_clean.get())
@@ -618,48 +728,96 @@ impl EngineTelemetry {
                 "Trace bytes drained in the background by the streaming consumer",
                 self.stream_drained_bytes.get(),
             )
+            .counter(
+                "fg_edge_cache_hits_total",
+                "Fast-path edge-cache hits",
+                self.edge_cache_hits.get(),
+            )
+            .counter(
+                "fg_edge_cache_misses_total",
+                "Fast-path edge-cache misses",
+                self.edge_cache_misses.get(),
+            )
             .counter("fg_violations_total", "CFI violations", self.violations_total())
-            .gauge("fg_cache_size", "Slow-path result cache entries", self.cache_size.get() as f64)
-            .gauge("fg_edge_cache_hits", "Edge-cache hits", self.edge_cache_hits.get() as f64)
-            .gauge("fg_edge_cache_misses", "Edge-cache misses", self.edge_cache_misses.get() as f64)
+            .counter(
+                "fg_span_records_total",
+                "Spans recorded by the cycle-attribution profiler",
+                self.spans.records(),
+            )
+            .gauge(
+                "fg_cache_entries",
+                "Slow-path result cache entries",
+                self.cache_size.get() as f64,
+            )
             .gauge("fg_decode_cycles", "Cycles spent decoding", self.decode_cycles.get())
             .gauge("fg_check_cycles", "Cycles spent matching", self.check_cycles.get())
-            .gauge("fg_other_cycles", "Interception-overhead cycles", self.other_cycles.get())
-            .summary(
-                "fg_check_latency_cycles",
-                "Per-check total cycles",
-                &self.check_latency.snapshot(),
-            )
-            .summary(
-                "fg_fastpath_scan_cycles",
-                "Per-check packet-scan cycles",
-                &self.fastpath_scan_cycles.snapshot(),
-            )
-            .summary(
+            .gauge("fg_other_cycles", "Interception-overhead cycles", self.other_cycles.get());
+
+        // Per-phase cycle attribution: one counter family labelled by
+        // pipeline phase, the foundation for fleet rollups.
+        let span_snap = self.spans.snapshot();
+        let cycle_series: Vec<(&str, f64)> =
+            PhaseSpan::ALL.iter().map(|&ph| (ph.label(), self.spans.phase_cycles(ph))).collect();
+        let span_series: Vec<(&str, f64)> = PhaseSpan::ALL
+            .iter()
+            .map(|&ph| (ph.label(), self.spans.phase_spans(ph) as f64))
+            .collect();
+        p.labeled_counter(
+            "fg_phase_cycles_total",
+            "Modeled cycles attributed to each check-pipeline phase",
+            "phase",
+            &cycle_series,
+        )
+        .labeled_counter(
+            "fg_phase_spans_total",
+            "Spans recorded per check-pipeline phase",
+            "phase",
+            &span_series,
+        )
+        .gauge(
+            "fg_span_overhead_mean_ns",
+            "Measured profiler self-overhead per record (sampled mean)",
+            span_snap.overhead.mean_ns_per_record,
+        )
+        .gauge(
+            "fg_span_overhead_estimated_ns",
+            "Profiler self-overhead extrapolated over all records",
+            span_snap.overhead.estimated_total_ns,
+        )
+        .gauge(
+            "fg_health_status",
+            "Watchdog verdict: 0 healthy, 1 degraded, 2 critical",
+            self.health_report().status.to_u64() as f64,
+        );
+
+        let hists: [(&str, &str, &Histogram); 7] = [
+            ("fg_check_latency_cycles", "Per-check total cycles", &self.check_latency),
+            ("fg_fastpath_scan_cycles", "Per-check packet-scan cycles", &self.fastpath_scan_cycles),
+            (
                 "fg_slowpath_decode_cycles",
                 "Per-escalation slow-path cycles",
-                &self.slowpath_decode_cycles.snapshot(),
-            )
-            .summary(
+                &self.slowpath_decode_cycles,
+            ),
+            (
                 "fg_slowpath_stitch_cycles",
                 "Per-escalation sequential stitch/replay cycles",
-                &self.slowpath_stitch_cycles.snapshot(),
-            )
-            .summary(
-                "fg_slowpath_shards",
-                "PSB shards per slow-path decode",
-                &self.slowpath_shards.snapshot(),
-            )
-            .summary(
-                "fg_bytes_per_check",
-                "Trace bytes consumed per check",
-                &self.bytes_per_check.snapshot(),
-            )
-            .summary(
+                &self.slowpath_stitch_cycles,
+            ),
+            ("fg_slowpath_shards", "PSB shards per slow-path decode", &self.slowpath_shards),
+            ("fg_check_bytes", "Trace bytes consumed per check", &self.bytes_per_check),
+            (
                 "fg_frontier_lag_bytes",
                 "Residue bytes not yet drained at check entry (streaming)",
-                &self.frontier_lag.snapshot(),
-            );
+                &self.frontier_lag,
+            ),
+        ];
+        for (name, help, h) in hists {
+            if legacy_summaries {
+                p.summary(name, help, &h.snapshot());
+            } else {
+                p.histogram(name, help, &h.cumulative_buckets(), h.sum(), h.count());
+            }
+        }
         p.finish()
     }
 }
@@ -748,6 +906,16 @@ pub struct TelemetrySnapshot {
     /// (streaming mode only; empty otherwise).
     #[serde(default)]
     pub frontier_lag: HistogramSnapshot,
+    /// Residue bytes not yet drained at the most recent streaming check
+    /// (zero outside streaming mode).
+    #[serde(default)]
+    pub last_frontier_lag: u64,
+    /// Per-phase cycle attribution (empty when span profiling is off).
+    #[serde(default)]
+    pub spans: SpanSnapshot,
+    /// Watchdog verdict over the health ticks accumulated so far.
+    #[serde(default)]
+    pub health: HealthReport,
     /// Events ever pushed to the ring (≥ retained).
     pub events_recorded: u64,
     /// Violations recorded in total.
@@ -897,17 +1065,44 @@ mod tests {
         t.record_check(&CheckEvent {
             sysno: 2,
             verdict: CheckVerdict::FastClean,
+            scan_cycles: 100.0,
             ..Default::default()
         });
         let text = t.prometheus_text();
         for series in [
             "fg_checks_total",
             "fg_violations_total",
-            "fg_check_latency_cycles{quantile=\"0.99\"}",
-            "fg_bytes_per_check_count",
+            // Latency distributions are mergeable cumulative histograms.
+            "# TYPE fg_check_latency_cycles histogram",
+            "fg_check_latency_cycles_bucket{le=\"+Inf\"} 1",
+            "fg_check_latency_cycles_sum",
+            "fg_check_bytes_count",
+            // Per-phase attribution and the watchdog verdict.
+            "fg_phase_cycles_total{phase=\"fast_scan\"}",
+            "fg_phase_spans_total{phase=\"verdict\"}",
+            "fg_health_status 0",
+            "fg_span_overhead_mean_ns",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }
+        let errs = fg_trace::export::lint(&text);
+        assert!(errs.is_empty(), "exposition lint violations: {errs:?}");
+    }
+
+    #[test]
+    fn prometheus_legacy_summaries_flag_restores_quantiles() {
+        let t = EngineTelemetry::new(true);
+        t.record_check(&CheckEvent {
+            sysno: 2,
+            verdict: CheckVerdict::FastClean,
+            ..Default::default()
+        });
+        let text = t.prometheus_text_opts(true);
+        assert!(text.contains("fg_check_latency_cycles{quantile=\"0.99\"}"));
+        assert!(text.contains("# TYPE fg_check_latency_cycles summary"));
+        assert!(!text.contains("fg_check_latency_cycles_bucket"));
+        let errs = fg_trace::export::lint(&text);
+        assert!(errs.is_empty(), "legacy exposition still lints clean: {errs:?}");
     }
 
     #[test]
@@ -917,5 +1112,77 @@ mod tests {
         let json = serde_json::to_string(&t.telemetry_snapshot()).unwrap();
         let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.checks, 1);
+        // Pre-observability snapshots (no spans/health keys) still parse.
+        // The vendored JSON layer has no mutable value tree, so excise the
+        // two keys textually by walking their balanced-brace object bodies.
+        fn drop_key(json: &str, key: &str) -> String {
+            let pat = format!("\"{key}\":");
+            let start = json.find(&pat).unwrap();
+            let body = start + pat.len();
+            let mut depth = 0usize;
+            let mut end = body;
+            for (i, c) in json[body..].char_indices() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = body + i + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Also eat the separating comma (one side has one).
+            let mut out = String::new();
+            out.push_str(&json[..start]);
+            let rest = json[end..].strip_prefix(',').unwrap_or_else(|| {
+                out.truncate(out.trim_end().trim_end_matches(',').len());
+                &json[end..]
+            });
+            out.push_str(rest);
+            out
+        }
+        let stripped = drop_key(&drop_key(&json, "spans"), "health");
+        let old: TelemetrySnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.checks, 1);
+        assert_eq!(old.spans, fg_trace::SpanSnapshot::default());
+    }
+
+    #[test]
+    fn health_ticks_feed_the_watchdog() {
+        let t = EngineTelemetry::new(true);
+        t.health_tick();
+        for _ in 0..100 {
+            t.record_check(&CheckEvent {
+                sysno: 2,
+                verdict: CheckVerdict::SlowClean,
+                ..Default::default()
+            });
+        }
+        t.health_tick();
+        let report = t.health_report();
+        assert_eq!(report.samples, 2);
+        assert_eq!(report.window_checks, 100);
+        assert_eq!(report.status, fg_trace::HealthStatus::Critical, "100% escalation rate");
+        assert!(report.findings.iter().any(|f| f.rule == "escalation_rate"));
+    }
+
+    #[test]
+    fn spans_record_through_the_telemetry_handle() {
+        let t = EngineTelemetry::new(true);
+        t.spans().record(PhaseSpan::Intercept, 30.0, 0);
+        {
+            let mut g = t.spans().enter(PhaseSpan::EdgeProbe);
+            g.add_cycles(12.0);
+        }
+        let snap = t.telemetry_snapshot();
+        assert_eq!(snap.spans.records, 2);
+        assert!((snap.spans.check_cycles - 42.0).abs() < 1e-9);
+        // Disabled telemetry wires a disabled profiler.
+        let off = EngineTelemetry::new(false);
+        off.spans().record(PhaseSpan::Intercept, 30.0, 0);
+        assert_eq!(off.spans().records(), 0);
     }
 }

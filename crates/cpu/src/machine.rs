@@ -275,7 +275,8 @@ impl Machine {
                 }
             }
             // Periodic trace-poll slot for the streaming consumer.
-            if self.insns_retired.is_multiple_of(TRACE_POLL_PERIOD) && self.trace.as_ipt().is_some() {
+            if self.insns_retired.is_multiple_of(TRACE_POLL_PERIOD) && self.trace.as_ipt().is_some()
+            {
                 let mut extra = CycleAccount::default();
                 let mut ctx = SyscallCtx {
                     cpu: &mut self.cpu,

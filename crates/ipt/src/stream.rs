@@ -20,6 +20,8 @@ use crate::decode::PacketError;
 use crate::fast::{FastScan, IP_PAYLOAD_LEN};
 use crate::incremental::{AppendInfo, IncrementalScanner};
 use crate::packet::wire;
+use fg_trace::{PhaseSpan, SpanProfiler};
+use std::sync::Arc;
 
 /// Length of the complete-packet prefix of `buf`, which must start at a
 /// packet boundary. Walks header-indicated lengths only (no payload
@@ -86,6 +88,9 @@ pub struct StreamConsumer {
     /// of the packet arrives.
     pending: Vec<u8>,
     stats: DrainStats,
+    /// Cycle-attribution profiler plus the modeled per-byte scan cost;
+    /// wired by the engine so drains show up as spans.
+    profiler: Option<(Arc<SpanProfiler>, f64)>,
 }
 
 impl StreamConsumer {
@@ -163,6 +168,44 @@ impl StreamConsumer {
         let info = self.scanner.advance(&buf[..safe], target, safe)?;
         self.record(&info);
         Ok(info)
+    }
+
+    /// Wires the cycle-attribution profiler: subsequent
+    /// [`StreamConsumer::drain_profiled`] calls record their work as spans,
+    /// charging `cycles_per_byte` (the cost model's per-byte scan cost) for
+    /// every drained byte.
+    pub fn set_profiler(&mut self, profiler: Arc<SpanProfiler>, cycles_per_byte: f64) {
+        self.profiler = Some((profiler, cycles_per_byte));
+    }
+
+    /// [`StreamConsumer::drain`] plus span attribution: the drained bytes
+    /// are recorded as a [`PhaseSpan::StreamDrain`] span when `background`
+    /// (poll-slot and PMI drains that overlap execution) or a
+    /// [`PhaseSpan::ResidueScan`] span otherwise (check-time residue work
+    /// charged to the intercepted syscall). Without a wired profiler this
+    /// is exactly `drain`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamConsumer::drain`]'s [`PacketError`]; the span (with
+    /// zero drained bytes) is still recorded.
+    pub fn drain_profiled(
+        &mut self,
+        chronological: &[u8],
+        total_written: u64,
+        background: bool,
+    ) -> Result<AppendInfo, PacketError> {
+        let Some((prof, cycles_per_byte)) = self.profiler.clone() else {
+            return self.drain(chronological, total_written);
+        };
+        let phase = if background { PhaseSpan::StreamDrain } else { PhaseSpan::ResidueScan };
+        let mut guard = prof.enter(phase);
+        let res = self.drain(chronological, total_written);
+        if let Ok(info) = &res {
+            guard.add_cycles(info.new_bytes as f64 * cycles_per_byte);
+            guard.set_detail(info.new_bytes);
+        }
+        res
     }
 
     fn record(&mut self, info: &AppendInfo) {
@@ -288,6 +331,35 @@ mod tests {
         }
         let cold = fast::scan(&stream).unwrap();
         assert_eq!(c.scan().tip_events(), cold.tip_events());
+    }
+
+    #[test]
+    fn profiled_drains_attribute_spans_by_context() {
+        let stream = sample_stream();
+        let mut c = StreamConsumer::new();
+        let prof = Arc::new(SpanProfiler::new(true));
+        c.set_profiler(Arc::clone(&prof), 2.0);
+        let half = stream.len() / 2;
+        // A background (poll/PMI) drain lands in StreamDrain…
+        c.drain_profiled(&stream[..half], half as u64, true).unwrap();
+        // …and a check-time residue drain in ResidueScan.
+        c.drain_profiled(&stream, stream.len() as u64, false).unwrap();
+        assert_eq!(prof.phase_spans(PhaseSpan::StreamDrain), 1);
+        assert_eq!(prof.phase_spans(PhaseSpan::ResidueScan), 1);
+        let total =
+            prof.phase_cycles(PhaseSpan::StreamDrain) + prof.phase_cycles(PhaseSpan::ResidueScan);
+        assert!(
+            (total - stream.len() as f64 * 2.0).abs() < 1e-9,
+            "every drained byte is charged at cycles_per_byte"
+        );
+        // The profiled result is bit-identical to a plain drain.
+        let mut plain = StreamConsumer::new();
+        plain.drain(&stream, stream.len() as u64).unwrap();
+        assert_eq!(c.scan().tip_events(), plain.scan().tip_events());
+        // An unwired consumer records nothing through drain_profiled.
+        let mut bare = StreamConsumer::new();
+        bare.drain_profiled(&stream, stream.len() as u64, true).unwrap();
+        assert_eq!(bare.stats().drained_bytes, stream.len() as u64);
     }
 
     #[test]

@@ -165,6 +165,24 @@ impl Histogram {
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
+
+    /// Cumulative `(upper_bound, count ≤ upper_bound)` pairs over the
+    /// *occupied* buckets, ascending — the OpenMetrics `_bucket{le="…"}`
+    /// series. Because the bucket boundaries are fixed by construction,
+    /// expositions from different processes merge by adding counts at equal
+    /// bounds, which is exactly what quantile summaries cannot do.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c != 0 {
+                cum += c;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
 }
 
 impl std::fmt::Debug for Histogram {
@@ -259,6 +277,25 @@ mod tests {
         assert_eq!(a.sum(), u.sum());
         assert_eq!(a.max(), u.max());
         assert_eq!(a.snapshot(), u.snapshot());
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_complete() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 17, 900, 900, 900, 1 << 30] {
+            h.record(v);
+        }
+        let cb = h.cumulative_buckets();
+        assert_eq!(cb.last().unwrap().1, h.count(), "final cumulative count is the total");
+        for w in cb.windows(2) {
+            assert!(w[0].0 < w[1].0, "bounds strictly ascend");
+            assert!(w[0].1 <= w[1].1, "counts never decrease");
+        }
+        // Each recorded value is covered by the first bound at or above it.
+        for v in [3u64, 17, 900, 1 << 30] {
+            assert!(cb.iter().any(|&(ub, _)| ub >= v));
+        }
+        assert!(Histogram::new().cumulative_buckets().is_empty());
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //!   overwrite-oldest semantics ([`ring`]).
 //! * [`FlightRecorder`] — serialisable forensic capture of CFI violations
 //!   ([`flight`]).
-//! * [`PromText`] — Prometheus text-format rendering ([`export`]).
+//! * [`PromText`] — linted Prometheus/OpenMetrics text rendering with
+//!   mergeable cumulative-bucket histograms ([`export`]).
+//! * [`SpanProfiler`] — lock-free per-phase cycle attribution over the
+//!   check pipeline, with measured self-overhead ([`span`]).
+//! * [`Watchdog`] — rolling-window health evaluation of the runtime's
+//!   vital signs into structured [`HealthReport`]s ([`watchdog`]).
 //!
 //! The crate is deliberately engine-agnostic: `fg-core` defines what an
 //! event *is* and assembles snapshots; `fg-trace` defines how recording
@@ -23,9 +28,17 @@ pub mod export;
 pub mod flight;
 pub mod hist;
 pub mod ring;
+pub mod span;
+pub mod watchdog;
 
 pub use counters::{CycleCounter, Gauge, ShardedU64, SHARDS};
 pub use export::PromText;
 pub use flight::{FlightRecord, FlightRecorder};
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS, SUB_BUCKETS};
 pub use ring::{EventRing, PodEvent, EVENT_WORDS};
+pub use span::{
+    PhaseSpan, ProfilerOverhead, SpanEvent, SpanGuard, SpanProfiler, SpanSnapshot, PHASE_COUNT,
+};
+pub use watchdog::{
+    HealthFinding, HealthReport, HealthSample, HealthStatus, Watchdog, WatchdogConfig,
+};

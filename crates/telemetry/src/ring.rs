@@ -38,8 +38,9 @@ impl Slot {
     }
 }
 
-/// The bounded ring. Single logical producer (the engine's check loop),
-/// any number of snapshot readers.
+/// The bounded ring. Writers claim slots atomically, so concurrent
+/// producers (the check loop plus worker-pool drain threads) each get a
+/// distinct slot; any number of snapshot readers.
 pub struct EventRing<T> {
     slots: Box<[Slot]>,
     /// Absolute number of events ever pushed.
@@ -72,8 +73,12 @@ impl<T: PodEvent> EventRing<T> {
     }
 
     /// Pushes an event, overwriting the oldest if full.
+    ///
+    /// The slot is claimed with an atomic `fetch_add`, so concurrent
+    /// producers write distinct slots; a reader that observes a claimed but
+    /// not-yet-complete slot sees a stale sequence number and skips it.
     pub fn push(&self, ev: &T) {
-        let i = self.head.load(Ordering::Relaxed);
+        let i = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(i as usize) & self.mask];
         slot.seq.store(2 * i + 1, Ordering::Release);
         let words = ev.encode();
@@ -81,7 +86,6 @@ impl<T: PodEvent> EventRing<T> {
             w.store(v, Ordering::Relaxed);
         }
         slot.seq.store(2 * i + 2, Ordering::Release);
-        self.head.store(i + 1, Ordering::Release);
     }
 
     /// The most recent `n` events, oldest first, paired with their absolute

@@ -160,6 +160,66 @@ fn ring_concurrent_reads_see_consistent_events() {
     assert_eq!(ring.pushed(), writes);
 }
 
+/// The span-profiler analogue of the seqlock torn-read test: writers on
+/// several threads hammer `SpanProfiler::record` while readers snapshot the
+/// span ring; every span a reader observes must decode to a self-consistent
+/// (phase, cycles, detail) triple — `cycles` and `detail` are derived from
+/// the writer's sequence payload, so a torn slot would show a mismatched
+/// pair — and per-phase totals must balance at the end.
+#[test]
+fn span_ring_concurrent_writers_never_yield_torn_spans() {
+    use fg_trace::{PhaseSpan, SpanProfiler, PHASE_COUNT};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // Miri runs this race loop ~1000x slower; a short run still wraps the
+    // 1024-slot span ring and crosses many writer/reader races.
+    let per_writer: u64 = if cfg!(miri) { 1_500 } else { 100_000 };
+    let writers = 2;
+    let prof = Arc::new(SpanProfiler::new(true));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..2 {
+        let prof = Arc::clone(&prof);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for (_, ev) in prof.recent(64) {
+                    // Writers derive both payload words from one value, so
+                    // a torn slot cannot satisfy this equality.
+                    assert_eq!(
+                        ev.cycles,
+                        ev.detail as f64 * 2.0,
+                        "span payload words are consistent"
+                    );
+                    assert!(ev.phase.index() < PHASE_COUNT);
+                }
+            }
+        }));
+    }
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let prof = Arc::clone(&prof);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_writer {
+                let v = w * per_writer + i;
+                let phase = PhaseSpan::from_index((v % PHASE_COUNT as u64) as usize).unwrap();
+                prof.record(phase, v as f64 * 2.0, v);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(prof.records(), writers * per_writer);
+    let spans: u64 = PhaseSpan::ALL.iter().map(|&p| prof.phase_spans(p)).sum();
+    assert_eq!(spans, writers * per_writer, "every record landed in exactly one phase");
+}
+
 #[test]
 fn flight_record_round_trips_through_json() {
     use fg_trace::FlightRecorder;
