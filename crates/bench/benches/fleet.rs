@@ -1,0 +1,54 @@
+//! Criterion benches for fleet-scale enforcement: supervisor throughput at
+//! 1 and 8 concurrent processes, and the artifact-cache lookup that lets
+//! every instance of a binary share one deployment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowguard::fleet::ArtifactCache;
+use flowguard::{FleetConfig, FleetSupervisor};
+
+fn fleet_cfg() -> FleetConfig {
+    let mut cfg = FleetConfig::default();
+    cfg.flowguard.streaming = true;
+    cfg
+}
+
+fn run_fleet(n: usize) {
+    let w = fg_workloads::nginx_patched();
+    let mut fleet = FleetSupervisor::new(fleet_cfg());
+    for pid in 0..n {
+        let input = fg_workloads::load_input(4, pid as u64);
+        fleet
+            .spawn("nginx", &w.image, std::slice::from_ref(&w.default_input), &input)
+            .expect("benign image admitted");
+    }
+    fleet.run();
+    assert!(fleet.members().iter().all(|m| !m.violated()));
+}
+
+fn bench_fleet_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_run");
+    g.bench_function("solo", |b| b.iter(|| run_fleet(1)));
+    g.bench_function("fleet_8", |b| b.iter(|| run_fleet(8)));
+    g.finish();
+}
+
+fn bench_artifact_cache(c: &mut Criterion) {
+    let w = fg_workloads::nginx_patched();
+    let corpus = vec![w.default_input.clone()];
+    let mut cache = ArtifactCache::new();
+    cache.deploy(&w.image, &corpus).expect("admitted");
+    // The steady state of a fleet spawn: hash the image, hit the cache.
+    c.bench_function("artifact_cache_hit", |b| {
+        b.iter(|| cache.deploy(&w.image, &corpus).expect("admitted"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // FG_BENCH_QUICK=1 drops the sample count for CI smoke runs.
+    config = Criterion::default().sample_size(
+        if std::env::var_os("FG_BENCH_QUICK").is_some() { 10 } else { 15 },
+    );
+    targets = bench_fleet_run, bench_artifact_cache
+}
+criterion_main!(benches);

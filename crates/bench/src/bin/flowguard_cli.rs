@@ -13,6 +13,7 @@
 //! flowguard_cli top      <artifact.json> [--input FILE] [--streaming] [--slice N]
 //! flowguard_cli events   <artifact.json> [--input FILE] [--last N]
 //! flowguard_cli attack   <artifact.json> <rop|srop|ret2lib|flush|kbouncer>
+//! flowguard_cli fleet    stats [--procs N] [--json] [--prom] [--single-cr3]
 //! flowguard_cli workloads                                  # list bundled targets
 //! ```
 //!
@@ -27,7 +28,10 @@
 //! everything else, including an undetected `attack` and a `health` verdict
 //! of Degraded or Critical).
 
-use flowguard::{Deployment, FlowGuardConfig, HealthStatus, PhaseSpan, TelemetrySnapshot};
+use flowguard::{
+    Deployment, FleetConfig, FleetSupervisor, FlowGuardConfig, HealthStatus, PhaseSpan,
+    TelemetrySnapshot,
+};
 use std::process::ExitCode;
 
 fn pick_workload(name: &str) -> Option<fg_workloads::Workload> {
@@ -65,7 +69,8 @@ fn usage() -> ExitCode {
          flowguard_cli health <artifact.json> [--input FILE] [--streaming] [--slice N]\n  \
          flowguard_cli top <artifact.json> [--input FILE] [--streaming] [--slice N]\n  \
          flowguard_cli events <artifact.json> [--input FILE] [--last N]\n  \
-         flowguard_cli attack <artifact.json> <rop|srop|ret2lib|flush|kbouncer>"
+         flowguard_cli attack <artifact.json> <rop|srop|ret2lib|flush|kbouncer>\n  \
+         flowguard_cli fleet stats [--procs N] [--json] [--prom] [--single-cr3]"
     );
     ExitCode::from(2)
 }
@@ -671,6 +676,121 @@ fn main() -> ExitCode {
                 eprintln!("attack was NOT detected");
                 ExitCode::FAILURE
             }
+        }
+        Some("fleet") => {
+            if it.next() != Some("stats") {
+                return usage();
+            }
+            let mut procs: usize = 8;
+            let mut json = false;
+            let mut prom = false;
+            let mut multi_cr3 = true;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--procs" => {
+                        let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        procs = n;
+                    }
+                    "--json" => json = true,
+                    "--prom" => prom = true,
+                    "--single-cr3" => multi_cr3 = false,
+                    _ => return usage(),
+                }
+            }
+            if procs == 0 {
+                eprintln!("--procs must be at least 1");
+                return ExitCode::from(2);
+            }
+
+            // The benchmark fleet: `procs` members round-robined over four
+            // distinct server images, each on a pid-seeded benign request
+            // stream, with streaming engines so background drains exercise
+            // the shared scheduler.
+            let images = [
+                fg_workloads::nginx_patched(),
+                fg_workloads::vsftpd(),
+                fg_workloads::openssh(),
+                fg_workloads::exim(),
+            ];
+            let mut cfg = FleetConfig::default();
+            cfg.flowguard.streaming = true;
+            cfg.multi_cr3 = multi_cr3;
+            let mut fleet = FleetSupervisor::new(cfg);
+            for pid in 0..procs {
+                let w = &images[pid % images.len()];
+                let corpus = vec![w.default_input.clone()];
+                let input = fg_workloads::load_input(8, pid as u64);
+                if let Err(report) = fleet.spawn(&w.name, &w.image, &corpus, &input) {
+                    eprintln!(
+                        "artifact for {} rejected: {} error(s)",
+                        w.name,
+                        report.error_count()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!("running {procs}-process fleet ...");
+            fleet.run();
+
+            if prom {
+                print!("{}", fleet.prometheus_text());
+                return ExitCode::SUCCESS;
+            }
+            let snap = fleet.snapshot();
+            if json {
+                match serde_json::to_string(&snap) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => {
+                        eprintln!("serialization failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
+            println!("fleet: {} processes (multi_cr3 {})", snap.processes.len(), snap.multi_cr3);
+            println!(
+                "artifact cache: {} hits / {} misses / {} rejections (hit rate {:.3})",
+                snap.cache.hits,
+                snap.cache.misses,
+                snap.cache.rejections,
+                snap.cache.hit_rate()
+            );
+            println!(
+                "scheduler: {} checks admitted, {} drains deferred, {} executed, \
+                 {} shed inline, {} dropped, max depth {}",
+                snap.scheduler.checks_admitted,
+                snap.scheduler.drains_enqueued,
+                snap.scheduler.executed,
+                snap.scheduler.shed_inline,
+                snap.scheduler.dropped,
+                snap.scheduler.max_queue_depth
+            );
+            println!(
+                "tracing: {} context switches, {:.0} reconfig cycles",
+                snap.switches, snap.reconfig_cycles
+            );
+            println!(
+                "checks: {} total, {} violations, p99 latency {} cycles",
+                snap.checks_total, snap.violations_total, snap.check_latency.p99
+            );
+            println!(
+                "\n{:>4}  {:<14} {:>12}  {:>8}  {:>6}  stop",
+                "pid", "name", "insns", "checks", "viol"
+            );
+            for p in &snap.processes {
+                println!(
+                    "{:>4}  {:<14} {:>12}  {:>8}  {:>6}  {}",
+                    p.pid,
+                    p.name,
+                    p.insns_retired,
+                    p.telemetry.checks,
+                    p.violated,
+                    p.stop.as_deref().unwrap_or("running")
+                );
+            }
+            ExitCode::SUCCESS
         }
         _ => usage(),
     }

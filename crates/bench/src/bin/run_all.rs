@@ -25,5 +25,6 @@ fn main() {
     e::fastpath::print();
     e::slowpath::print();
     e::streaming::print();
+    e::fleet::print();
     println!("\nAll experiments completed.");
 }

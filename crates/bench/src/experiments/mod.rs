@@ -5,6 +5,7 @@ pub mod baselines;
 pub mod cache;
 pub mod fastpath;
 pub mod fig5;
+pub mod fleet;
 pub mod hw;
 pub mod micro;
 pub mod multiproc;

@@ -78,6 +78,21 @@ fn current_check_event_round_trips() {
     assert_eq!(back.drained_bytes, 8192);
 }
 
+/// A pre-fleet-era `TelemetrySnapshot` dump: the fleet-scheduler words
+/// (`sched_deferred_drains`, `sched_shed_inline`) do not exist yet and must
+/// default to zero rather than fail the parse.
+#[test]
+fn pre_fleet_telemetry_snapshot_parses_with_defaults() {
+    let text = include_str!("fixtures/telemetry_snapshot_pr9.json");
+    assert!(!text.contains("sched_deferred_drains"), "fixture must predate the fleet words");
+    let s: flowguard::TelemetrySnapshot = serde_json::from_str(text).unwrap();
+    assert_eq!(s.checks, 24);
+    assert!(s.stream_drains > 0, "a streaming-era dump with drains recorded");
+    // Fleet-era words default.
+    assert_eq!(s.sched_deferred_drains, 0);
+    assert_eq!(s.sched_shed_inline, 0);
+}
+
 /// A `BENCH_fastpath.json` from before the `*_dist` histogram columns must
 /// load with defaulted distributions.
 #[test]

@@ -138,6 +138,17 @@ pub struct FlowGuardEngine {
     /// Tier-0 entry-point bitset, probed ahead of the ITC edge lookup when
     /// [`FlowGuardConfig::tier0_bitset`] is on and the deployment ships one.
     tier0: Option<EntryBitset>,
+    /// Fleet-mode hookup ([`FlowGuardEngine::set_fleet`]): poll-slot drains
+    /// are deferred onto the fleet scheduler's queue instead of borrowing
+    /// the process's trace-poll slot. `None` outside a fleet — the
+    /// poll-slot path is the non-fleet fallback.
+    fleet: Option<FleetHook>,
+}
+
+/// The engine's link to the fleet scheduler.
+struct FleetHook {
+    scheduler: Arc<crate::fleet::FleetScheduler>,
+    pid: u64,
 }
 
 impl std::fmt::Debug for FlowGuardEngine {
@@ -190,7 +201,14 @@ impl FlowGuardEngine {
             drained_at_last_check: 0,
             slow_scratch,
             tier0: None,
+            fleet: None,
         }
+    }
+
+    /// Enrolls the engine in a fleet: check admissions and background
+    /// drains route through `scheduler` under the given fleet `pid`.
+    pub fn set_fleet(&mut self, scheduler: Arc<crate::fleet::FleetScheduler>, pid: u64) {
+        self.fleet = Some(FleetHook { scheduler, pid });
     }
 
     /// Overrides the cost model (hardware-extension ablations, §7.2.4).
@@ -263,6 +281,13 @@ impl SyscallInterceptor for FlowGuardEngine {
     }
 
     fn check(&mut self, nr: Sysno, ctx: &mut SyscallCtx<'_>) -> InterceptVerdict {
+        if let Some(hook) = &self.fleet {
+            // Check requests are admitted through the scheduler for
+            // accounting and fairness, but the verdict must be rendered
+            // before the syscall proceeds, so the job completes
+            // synchronously — by construction a check is never dropped.
+            hook.scheduler.admit_check(hook.pid);
+        }
         self.flow_check(nr.name(), nr as u64, ctx, false)
     }
 
@@ -285,13 +310,27 @@ impl SyscallInterceptor for FlowGuardEngine {
     }
 
     fn on_trace_poll(&mut self, ctx: &mut SyscallCtx<'_>) {
-        // The periodic poll slot: drain whatever the producer wrote since
-        // the last drain (typically a handful of bytes). Runs inline —
-        // residues this small are cheaper to consume than to ship to a
-        // worker.
-        if self.stream.is_some() {
-            self.background_drain(ctx, false);
+        if self.stream.is_none() {
+            return;
         }
+        if let Some(hook) = &self.fleet {
+            // Fleet mode: don't borrow the process's poll slot — defer the
+            // drain onto the scheduler's bounded queue; the supervisor
+            // executes it on the shared worker pool between time slices. A
+            // full queue sheds the job back to synchronous inline execution
+            // (the backpressure policy: degrade latency, never drop work).
+            match hook.scheduler.enqueue_drain(hook.pid) {
+                crate::fleet::Admission::Queued => {
+                    self.stats.record_sched_deferred();
+                    return;
+                }
+                crate::fleet::Admission::Shed => self.stats.record_sched_shed(),
+            }
+        }
+        // Non-fleet fallback (and the fleet shed path): drain inline in the
+        // poll slot — residues this small are cheaper to consume than to
+        // ship to a worker.
+        self.background_drain(ctx, false);
     }
 }
 
@@ -331,6 +370,32 @@ impl FlowGuardEngine {
                 // Corrupt PSB+ bundle mid-stream: abandon it; the next
                 // drain re-synchronises. The same conservative recovery the
                 // check path uses.
+                self.stream.as_mut().expect("checked above").skip_to(total);
+            }
+        }
+    }
+
+    /// One scheduler-driven background drain, executed by the fleet
+    /// supervisor on the shared worker pool between time slices. Reads the
+    /// process's per-CR3 ToPA directly (no [`SyscallCtx`] — the process is
+    /// not running when its deferred drains execute).
+    pub fn fleet_drain(&mut self, unit: &fg_cpu::IptUnit) {
+        let Some(stream) = self.stream.as_mut() else { return };
+        let topa = unit.topa();
+        let total = topa.total_written();
+        let residue = stream.residue(total);
+        if residue == 0 {
+            return;
+        }
+        topa.tail_into(residue as usize, &mut self.drain_buf);
+        match stream.drain_profiled(&self.drain_buf, total, true) {
+            Ok(info) => {
+                if info.new_bytes > 0 || info.cold_restart {
+                    self.stats.record_stream_drain(info.new_bytes);
+                }
+            }
+            Err(_) => {
+                // Same conservative recovery as the inline drain path.
                 self.stream.as_mut().expect("checked above").skip_to(total);
             }
         }

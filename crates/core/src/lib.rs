@@ -51,6 +51,7 @@ pub mod config;
 pub mod deploy;
 pub mod engine;
 pub mod fastpath;
+pub mod fleet;
 pub mod parallel;
 pub mod pool;
 pub mod shadow;
@@ -62,14 +63,20 @@ pub use config::FlowGuardConfig;
 pub use deploy::{ArtifactError, Deployment, ProtectedProcess, DEFAULT_CR3};
 pub use engine::{EngineStats, FlowGuardEngine, ViolationRecord};
 pub use fastpath::{CheckScratch, FastPathResult, FastVerdict, Violation};
+pub use fleet::{
+    ArtifactCache, ArtifactCacheStats, FleetConfig, FleetMember, FleetScheduler, FleetSnapshot,
+    FleetSupervisor, SchedulerStats,
+};
 pub use parallel::scan_parallel;
 pub use pool::WorkerPool;
 pub use shadow::{ShadowOutcome, ShadowStack};
 pub use slowpath::{SlowPathResult, SlowScratch, SlowVerdict, SlowViolation};
-pub use telemetry::{CheckEvent, CheckVerdict, EngineTelemetry, TelemetrySnapshot};
+pub use telemetry::{
+    CheckEvent, CheckVerdict, EngineTelemetry, TelemetrySnapshot, ViolationSummary,
+};
 
 // Observability-plane types shared with `fg-trace`.
 pub use fg_trace::{
-    HealthFinding, HealthReport, HealthSample, HealthStatus, PhaseSpan, SpanProfiler, SpanSnapshot,
-    Watchdog, WatchdogConfig,
+    FlightRecord, HealthFinding, HealthReport, HealthSample, HealthStatus, PhaseSpan, SpanProfiler,
+    SpanSnapshot, Watchdog, WatchdogConfig,
 };

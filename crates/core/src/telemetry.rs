@@ -319,6 +319,12 @@ pub struct EngineTelemetry {
     tier0_misses: ShardedU64,
     stream_drains: ShardedU64,
     stream_drained_bytes: ShardedU64,
+    /// Fleet mode: poll-slot drains deferred onto the fleet scheduler's
+    /// queue instead of running inline in the borrowed slot.
+    sched_deferred_drains: ShardedU64,
+    /// Fleet mode: jobs that found their queue full and were shed to
+    /// synchronous inline execution (the backpressure policy — never drop).
+    sched_shed_inline: ShardedU64,
     cache_size: Gauge,
     edge_cache_hits: Gauge,
     edge_cache_misses: Gauge,
@@ -385,6 +391,8 @@ impl EngineTelemetry {
             tier0_misses: ShardedU64::new(),
             stream_drains: ShardedU64::new(),
             stream_drained_bytes: ShardedU64::new(),
+            sched_deferred_drains: ShardedU64::new(),
+            sched_shed_inline: ShardedU64::new(),
             cache_size: Gauge::new(),
             edge_cache_hits: Gauge::new(),
             edge_cache_misses: Gauge::new(),
@@ -473,6 +481,40 @@ impl EngineTelemetry {
         }
         self.stream_drains.incr();
         self.stream_drained_bytes.add(bytes);
+    }
+
+    /// Records one poll-slot drain deferred onto the fleet scheduler's
+    /// queue (fleet mode only).
+    #[inline]
+    pub fn record_sched_deferred(&self) {
+        if self.enabled {
+            self.sched_deferred_drains.incr();
+        }
+    }
+
+    /// Records one job shed to synchronous inline execution because its
+    /// bounded queue was full (fleet backpressure — the job still ran).
+    #[inline]
+    pub fn record_sched_shed(&self) {
+        if self.enabled {
+            self.sched_shed_inline.incr();
+        }
+    }
+
+    /// The per-check total-cycles histogram — exposed so fleet rollups can
+    /// bucket-merge it across processes via [`Histogram::merge_from`].
+    pub fn check_latency_hist(&self) -> &Histogram {
+        &self.check_latency
+    }
+
+    /// The per-check trace-bytes histogram (fleet rollups).
+    pub fn bytes_per_check_hist(&self) -> &Histogram {
+        &self.bytes_per_check
+    }
+
+    /// The streaming frontier-lag histogram (fleet rollups).
+    pub fn frontier_lag_hist(&self) -> &Histogram {
+        &self.frontier_lag
     }
 
     /// Samples the caches' current sizes (gauges, last-write-wins).
@@ -629,6 +671,8 @@ impl EngineTelemetry {
             tier0_misses: self.tier0_misses.get(),
             stream_drains: self.stream_drains.get(),
             stream_drained_bytes: self.stream_drained_bytes.get(),
+            sched_deferred_drains: self.sched_deferred_drains.get(),
+            sched_shed_inline: self.sched_shed_inline.get(),
             edge_cache_hits: self.edge_cache_hits.get(),
             edge_cache_misses: self.edge_cache_misses.get(),
             decode_cycles: self.decode_cycles.get(),
@@ -878,6 +922,15 @@ pub struct TelemetrySnapshot {
     /// Trace bytes drained in the background by the streaming consumer.
     #[serde(default)]
     pub stream_drained_bytes: u64,
+    /// Fleet mode: poll-slot drains deferred onto the fleet scheduler's
+    /// queue (zero outside a fleet).
+    #[serde(default)]
+    pub sched_deferred_drains: u64,
+    /// Fleet mode: jobs shed to synchronous inline execution under
+    /// backpressure (zero outside a fleet; shed jobs still ran — nothing
+    /// is ever dropped).
+    #[serde(default)]
+    pub sched_shed_inline: u64,
     /// Edge-cache hits (cumulative).
     pub edge_cache_hits: u64,
     /// Edge-cache misses (cumulative).

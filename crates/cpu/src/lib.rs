@@ -28,4 +28,4 @@ pub use machine::{
     Cpu, Machine, NullKernel, StopReason, SysOutcome, SyscallCtx, SyscallHandler, TRACE_POLL_PERIOD,
 };
 pub use mem::{AddressSpace, MemFault};
-pub use trace::{BtsRecord, BtsUnit, IptUnit, LbrFilter, LbrUnit, TraceUnit};
+pub use trace::{BtsRecord, BtsUnit, IptUnit, LbrFilter, LbrUnit, MultiIptUnit, TraceUnit};

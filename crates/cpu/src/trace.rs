@@ -211,6 +211,166 @@ impl IptUnit {
     }
 }
 
+/// Encodes one CoFI event into an IPT unit (the Table 3 packet taxonomy),
+/// returning the tracing cost in cycles. Shared by the single-process
+/// [`TraceUnit::Ipt`] path and the per-CR3 routing of
+/// [`TraceUnit::MultiIpt`].
+fn ipt_on_cofi(
+    u: &mut IptUnit,
+    cost: &CostModel,
+    kind: CofiKind,
+    from: u64,
+    to: u64,
+    taken: bool,
+    cr3: u64,
+) -> f64 {
+    if !u.active(true, cr3) || !u.msrs.ip_in_filter(from) {
+        return 0.0;
+    }
+    let before = u.enc.bytes_emitted();
+    let retc = !u.msrs.ctl.dis_retc();
+    match kind {
+        CofiKind::CondBranch => u.enc.tnt_bit(taken),
+        CofiKind::IndCall | CofiKind::DirectCall if retc => {
+            // Track the call for RET compression.
+            if u.ret_stack.len() == RET_STACK_DEPTH {
+                u.ret_stack.remove(0);
+            }
+            u.ret_stack.push(from + fg_isa::insn::INSN_SIZE);
+            if kind == CofiKind::IndCall {
+                u.enc.tip(to);
+            }
+        }
+        CofiKind::Ret if retc => {
+            // Compressed return: a matching target is one taken
+            // TNT bit; a mismatch emits a full TIP.
+            if u.ret_stack.last() == Some(&to) {
+                u.ret_stack.pop();
+                u.enc.tnt_bit(true);
+            } else {
+                u.ret_stack.pop();
+                u.enc.tip(to);
+            }
+        }
+        CofiKind::IndJmp | CofiKind::IndCall | CofiKind::Ret => u.enc.tip(to),
+        CofiKind::FarTransfer => {
+            u.enc.fup(from);
+            u.enc.tip_pgd(None);
+        }
+        CofiKind::DirectJmp | CofiKind::DirectCall | CofiKind::None => {}
+    }
+    u.maybe_psb(to, cr3);
+    (u.enc.bytes_emitted() - before) as f64 * cost.ipt_byte_cycles
+}
+
+/// Per-core multi-process IPT front-end — the §7.2.4 "configurable multi-CR3
+/// filter" hardware extension made concrete.
+///
+/// One core-level MSR file admits a *set* of CR3 values
+/// ([`IptMsrs::cr3_match_extra`]) and the packet stream is demultiplexed
+/// into per-CR3 ToPA buffers, each a full [`IptUnit`] with its own encoder,
+/// PSB cadence and RET-compression stack. A context switch therefore
+/// reduces to updating the `current` selector: no TNT flush, no
+/// `IA32_RTIT_CR3_MATCH` rewrite, no PSB+ resync, no
+/// `trace_reconfig_cycles` charge — and each process's trace bytes are
+/// bit-identical to what a dedicated single-process unit would have
+/// produced.
+#[derive(Debug, Default)]
+pub struct MultiIptUnit {
+    /// The core-level filter: `cr3_match` holds the first admitted CR3,
+    /// `cr3_match_extra` the rest.
+    msrs: IptMsrs,
+    units: Vec<(u64, IptUnit)>,
+    current: usize,
+}
+
+impl MultiIptUnit {
+    /// Creates an empty multi-CR3 unit with FlowGuard's §5.1 CTL bits.
+    pub fn new() -> MultiIptUnit {
+        let msrs = IptMsrs { ctl: fg_ipt::msr::RtitCtl::flowguard_default(), ..Default::default() };
+        MultiIptUnit { msrs, units: Vec::new(), current: 0 }
+    }
+
+    /// Admits a CR3 into the filter and allocates its private ToPA buffer.
+    /// Returns `false` (and ignores the buffer) if the CR3 is already
+    /// admitted.
+    pub fn admit(&mut self, cr3: u64, topa: Topa) -> bool {
+        if self.units.iter().any(|(c, _)| *c == cr3) {
+            return false;
+        }
+        if self.units.is_empty() {
+            self.msrs.cr3_match = cr3;
+        } else {
+            self.msrs.cr3_match_extra.push(cr3);
+        }
+        self.units.push((cr3, IptUnit::flowguard(cr3, topa)));
+        true
+    }
+
+    /// Selects the running process. This is the entire context-switch cost
+    /// under the multi-CR3 extension. Returns `false` if the CR3 was never
+    /// admitted.
+    pub fn set_current(&mut self, cr3: u64) -> bool {
+        match self.units.iter().position(|(c, _)| *c == cr3) {
+            Some(i) => {
+                self.current = i;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Restricts the core filter to a single CR3 — the stock-hardware
+    /// fallback where the kernel module rewrites `IA32_RTIT_CR3_MATCH` at
+    /// every context switch (§7.2.4's bottleneck). Clears
+    /// `cr3_match_extra`; the per-CR3 output buffers stay (the module
+    /// saves/restores `OUTPUT_BASE` alongside). The caller models the rest
+    /// of the switch cost: TNT flush, PSB+ resync and
+    /// `trace_reconfig_cycles`. Returns `false` if the CR3 was never
+    /// admitted.
+    pub fn restrict_to(&mut self, cr3: u64) -> bool {
+        if !self.set_current(cr3) {
+            return false;
+        }
+        self.msrs.cr3_match = cr3;
+        self.msrs.cr3_match_extra.clear();
+        true
+    }
+
+    /// The CR3 currently selected, if any process was admitted.
+    pub fn current_cr3(&self) -> Option<u64> {
+        self.units.get(self.current).map(|(c, _)| *c)
+    }
+
+    /// The admitted CR3 values, in admission order.
+    pub fn admitted(&self) -> Vec<u64> {
+        self.units.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// The core-level MSR file (primary + extra CR3 filter values).
+    pub fn msrs(&self) -> &IptMsrs {
+        &self.msrs
+    }
+
+    /// The per-CR3 sub-unit, if admitted.
+    pub fn unit(&self, cr3: u64) -> Option<&IptUnit> {
+        self.units.iter().find(|(c, _)| *c == cr3).map(|(_, u)| u)
+    }
+
+    /// Mutable access to a per-CR3 sub-unit.
+    pub fn unit_mut(&mut self, cr3: u64) -> Option<&mut IptUnit> {
+        self.units.iter_mut().find(|(c, _)| *c == cr3).map(|(_, u)| u)
+    }
+
+    fn current_unit(&self) -> Option<&IptUnit> {
+        self.units.get(self.current).map(|(_, u)| u)
+    }
+
+    fn current_unit_mut(&mut self) -> Option<&mut IptUnit> {
+        self.units.get_mut(self.current).map(|(_, u)| u)
+    }
+}
+
 /// A per-core trace unit configuration.
 #[derive(Debug, Default)]
 pub enum TraceUnit {
@@ -219,6 +379,8 @@ pub enum TraceUnit {
     Off,
     /// Intel Processor Trace.
     Ipt(IptUnit),
+    /// Intel PT with the §7.2.4 multi-CR3 filter and per-CR3 ToPA buffers.
+    MultiIpt(MultiIptUnit),
     /// Branch Trace Store.
     Bts(BtsUnit),
     /// Last Branch Record.
@@ -241,44 +403,17 @@ impl TraceUnit {
     ) -> f64 {
         match self {
             TraceUnit::Off => 0.0,
-            TraceUnit::Ipt(u) => {
-                if !u.active(true, cr3) || !u.msrs.ip_in_filter(from) {
+            TraceUnit::Ipt(u) => ipt_on_cofi(u, cost, kind, from, to, taken, cr3),
+            TraceUnit::MultiIpt(m) => {
+                // The core-level multi-CR3 filter decides admission; the
+                // event's CR3 then selects the per-process ToPA buffer.
+                if !m.msrs.should_trace(true, cr3) {
                     return 0.0;
                 }
-                let before = u.enc.bytes_emitted();
-                let retc = !u.msrs.ctl.dis_retc();
-                match kind {
-                    CofiKind::CondBranch => u.enc.tnt_bit(taken),
-                    CofiKind::IndCall | CofiKind::DirectCall if retc => {
-                        // Track the call for RET compression.
-                        if u.ret_stack.len() == RET_STACK_DEPTH {
-                            u.ret_stack.remove(0);
-                        }
-                        u.ret_stack.push(from + fg_isa::insn::INSN_SIZE);
-                        if kind == CofiKind::IndCall {
-                            u.enc.tip(to);
-                        }
-                    }
-                    CofiKind::Ret if retc => {
-                        // Compressed return: a matching target is one taken
-                        // TNT bit; a mismatch emits a full TIP.
-                        if u.ret_stack.last() == Some(&to) {
-                            u.ret_stack.pop();
-                            u.enc.tnt_bit(true);
-                        } else {
-                            u.ret_stack.pop();
-                            u.enc.tip(to);
-                        }
-                    }
-                    CofiKind::IndJmp | CofiKind::IndCall | CofiKind::Ret => u.enc.tip(to),
-                    CofiKind::FarTransfer => {
-                        u.enc.fup(from);
-                        u.enc.tip_pgd(None);
-                    }
-                    CofiKind::DirectJmp | CofiKind::DirectCall | CofiKind::None => {}
+                match m.unit_mut(cr3) {
+                    Some(u) => ipt_on_cofi(u, cost, kind, from, to, taken, cr3),
+                    None => 0.0,
                 }
-                u.maybe_psb(to, cr3);
-                (u.enc.bytes_emitted() - before) as f64 * cost.ipt_byte_cycles
             }
             TraceUnit::Bts(u) => {
                 if kind == CofiKind::None {
@@ -296,29 +431,56 @@ impl TraceUnit {
 
     /// Handles syscall *return* to user mode (TIP.PGE for IPT).
     pub fn on_syscall_resume(&mut self, cost: &CostModel, resume_ip: u64, cr3: u64) -> f64 {
-        match self {
-            TraceUnit::Ipt(u) if u.active(true, cr3) => {
-                let before = u.enc.bytes_emitted();
-                u.enc.tip_pge(resume_ip);
-                u.maybe_psb(resume_ip, cr3);
-                (u.enc.bytes_emitted() - before) as f64 * cost.ipt_byte_cycles
-            }
-            _ => 0.0,
+        let u = match self {
+            TraceUnit::Ipt(u) => u,
+            TraceUnit::MultiIpt(m) if m.msrs.should_trace(true, cr3) => match m.unit_mut(cr3) {
+                Some(u) => u,
+                None => return 0.0,
+            },
+            _ => return 0.0,
+        };
+        if !u.active(true, cr3) {
+            return 0.0;
         }
+        let before = u.enc.bytes_emitted();
+        u.enc.tip_pge(resume_ip);
+        u.maybe_psb(resume_ip, cr3);
+        (u.enc.bytes_emitted() - before) as f64 * cost.ipt_byte_cycles
     }
 
-    /// The IPT unit, if that is what is configured.
+    /// The IPT unit, if that is what is configured. For a multi-CR3 unit
+    /// this is the *currently selected* process's sub-unit, so the machine
+    /// run loop (PMI pending, trace-poll slots) and the engine's drain path
+    /// work unchanged under fleet scheduling.
     pub fn as_ipt(&self) -> Option<&IptUnit> {
         match self {
             TraceUnit::Ipt(u) => Some(u),
+            TraceUnit::MultiIpt(m) => m.current_unit(),
             _ => None,
         }
     }
 
-    /// Mutable IPT access.
+    /// Mutable IPT access (current sub-unit for a multi-CR3 configuration).
     pub fn as_ipt_mut(&mut self) -> Option<&mut IptUnit> {
         match self {
             TraceUnit::Ipt(u) => Some(u),
+            TraceUnit::MultiIpt(m) => m.current_unit_mut(),
+            _ => None,
+        }
+    }
+
+    /// The multi-CR3 unit, if that is what is configured.
+    pub fn as_multi_ipt(&self) -> Option<&MultiIptUnit> {
+        match self {
+            TraceUnit::MultiIpt(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable multi-CR3 access (context-switch selector, admission).
+    pub fn as_multi_ipt_mut(&mut self) -> Option<&mut MultiIptUnit> {
+        match self {
+            TraceUnit::MultiIpt(m) => Some(m),
             _ => None,
         }
     }
@@ -414,6 +576,90 @@ mod tests {
         let bytes = t.as_ipt().unwrap().trace_bytes();
         let psbs = fg_ipt::PacketParser::psb_offsets(&bytes);
         assert!(psbs.len() >= 3, "periodic PSB+ every ~64 bytes, got {}", psbs.len());
+    }
+
+    fn multi_unit(cr3s: &[u64]) -> TraceUnit {
+        let mut m = MultiIptUnit::new();
+        for &cr3 in cr3s {
+            assert!(m.admit(cr3, Topa::two_regions(8192).unwrap()));
+            m.unit_mut(cr3).unwrap().start(0x40_0000, cr3);
+        }
+        m.set_current(cr3s[0]);
+        TraceUnit::MultiIpt(m)
+    }
+
+    #[test]
+    fn multi_cr3_admission_and_selection() {
+        let mut t = multi_unit(&[0x4000, 0x5000]);
+        let m = t.as_multi_ipt_mut().unwrap();
+        assert_eq!(m.admitted(), vec![0x4000, 0x5000]);
+        assert_eq!(m.msrs().cr3_match, 0x4000);
+        assert_eq!(m.msrs().cr3_match_extra, vec![0x5000]);
+        assert!(!m.admit(0x5000, Topa::two_regions(8192).unwrap()), "double admit rejected");
+        assert!(m.set_current(0x5000) && !m.set_current(0x7777));
+        assert_eq!(m.current_cr3(), Some(0x5000));
+        // as_ipt now resolves to the selected process's sub-unit.
+        assert_eq!(t.as_ipt().unwrap().msrs.cr3_match, 0x5000);
+    }
+
+    #[test]
+    fn multi_cr3_routes_by_event_cr3_and_filters_strangers() {
+        let cost = CostModel::calibrated();
+        let mut t = multi_unit(&[0x4000, 0x5000]);
+        let c1 = t.on_cofi(&cost, CofiKind::IndJmp, 0x40_0100, 0x50_0000, false, 0x4000);
+        let c2 = t.on_cofi(&cost, CofiKind::IndJmp, 0x40_0200, 0x50_0008, false, 0x5000);
+        assert!(c1 > 0.0 && c2 > 0.0);
+        // A CR3 outside the filter set produces nothing.
+        let c3 = t.on_cofi(&cost, CofiKind::IndJmp, 0x40_0300, 0x50_0010, false, 0x6000);
+        assert_eq!(c3, 0.0);
+        let m = t.as_multi_ipt().unwrap();
+        let scan_a = fast::scan(&m.unit(0x4000).unwrap().trace_bytes()).unwrap();
+        let scan_b = fast::scan(&m.unit(0x5000).unwrap().trace_bytes()).unwrap();
+        assert_eq!(scan_a.tip_ips(), &[0x50_0000], "per-CR3 demux");
+        assert_eq!(scan_b.tip_ips(), &[0x50_0008]);
+    }
+
+    #[test]
+    fn multi_cr3_interleaved_trace_is_bit_identical_to_solo() {
+        // The whole point of the extension: context switches stop flushing
+        // trace state, so an interleaved schedule yields each process the
+        // exact byte stream a dedicated unit would have produced.
+        let cost = CostModel::calibrated();
+        let mut solo = ipt_unit(0x4000);
+        solo.as_ipt_mut().unwrap().start(0x40_0000, 0x4000);
+        let mut fleet = multi_unit(&[0x4000, 0x5000]);
+
+        let events = [
+            (CofiKind::CondBranch, 0x40_0100u64, 0x40_0110u64, true),
+            (CofiKind::IndCall, 0x40_0110, 0x41_0000, false),
+            (CofiKind::CondBranch, 0x41_0000, 0x41_0010, false),
+            (CofiKind::Ret, 0x41_0010, 0x40_0118, false),
+            (CofiKind::IndJmp, 0x40_0118, 0x42_0000, false),
+        ];
+        for (i, &(kind, from, to, taken)) in events.iter().enumerate() {
+            solo.on_cofi(&cost, kind, from, to, taken, 0x4000);
+            fleet.as_multi_ipt_mut().unwrap().set_current(0x4000);
+            fleet.on_cofi(&cost, kind, from, to, taken, 0x4000);
+            // Interleave a context switch + stranger activity between every
+            // event of the process under test.
+            fleet.as_multi_ipt_mut().unwrap().set_current(0x5000);
+            fleet.on_cofi(
+                &cost,
+                CofiKind::IndJmp,
+                0x43_0000 + i as u64 * 8,
+                0x44_0000,
+                false,
+                0x5000,
+            );
+        }
+        solo.as_ipt_mut().unwrap().flush();
+        let m = fleet.as_multi_ipt_mut().unwrap();
+        m.unit_mut(0x4000).unwrap().flush();
+        assert_eq!(
+            solo.as_ipt().unwrap().trace_bytes(),
+            m.unit(0x4000).unwrap().trace_bytes(),
+            "per-CR3 buffer must match a dedicated unit byte-for-byte"
+        );
     }
 
     #[test]

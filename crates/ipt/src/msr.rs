@@ -192,6 +192,14 @@ pub struct IptMsrs {
     pub addr0_a: u64,
     /// `IA32_RTIT_ADDR0_B` — IP-filter range end (inclusive).
     pub addr0_b: u64,
+    /// Additional CR3 values admitted by the filter — the §7.2.4
+    /// hardware-extension ablation: a *configurable multi-CR3 filter* so the
+    /// kernel module stops rewriting `IA32_RTIT_CR3_MATCH` (flush + PSB+
+    /// resync + `trace_reconfig_cycles`) on every context switch. Empty on
+    /// stock hardware; `serde(default)` keeps pre-fleet serialized MSR files
+    /// loadable.
+    #[serde(default)]
+    pub cr3_match_extra: Vec<u64>,
 }
 
 impl IptMsrs {
@@ -210,10 +218,19 @@ impl IptMsrs {
         if !cpl_user && !self.ctl.os() {
             return false;
         }
-        if self.ctl.cr3_filter() && cr3 != self.cr3_match {
+        if self.ctl.cr3_filter() && !self.cr3_admitted(cr3) {
             return false;
         }
         true
+    }
+
+    /// Whether a CR3 value passes the (possibly multi-valued) CR3 filter.
+    ///
+    /// Stock hardware compares against the single `IA32_RTIT_CR3_MATCH`;
+    /// with the modelled multi-CR3 extension any value in `cr3_match_extra`
+    /// is also admitted.
+    pub fn cr3_admitted(&self, cr3: u64) -> bool {
+        cr3 == self.cr3_match || self.cr3_match_extra.contains(&cr3)
     }
 
     /// Whether an instruction pointer passes the ADDR0 range filter (§2's
@@ -277,6 +294,27 @@ mod tests {
         all.ctl.set_user(true);
         all.ctl.set_os(true);
         assert!(all.should_trace(true, 0xabc) && all.should_trace(false, 0xabc), "no CR3 filter");
+    }
+
+    #[test]
+    fn multi_cr3_filter_admits_extra_values() {
+        let mut msrs = IptMsrs { ctl: RtitCtl::flowguard_default(), ..Default::default() };
+        msrs.cr3_match = 0x4000;
+        msrs.cr3_match_extra = vec![0x5000, 0x6000];
+        assert!(msrs.should_trace(true, 0x4000), "primary match still admitted");
+        assert!(msrs.should_trace(true, 0x5000) && msrs.should_trace(true, 0x6000));
+        assert!(!msrs.should_trace(true, 0x7000), "unlisted CR3 filtered");
+        assert!(msrs.cr3_admitted(0x5000) && !msrs.cr3_admitted(0x7000));
+    }
+
+    #[test]
+    fn msrs_without_extra_cr3_field_still_deserialize() {
+        // A pre-fleet serialized MSR file has no `cr3_match_extra` key.
+        let legacy = r#"{"ctl":2185,"status":0,"cr3_match":16384,"output_base":0,
+                         "output_mask_ptrs":0,"addr0_a":0,"addr0_b":0}"#;
+        let msrs: IptMsrs = serde_json::from_str(legacy).unwrap();
+        assert!(msrs.cr3_match_extra.is_empty());
+        assert!(msrs.cr3_admitted(16384));
     }
 
     #[test]

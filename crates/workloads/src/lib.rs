@@ -46,8 +46,8 @@ pub struct Workload {
 }
 
 pub use servers::{
-    benign_input, build_server, exim, nginx, nginx_patched, openssh, request, servers, vsftpd,
-    ServerParams,
+    benign_input, build_server, exim, load_input, nginx, nginx_patched, openssh, request, servers,
+    vsftpd, ServerParams,
 };
 pub use spec::{spec_by_name, spec_program, spec_suite, SpecParams, SPEC_TABLE};
 pub use utils::{dd, make, scp, tar, utilities};
