@@ -50,11 +50,45 @@ pub struct StreamingBench {
     /// Full residue (frontier-lag) distribution.
     #[serde(default)]
     pub residue_bytes_dist: HistogramSnapshot,
+    /// Zero-copy segmented scan throughput
+    /// ([`fast::scan_vectorized_segments`] over the ToPA's region slices,
+    /// no linearization), MiB/s.
+    #[serde(default)]
+    pub segmented_scan_mib_per_sec: f64,
+    /// `segmented / vectorized` (same machine, same trace). The segmented
+    /// cursor pays only seam carries, so this must stay near 1 — a collapse
+    /// means the zero-copy path regressed to copying.
+    #[serde(default)]
+    pub segmented_vs_vectorized: f64,
+    /// Bytes the drain path copied per KiB drained over the protected
+    /// streaming run (seam carries + wrap recoveries; the worst of the
+    /// poll-slot and dedicated-consumer runs). The linearizing drain path
+    /// copied every byte — 1024 — so this is gated near zero.
+    #[serde(default)]
+    pub copied_bytes_per_drained_kib: f64,
+    /// Median check-time residue under the dedicated consumer thread.
+    #[serde(default)]
+    pub consumer_residue_p50: u64,
+    /// 99th percentile of the same — gated strictly below the poll-slot
+    /// `residue_bytes_per_check_p99` at equal load.
+    #[serde(default)]
+    pub consumer_residue_p99: u64,
+    /// Consumer-thread wakeups over the protected run.
+    #[serde(default)]
+    pub consumer_wakeups: u64,
+    /// Wakeups that found the frontier at least `consumer_lag_target` ahead
+    /// and drained.
+    #[serde(default)]
+    pub consumer_drains: u64,
+    /// `consumer_drains / consumer_wakeups` — the consumer's duty cycle.
+    #[serde(default)]
+    pub consumer_utilization: f64,
 }
 
 /// Builds the bench trace: a 100M-instruction protected-style nginx run
-/// into a 4 MiB ToPA.
-fn bench_trace() -> Vec<u8> {
+/// into a 4 MiB ToPA. Returns the machine so callers can scan the ToPA's
+/// region slices in place as well as linearized.
+fn bench_machine() -> Machine {
     let w = fg_workloads::nginx_patched();
     let mut m = Machine::new(&w.image, 0x4000);
     let mut unit = IptUnit::flowguard(0x4000, Topa::two_regions(1 << 22).expect("topa"));
@@ -63,7 +97,7 @@ fn bench_trace() -> Vec<u8> {
     let mut k = fg_kernel::Kernel::with_input(&w.default_input);
     m.run(&mut k, 100_000_000);
     m.trace.as_ipt_mut().expect("ipt").flush();
-    m.trace.as_ipt().expect("ipt").trace_bytes()
+    m
 }
 
 /// Times `iters` runs of `f` in 5 blocks and returns seconds per run of the
@@ -82,12 +116,17 @@ fn time_per_iter<O>(iters: usize, mut f: impl FnMut() -> O) -> f64 {
 
 /// Runs the whole measurement.
 pub fn run() -> StreamingBench {
-    let trace = bench_trace();
+    let m = bench_machine();
+    let ipt = m.trace.as_ipt().expect("ipt");
+    let segs = ipt.trace_segments();
+    let trace = segs.concat();
     let mib = trace.len() as f64 / (1024.0 * 1024.0);
 
     let scalar_sec = time_per_iter(20, || fast::scan(&trace).expect("scan"));
     let vec_sec = time_per_iter(20, || fast::scan_vectorized(&trace).expect("vectorized scan"));
     let par_sec = time_per_iter(20, || scan_parallel(&trace).expect("parallel scan"));
+    let seg_sec =
+        time_per_iter(20, || fast::scan_vectorized_segments(&segs).expect("segmented scan"));
 
     // The degenerate fully-drained check: drain everything once, then time
     // the frontier compare the endpoint check performs when no residue is
@@ -111,6 +150,15 @@ pub fn run() -> StreamingBench {
     assert!(t.checks > 0, "protected run must hit endpoints");
     assert!(t.stream_drains > 0, "streaming run must drain in the background");
 
+    // Same run with bulk draining moved onto the dedicated consumer thread:
+    // the finer wakeup cadence must tighten the check-time residue tail.
+    let ccfg = FlowGuardConfig { streaming: true, consumer_thread: true, ..Default::default() };
+    let mut cp = d.launch(&w.default_input, ccfg);
+    let cstop = cp.run(crate::measure::BUDGET);
+    assert!(matches!(cstop, fg_cpu::StopReason::Exited(0)), "consumer run must exit: {cstop:?}");
+    let ct = cp.stats.telemetry_snapshot();
+    assert!(ct.consumer_wakeups > 0, "consumer run must record wakeups");
+
     StreamingBench {
         scan_mib_per_sec: mib / scalar_sec,
         vectorized_scan_mib_per_sec: mib / vec_sec,
@@ -123,6 +171,14 @@ pub fn run() -> StreamingBench {
         stream_drains: t.stream_drains,
         stream_drained_bytes: t.stream_drained_bytes,
         residue_bytes_dist: t.frontier_lag,
+        segmented_scan_mib_per_sec: mib / seg_sec,
+        segmented_vs_vectorized: vec_sec / seg_sec,
+        copied_bytes_per_drained_kib: t.copied_per_drained_kib().max(ct.copied_per_drained_kib()),
+        consumer_residue_p50: ct.frontier_lag.p50,
+        consumer_residue_p99: ct.frontier_lag.p99,
+        consumer_wakeups: ct.consumer_wakeups,
+        consumer_drains: ct.consumer_drains,
+        consumer_utilization: ct.consumer_utilization(),
     }
 }
 
@@ -142,13 +198,25 @@ pub fn print_table(b: &StreamingBench) {
     t.row(vec!["scalar scan MiB/s".into(), fmt(b.scan_mib_per_sec, 1)]);
     t.row(vec!["vectorized scan MiB/s".into(), fmt(b.vectorized_scan_mib_per_sec, 1)]);
     t.row(vec!["parallel scan MiB/s".into(), fmt(b.parallel_scan_mib_per_sec, 1)]);
+    t.row(vec!["segmented scan MiB/s".into(), fmt(b.segmented_scan_mib_per_sec, 1)]);
     t.row(vec!["vectorized speedup".into(), fmt(b.vectorized_speedup, 2)]);
     t.row(vec!["parallel speedup".into(), fmt(b.parallel_speedup, 2)]);
+    t.row(vec!["segmented / vectorized".into(), fmt(b.segmented_vs_vectorized, 2)]);
     t.row(vec!["frontier compare ns".into(), fmt(b.frontier_compare_ns, 1)]);
     t.row(vec![
         "residue bytes/check p50/p99".into(),
         format!("{}/{}", b.residue_bytes_per_check_p50, b.residue_bytes_per_check_p99),
     ]);
+    t.row(vec![
+        "consumer residue p50/p99".into(),
+        format!("{}/{}", b.consumer_residue_p50, b.consumer_residue_p99),
+    ]);
+    t.row(vec!["copied bytes / drained KiB".into(), fmt(b.copied_bytes_per_drained_kib, 2)]);
+    t.row(vec![
+        "consumer drains/wakeups".into(),
+        format!("{}/{}", b.consumer_drains, b.consumer_wakeups),
+    ]);
+    t.row(vec!["consumer utilization".into(), fmt(b.consumer_utilization, 2)]);
     t.row(vec!["background drains".into(), b.stream_drains.to_string()]);
     t.row(vec!["background bytes drained".into(), b.stream_drained_bytes.to_string()]);
     t.print("Streaming-pipeline benchmarks (BENCH_streaming.json)");
@@ -199,6 +267,30 @@ pub fn regressions(
             current.residue_bytes_per_check_p99, baseline.residue_bytes_per_check_p99
         ));
     }
+    // The zero-copy gates fire only when the run measured them: a zeroed
+    // ratio / wakeup count means an old-shape artifact, not a regression.
+    if current.segmented_vs_vectorized > 0.0
+        && current.segmented_vs_vectorized < (baseline.segmented_vs_vectorized / factor).max(0.8)
+    {
+        out.push(format!(
+            "segmented scan lost to linearized vectorized: ratio {:.2} vs baseline {:.2}",
+            current.segmented_vs_vectorized, baseline.segmented_vs_vectorized
+        ));
+    }
+    if current.copied_bytes_per_drained_kib >= 4.0 {
+        out.push(format!(
+            "drain path copied {:.2} bytes per drained KiB (must stay < 4: seam carries only)",
+            current.copied_bytes_per_drained_kib
+        ));
+    }
+    if current.consumer_wakeups > 0
+        && current.consumer_residue_p99 >= current.residue_bytes_per_check_p99
+    {
+        out.push(format!(
+            "dedicated consumer did not cut the residue tail: p99 {} vs poll-slot {}",
+            current.consumer_residue_p99, current.residue_bytes_per_check_p99
+        ));
+    }
     out
 }
 
@@ -218,6 +310,14 @@ mod tests {
             residue_bytes_per_check_p99: 48,
             stream_drains: 1000,
             stream_drained_bytes: 4_000_000,
+            segmented_scan_mib_per_sec: 340.0,
+            segmented_vs_vectorized: 0.97,
+            copied_bytes_per_drained_kib: 1.9,
+            consumer_residue_p50: 9,
+            consumer_residue_p99: 40,
+            consumer_wakeups: 5000,
+            consumer_drains: 1200,
+            consumer_utilization: 0.24,
             ..Default::default()
         }
     }
@@ -241,6 +341,13 @@ mod tests {
             "stream_drains":1000,"stream_drained_bytes":4000000}"#;
         let b: StreamingBench = serde_json::from_str(old).unwrap();
         assert_eq!(b.residue_bytes_dist, HistogramSnapshot::default());
+        assert_eq!(b.segmented_vs_vectorized, 0.0, "pre-zero-copy baselines default to 0");
+        assert_eq!(b.consumer_wakeups, 0);
+        assert_eq!(b.copied_bytes_per_drained_kib, 0.0);
+        // An old baseline's zeroed ratio must not trip the absolute
+        // segmented floor when used as the comparison side.
+        let current = sample();
+        assert!(regressions(&current, &b, 2.0).is_empty());
     }
 
     #[test]
@@ -252,5 +359,19 @@ mod tests {
         bad.vectorized_speedup = 1.1;
         let r = regressions(&bad, &base, 2.0);
         assert_eq!(r.len(), 3, "{r:?}");
+    }
+
+    #[test]
+    fn regressions_flag_copying_drains_and_lazy_consumer() {
+        let base = sample();
+        let mut bad = base.clone();
+        bad.segmented_vs_vectorized = 0.4; // segmented path regressed to copying
+        bad.copied_bytes_per_drained_kib = 900.0; // drains linearizing again
+        bad.consumer_residue_p99 = bad.residue_bytes_per_check_p99; // ties don't count
+        let r = regressions(&bad, &base, 2.0);
+        assert_eq!(r.len(), 3, "{r:?}");
+        assert!(r.iter().any(|v| v.contains("segmented")), "{r:?}");
+        assert!(r.iter().any(|v| v.contains("copied")), "{r:?}");
+        assert!(r.iter().any(|v| v.contains("consumer")), "{r:?}");
     }
 }

@@ -91,6 +91,16 @@ fn pre_fleet_telemetry_snapshot_parses_with_defaults() {
     // Fleet-era words default.
     assert_eq!(s.sched_deferred_drains, 0);
     assert_eq!(s.sched_shed_inline, 0);
+    // Zero-copy / consumer-thread era words (PR 10) default too.
+    assert!(!text.contains("consumer_wakeups"), "fixture must predate the consumer words");
+    assert_eq!(s.consumer_wakeups, 0);
+    assert_eq!(s.consumer_drains, 0);
+    assert_eq!(s.consumer_drained_bytes, 0);
+    assert_eq!(s.stream_copied_bytes, 0);
+    assert_eq!(s.stream_seam_carries, 0);
+    assert_eq!(s.consumer_lag.count, 0);
+    assert_eq!(s.copied_per_drained_kib(), 0.0);
+    assert_eq!(s.consumer_utilization(), 0.0);
 }
 
 /// A `BENCH_fastpath.json` from before the `*_dist` histogram columns must
@@ -124,6 +134,25 @@ fn pr7_era_bench_streaming_parses() {
         serde_json::from_str(include_str!("fixtures/bench_streaming_pr7.json")).unwrap();
     assert_eq!(b.residue_bytes_per_check_p50, 16);
     assert_eq!(b.residue_bytes_dist.count, 0);
+}
+
+/// A `BENCH_streaming.json` from just before the zero-copy / consumer
+/// columns: the residue distribution is present, the segmented-scan and
+/// consumer-thread words are not and must default.
+#[test]
+fn pr9_era_bench_streaming_parses() {
+    let text = include_str!("fixtures/bench_streaming_pr9.json");
+    assert!(!text.contains("consumer_wakeups"), "fixture must predate the consumer columns");
+    let b: streaming::StreamingBench = serde_json::from_str(text).unwrap();
+    assert!(b.residue_bytes_dist.count > 0, "distribution column is present in this era");
+    assert_eq!(b.segmented_scan_mib_per_sec, 0.0);
+    assert_eq!(b.segmented_vs_vectorized, 0.0);
+    assert_eq!(b.copied_bytes_per_drained_kib, 0.0);
+    assert_eq!(b.consumer_wakeups, 0);
+    assert_eq!(b.consumer_residue_p99, 0);
+    assert_eq!(b.consumer_utilization, 0.0);
+    // And it keeps working as the baseline side of the current gates.
+    assert!(streaming::regressions(&b, &b, 2.0).is_empty());
 }
 
 /// Old checked-in baselines parse against the *current* regression gates —

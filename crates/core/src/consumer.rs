@@ -1,0 +1,182 @@
+//! # Dedicated ToPA consumer thread
+//!
+//! With [`FlowGuardConfig::streaming`](crate::FlowGuardConfig::streaming)
+//! alone, background drains *borrow* the protected process's periodic
+//! trace-poll slots: the consumer only runs when the process happens to
+//! reach a slot, the drain cadence is welded to
+//! [`fg_cpu::machine::TRACE_POLL_PERIOD`], and every drained byte rides on
+//! the traced core. This module models the deployment shape real streaming
+//! consumers use instead — a dedicated thread on its own core, spinning
+//! against the write frontier:
+//!
+//! * it wakes at its own configurable cadence
+//!   ([`FlowGuardConfig::consumer_poll_period`](crate::FlowGuardConfig::consumer_poll_period)),
+//!   decoupled from (and finer than) the borrowed poll slot;
+//! * each wakeup is a frontier compare; it commits to a drain only when the
+//!   write frontier has run ahead by at least the configured **lag target**
+//!   — cheap wakeups, batched drains;
+//! * under a [`FleetSupervisor`](crate::fleet::FleetSupervisor) the per-
+//!   process consumers pool their drains through the existing
+//!   [`FleetScheduler`](crate::fleet::FleetScheduler) queues onto the shared
+//!   [`WorkerPool`](crate::pool::WorkerPool) — one consumer pool, many
+//!   processes.
+//!
+//! [`ConsumerThread`] is the per-process policy + bookkeeping object the
+//! engine owns; the export surface (`fg_consumer_*` Prometheus families,
+//! `stats --streaming`) reads the mirrored counters from
+//! [`EngineTelemetry`](crate::telemetry::EngineTelemetry).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-process dedicated-consumer state: the wakeup/drain policy and its
+/// local statistics. Created by the engine when both `streaming` and
+/// `consumer_thread` are on.
+#[derive(Debug, Clone)]
+pub struct ConsumerThread {
+    /// Drain only once the write frontier leads by at least this many
+    /// bytes; smaller wakeups are recorded and skipped.
+    lag_target: u64,
+    /// Wakeups taken (each one costs a frontier compare).
+    wakeups: u64,
+    /// Wakeups that committed to a drain.
+    drains: u64,
+    /// Wakeups skipped because the lag was below target.
+    skipped: u64,
+    /// Trace bytes drained by this consumer.
+    drained_bytes: u64,
+    /// Largest frontier lag ever observed at a wakeup.
+    max_lag: u64,
+}
+
+impl ConsumerThread {
+    /// Creates a consumer with the given lag target (bytes).
+    pub fn new(lag_target: u64) -> ConsumerThread {
+        ConsumerThread {
+            lag_target,
+            wakeups: 0,
+            drains: 0,
+            skipped: 0,
+            drained_bytes: 0,
+            max_lag: 0,
+        }
+    }
+
+    /// One wakeup: observes the current frontier `lag` and decides whether
+    /// this wakeup drains. A `true` verdict must be followed by
+    /// [`ConsumerThread::note_drained`] once the drain lands.
+    pub fn wake(&mut self, lag: u64) -> bool {
+        self.wakeups += 1;
+        self.max_lag = self.max_lag.max(lag);
+        // Zero lag never drains (nothing to do); below-target lag batches.
+        if lag == 0 || lag < self.lag_target {
+            self.skipped += 1;
+            return false;
+        }
+        self.drains += 1;
+        true
+    }
+
+    /// Accounts the bytes a committed drain actually consumed.
+    pub fn note_drained(&mut self, bytes: u64) {
+        self.drained_bytes += bytes;
+    }
+
+    /// The configured lag target, bytes.
+    pub fn lag_target(&self) -> u64 {
+        self.lag_target
+    }
+
+    /// Snapshot of the consumer's counters.
+    pub fn stats(&self) -> ConsumerStats {
+        ConsumerStats {
+            lag_target: self.lag_target,
+            wakeups: self.wakeups,
+            drains: self.drains,
+            skipped: self.skipped,
+            drained_bytes: self.drained_bytes,
+            max_lag: self.max_lag,
+        }
+    }
+}
+
+/// Serialisable consumer-thread statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsumerStats {
+    /// Configured lag target, bytes.
+    #[serde(default)]
+    pub lag_target: u64,
+    /// Wakeups taken.
+    #[serde(default)]
+    pub wakeups: u64,
+    /// Wakeups that drained.
+    #[serde(default)]
+    pub drains: u64,
+    /// Wakeups skipped below the lag target.
+    #[serde(default)]
+    pub skipped: u64,
+    /// Bytes drained by the consumer.
+    #[serde(default)]
+    pub drained_bytes: u64,
+    /// Largest frontier lag observed at any wakeup.
+    #[serde(default)]
+    pub max_lag: u64,
+}
+
+impl ConsumerStats {
+    /// Fraction of wakeups that committed to a drain — the consumer's duty
+    /// cycle. A utilization near 1 means the lag target is too small (every
+    /// wakeup drains); near 0 means the cadence is far finer than the trace
+    /// rate.
+    pub fn utilization(&self) -> f64 {
+        if self.wakeups == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.drains as f64 / self.wakeups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_gates_on_lag_target() {
+        let mut c = ConsumerThread::new(512);
+        assert!(!c.wake(0), "zero lag never drains");
+        assert!(!c.wake(511), "below target batches");
+        assert!(c.wake(512), "at target drains");
+        assert!(c.wake(9000));
+        c.note_drained(9512);
+        let s = c.stats();
+        assert_eq!((s.wakeups, s.drains, s.skipped), (4, 2, 2));
+        assert_eq!(s.drained_bytes, 9512);
+        assert_eq!(s.max_lag, 9000);
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_lag_target_still_skips_empty_wakeups() {
+        let mut c = ConsumerThread::new(0);
+        assert!(!c.wake(0));
+        assert!(c.wake(1), "any bytes drain under a zero target");
+        assert_eq!(c.stats().skipped, 1);
+    }
+
+    #[test]
+    fn stats_serde_roundtrip_and_back_compat() {
+        let mut c = ConsumerThread::new(256);
+        c.wake(300);
+        c.note_drained(300);
+        let s = c.stats();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ConsumerStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // Older captures without consumer keys parse to the default.
+        let old: ConsumerStats = serde_json::from_str("{}").unwrap();
+        assert_eq!(old, ConsumerStats::default());
+        assert_eq!(old.utilization(), 0.0);
+    }
+}

@@ -11,6 +11,7 @@
 //! [`EngineStats`] struct survives as its on-demand snapshot form.
 
 use crate::config::FlowGuardConfig;
+use crate::consumer::{ConsumerStats, ConsumerThread};
 use crate::fastpath::{self, CheckScratch, FastVerdict, Violation};
 use crate::parallel::scan_parallel;
 use crate::slowpath::{self, SlowVerdict, SlowViolation};
@@ -127,7 +128,13 @@ pub struct FlowGuardEngine {
     /// the buffer at trace-poll slots and region-fill PMIs so checks find
     /// only a small residue. `None` when streaming is off.
     stream: Option<StreamConsumer>,
-    /// Reused residue read-out buffer for background drains.
+    /// Dedicated-consumer policy state ([`FlowGuardConfig::consumer_thread`]):
+    /// wakeups ride the machine's (re-paced) trace-poll clock but model a
+    /// consumer on its own core — lag-target-gated drains, own telemetry.
+    /// `None` when drains borrow the process's poll slots.
+    consumer: Option<ConsumerThread>,
+    /// Reused linearization scratch for the incremental (non-streaming)
+    /// scanner's bounded tail window.
     drain_buf: Vec<u8>,
     /// `stream.stats().drained_bytes` at the previous check — the baseline
     /// for each [`CheckEvent::drained_bytes`] delta.
@@ -185,6 +192,8 @@ impl FlowGuardEngine {
         if let Some(s) = stream.as_mut() {
             s.set_profiler(spans, cost.packet_scan_byte_cycles);
         }
+        let consumer = (cfg.streaming && cfg.consumer_thread)
+            .then(|| ConsumerThread::new(cfg.consumer_lag_target));
         FlowGuardEngine {
             scratch,
             stats,
@@ -197,6 +206,7 @@ impl FlowGuardEngine {
             cache: HashSet::new(),
             scanner: IncrementalScanner::new(),
             stream,
+            consumer,
             drain_buf: Vec::new(),
             drained_at_last_check: 0,
             slow_scratch,
@@ -232,6 +242,12 @@ impl FlowGuardEngine {
     /// into the kernel.
     pub fn stats_handle(&self) -> Arc<EngineTelemetry> {
         Arc::clone(&self.stats)
+    }
+
+    /// The dedicated consumer's counters, when one is configured
+    /// ([`FlowGuardConfig::consumer_thread`]).
+    pub fn consumer_stats(&self) -> Option<ConsumerStats> {
+        self.consumer.as_ref().map(ConsumerThread::stats)
     }
 
     /// Records a violation into the bounded log and captures a flight
@@ -310,9 +326,24 @@ impl SyscallInterceptor for FlowGuardEngine {
     }
 
     fn on_trace_poll(&mut self, ctx: &mut SyscallCtx<'_>) {
-        if self.stream.is_none() {
-            return;
-        }
+        let Some(stream) = self.stream.as_ref() else { return };
+        // Dedicated consumer: under `consumer_thread` the machine's poll
+        // clock is re-paced to the consumer's wakeup cadence and models a
+        // thread spinning on its own core, not a borrowed process slot. A
+        // wakeup is one frontier compare; only a lag at or above the target
+        // commits to a drain — cheap wakeups, batched drains.
+        let consumer_woke = if let Some(ct) = self.consumer.as_mut() {
+            let Some(ipt) = ctx.trace.as_ipt() else { return };
+            let lag = stream.residue(ipt.topa().total_written());
+            let drain = ct.wake(lag);
+            self.stats.record_consumer_wakeup(lag, drain);
+            if !drain {
+                return;
+            }
+            true
+        } else {
+            false
+        };
         if let Some(hook) = &self.fleet {
             // Fleet mode: don't borrow the process's poll slot — defer the
             // drain onto the scheduler's bounded queue; the supervisor
@@ -330,7 +361,13 @@ impl SyscallInterceptor for FlowGuardEngine {
         // Non-fleet fallback (and the fleet shed path): drain inline in the
         // poll slot — residues this small are cheaper to consume than to
         // ship to a worker.
-        self.background_drain(ctx, false);
+        let drained = self.background_drain(ctx, false);
+        if consumer_woke {
+            if let Some(ct) = self.consumer.as_mut() {
+                ct.note_drained(drained);
+            }
+            self.stats.record_consumer_drained(drained);
+        }
     }
 }
 
@@ -340,39 +377,45 @@ impl FlowGuardEngine {
     /// pool; poll-slot drains run inline. Drain cycles are not charged to
     /// the process (`ctx.extra_cycles`): the consumer runs concurrently
     /// with execution on its own slice of CPU — that concurrency is the
-    /// point of the streaming pipeline.
-    fn background_drain(&mut self, ctx: &mut SyscallCtx<'_>, bulk: bool) {
-        let Some(stream) = self.stream.as_mut() else { return };
-        let Some(ipt) = ctx.trace.as_ipt() else { return };
+    /// point of the streaming pipeline. Returns the bytes drained.
+    fn background_drain(&mut self, ctx: &mut SyscallCtx<'_>, bulk: bool) -> u64 {
+        let Some(stream) = self.stream.as_mut() else { return 0 };
+        let Some(ipt) = ctx.trace.as_ipt() else { return 0 };
         let topa = ipt.topa();
         let total = topa.total_written();
-        let residue = stream.residue(total);
-        if residue == 0 {
-            return;
+        if stream.residue(total) == 0 {
+            return 0;
         }
-        topa.tail_into(residue as usize, &mut self.drain_buf);
-        let buf = &self.drain_buf;
+        // Zero-copy drain: borrow the ToPA's regions chronologically and
+        // feed them to the consumer as-is — only ≤15-byte packet fragments
+        // straddling region seams get copied (into the consumer's carry).
+        let segs = topa.segments();
         let result = if bulk {
             crate::pool::WorkerPool::global()
-                .run(vec![move || stream.drain_profiled(buf, total, true)])
+                .run(vec![move || stream.drain_segments_profiled(&segs, total, true)])
                 .pop()
                 .expect("one task, one result")
         } else {
-            stream.drain_profiled(buf, total, true)
+            stream.drain_segments_profiled(&segs, total, true)
         };
-        match result {
+        let drained = match result {
             Ok(info) => {
                 if info.new_bytes > 0 || info.cold_restart {
                     self.stats.record_stream_drain(info.new_bytes);
                 }
+                info.new_bytes
             }
             Err(_) => {
                 // Corrupt PSB+ bundle mid-stream: abandon it; the next
                 // drain re-synchronises. The same conservative recovery the
                 // check path uses.
                 self.stream.as_mut().expect("checked above").skip_to(total);
+                0
             }
-        }
+        };
+        let ds = self.stream.as_ref().expect("checked above").stats();
+        self.stats.sample_stream_copies(ds.copied_bytes, ds.seam_carries);
+        drained
     }
 
     /// One scheduler-driven background drain, executed by the fleet
@@ -383,22 +426,33 @@ impl FlowGuardEngine {
         let Some(stream) = self.stream.as_mut() else { return };
         let topa = unit.topa();
         let total = topa.total_written();
-        let residue = stream.residue(total);
-        if residue == 0 {
+        if stream.residue(total) == 0 {
             return;
         }
-        topa.tail_into(residue as usize, &mut self.drain_buf);
-        match stream.drain_profiled(&self.drain_buf, total, true) {
+        // Same zero-copy segmented drive as the inline path: the pooled
+        // consumers borrow the parked unit's regions directly.
+        let segs = topa.segments();
+        let drained = match stream.drain_segments_profiled(&segs, total, true) {
             Ok(info) => {
                 if info.new_bytes > 0 || info.cold_restart {
                     self.stats.record_stream_drain(info.new_bytes);
                 }
+                info.new_bytes
             }
             Err(_) => {
                 // Same conservative recovery as the inline drain path.
                 self.stream.as_mut().expect("checked above").skip_to(total);
+                0
             }
+        };
+        if let Some(ct) = self.consumer.as_mut() {
+            // A consumer wakeup committed this deferred drain; the bytes
+            // belong to the pooled consumers' slice of CPU.
+            ct.note_drained(drained);
+            self.stats.record_consumer_drained(drained);
         }
+        let ds = self.stream.as_ref().expect("checked above").stats();
+        self.stats.sample_stream_copies(ds.copied_bytes, ds.seam_carries);
     }
 
     fn flow_check(
@@ -439,8 +493,8 @@ impl FlowGuardEngine {
             ev.verdict = CheckVerdict::Insufficient;
             return InterceptVerdict::Allow;
         };
-        let bytes = ipt.trace_bytes();
         let total_written = ipt.topa().total_written();
+        let retained = ipt.topa().retained_len();
 
         // --- fast path -----------------------------------------------------
         // "It is not required to decode the whole ToPA buffer" (§5.3): an
@@ -450,8 +504,13 @@ impl FlowGuardEngine {
         // use it skips the excess and re-synchronises inside the kept tail,
         // so per-check decode work is min(appended, window budget) bytes —
         // never a rescan of flow an earlier check already extracted.
+        //
+        // No branch below linearizes the whole ToPA: streaming drains the
+        // borrowed region segments, the incremental scanner reads a bounded
+        // tail, and only the reference cold scan, slow-path escalations and
+        // violation flight records materialize `chronological()` copies.
         let window_budget =
-            if full_buffer { bytes.len().max(1) } else { (self.cfg.pkt_count * 24).max(512) };
+            if full_buffer { retained.max(1) } else { (self.cfg.pkt_count * 24).max(512) };
         let scan_owned;
         let (scan, first_tnt_truncated) = if let Some(stream) = self.stream.as_mut() {
             // Streaming mode: the background consumer has already decoded
@@ -463,9 +522,12 @@ impl FlowGuardEngine {
                 stream.stats().drained_bytes.saturating_sub(self.drained_at_last_check);
             if ev.frontier_lag > 0 {
                 // Check-time residue drain: attributed to the residue-scan
-                // phase inside `drain_profiled` (background drains go to
-                // the stream-drain phase instead).
-                match stream.drain_profiled(&bytes, total_written, false) {
+                // phase inside the profiled drain (background drains go to
+                // the stream-drain phase instead). Segmented, like every
+                // other drain — the residue is read out of the borrowed
+                // region slices, not a linearized copy.
+                let segs = ipt.trace_segments();
+                match stream.drain_segments_profiled(&segs, total_written, false) {
                     Ok(info) => {
                         ev.cold_restart = info.cold_restart;
                         ev.delta_bytes += info.new_bytes;
@@ -485,17 +547,24 @@ impl FlowGuardEngine {
                 }
             }
             self.drained_at_last_check = stream.stats().drained_bytes;
+            let ds = stream.stats();
+            self.stats.sample_stream_copies(ds.copied_bytes, ds.seam_carries);
             (stream.scan(), stream.first_tip_truncated())
         } else if self.cfg.incremental_scan {
             let delta = total_written.saturating_sub(self.scanner.stream_pos());
-            if delta > window_budget as u64 && delta <= bytes.len() as u64 {
+            if delta > window_budget as u64 && delta <= retained as u64 {
                 // The accumulated flow already covers everything a previous
                 // check could see; the pair across the skip seam becomes
                 // unjudgeable (Resync boundary), exactly as it was outside
                 // the old rescan window.
                 self.scanner.skip_to(total_written - window_budget as u64);
             }
-            match self.scanner.advance(&bytes, total_written, window_budget) {
+            // The scanner touches at most the last `window_budget` bytes:
+            // the skip above caps the live delta, and a cold restart syncs
+            // inside the same bound — so only that bounded tail is read out
+            // (into a reused scratch), never the whole buffer.
+            ipt.trace_tail_into(window_budget.min(retained), &mut self.drain_buf);
+            match self.scanner.advance(&self.drain_buf, total_written, window_budget) {
                 Ok(info) => {
                     ev.cold_restart = info.cold_restart;
                     ev.delta_bytes += info.new_bytes;
@@ -515,7 +584,10 @@ impl FlowGuardEngine {
         } else {
             // Reference mode: a cold PSB-synchronised tail-window scan per
             // check, widening (doubling) while it holds too few TIPs for
-            // the configured pkt_count — the pre-checkpointing behaviour.
+            // the configured pkt_count — the pre-checkpointing behaviour,
+            // full linearization included (it is the comparator the
+            // zero-copy paths are validated against).
+            let bytes = ipt.trace_bytes();
             let mut budget = window_budget;
             let (cold, scanned_len) = loop {
                 let window = tail_window(&bytes, budget);
@@ -591,12 +663,14 @@ impl FlowGuardEngine {
             }
             FastVerdict::Malicious(v) => {
                 ev.verdict = CheckVerdict::FastMalicious;
+                // Violations are terminal: linearizing the window for the
+                // flight record here costs nothing on the hot path.
                 self.record_violation(
                     endpoint,
                     format!("{v:?}"),
                     true,
                     fast_violation_edge(&v),
-                    &bytes,
+                    &ipt.trace_bytes(),
                 );
                 return InterceptVerdict::Kill(SIGKILL);
             }
@@ -607,7 +681,10 @@ impl FlowGuardEngine {
         // --- slow path (the user-level decoder upcall) ----------------------
         // The slow path analyses a bounded recent region (the paper's §7.2.2
         // micro-benchmark measures it on "ranges of memory containing 100
-        // TIP packets"), not the whole buffer.
+        // TIP packets"), not the whole buffer. Escalations are the rare,
+        // already-expensive path, so this is where the deferred
+        // linearization finally happens — fast-clean checks never paid it.
+        let bytes = ipt.trace_bytes();
         let budget = (self.cfg.pkt_count * 110).max(2048);
         let (_, win_off) = tail_window_at(&bytes, budget);
         // Absolute stream offset of the window's first byte: the ToPA keeps
@@ -714,6 +791,9 @@ mod tests {
         let engine = FlowGuardEngine::new(w.image.clone(), ocfg, itc, cfg.clone(), cr3);
         let stats = engine.stats_handle();
         let mut m = Machine::new(&w.image, cr3);
+        if cfg.streaming && cfg.consumer_thread {
+            m.set_trace_poll_period(cfg.consumer_poll_period);
+        }
         let mut unit = IptUnit::flowguard(cr3, Topa::two_regions(cfg.topa_region_bytes).unwrap());
         unit.start(w.image.entry(), cr3);
         m.trace = TraceUnit::Ipt(unit);
@@ -822,6 +902,61 @@ mod tests {
         assert_eq!(
             stream_ts.frontier_lag.count, stream_stats.checks,
             "every streaming check records its frontier lag"
+        );
+    }
+
+    #[test]
+    fn streaming_drains_copy_almost_nothing() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let cfg = FlowGuardConfig { streaming: true, ..Default::default() };
+        let (stop, stats, _) = protected_run(&w, itc, ocfg, &w.default_input, cfg);
+        assert_eq!(stop, StopReason::Exited(0));
+        let ts = stats.telemetry_snapshot();
+        assert!(ts.stream_drained_bytes > 0);
+        let per_kib = ts.copied_per_drained_kib();
+        // Region seams carry ≤15 bytes per 8 KiB region (~2 B/KiB); wrap
+        // recoveries are rare. Anything near the old 1024 B/KiB means the
+        // drain path went back to linearizing.
+        assert!(per_kib < 8.0, "drains must be near-zero-copy, got {per_kib:.1} B/KiB");
+    }
+
+    #[test]
+    fn consumer_thread_agrees_with_poll_slots_and_cuts_lag() {
+        let w = fg_workloads::nginx_patched();
+        let (itc, ocfg) = trained_deployment(&w);
+        let run = |consumer_thread: bool| {
+            let cfg = FlowGuardConfig { streaming: true, consumer_thread, ..Default::default() };
+            let (stop, stats, k) =
+                protected_run(&w, itc.clone(), Arc::clone(&ocfg), &w.default_input, cfg);
+            assert_eq!(stop, StopReason::Exited(0));
+            assert!(!k.violated());
+            let s = stats.snapshot();
+            let verdicts =
+                (s.checks, s.fast_clean, s.fast_malicious, s.slow_attacks, s.insufficient);
+            (verdicts, stats.telemetry_snapshot())
+        };
+        let (consumer_verdicts, ct) = run(true);
+        let (poll_verdicts, pt) = run(false);
+        assert_eq!(
+            consumer_verdicts, poll_verdicts,
+            "the dedicated consumer must not change any verdict"
+        );
+        assert!(ct.consumer_wakeups > 0, "consumer wakeups recorded");
+        assert_eq!(ct.consumer_wakeups, ct.consumer_drains + ct.consumer_skipped);
+        assert!(ct.consumer_drains > 0, "above-lag-target wakeups drained");
+        assert!(ct.consumer_drained_bytes > 0);
+        assert_eq!(ct.consumer_lag.count, ct.consumer_wakeups);
+        let util = ct.consumer_utilization();
+        assert!(util > 0.0 && util <= 1.0, "duty cycle in (0,1], got {util}");
+        assert_eq!(pt.consumer_wakeups, 0, "poll-slot mode records no consumer activity");
+        // The consumer's finer cadence keeps the write frontier closer:
+        // check-time lag tail strictly below the poll-slot baseline.
+        assert!(
+            ct.frontier_lag.p99 < pt.frontier_lag.p99,
+            "dedicated consumer must cut the frontier-lag tail ({} vs {})",
+            ct.frontier_lag.p99,
+            pt.frontier_lag.p99
         );
     }
 

@@ -48,6 +48,7 @@
 
 pub mod baselines;
 pub mod config;
+pub mod consumer;
 pub mod deploy;
 pub mod engine;
 pub mod fastpath;
@@ -60,6 +61,7 @@ pub mod telemetry;
 
 pub use baselines::{BaselineStats, BaselineTelemetry, CfimonLike, KBouncerLike};
 pub use config::FlowGuardConfig;
+pub use consumer::{ConsumerStats, ConsumerThread};
 pub use deploy::{ArtifactError, Deployment, ProtectedProcess, DEFAULT_CR3};
 pub use engine::{EngineStats, FlowGuardEngine, ViolationRecord};
 pub use fastpath::{CheckScratch, FastPathResult, FastVerdict, Violation};

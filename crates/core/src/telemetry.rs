@@ -319,6 +319,22 @@ pub struct EngineTelemetry {
     tier0_misses: ShardedU64,
     stream_drains: ShardedU64,
     stream_drained_bytes: ShardedU64,
+    /// Dedicated-consumer wakeups (each one is a frontier compare).
+    consumer_wakeups: ShardedU64,
+    /// Consumer wakeups that committed to a drain.
+    consumer_drains: ShardedU64,
+    /// Trace bytes drained by the dedicated consumer.
+    consumer_drained_bytes: ShardedU64,
+    /// Consumer wakeups skipped below the lag target.
+    consumer_skipped: ShardedU64,
+    /// Frontier lag observed at each consumer wakeup.
+    consumer_lag: Histogram,
+    /// Cumulative bytes the streaming consumer copied (seam carries plus
+    /// wrap-recovery linearizations) — sampled from
+    /// [`fg_ipt::DrainStats`]-style cumulative counters, last-write-wins.
+    stream_copied_bytes: Gauge,
+    /// Cumulative region-seam packet carries, sampled the same way.
+    stream_seam_carries: Gauge,
     /// Fleet mode: poll-slot drains deferred onto the fleet scheduler's
     /// queue instead of running inline in the borrowed slot.
     sched_deferred_drains: ShardedU64,
@@ -391,6 +407,13 @@ impl EngineTelemetry {
             tier0_misses: ShardedU64::new(),
             stream_drains: ShardedU64::new(),
             stream_drained_bytes: ShardedU64::new(),
+            consumer_wakeups: ShardedU64::new(),
+            consumer_drains: ShardedU64::new(),
+            consumer_drained_bytes: ShardedU64::new(),
+            consumer_skipped: ShardedU64::new(),
+            consumer_lag: Histogram::new(),
+            stream_copied_bytes: Gauge::new(),
+            stream_seam_carries: Gauge::new(),
             sched_deferred_drains: ShardedU64::new(),
             sched_shed_inline: ShardedU64::new(),
             cache_size: Gauge::new(),
@@ -481,6 +504,49 @@ impl EngineTelemetry {
         }
         self.stream_drains.incr();
         self.stream_drained_bytes.add(bytes);
+    }
+
+    /// Records one dedicated-consumer wakeup: the frontier `lag` it
+    /// observed and whether it committed to a drain (`false` = skipped
+    /// below the lag target).
+    #[inline]
+    pub fn record_consumer_wakeup(&self, lag: u64, drained: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.consumer_wakeups.incr();
+        self.consumer_lag.record(lag);
+        if drained {
+            self.consumer_drains.incr();
+        } else {
+            self.consumer_skipped.incr();
+        }
+    }
+
+    /// Accounts bytes drained on behalf of the dedicated consumer (inline,
+    /// or deferred through the fleet scheduler).
+    #[inline]
+    pub fn record_consumer_drained(&self, bytes: u64) {
+        if self.enabled {
+            self.consumer_drained_bytes.add(bytes);
+        }
+    }
+
+    /// Samples the streaming consumer's cumulative copy counters (bytes it
+    /// had to copy — seam carries plus wrap recoveries — and the carry
+    /// count). Last-write-wins, like the cache gauges.
+    #[inline]
+    pub fn sample_stream_copies(&self, copied_bytes: u64, seam_carries: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.stream_copied_bytes.set(copied_bytes);
+        self.stream_seam_carries.set(seam_carries);
+    }
+
+    /// The consumer-wakeup frontier-lag histogram (fleet rollups).
+    pub fn consumer_lag_hist(&self) -> &Histogram {
+        &self.consumer_lag
     }
 
     /// Records one poll-slot drain deferred onto the fleet scheduler's
@@ -671,6 +737,13 @@ impl EngineTelemetry {
             tier0_misses: self.tier0_misses.get(),
             stream_drains: self.stream_drains.get(),
             stream_drained_bytes: self.stream_drained_bytes.get(),
+            stream_copied_bytes: self.stream_copied_bytes.get(),
+            stream_seam_carries: self.stream_seam_carries.get(),
+            consumer_wakeups: self.consumer_wakeups.get(),
+            consumer_drains: self.consumer_drains.get(),
+            consumer_drained_bytes: self.consumer_drained_bytes.get(),
+            consumer_skipped: self.consumer_skipped.get(),
+            consumer_lag: self.consumer_lag.snapshot(),
             sched_deferred_drains: self.sched_deferred_drains.get(),
             sched_shed_inline: self.sched_shed_inline.get(),
             edge_cache_hits: self.edge_cache_hits.get(),
@@ -773,6 +846,36 @@ impl EngineTelemetry {
                 self.stream_drained_bytes.get(),
             )
             .counter(
+                "fg_stream_copied_bytes_total",
+                "Bytes the streaming consumer copied (seam carries + wrap recoveries)",
+                self.stream_copied_bytes.get(),
+            )
+            .counter(
+                "fg_stream_seam_carries_total",
+                "Packet fragments carried across ToPA region seams",
+                self.stream_seam_carries.get(),
+            )
+            .counter(
+                "fg_consumer_wakeups_total",
+                "Dedicated-consumer wakeups (frontier compares)",
+                self.consumer_wakeups.get(),
+            )
+            .counter(
+                "fg_consumer_drains_total",
+                "Consumer wakeups that committed to a drain",
+                self.consumer_drains.get(),
+            )
+            .counter(
+                "fg_consumer_drained_bytes_total",
+                "Trace bytes drained by the dedicated consumer",
+                self.consumer_drained_bytes.get(),
+            )
+            .counter(
+                "fg_consumer_skipped_total",
+                "Consumer wakeups skipped below the lag target",
+                self.consumer_skipped.get(),
+            )
+            .counter(
                 "fg_edge_cache_hits_total",
                 "Fast-path edge-cache hits",
                 self.edge_cache_hits.get(),
@@ -832,9 +935,22 @@ impl EngineTelemetry {
             "fg_health_status",
             "Watchdog verdict: 0 healthy, 1 degraded, 2 critical",
             self.health_report().status.to_u64() as f64,
+        )
+        .gauge(
+            "fg_consumer_utilization_ratio",
+            "Fraction of consumer wakeups that drained",
+            {
+                let wakeups = self.consumer_wakeups.get();
+                #[allow(clippy::cast_precision_loss)]
+                if wakeups == 0 {
+                    0.0
+                } else {
+                    self.consumer_drains.get() as f64 / wakeups as f64
+                }
+            },
         );
 
-        let hists: [(&str, &str, &Histogram); 7] = [
+        let hists: [(&str, &str, &Histogram); 8] = [
             ("fg_check_latency_cycles", "Per-check total cycles", &self.check_latency),
             ("fg_fastpath_scan_cycles", "Per-check packet-scan cycles", &self.fastpath_scan_cycles),
             (
@@ -853,6 +969,11 @@ impl EngineTelemetry {
                 "fg_frontier_lag_bytes",
                 "Residue bytes not yet drained at check entry (streaming)",
                 &self.frontier_lag,
+            ),
+            (
+                "fg_consumer_lag_bytes",
+                "Frontier lag observed at each dedicated-consumer wakeup",
+                &self.consumer_lag,
             ),
         ];
         for (name, help, h) in hists {
@@ -922,6 +1043,29 @@ pub struct TelemetrySnapshot {
     /// Trace bytes drained in the background by the streaming consumer.
     #[serde(default)]
     pub stream_drained_bytes: u64,
+    /// Bytes the streaming consumer copied (seam carries + wrap
+    /// recoveries) — the zero-copy drain path keeps this near zero.
+    #[serde(default)]
+    pub stream_copied_bytes: u64,
+    /// Packet fragments carried across ToPA region seams.
+    #[serde(default)]
+    pub stream_seam_carries: u64,
+    /// Dedicated-consumer wakeups (zero without `consumer_thread`).
+    #[serde(default)]
+    pub consumer_wakeups: u64,
+    /// Consumer wakeups that committed to a drain.
+    #[serde(default)]
+    pub consumer_drains: u64,
+    /// Trace bytes drained by the dedicated consumer.
+    #[serde(default)]
+    pub consumer_drained_bytes: u64,
+    /// Consumer wakeups skipped below the lag target.
+    #[serde(default)]
+    pub consumer_skipped: u64,
+    /// Distribution of frontier lag at consumer wakeups (empty without
+    /// `consumer_thread`).
+    #[serde(default)]
+    pub consumer_lag: HistogramSnapshot,
     /// Fleet mode: poll-slot drains deferred onto the fleet scheduler's
     /// queue (zero outside a fleet).
     #[serde(default)]
@@ -979,6 +1123,33 @@ pub struct TelemetrySnapshot {
     pub violations: Vec<ViolationSummary>,
     /// Forensic flight records.
     pub flight_records: Vec<FlightRecord>,
+}
+
+impl TelemetrySnapshot {
+    /// Bytes the streaming consumer copied per KiB it drained — the
+    /// zero-copy figure of merit (region-seam carries cost ~15 bytes per
+    /// region, so a healthy drain path sits near zero).
+    pub fn copied_per_drained_kib(&self) -> f64 {
+        let drained = self.stream_drained_bytes + self.bytes_scanned;
+        if drained == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.stream_copied_bytes as f64 / (drained as f64 / 1024.0)
+        }
+    }
+
+    /// Fraction of dedicated-consumer wakeups that committed to a drain.
+    pub fn consumer_utilization(&self) -> f64 {
+        if self.consumer_wakeups == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.consumer_drains as f64 / self.consumer_wakeups as f64
+        }
+    }
 }
 
 /// Renders up to `max` packets of a (PSB-synchronised) trace window for a
@@ -1135,6 +1306,15 @@ mod tests {
             "fg_phase_spans_total{phase=\"verdict\"}",
             "fg_health_status 0",
             "fg_span_overhead_mean_ns",
+            // The zero-copy / dedicated-consumer families.
+            "fg_stream_copied_bytes_total",
+            "fg_stream_seam_carries_total",
+            "fg_consumer_wakeups_total",
+            "fg_consumer_drains_total",
+            "fg_consumer_drained_bytes_total",
+            "fg_consumer_skipped_total",
+            "fg_consumer_utilization_ratio",
+            "# TYPE fg_consumer_lag_bytes histogram",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }

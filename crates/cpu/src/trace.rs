@@ -199,9 +199,25 @@ impl IptUnit {
         self.enc.sink_mut()
     }
 
-    /// The trace bytes in chronological order.
+    /// The retained trace as chronological borrowed region slices — the
+    /// zero-copy view the engine's drain path consumes
+    /// ([`Topa::segments`]). Only slice references are materialised.
+    pub fn trace_segments(&self) -> Vec<&[u8]> {
+        self.enc.sink().segments()
+    }
+
+    /// Copies the most recent `n` trace bytes into `out` — the bounded
+    /// cold-window read ([`Topa::tail_into`]).
+    pub fn trace_tail_into(&self, n: usize, out: &mut Vec<u8>) {
+        self.enc.sink().tail_into(n, out);
+    }
+
+    /// The trace bytes in chronological order, assembled from the
+    /// segmented view. A convenience for tests and cold consumers (slow
+    /// path, flight records); runtime drains use [`IptUnit::trace_segments`]
+    /// and never linearise.
     pub fn trace_bytes(&self) -> Vec<u8> {
-        self.enc.sink().chronological()
+        self.trace_segments().concat()
     }
 
     fn maybe_psb(&mut self, next_ip: u64, cr3: u64) {
@@ -513,6 +529,33 @@ mod tests {
         assert_eq!(scan.tip_count(), 1);
         assert_eq!(scan.tip_ips()[0], 0x50_0000);
         assert_eq!(scan.tnt_vec(0), vec![true]);
+    }
+
+    #[test]
+    fn trace_segments_are_borrowed_and_chronological() {
+        let cost = CostModel::calibrated();
+        let mut t = ipt_unit(0x1000);
+        t.as_ipt_mut().unwrap().start(0x40_0000, 0x1000);
+        for i in 0..40u64 {
+            t.on_cofi(&cost, CofiKind::IndCall, 0x40_0110 + i, 0x50_0000 + 8 * i, false, 0x1000);
+        }
+        let u = t.as_ipt().unwrap();
+        // The segmented view concatenates to the linearised bytes, scans
+        // identically, and borrows the ToPA regions directly.
+        let segs = u.trace_segments();
+        assert_eq!(segs.concat(), u.trace_bytes());
+        let seg_scan = fast::scan_vectorized_segments(&segs).unwrap();
+        let lin_scan = fast::scan(&u.trace_bytes()).unwrap();
+        assert_eq!(seg_scan.tip_events(), lin_scan.tip_events());
+        assert!(std::ptr::eq(
+            segs.last().unwrap().as_ptr(),
+            u.topa().regions()[0].contents().as_ptr()
+        ));
+        // Bounded tail read agrees with the linearised tail.
+        let mut tail = Vec::new();
+        u.trace_tail_into(16, &mut tail);
+        let bytes = u.trace_bytes();
+        assert_eq!(tail, bytes[bytes.len() - 16..]);
     }
 
     #[test]

@@ -733,6 +733,27 @@ pub fn scan_vectorized(buf: &[u8]) -> Result<FastScan, PacketError> {
     Ok(out)
 }
 
+/// [`scan_vectorized`] over a chronological slice-of-slices cursor (for
+/// example [`Topa::segments`](crate::topa::Topa::segments)) — the zero-copy
+/// cold scan. Packets are consumed in place from the borrowed slices; only
+/// the ≤ 15-byte fragment of a packet straddling a segment seam is copied
+/// into a small carry.
+///
+/// The extracted TIP/TNT/boundary stream (the checker's whole input) and
+/// the error behaviour are bit-identical to scanning the linearised
+/// concatenation of `segs`.
+///
+/// # Errors
+///
+/// Returns a [`PacketError`] only if the stream is malformed *after*
+/// synchronisation (a corrupt PSB+ bundle), exactly like [`scan_vectorized`].
+pub fn scan_vectorized_segments(segs: &[&[u8]]) -> Result<FastScan, PacketError> {
+    let mut c = crate::stream::StreamConsumer::new();
+    let total: u64 = segs.iter().map(|s| s.len() as u64).sum();
+    c.drain_segments(segs, total)?;
+    Ok(c.into_scan())
+}
+
 /// Scans a trace buffer from its start.
 ///
 /// If the buffer does not begin at a packet boundary (a wrapped ToPA), the

@@ -20,6 +20,18 @@
 use crate::decode::{find_psb, PacketError, PacketParser};
 use crate::fast::{consume_vectorized, Boundary, FastScan, ScanCore};
 use crate::packet::wire;
+use crate::stream::{packet_need, PacketNeed};
+
+/// Whether the packet starting at `buf[pos..]` is cut by the end of `buf`
+/// (its header asks for more bytes than remain) as opposed to undecodable
+/// damage.
+fn tail_cut(buf: &[u8], pos: usize) -> bool {
+    match packet_need(&buf[pos..]) {
+        PacketNeed::Known(n) => pos + n > buf.len(),
+        PacketNeed::MoreHeader => true,
+        PacketNeed::Undecodable => false,
+    }
+}
 
 /// Why the scanner is searching for a PSB instead of parsing packets.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,6 +98,11 @@ impl IncrementalScanner {
     /// The accumulated scan (everything consumed so far, minus compaction).
     pub fn scan(&self) -> &FastScan {
         &self.acc
+    }
+
+    /// Consumes the scanner, yielding the accumulated scan.
+    pub fn into_scan(self) -> FastScan {
+        self.acc
     }
 
     /// Stream position consumed so far.
@@ -220,22 +237,72 @@ impl IncrementalScanner {
         })
     }
 
+    /// Appends `chunk` — the next bytes of the stream, which may end
+    /// mid-packet: a packet cut by the end of the chunk is *withheld*
+    /// rather than treated as damage, and the number of bytes actually
+    /// consumed is returned alongside the append info. The stream position
+    /// advances only past the consumed bytes; the caller re-presents the
+    /// withheld tail (completed with its remaining bytes) in a later
+    /// append.
+    ///
+    /// This is the zero-copy streaming entry: [`crate::StreamConsumer`]
+    /// feeds borrowed ToPA region slices straight through it, with no
+    /// framing pre-pass — the scanner discovers the cut while decoding —
+    /// and only the ≤ 15-byte withheld fragments are ever copied.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] when a PSB+ bundle itself is corrupt, as
+    /// [`IncrementalScanner::advance`] would.
+    pub fn append_framed(&mut self, chunk: &[u8]) -> Result<(usize, AppendInfo), PacketError> {
+        let tips_before = self.acc.tip_count();
+        let consumed = self.consume_framed(chunk, true)?;
+        self.stream_pos += consumed as u64;
+        self.acc.bytes_scanned += consumed as u64;
+        let info = AppendInfo {
+            new_bytes: consumed as u64,
+            new_tips: self.acc.tip_count() - tips_before,
+            cold_restart: false,
+        };
+        Ok((consumed, info))
+    }
+
     /// Parses one appended chunk, honouring the carried seek state.
     fn consume(&mut self, chunk: &[u8]) -> Result<(), PacketError> {
+        self.consume_framed(chunk, false).map(|_| ())
+    }
+
+    /// [`IncrementalScanner::consume`], returning the bytes of `chunk`
+    /// consumed. With `framed`, a packet cut by the end of the chunk is
+    /// withheld (left unconsumed) instead of entering damage recovery;
+    /// without it the whole chunk is always accounted as consumed.
+    fn consume_framed(&mut self, chunk: &[u8], framed: bool) -> Result<usize, PacketError> {
         // While seeking, a PSB pattern may straddle the previous chunk's
-        // tail: search over carry + chunk.
+        // tail: search over carry + chunk. The carry's bytes were accounted
+        // by a previous append, so a withheld tail must start at or after
+        // `carry_len` for the consumed count to translate back into `chunk`
+        // coordinates — guaranteed, because any packet parsed after a
+        // carry-straddling resync starts beyond the ≤ 15-byte carry (the
+        // PSB found is 16 bytes long).
         let owned;
-        let buf = if self.seek != Seek::Synced && !self.seek_carry.is_empty() {
+        let (buf, carry_len) = if self.seek != Seek::Synced && !self.seek_carry.is_empty() {
+            let carry_len = self.seek_carry.len();
             let mut v = std::mem::take(&mut self.seek_carry);
             v.extend_from_slice(chunk);
             owned = v;
-            owned.as_slice()
+            (owned.as_slice(), carry_len)
         } else {
-            chunk
+            (chunk, 0)
         };
 
         let mut pos = 0usize;
         if !self.probed {
+            if framed && tail_cut(buf, 0) {
+                // The stream's very first bytes end inside the first
+                // packet: withhold it instead of probing a cut packet. The
+                // probe runs when the packet completes.
+                return Ok(0);
+            }
             // Head probe, mirroring the cold scanner: if the very first
             // packet of the stream doesn't parse, sync forward silently.
             self.probed = true;
@@ -260,7 +327,7 @@ impl IncrementalScanner {
                     // chunk and drop the rest of the damaged bytes.
                     let keep = buf.len().min(wire::PSB_LEN - 1);
                     self.seek_carry = buf[buf.len() - keep..].to_vec();
-                    return Ok(());
+                    return Ok(chunk.len());
                 }
             }
         }
@@ -272,29 +339,43 @@ impl IncrementalScanner {
         loop {
             match run.error {
                 None => break,
-                Some(e) if self.core.in_psb_plus => return Err(e),
-                Some(_) => match find_psb(buf, run.pos) {
-                    Some(off) => {
-                        // Damage mid-chunk with a PSB further on: resync.
-                        self.acc.boundaries.push((self.acc.tip_count(), Boundary::Resync));
-                        self.core.run_start = self.acc.bits_len();
-                        run = consume_vectorized(buf, off, 0, &mut self.core, &mut self.acc);
-                    }
-                    None => {
-                        self.seek = Seek::Damage;
-                        let rest = buf.len() - run.pos;
-                        let keep = rest.min(wire::PSB_LEN - 1);
-                        self.seek_carry = buf[buf.len() - keep..].to_vec();
+                Some(e) => {
+                    if framed && run.pos >= carry_len && tail_cut(buf, run.pos) {
+                        // The chunk ends inside this packet — a frontier or
+                        // region-seam cut, not damage. Stop at its start and
+                        // let the caller withhold the fragment; the carried
+                        // core state (possibly mid-PSB+) resumes when the
+                        // packet's remaining bytes arrive.
                         self.last_ip = run.last_ip;
                         self.core.finish(&mut self.acc);
-                        return Ok(());
+                        return Ok(run.pos - carry_len);
                     }
-                },
+                    if self.core.in_psb_plus {
+                        return Err(e);
+                    }
+                    match find_psb(buf, run.pos) {
+                        Some(off) => {
+                            // Damage mid-chunk with a PSB further on: resync.
+                            self.acc.boundaries.push((self.acc.tip_count(), Boundary::Resync));
+                            self.core.run_start = self.acc.bits_len();
+                            run = consume_vectorized(buf, off, 0, &mut self.core, &mut self.acc);
+                        }
+                        None => {
+                            self.seek = Seek::Damage;
+                            let rest = buf.len() - run.pos;
+                            let keep = rest.min(wire::PSB_LEN - 1);
+                            self.seek_carry = buf[buf.len() - keep..].to_vec();
+                            self.last_ip = run.last_ip;
+                            self.core.finish(&mut self.acc);
+                            return Ok(chunk.len());
+                        }
+                    }
+                }
             }
         }
         self.last_ip = run.last_ip;
         self.core.finish(&mut self.acc);
-        Ok(())
+        Ok(chunk.len())
     }
 }
 

@@ -23,49 +23,55 @@ use crate::packet::wire;
 use fg_trace::{PhaseSpan, SpanProfiler};
 use std::sync::Arc;
 
-/// Length of the complete-packet prefix of `buf`, which must start at a
-/// packet boundary. Walks header-indicated lengths only (no payload
-/// decode): a packet cut short at the end of `buf` is *withheld* from the
-/// scanner until its remaining bytes arrive, which is what makes mid-packet
-/// frontier splits bit-identical to a cold scan. An undecodable header is
-/// genuine damage — everything is fed through so the scanner's resync
-/// behaves exactly like the cold scanner's.
-fn complete_prefix_len(buf: &[u8]) -> usize {
-    let mut pos = 0;
-    while pos < buf.len() {
-        let b0 = buf[pos];
-        let need = if b0 & 1 == 0 {
-            if b0 == wire::EXT {
-                let Some(&b1) = buf.get(pos + 1) else { break };
-                match b1 {
-                    wire::EXT_PSB => wire::PSB_LEN,
-                    wire::EXT_PSBEND | wire::EXT_OVF => 2,
-                    wire::EXT_CBR => 4,
-                    wire::EXT_PIP | wire::EXT_LONG_TNT => 8,
-                    _ => return buf.len(),
-                }
-            } else {
-                1 // PAD or short TNT
-            }
-        } else if b0 == wire::MODE {
-            2
-        } else if matches!(
-            b0 & 0x1f,
-            wire::TIP_OP | wire::TIP_PGE_OP | wire::TIP_PGD_OP | wire::FUP_OP
-        ) {
-            match IP_PAYLOAD_LEN[(b0 >> 5) as usize] {
-                n if n >= 0 => 1 + n as usize,
-                _ => return buf.len(),
+/// What the header bytes at the front of `buf` say about the packet there.
+pub(crate) enum PacketNeed {
+    /// The packet occupies this many bytes in total.
+    Known(usize),
+    /// Not enough header bytes yet to tell (an `EXT` opcode cut before its
+    /// subtype byte).
+    MoreHeader,
+    /// The header does not decode — genuine damage, not a cut packet.
+    Undecodable,
+}
+
+/// Header-length walk for the packet starting at `buf[0]` (no payload
+/// decode). The longest packet is the 16-byte PSB ([`wire::PSB_LEN`]), so a
+/// partial packet is always at most `PSB_LEN - 1` bytes — the bound on
+/// every seam carry.
+pub(crate) fn packet_need(buf: &[u8]) -> PacketNeed {
+    let Some(&b0) = buf.first() else { return PacketNeed::MoreHeader };
+    if b0 & 1 == 0 {
+        if b0 == wire::EXT {
+            let Some(&b1) = buf.get(1) else { return PacketNeed::MoreHeader };
+            match b1 {
+                wire::EXT_PSB => PacketNeed::Known(wire::PSB_LEN),
+                wire::EXT_PSBEND | wire::EXT_OVF => PacketNeed::Known(2),
+                wire::EXT_CBR => PacketNeed::Known(4),
+                wire::EXT_PIP | wire::EXT_LONG_TNT => PacketNeed::Known(8),
+                _ => PacketNeed::Undecodable,
             }
         } else {
-            return buf.len();
-        };
-        if pos + need > buf.len() {
-            break;
+            PacketNeed::Known(1) // PAD or short TNT
         }
-        pos += need;
+    } else if b0 == wire::MODE {
+        PacketNeed::Known(2)
+    } else if matches!(b0 & 0x1f, wire::TIP_OP | wire::TIP_PGE_OP | wire::TIP_PGD_OP | wire::FUP_OP)
+    {
+        match IP_PAYLOAD_LEN[(b0 >> 5) as usize] {
+            n if n >= 0 => PacketNeed::Known(1 + n as usize),
+            _ => PacketNeed::Undecodable,
+        }
+    } else {
+        PacketNeed::Undecodable
     }
-    pos
+}
+
+/// Accumulates per-piece advance results into one logical drain's
+/// [`AppendInfo`].
+fn absorb(acc: &mut AppendInfo, info: AppendInfo) {
+    acc.new_bytes += info.new_bytes;
+    acc.new_tips += info.new_tips;
+    acc.cold_restart |= info.cold_restart;
 }
 
 /// Cumulative accounting of a [`StreamConsumer`]'s background work.
@@ -77,16 +83,40 @@ pub struct DrainStats {
     pub drained_bytes: u64,
     /// Wraps past the frontier (cold PSB re-synchronisations).
     pub cold_restarts: u64,
+    /// Bytes physically copied while draining: seam/frontier partial-packet
+    /// carries (≤ 15 bytes each) plus the rare wrap-path linearisation.
+    /// Everything else is scanned in place from borrowed region slices —
+    /// this is the numerator of the copied-bytes-per-drained-KiB gate.
+    pub copied_bytes: u64,
+    /// Partial packets carried across a segment seam or the frontier.
+    pub seam_carries: u64,
+}
+
+impl DrainStats {
+    /// Bytes copied per KiB drained — ≈ 0 for the zero-copy drain path
+    /// (only seam carries and rare wrap linearisations copy).
+    pub fn copied_per_drained_kib(&self) -> f64 {
+        if self.drained_bytes == 0 {
+            return 0.0;
+        }
+        self.copied_bytes as f64 * 1024.0 / self.drained_bytes as f64
+    }
 }
 
 /// A continuous ToPA consumer over a checkpointed [`IncrementalScanner`].
 #[derive(Debug, Clone, Default)]
 pub struct StreamConsumer {
     scanner: IncrementalScanner,
-    /// Bytes of a packet cut by the frontier: accepted from the producer
-    /// (part of the frontier) but withheld from the scanner until the rest
-    /// of the packet arrives.
+    /// Bytes of a packet cut by the frontier or a region seam: accepted
+    /// from the producer (part of the frontier) but withheld from the
+    /// scanner until the rest of the packet arrives. At most
+    /// `PSB_LEN - 1` bytes; the buffer's capacity is reused across drains
+    /// (no steady-state allocation).
     pending: Vec<u8>,
+    /// Reused linearisation buffer for the wrap-past-frontier cold path —
+    /// the one drain that cannot be zero-copy (its copies are counted in
+    /// [`DrainStats::copied_bytes`]).
+    wrap_scratch: Vec<u8>,
     stats: DrainStats,
     /// Cycle-attribution profiler plus the modeled per-byte scan cost;
     /// wired by the engine so drains show up as spans.
@@ -96,7 +126,11 @@ pub struct StreamConsumer {
 impl StreamConsumer {
     /// A fresh consumer with an empty accumulated scan.
     pub fn new() -> StreamConsumer {
-        StreamConsumer::default()
+        let mut c = StreamConsumer::default();
+        // One max-sized packet (the 16-byte PSB) bounds every carry: sizing
+        // the buffer up front makes steady-state drains allocation-free.
+        c.pending.reserve(wire::PSB_LEN);
+        c
     }
 
     /// The frontier: stream position (monotone `total_written` coordinates)
@@ -132,42 +166,126 @@ impl StreamConsumer {
         chronological: &[u8],
         total_written: u64,
     ) -> Result<AppendInfo, PacketError> {
+        self.drain_segments(&[chronological], total_written)
+    }
+
+    /// [`StreamConsumer::drain`] over a chronological slice-of-slices view
+    /// (for example [`Topa::segments`](crate::topa::Topa::segments)) — the
+    /// zero-copy drain path. The residue is scanned **in place** from the
+    /// borrowed slices; the only bytes copied are the ≤ 15-byte fragments
+    /// of a packet straddling a segment seam (or cut by the frontier),
+    /// carried in a small reused buffer, plus the rare wrap-past-frontier
+    /// linearisation. Both are counted in [`DrainStats::copied_bytes`].
+    ///
+    /// Bit-identical to draining the linearised concatenation of `segs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] when a PSB+ bundle itself is corrupt;
+    /// callers typically [`StreamConsumer::skip_to`] past the damage.
+    pub fn drain_segments(
+        &mut self,
+        segs: &[&[u8]],
+        total_written: u64,
+    ) -> Result<AppendInfo, PacketError> {
         let delta = self.residue(total_written);
         if delta == 0 {
             // The frontier compare: a withheld partial packet cannot
             // complete without new bytes either.
             return Ok(AppendInfo::default());
         }
-        if delta > chronological.len() as u64 {
+        let retained: usize = segs.iter().map(|s| s.len()).sum();
+        if delta > retained as u64 {
             // Wrap past the frontier: the withheld bytes were overwritten
             // along with everything else before the retained window; the
-            // scanner cold-restarts on a PSB inside it.
+            // scanner cold-restarts on a PSB inside it. This is the one
+            // path that linearises (sync search must cross every seam) —
+            // rare, bounded by the retained window, and counted.
             self.pending.clear();
-            let info = self.scanner.advance(chronological, total_written, chronological.len())?;
+            self.wrap_scratch.clear();
+            for s in segs {
+                self.wrap_scratch.extend_from_slice(s);
+            }
+            self.stats.copied_bytes += retained as u64;
+            let info = self.scanner.advance(&self.wrap_scratch, total_written, retained)?;
             self.record(&info);
             return Ok(info);
         }
-        let chunk = &chronological[chronological.len() - delta as usize..];
-        let mut combined = std::mem::take(&mut self.pending);
-        let buf: &[u8] = if combined.is_empty() {
-            chunk
-        } else {
-            combined.extend_from_slice(chunk);
-            &combined
-        };
-        // While synced the scanner sits at a packet boundary, so the
-        // complete-packet prefix is well defined; while seeking, packet
-        // framing is moot (the scanner is searching for a PSB) and
-        // everything is fed through.
-        let safe = if self.scanner.is_synced() { complete_prefix_len(buf) } else { buf.len() };
-        self.pending = buf[safe..].to_vec();
-        if safe == 0 {
-            return Ok(AppendInfo::default());
+        // Walk the segments, skipping everything before the frontier, and
+        // feed each in-place piece through the packet-boundary carve.
+        let mut skip = retained - delta as usize;
+        let mut acc = AppendInfo::default();
+        for seg in segs {
+            if skip >= seg.len() {
+                skip -= seg.len();
+                continue;
+            }
+            let piece = &seg[skip..];
+            skip = 0;
+            self.feed_piece(piece, &mut acc)?;
         }
-        let target = self.scanner.stream_pos() + safe as u64;
-        let info = self.scanner.advance(&buf[..safe], target, safe)?;
-        self.record(&info);
-        Ok(info)
+        self.record(&acc);
+        Ok(acc)
+    }
+
+    /// Feeds one contiguous residue piece: completes a carried partial
+    /// packet from the piece's head, scans the complete-packet body
+    /// directly from the borrowed slice, and withholds a trailing partial
+    /// packet (≤ 15 bytes) into the reused carry buffer.
+    fn feed_piece(&mut self, piece: &[u8], acc: &mut AppendInfo) -> Result<(), PacketError> {
+        let mut rest = piece;
+        if !self.pending.is_empty() {
+            if self.scanner.is_synced() {
+                // Complete the carried packet from the head of this piece:
+                // copy exactly the bytes its header says are missing.
+                loop {
+                    match packet_need(&self.pending) {
+                        PacketNeed::MoreHeader => {
+                            let Some((&b, tail)) = rest.split_first() else { return Ok(()) };
+                            self.pending.push(b);
+                            self.stats.copied_bytes += 1;
+                            rest = tail;
+                        }
+                        PacketNeed::Known(l) if l > self.pending.len() => {
+                            let need = l - self.pending.len();
+                            let take = need.min(rest.len());
+                            self.pending.extend_from_slice(&rest[..take]);
+                            self.stats.copied_bytes += take as u64;
+                            rest = &rest[take..];
+                            if take < need {
+                                return Ok(()); // piece exhausted mid-packet
+                            }
+                            break; // exactly one complete packet carried
+                        }
+                        // A complete or undecodable carry: feed it through —
+                        // damage resyncs exactly as the cold scanner would.
+                        PacketNeed::Known(_) | PacketNeed::Undecodable => break,
+                    }
+                }
+            }
+            // Feed the carry (one completed packet, or damage/seek bytes).
+            let carry_len = self.pending.len();
+            let target = self.scanner.stream_pos() + carry_len as u64;
+            let info = self.scanner.advance(&self.pending, target, carry_len)?;
+            self.pending.clear();
+            absorb(acc, info);
+        }
+        if rest.is_empty() {
+            return Ok(());
+        }
+        // Scan the piece in place. There is no framing pre-pass: the
+        // scanner discovers a packet cut by the end of the piece while
+        // decoding and leaves it unconsumed.
+        let (consumed, info) = self.scanner.append_framed(rest)?;
+        absorb(acc, info);
+        if consumed < rest.len() {
+            // Withhold the cut packet's fragment — the seam carry. Reuses
+            // the buffer's capacity: no steady-state allocation.
+            self.pending.extend_from_slice(&rest[consumed..]);
+            self.stats.copied_bytes += (rest.len() - consumed) as u64;
+            self.stats.seam_carries += 1;
+        }
+        Ok(())
     }
 
     /// Wires the cycle-attribution profiler: subsequent
@@ -195,12 +313,28 @@ impl StreamConsumer {
         total_written: u64,
         background: bool,
     ) -> Result<AppendInfo, PacketError> {
+        self.drain_segments_profiled(&[chronological], total_written, background)
+    }
+
+    /// [`StreamConsumer::drain_segments`] plus span attribution — the
+    /// zero-copy analogue of [`StreamConsumer::drain_profiled`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamConsumer::drain_segments`]'s [`PacketError`]; the
+    /// span (with zero drained bytes) is still recorded.
+    pub fn drain_segments_profiled(
+        &mut self,
+        segs: &[&[u8]],
+        total_written: u64,
+        background: bool,
+    ) -> Result<AppendInfo, PacketError> {
         let Some((prof, cycles_per_byte)) = self.profiler.clone() else {
-            return self.drain(chronological, total_written);
+            return self.drain_segments(segs, total_written);
         };
         let phase = if background { PhaseSpan::StreamDrain } else { PhaseSpan::ResidueScan };
         let mut guard = prof.enter(phase);
-        let res = self.drain(chronological, total_written);
+        let res = self.drain_segments(segs, total_written);
         if let Ok(info) = &res {
             guard.add_cycles(info.new_bytes as f64 * cycles_per_byte);
             guard.set_detail(info.new_bytes);
@@ -219,6 +353,12 @@ impl StreamConsumer {
     /// The accumulated scan (everything drained so far, minus compaction).
     pub fn scan(&self) -> &FastScan {
         self.scanner.scan()
+    }
+
+    /// Consumes the consumer, yielding the accumulated scan (cold one-shot
+    /// scans over segmented input build on this).
+    pub fn into_scan(self) -> FastScan {
+        self.scanner.into_scan()
     }
 
     /// Cumulative drain accounting.
@@ -257,6 +397,24 @@ mod tests {
     use crate::encode::{PacketEncoder, TraceSink};
     use crate::fast;
     use crate::topa::Topa;
+
+    #[test]
+    fn framed_append_withholds_cut_tail_packets() {
+        // Every split point of a well-formed stream: the consumer must
+        // withhold exactly the cut packet's head and resume bit-identically
+        // when the rest arrives.
+        let stream = sample_stream();
+        let cold = fast::scan(&stream).unwrap();
+        for cut in 1..stream.len() {
+            let mut c = StreamConsumer::new();
+            c.drain(&stream[..cut], cut as u64).unwrap();
+            assert_eq!(c.frontier(), cut as u64, "cut {cut}: frontier covers withheld bytes");
+            c.drain(&stream, stream.len() as u64).unwrap();
+            assert_eq!(c.scan().tip_events(), cold.tip_events(), "cut {cut}");
+            assert_eq!(c.scan().boundaries, cold.boundaries, "cut {cut}");
+            assert_eq!(c.scan().trailing_tnt(), cold.trailing_tnt(), "cut {cut}");
+        }
+    }
 
     fn sample_stream() -> Vec<u8> {
         let mut enc = PacketEncoder::new(Vec::new());
@@ -360,6 +518,120 @@ mod tests {
         let mut bare = StreamConsumer::new();
         bare.drain_profiled(&stream, stream.len() as u64, true).unwrap();
         assert_eq!(bare.stats().drained_bytes, stream.len() as u64);
+    }
+
+    #[test]
+    fn segmented_drain_matches_linearized() {
+        let stream = sample_stream();
+        // Cut the stream into "regions" at every plausible seam position —
+        // including cuts inside multi-byte packets (the seam carry path).
+        for cut in 1..stream.len() {
+            let segs: Vec<&[u8]> = vec![&stream[..cut], &stream[cut..]];
+            let mut seg = StreamConsumer::new();
+            seg.drain_segments(&segs, stream.len() as u64).unwrap();
+            let mut lin = StreamConsumer::new();
+            lin.drain(&stream, stream.len() as u64).unwrap();
+            assert_eq!(seg.scan().tip_events(), lin.scan().tip_events(), "cut at {cut}");
+            assert_eq!(seg.scan().boundaries, lin.scan().boundaries, "cut at {cut}");
+            assert_eq!(seg.scan().trailing_tnt(), lin.scan().trailing_tnt(), "cut at {cut}");
+            assert_eq!(seg.frontier(), lin.frontier());
+            assert_eq!(seg.stats().drained_bytes, lin.stats().drained_bytes);
+            // Only a straddling packet's fragment is ever copied.
+            assert!(
+                seg.stats().copied_bytes <= 2 * (wire::PSB_LEN as u64 - 1),
+                "cut at {cut}: copied {}",
+                seg.stats().copied_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn segmented_residue_drain_from_topa_is_zero_copy() {
+        // Drains driven from Topa::segments consume the residue in place:
+        // bytes copied stay bounded by seam carries, not by drained volume.
+        let mut topa = Topa::two_regions(4096).unwrap();
+        let mut c = StreamConsumer::new();
+        let stream = sample_stream();
+        for p in crate::decode::decode_all(&stream).unwrap() {
+            // The hardware emits whole packets, so drains at poll slots see
+            // packet-aligned frontiers.
+            topa.write_packet(&stream[p.offset..p.offset + p.len]);
+            let total = topa.total_written();
+            c.drain_segments(&topa.segments(), total).unwrap();
+            assert!(c.is_drained(total));
+        }
+        let cold = fast::scan(&stream).unwrap();
+        assert_eq!(c.scan().tip_events(), cold.tip_events());
+        let st = c.stats();
+        assert_eq!(st.drained_bytes, stream.len() as u64);
+        // The whole stream fits one region: nothing straddles a seam, and
+        // the producer writes whole packets, so nothing is copied at all.
+        assert_eq!(st.copied_bytes, 0, "in-place drain copies nothing");
+        assert_eq!(st.copied_per_drained_kib(), 0.0);
+    }
+
+    #[test]
+    fn steady_state_drains_do_not_allocate() {
+        // Satellite: the partial-packet carry reuses its buffer's capacity.
+        // Drive many drains with frontier splits landing mid-packet; after
+        // the first carry sized the buffer, its capacity must never change.
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        for i in 0..200u64 {
+            enc.tnt_bit(i % 3 == 0);
+            enc.tip(0x50_0000 + i * 8);
+        }
+        let stream = enc.into_sink();
+        let mut c = StreamConsumer::new();
+        let mut cap_after_warmup = None;
+        let mut end = 0usize;
+        let mut step = 0usize;
+        while end < stream.len() {
+            // Vary the chunk size so cuts land at every packet phase.
+            step = step % 7 + 1;
+            end = (end + step).min(stream.len());
+            c.drain(&stream[..end], end as u64).unwrap();
+            match cap_after_warmup {
+                None => {
+                    if c.pending.capacity() > 0 {
+                        cap_after_warmup = Some(c.pending.capacity());
+                    }
+                }
+                Some(cap) => assert_eq!(
+                    c.pending.capacity(),
+                    cap,
+                    "steady-state drain reallocated the carry buffer"
+                ),
+            }
+        }
+        assert!(cap_after_warmup.is_some(), "mid-packet cuts exercised the carry");
+        assert!(c.stats().seam_carries > 0);
+        let cold = fast::scan(&stream).unwrap();
+        assert_eq!(c.scan().tip_events(), cold.tip_events());
+    }
+
+    #[test]
+    fn segmented_wrap_past_frontier_linearizes_and_counts() {
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x50_0000);
+        let old = enc.into_sink();
+        let mut enc = PacketEncoder::new(Vec::new());
+        enc.psb_plus(Some(0x40_0000), None);
+        enc.tip(0x50_0300);
+        let fresh = enc.into_sink();
+
+        let mut c = StreamConsumer::new();
+        c.drain_segments(&[&old], old.len() as u64).unwrap();
+        assert_eq!(c.stats().copied_bytes, 0);
+        let total = (old.len() + 10 * fresh.len()) as u64;
+        let half = fresh.len() / 2;
+        let info = c.drain_segments(&[&fresh[..half], &fresh[half..]], total).unwrap();
+        assert!(info.cold_restart);
+        assert_eq!(c.stats().cold_restarts, 1);
+        assert_eq!(c.frontier(), total);
+        // The wrap path is the one that linearises — and says so.
+        assert_eq!(c.stats().copied_bytes, fresh.len() as u64);
     }
 
     #[test]

@@ -172,46 +172,22 @@ impl Topa {
         &self.regions
     }
 
-    /// The trace bytes in chronological order.
+    /// The retained trace as a chronological sequence of borrowed region
+    /// slices — the zero-copy view of [`Topa::chronological`]. After a
+    /// wrap, the oldest surviving bytes come from the regions ahead of the
+    /// write cursor; a packet may straddle two slices (a region seam),
+    /// which is why consumers carry a partial-packet fragment across
+    /// segments (exactly as with the real hardware).
     ///
-    /// After a wrap, the oldest surviving bytes come from the regions ahead
-    /// of the write cursor; a packet may be cut at the seam, which is why
-    /// consumers re-sync on PSB (exactly as with the real hardware).
-    pub fn chronological(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.capacity());
+    /// Only slice *references* are materialised (one per region); no trace
+    /// byte is copied.
+    pub fn segments(&self) -> Vec<&[u8]> {
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(self.regions.len());
         if self.wrapped {
             for i in 1..=self.regions.len() {
                 let idx = (self.cur + i) % self.regions.len();
                 // The current region's surviving prefix was overwritten; only
                 // regions strictly after the cursor hold old data in full.
-                if idx != self.cur {
-                    out.extend_from_slice(&self.regions[idx].buf);
-                }
-            }
-        } else {
-            for (idx, r) in self.regions.iter().enumerate() {
-                if idx != self.cur {
-                    out.extend_from_slice(&r.buf);
-                }
-            }
-        }
-        out.extend_from_slice(&self.regions[self.cur].buf);
-        out
-    }
-
-    /// Copies the most recent `n` chronological bytes into `out` (clearing
-    /// it first) — the tail of [`Topa::chronological`] without copying the
-    /// whole buffer. This is the streaming consumer's residue read: between
-    /// two drains only the bytes past the frontier need to be looked at.
-    pub fn tail_into(&self, n: usize, out: &mut Vec<u8>) {
-        out.clear();
-        if n == 0 {
-            return;
-        }
-        let mut parts: Vec<&[u8]> = Vec::with_capacity(self.regions.len());
-        if self.wrapped {
-            for i in 1..=self.regions.len() {
-                let idx = (self.cur + i) % self.regions.len();
                 if idx != self.cur {
                     parts.push(&self.regions[idx].buf);
                 }
@@ -224,6 +200,44 @@ impl Topa {
             }
         }
         parts.push(&self.regions[self.cur].buf);
+        parts
+    }
+
+    /// Bytes currently retained across all regions (the total length of
+    /// [`Topa::segments`]); at most [`Topa::capacity`].
+    pub fn retained_len(&self) -> usize {
+        self.regions.iter().map(|r| r.buf.len()).sum()
+    }
+
+    /// The trace bytes in chronological order, linearised into one owned
+    /// buffer. Prefer [`Topa::segments`] on hot paths — this copies every
+    /// retained byte and exists for cold consumers (slow-path escalation,
+    /// flight records, tests).
+    pub fn chronological(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.capacity());
+        self.chronological_into(&mut out);
+        out
+    }
+
+    /// [`Topa::chronological`] into a caller-reused buffer (cleared first),
+    /// so repeat linearisations don't reallocate.
+    pub fn chronological_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        for p in self.segments() {
+            out.extend_from_slice(p);
+        }
+    }
+
+    /// Copies the most recent `n` chronological bytes into `out` (clearing
+    /// it first) — the tail of [`Topa::chronological`] without copying the
+    /// whole buffer. Retained for bounded cold windows; the streaming
+    /// residue read is zero-copy via [`Topa::segments`] instead.
+    pub fn tail_into(&self, n: usize, out: &mut Vec<u8>) {
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        let parts = self.segments();
         // Walk backwards from the newest part until `n` bytes are covered,
         // then emit the covered suffix in chronological order.
         let mut need = n;
@@ -359,6 +373,42 @@ mod tests {
     fn capacity_reports_sum() {
         let t = Topa::two_regions(8192).unwrap();
         assert_eq!(t.capacity(), 16384, "paper's ~16 KiB default");
+    }
+
+    #[test]
+    fn segments_concatenation_is_chronological() {
+        let mut t = Topa::two_regions(4096).unwrap();
+        t.write_packet(&vec![0x11; 4096]);
+        t.write_packet(&vec![0x22; 4096]);
+        // Unwrapped: two segments, concatenation == chronological.
+        let flat: Vec<u8> = t.segments().concat();
+        assert_eq!(flat, t.chronological());
+        assert_eq!(t.retained_len(), 8192);
+        // Wrap: the view stays consistent with the linearised buffer.
+        t.write_packet(&[0x33, 0x34]);
+        assert!(t.has_wrapped());
+        let flat: Vec<u8> = t.segments().concat();
+        assert_eq!(flat, t.chronological());
+        assert_eq!(t.retained_len(), flat.len());
+        // The slices borrow the regions directly — no bytes were copied.
+        let segs = t.segments();
+        assert_eq!(segs.len(), 2);
+        assert!(std::ptr::eq(segs[1].as_ptr(), t.regions()[0].contents().as_ptr()));
+    }
+
+    #[test]
+    fn chronological_into_reuses_capacity() {
+        let mut t = Topa::two_regions(4096).unwrap();
+        t.write_packet(&[7; 100]);
+        let mut buf = Vec::new();
+        t.chronological_into(&mut buf);
+        assert_eq!(buf, t.chronological());
+        t.write_packet(&[8]);
+        t.chronological_into(&mut buf);
+        let cap = buf.capacity();
+        t.chronological_into(&mut buf);
+        assert_eq!(buf.capacity(), cap, "repeat linearisation must not reallocate");
+        assert_eq!(*buf.last().unwrap(), 8);
     }
 
     #[test]
